@@ -1,0 +1,129 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see the per-experiment index in DESIGN.md). Each benchmark
+// runs the corresponding experiment of internal/eval end to end; the
+// tables themselves are produced by cmd/benchreport and recorded in
+// EXPERIMENTS.md.
+//
+//	go test -bench=. -benchmem
+package dwqa_test
+
+import (
+	"testing"
+
+	"dwqa"
+	"dwqa/internal/eval"
+)
+
+func benchExperiment(b *testing.B, run func() (*eval.Table, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+// BenchmarkFigure1SchemaBuild regenerates the multidimensional model of
+// the paper's Figure 1.
+func BenchmarkFigure1SchemaBuild(b *testing.B) {
+	benchExperiment(b, eval.NewSuite().Figure1)
+}
+
+// BenchmarkFigure2Uml2Onto regenerates the derived-and-merged ontology of
+// the paper's Figure 2 (Steps 1-3).
+func BenchmarkFigure2Uml2Onto(b *testing.B) {
+	benchExperiment(b, eval.NewSuite().Figure2)
+}
+
+// BenchmarkFigure3IndexAndSearch exercises the AliQAn two-phase
+// architecture of the paper's Figure 3.
+func BenchmarkFigure3IndexAndSearch(b *testing.B) {
+	benchExperiment(b, eval.NewSuite().Figure3)
+}
+
+// BenchmarkTable1Pipeline regenerates the paper's Table 1 trace.
+func BenchmarkTable1Pipeline(b *testing.B) {
+	benchExperiment(b, eval.NewSuite().Table1)
+}
+
+// BenchmarkFigure4ProseExtraction measures extraction from prose weather
+// pages (the paper's Figure 4 success case).
+func BenchmarkFigure4ProseExtraction(b *testing.B) {
+	benchExperiment(b, eval.NewSuite().Figure4)
+}
+
+// BenchmarkFigure5TableExtraction measures extraction from table-form
+// pages, naive vs table-aware (the paper's Figure 5 and its §5 future
+// work).
+func BenchmarkFigure5TableExtraction(b *testing.B) {
+	benchExperiment(b, eval.NewSuite().Figure5)
+}
+
+// BenchmarkQAvsIR quantifies the paper's §1 QA-vs-IR comparison.
+func BenchmarkQAvsIR(b *testing.B) {
+	benchExperiment(b, eval.NewSuite().QAvsIR)
+}
+
+// BenchmarkOntologyAblation quantifies the Steps 2-3 enrichment claim.
+func BenchmarkOntologyAblation(b *testing.B) {
+	benchExperiment(b, eval.NewSuite().OntologyAblation)
+}
+
+// BenchmarkIRFilterAblation quantifies the IR-as-first-filter claim.
+func BenchmarkIRFilterAblation(b *testing.B) {
+	benchExperiment(b, eval.NewSuite().IRFilter)
+}
+
+// BenchmarkPassageSizeAblation sweeps the IR-n sentence-window size
+// (paper footnote 6 fixes it at eight).
+func BenchmarkPassageSizeAblation(b *testing.B) {
+	benchExperiment(b, eval.NewSuite().PassageSize)
+}
+
+// BenchmarkStep5FeedAndBI runs the Step 5 feed plus the sales×weather BI
+// analysis (the paper's §4.2 outcome and motivating scenario).
+func BenchmarkStep5FeedAndBI(b *testing.B) {
+	benchExperiment(b, eval.NewSuite().Feed)
+}
+
+// BenchmarkAskSingleQuestion isolates the per-question latency of the
+// tuned system (the search phase only; the pipeline is built once).
+func BenchmarkAskSingleQuestion(b *testing.B) {
+	p, err := dwqa.New(dwqa.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.Ask("What is the weather like in January of 2004 in El Prat?")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Best == nil {
+			b.Fatal("no answer")
+		}
+	}
+}
+
+// BenchmarkIntegrationRunAll measures the full five-step integration.
+func BenchmarkIntegrationRunAll(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := dwqa.New(dwqa.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Command dwqa runs the full five-step DW↔QA integration on the Last
+// Minute Sales scenario and prints the paper's Table 1 trace plus the BI
+// analysis the scenario motivates.
+//
+// Usage:
+//
+//	dwqa [-seed N] [-no-ontology] [-no-irfilter] [-table-aware] [-q QUESTION]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dwqa"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "deterministic seed for scenario, corpus and workload")
+	noOntology := flag.Bool("no-ontology", false, "ablate the shared ontology (skip Steps 2-3 enrichment)")
+	noIRFilter := flag.Bool("no-irfilter", false, "ablate the IR filtering phase (QA scans every passage)")
+	tableAware := flag.Bool("table-aware", false, "enable the future-work table pre-processing")
+	question := flag.String("q", "What is the weather like in January of 2004 in El Prat?", "question to trace")
+	flag.Parse()
+
+	cfg := dwqa.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.QA.UseOntology = !*noOntology
+	cfg.QA.UseIRFilter = !*noIRFilter
+	cfg.TableAware = *tableAware
+
+	p, err := dwqa.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Running the five-step integration (paper §3)...")
+	if err := p.RunAll(); err != nil {
+		fatal(err)
+	}
+	fmt.Println(p.Summary())
+
+	tr, err := p.Table1(*question)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("--- Table 1 trace ---")
+	fmt.Println(tr.Format())
+
+	rep, err := dwqa.AnalyzeSalesWeather(p)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("--- BI analysis (the scenario's goal) ---")
+	fmt.Println(rep.Format())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dwqa:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Command olapcli runs OLAP queries against the populated Last Minute
+// Sales warehouse (after running the integration, so the Weather fact is
+// fed too).
+//
+// Usage:
+//
+//	olapcli -fact LastMinuteSales -measure Price -agg sum \
+//	        -group Destination:City -group Date:Month \
+//	        -filter "Destination:Country=Spain,USA"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dwqa"
+	"dwqa/internal/dw"
+)
+
+type multi []string
+
+func (m *multi) String() string     { return strings.Join(*m, ";") }
+func (m *multi) Set(s string) error { *m = append(*m, s); return nil }
+
+func main() {
+	fact := flag.String("fact", "LastMinuteSales", "fact table to query")
+	measure := flag.String("measure", "Price", "measure to aggregate")
+	agg := flag.String("agg", "sum", "aggregation: sum|count|avg|min|max")
+	skipFeed := flag.Bool("skip-feed", false, "skip the integration (Weather fact stays empty)")
+	var groups, filters multi
+	flag.Var(&groups, "group", "group-by as Role:Level (repeatable)")
+	flag.Var(&filters, "filter", "filter as Role:Level=V1,V2 (repeatable)")
+	flag.Parse()
+
+	p, err := dwqa.New(dwqa.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	if !*skipFeed {
+		if err := p.RunAll(); err != nil {
+			fatal(err)
+		}
+	}
+
+	q := dw.Query{Fact: *fact, Measure: *measure, Agg: dw.Agg(*agg)}
+	for _, g := range groups {
+		role, level, ok := splitRoleLevel(g)
+		if !ok {
+			fatalf("bad -group %q, want Role:Level", g)
+		}
+		q.GroupBy = append(q.GroupBy, dw.LevelSel{Role: role, Level: level})
+	}
+	for _, f := range filters {
+		eq := strings.SplitN(f, "=", 2)
+		if len(eq) != 2 {
+			fatalf("bad -filter %q, want Role:Level=V1,V2", f)
+		}
+		role, level, ok := splitRoleLevel(eq[0])
+		if !ok {
+			fatalf("bad -filter %q, want Role:Level=V1,V2", f)
+		}
+		q.Filters = append(q.Filters, dw.Filter{Role: role, Level: level, Values: strings.Split(eq[1], ",")})
+	}
+
+	res, err := p.Warehouse.Execute(q)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Format())
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}
+
+func splitRoleLevel(s string) (string, string, bool) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return "", "", false
+	}
+	return parts[0], parts[1], true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "olapcli:", err)
+	os.Exit(1)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "olapcli: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// Command qacli answers ad-hoc questions against the scenario's web
+// corpus through the tuned AliQAn reproduction.
+//
+// Usage:
+//
+//	qacli [-harvest] [-candidates N] "QUESTION" ["QUESTION"...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dwqa"
+)
+
+func main() {
+	harvest := flag.Bool("harvest", false, "print every well-formed record (Step 5 mode) instead of the best answer")
+	candidates := flag.Int("candidates", 0, "also print the top N raw candidates")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: qacli [-harvest] [-candidates N] \"question\" ...")
+		os.Exit(2)
+	}
+
+	p, err := dwqa.New(dwqa.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	if err := p.RunAll(); err != nil {
+		fatal(err)
+	}
+
+	for _, q := range flag.Args() {
+		fmt.Printf("Q: %s\n", q)
+		if *harvest {
+			answers, _, err := p.QA.Harvest(q)
+			if err != nil {
+				fatal(err)
+			}
+			for _, a := range answers {
+				fmt.Printf("   %s  <%s>\n", a.Render(), a.URL)
+			}
+			fmt.Printf("   (%d records)\n", len(answers))
+			continue
+		}
+		res, err := p.Ask(q)
+		if err != nil {
+			fatal(err)
+		}
+		if res.Best == nil {
+			fmt.Println("A: (no answer above threshold)")
+		} else {
+			fmt.Printf("A: %s\n   source: %s (score %.2f)\n", res.Best.Render(), res.Best.URL, res.Best.Score)
+		}
+		for i, c := range res.Candidates {
+			if i >= *candidates {
+				break
+			}
+			fmt.Printf("   cand[%d] %-30s score=%.2f %s\n", i, c.Render(), c.Score, c.URL)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qacli:", err)
+	os.Exit(1)
+}

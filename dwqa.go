@@ -1,0 +1,75 @@
+// Package dwqa is the public facade of the reproduction of "The benefits
+// of the interaction between Data Warehouses and Question Answering"
+// (Ferrández & Peral, EDBT 2010).
+//
+// The paper proposes the first model integrating a data warehouse (DW)
+// with a question answering (QA) system through a shared ontology, in
+// five semi-automatic steps:
+//
+//  1. derive a domain ontology from the DW's UML multidimensional model,
+//  2. feed it with the DW contents (instances),
+//  3. merge it into the QA system's upper ontology (WordNet),
+//  4. tune the QA system to the new query types,
+//  5. let the QA system feed the DW with answers extracted from the web.
+//
+// The facade exposes the integration pipeline and the result types needed
+// to use it; the substrates (warehouse engine, WordNet, IR-n passage
+// retrieval, the AliQAn QA system, the synthetic web corpus) live in
+// internal packages and are documented in DESIGN.md.
+//
+// Quick start:
+//
+//	p, err := dwqa.New(dwqa.DefaultConfig())
+//	if err != nil { ... }
+//	if err := p.RunAll(); err != nil { ... }          // the five steps
+//	res, err := p.Ask("What is the weather like in January of 2004 in El Prat?")
+//	report, err := dwqa.AnalyzeSalesWeather(p)        // the BI payoff
+package dwqa
+
+import (
+	"dwqa/internal/bi"
+	"dwqa/internal/core"
+	"dwqa/internal/qa"
+)
+
+// Config parameterises a pipeline: seed, covered period, QA ablation
+// switches and extraction options. See the field docs in internal/core.
+type Config = core.Config
+
+// Pipeline is the five-step integration. Construct with New, run the
+// steps (or RunAll), then Ask questions and analyse the enriched DW.
+type Pipeline = core.Pipeline
+
+// QAConfig holds the QA-side switches (UseOntology, UseIRFilter,
+// TopPassages, MinScore).
+type QAConfig = qa.Config
+
+// Result is the outcome of one question: analysis, passages, candidates
+// and the accepted answer.
+type Result = qa.Result
+
+// Answer is an extracted answer: for measure questions, the structured
+// (value – unit – date – location – web page) record of the paper.
+type Answer = qa.Answer
+
+// Trace reproduces the paper's Table 1 for one question.
+type Trace = qa.Trace
+
+// BIReport is the sales×weather analysis over the enriched warehouse.
+type BIReport = bi.Report
+
+// New builds a pipeline over the Last Minute Sales scenario: the Figure 1
+// schema, a populated warehouse, the synthetic web corpus and the passage
+// index. No integration step has run yet.
+func New(cfg Config) (*Pipeline, error) { return core.NewPipeline(cfg) }
+
+// DefaultConfig is the paper's evaluated configuration (ontology on, IR
+// filter on, seed 42, January-March 2004).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// AnalyzeSalesWeather runs the scenario's BI analysis on a pipeline whose
+// Step 5 has fed the Weather fact: it returns the temperature ranges that
+// increase last-minute sales and the pricing recommendations.
+func AnalyzeSalesWeather(p *Pipeline) (*BIReport, error) {
+	return bi.Analyze(p.Warehouse, bi.DefaultJoinSpec(), bi.Options{})
+}

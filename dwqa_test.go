@@ -1,0 +1,60 @@
+package dwqa_test
+
+import (
+	"strings"
+	"testing"
+
+	"dwqa"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as README's
+// quickstart does.
+func TestFacadeEndToEnd(t *testing.T) {
+	p, err := dwqa.New(dwqa.DefaultConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := p.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	res, err := p.Ask("What is the weather like in January of 2004 in El Prat?")
+	if err != nil {
+		t.Fatalf("Ask: %v", err)
+	}
+	if res.Best == nil || res.Best.Location != "Barcelona" {
+		t.Fatalf("best = %+v", res.Best)
+	}
+	rep, err := dwqa.AnalyzeSalesWeather(p)
+	if err != nil {
+		t.Fatalf("AnalyzeSalesWeather: %v", err)
+	}
+	if rep.Correlation <= 0 {
+		t.Errorf("correlation = %v", rep.Correlation)
+	}
+	tr, err := p.Table1("")
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if !strings.Contains(tr.ExtractedAnswer, "Barcelona") {
+		t.Errorf("trace answer = %s", tr.ExtractedAnswer)
+	}
+}
+
+func TestFacadeAblatedConfig(t *testing.T) {
+	cfg := dwqa.DefaultConfig()
+	cfg.QA.UseOntology = false
+	p, err := dwqa.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Ask("What is the weather like in January of 2004 in El Prat?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != nil && res.Best.Location == "Barcelona" {
+		t.Error("ablated configuration must not resolve the airport")
+	}
+}

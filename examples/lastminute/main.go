@@ -1,0 +1,75 @@
+// Last Minute Sales: the paper's full running example, narrated step by
+// step — the airline's marketing department wants to know the range of
+// temperatures that increases last-minute sales to each city, so ticket
+// prices can be adjusted.
+//
+//	go run ./examples/lastminute
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dwqa"
+)
+
+func main() {
+	p, err := dwqa.New(dwqa.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Scenario (paper Figure 1):")
+	fmt.Print(p.Schema.Describe())
+	fmt.Printf("sales history: %d fact rows\n\n", p.Warehouse.FactCount("LastMinuteSales"))
+
+	// Step 1: domain ontology from the UML multidimensional model.
+	if err := p.Step1DeriveOntology(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Step 1: derived ontology with %d concepts (paper Figure 2)\n", p.Ontology.Size())
+
+	// Step 2: feed it with the DW contents.
+	if err := p.Step2FeedOntology(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Step 2: fed %d instances from the warehouse (airports, cities, countries)\n",
+		p.Ontology.InstanceCount())
+
+	// Step 3: merge into the QA system's upper ontology.
+	if err := p.Step3MergeUpperOntology(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Step 3: %s\n", p.MergeReport)
+
+	// Step 4: tune the QA system to weather queries.
+	if err := p.Step4TuneQA(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Step 4: weather question patterns installed; Temperature axioms attached")
+
+	// Step 5: harvest the web and feed the warehouse.
+	results, err := p.Step5FeedWarehouse(p.WeatherQuestions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Step 5: %s\n", p.LoadReport)
+	for _, r := range results[:3] {
+		fmt.Printf("  e.g. %q → %d records\n", r.Question, r.Answers)
+	}
+
+	// Show the paper's Table 1 trace for its own query.
+	tr, err := p.Table1("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nTable 1 trace:")
+	fmt.Print(tr.Format())
+
+	// The analysis the schema alone could not support.
+	rep, err := dwqa.AnalyzeSalesWeather(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nBI analysis over the enriched warehouse:")
+	fmt.Print(rep.Format())
+}

@@ -1,0 +1,83 @@
+// Portal: an enterprise-knowledge-portal session in the style of the
+// paper's related work (§2, Priebe & Pernul): structured OLAP queries and
+// unstructured QA side by side, with the shared ontology carrying context
+// between them — the analyst drills into sales, then asks the web why a
+// destination spiked.
+//
+//	go run ./examples/portal
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dwqa"
+	"dwqa/internal/dw"
+)
+
+func main() {
+	p, err := dwqa.New(dwqa.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := p.RunAll(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Pane 1 — the OLAP view: ticket counts by destination city per month
+	// ("sales of certain products within the four quarters", §2).
+	sales, err := p.Warehouse.Execute(dw.Query{
+		Fact: "LastMinuteSales", Measure: "Price", Agg: dw.Count,
+		GroupBy: []dw.LevelSel{
+			{Role: "Destination", Level: "City"},
+			{Role: "Date", Level: "Month"},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("OLAP pane: last-minute tickets by destination and month")
+	fmt.Print(sales.Format())
+
+	// Find the hottest destination-month.
+	best := sales.Rows[0]
+	for _, r := range sales.Rows {
+		if r.Value > best.Value {
+			best = r
+		}
+	}
+	city, month := best.Groups[0], best.Groups[1]
+	fmt.Printf("\npeak: %s in %s (%d tickets)\n", city, month, int(best.Value))
+
+	// Pane 2 — the QA view: the portal turns the OLAP context into a
+	// natural-language question against the unstructured web (the
+	// cross-system context passing §2 describes, but through the shared
+	// ontology instead of a message bus).
+	monthName := map[string]string{"01": "January", "02": "February", "03": "March"}[month[5:]]
+	question := fmt.Sprintf("What is the temperature in %s of %s in %s?", monthName, month[:4], city)
+	res, err := p.Ask(question)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nQA pane: %s\n", question)
+	if res.Best != nil {
+		fmt.Printf("  %s  <%s>\n", res.Best.Render(), res.Best.URL)
+	}
+
+	// Pane 3 — the drill-down the related work demonstrates ("drilling
+	// down to obtain those documents published in July 1998"): slice the
+	// fed Weather fact to that city and month.
+	drill, err := p.Warehouse.Execute(dw.Query{
+		Fact: "Weather", Measure: "TempC", Agg: dw.Avg,
+		GroupBy: []dw.LevelSel{{Role: "Date", Level: "Day"}},
+		Filters: []dw.Filter{
+			{Role: "City", Level: "City", Values: []string{city}},
+			{Role: "Date", Level: "Month", Values: []string{month}},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndrill-down pane: %d daily weather records for %s %s in the warehouse\n",
+		len(drill.Rows), city, month)
+}

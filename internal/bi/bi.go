@@ -1,0 +1,252 @@
+// Package bi implements the Business Intelligence layer on top of the
+// enriched warehouse: the analysis the paper motivates the whole
+// integration with — "the analysis of the range of temperatures that
+// increase the last minute flights to a city, in order to adjust the
+// prices of these tickets". It joins the Last Minute Sales fact with the
+// QA-fed Weather fact on (city, day), bins days by temperature, computes
+// the sales-temperature correlation and derives pricing recommendations.
+package bi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"dwqa/internal/dw"
+)
+
+// Point is one joined observation: a (destination city, day) pair with its
+// ticket demand and the temperature the warehouse learned from the web.
+type Point struct {
+	City    string
+	Day     string // Date-dimension member, "2004-01-31"
+	Tickets int
+	Revenue float64
+	TempC   float64
+}
+
+// JoinSpec names the warehouse objects to join.
+type JoinSpec struct {
+	SalesFact   string // fact with Price measure, e.g. "LastMinuteSales"
+	DestRole    string // role of the destination airport, e.g. "Destination"
+	SalesDate   string // role of the sales date, e.g. "Date"
+	WeatherFact string // fact with TempC measure, e.g. "Weather"
+	WeatherCity string // role of the weather city, e.g. "City"
+	WeatherDate string // role of the weather date, e.g. "Date"
+}
+
+// DefaultJoinSpec matches the Figure 1 scenario schema.
+func DefaultJoinSpec() JoinSpec {
+	return JoinSpec{
+		SalesFact: "LastMinuteSales", DestRole: "Destination", SalesDate: "Date",
+		WeatherFact: "Weather", WeatherCity: "City", WeatherDate: "Date",
+	}
+}
+
+// Join executes the two OLAP queries and merges them on (city, day). Only
+// pairs present on both sides survive — sales to cities the QA system
+// found no weather for are not analysable, which is exactly the gap the
+// integration fills.
+func Join(wh *dw.Warehouse, spec JoinSpec) ([]Point, error) {
+	sales, err := wh.Execute(dw.Query{
+		Fact: spec.SalesFact, Measure: "Price", Agg: dw.Sum,
+		GroupBy: []dw.LevelSel{
+			{Role: spec.DestRole, Level: "City"},
+			{Role: spec.SalesDate, Level: "Day"},
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bi: sales query: %w", err)
+	}
+	weather, err := wh.Execute(dw.Query{
+		Fact: spec.WeatherFact, Measure: "TempC", Agg: dw.Avg,
+		GroupBy: []dw.LevelSel{
+			{Role: spec.WeatherCity, Level: "City"},
+			{Role: spec.WeatherDate, Level: "Day"},
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bi: weather query: %w", err)
+	}
+	type key struct{ city, day string }
+	temp := make(map[key]float64, len(weather.Rows))
+	for _, r := range weather.Rows {
+		temp[key{r.Groups[0], r.Groups[1]}] = r.Value
+	}
+	var out []Point
+	for _, r := range sales.Rows {
+		k := key{r.Groups[0], r.Groups[1]}
+		t, ok := temp[k]
+		if !ok {
+			continue
+		}
+		out = append(out, Point{
+			City: k.city, Day: k.day,
+			Tickets: r.Count, Revenue: r.Value, TempC: t,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].City != out[j].City {
+			return out[i].City < out[j].City
+		}
+		return out[i].Day < out[j].Day
+	})
+	return out, nil
+}
+
+// Pearson computes the Pearson correlation coefficient of two equal-length
+// series. It returns 0 for degenerate inputs.
+func Pearson(xs, ys []float64) float64 {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		return 0
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// BinStat aggregates the joined observations falling into one temperature
+// range.
+type BinStat struct {
+	Lo, Hi         float64 // [Lo, Hi)
+	Days           int
+	Tickets        int
+	TicketsPerDay  float64
+	AvgTicketPrice float64
+}
+
+// Label renders the range, e.g. "[10,15)ºC".
+func (b BinStat) Label() string { return fmt.Sprintf("[%g,%g)ºC", b.Lo, b.Hi) }
+
+// BinByTemperature groups points into fixed-width temperature bins.
+func BinByTemperature(points []Point, width float64) []BinStat {
+	if width <= 0 || len(points) == 0 {
+		return nil
+	}
+	acc := map[int]*BinStat{}
+	for _, p := range points {
+		idx := int(math.Floor(p.TempC / width))
+		b, ok := acc[idx]
+		if !ok {
+			b = &BinStat{Lo: float64(idx) * width, Hi: float64(idx+1) * width}
+			acc[idx] = b
+		}
+		b.Days++
+		b.Tickets += p.Tickets
+		b.AvgTicketPrice += p.Revenue
+	}
+	idxs := make([]int, 0, len(acc))
+	for i := range acc {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	out := make([]BinStat, 0, len(idxs))
+	for _, i := range idxs {
+		b := acc[i]
+		if b.Tickets > 0 {
+			b.AvgTicketPrice /= float64(b.Tickets)
+		}
+		b.TicketsPerDay = float64(b.Tickets) / float64(b.Days)
+		out = append(out, *b)
+	}
+	return out
+}
+
+// Report is the output of the sales×weather analysis.
+type Report struct {
+	Points      []Point
+	Correlation float64
+	Bins        []BinStat
+	// BestBin is the temperature range with the highest demand per day
+	// (among bins covering at least MinDays days).
+	BestBin *BinStat
+	// Recommendations are pricing actions per the scenario's goal
+	// ("prices of last minute tickets could be adjusted to maximize
+	// benefits").
+	Recommendations []string
+}
+
+// Options tunes Analyze.
+type Options struct {
+	BinWidth float64 // default 5ºC
+	MinDays  int     // minimum days for a bin to qualify as best (default 5)
+}
+
+// Analyze joins, correlates, bins and recommends.
+func Analyze(wh *dw.Warehouse, spec JoinSpec, opt Options) (*Report, error) {
+	if opt.BinWidth <= 0 {
+		opt.BinWidth = 5
+	}
+	if opt.MinDays <= 0 {
+		opt.MinDays = 5
+	}
+	points, err := Join(wh, spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("bi: no joinable (city, day) observations — has Step 5 fed the warehouse?")
+	}
+	xs := make([]float64, len(points))
+	ys := make([]float64, len(points))
+	for i, p := range points {
+		xs[i] = p.TempC
+		ys[i] = float64(p.Tickets)
+	}
+	rep := &Report{
+		Points:      points,
+		Correlation: Pearson(xs, ys),
+		Bins:        BinByTemperature(points, opt.BinWidth),
+	}
+	for i := range rep.Bins {
+		b := &rep.Bins[i]
+		if b.Days >= opt.MinDays && (rep.BestBin == nil || b.TicketsPerDay > rep.BestBin.TicketsPerDay) {
+			rep.BestBin = b
+		}
+	}
+	if rep.BestBin != nil {
+		rep.Recommendations = append(rep.Recommendations, fmt.Sprintf(
+			"demand peaks at %.1f tickets/day when the destination high is in %s: raise last-minute prices there",
+			rep.BestBin.TicketsPerDay, rep.BestBin.Label()))
+	}
+	if rep.Correlation > 0.3 {
+		rep.Recommendations = append(rep.Recommendations,
+			fmt.Sprintf("last-minute demand rises with destination temperature (r=%.2f): price warm-weather routes dynamically", rep.Correlation))
+	} else if rep.Correlation < -0.3 {
+		rep.Recommendations = append(rep.Recommendations,
+			fmt.Sprintf("last-minute demand falls with destination temperature (r=%.2f): discount warm-weather routes", rep.Correlation))
+	}
+	return rep, nil
+}
+
+// Format renders the report as text (the BI dashboard of the scenario).
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sales × Weather analysis (%d observations)\n", len(r.Points))
+	fmt.Fprintf(&b, "Pearson correlation(tickets, tempC) = %.3f\n", r.Correlation)
+	fmt.Fprintf(&b, "%-12s %6s %9s %13s %10s\n", "range", "days", "tickets", "tickets/day", "avg price")
+	for _, bin := range r.Bins {
+		fmt.Fprintf(&b, "%-12s %6d %9d %13.2f %10.2f\n",
+			bin.Label(), bin.Days, bin.Tickets, bin.TicketsPerDay, bin.AvgTicketPrice)
+	}
+	for _, rec := range r.Recommendations {
+		fmt.Fprintf(&b, "=> %s\n", rec)
+	}
+	return b.String()
+}

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dwqa/internal/bi"
+	"dwqa/internal/dw"
+	"dwqa/internal/qa"
+)
+
+// newPipeline builds the default pipeline (no steps run).
+func newPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	p, err := NewPipeline(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewPipeline: %v", err)
+	}
+	return p
+}
+
+// runAll builds and runs the full five-step pipeline once per test that
+// needs it.
+func runAll(t *testing.T) *Pipeline {
+	t.Helper()
+	p := newPipeline(t)
+	if err := p.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	return p
+}
+
+func TestFigure1SchemaValid(t *testing.T) {
+	s := Figure1Schema()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Figure 1 schema invalid: %v", err)
+	}
+	f := s.Fact("LastMinuteSales")
+	if f == nil || f.Measure("Price") == nil || f.Measure("Miles") == nil {
+		t.Error("Last Minute Sales fact incomplete")
+	}
+	if f.Ref("Departure") == nil || f.Ref("Destination") == nil {
+		t.Error("Airport must play both Departure and Destination roles")
+	}
+	if got := strings.Join(s.Dimension("Airport").PathTo("Country"), ">"); got != "Airport>City>Country" {
+		t.Errorf("airport hierarchy = %s", got)
+	}
+	desc := s.Describe()
+	for _, want := range []string{"Fact LastMinuteSales", "measure Price", "Dimension Airport"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("Describe missing %q", want)
+		}
+	}
+}
+
+func TestScenarioPopulation(t *testing.T) {
+	p := newPipeline(t)
+	if p.Warehouse.FactCount("LastMinuteSales") < 500 {
+		t.Errorf("sales rows = %d, want a real history", p.Warehouse.FactCount("LastMinuteSales"))
+	}
+	if p.Warehouse.FactCount("Weather") != 0 {
+		t.Error("weather fact must start empty (Step 5 fills it)")
+	}
+	if n := p.Warehouse.MemberCount("Airport", "Airport"); n != len(ScenarioAirports) {
+		t.Errorf("airport members = %d, want %d", n, len(ScenarioAirports))
+	}
+	// The sales history is deterministic.
+	p2 := newPipeline(t)
+	if p.Warehouse.FactCount("LastMinuteSales") != p2.Warehouse.FactCount("LastMinuteSales") {
+		t.Error("scenario population not deterministic")
+	}
+}
+
+func TestStepOrderEnforced(t *testing.T) {
+	p := newPipeline(t)
+	if err := p.Step2FeedOntology(); err == nil {
+		t.Error("step 2 before step 1 accepted")
+	}
+	if err := p.Step3MergeUpperOntology(); err == nil {
+		t.Error("step 3 before step 2 accepted")
+	}
+	if err := p.Step4TuneQA(); err == nil {
+		t.Error("step 4 before step 3 accepted")
+	}
+	if _, err := p.Step5FeedWarehouse(nil); err == nil {
+		t.Error("step 5 before step 4 accepted")
+	}
+	if _, err := p.Ask("What is the temperature in Barcelona?"); err == nil {
+		t.Error("Ask before step 4 accepted")
+	}
+}
+
+func TestStep1Ontology(t *testing.T) {
+	p := newPipeline(t)
+	if err := p.Step1DeriveOntology(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Airport", "City", "Country", "Day", "Month", "Year", "Customer", "LastMinuteSales", "Weather"} {
+		if p.Ontology.Concept(want) == nil {
+			t.Errorf("ontology missing concept %q", want)
+		}
+	}
+}
+
+func TestStep2Instances(t *testing.T) {
+	p := newPipeline(t)
+	if err := p.Step1DeriveOntology(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Step2FeedOntology(); err != nil {
+		t.Fatal(err)
+	}
+	concept, inst := p.Ontology.FindInstance("El Prat")
+	if concept != "Airport" || inst == nil {
+		t.Fatalf("El Prat not fed: %q %v", concept, inst)
+	}
+	if inst.Properties["locatedIn"] != "Barcelona" {
+		t.Errorf("El Prat locatedIn = %q", inst.Properties["locatedIn"])
+	}
+	// The JFK alias arrives from the DW's Alias attribute.
+	concept, inst = p.Ontology.FindInstance("Kennedy International Airport")
+	if concept != "Airport" || inst == nil || inst.Name != "JFK" {
+		t.Errorf("JFK alias not fed: %q %v", concept, inst)
+	}
+	if _, inst := p.Ontology.FindInstance("Barcelona"); inst == nil {
+		t.Error("cities not fed")
+	}
+}
+
+func TestStep3Merge(t *testing.T) {
+	p := newPipeline(t)
+	if err := p.Step1DeriveOntology(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Step2FeedOntology(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Step3MergeUpperOntology(); err != nil {
+		t.Fatal(err)
+	}
+	if p.MergeReport == nil || len(p.MergeReport.Mapping) == 0 {
+		t.Fatal("no merge report")
+	}
+	if !p.Lexicon.HasLemma("el prat") {
+		t.Error("lexicon not enriched")
+	}
+}
+
+func TestFullPipelineTable1(t *testing.T) {
+	p := runAll(t)
+	tr, err := p.Table1("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tr.QuestionPattern, "weather | temperature") {
+		t.Errorf("pattern = %s", tr.QuestionPattern)
+	}
+	if tr.ExpectedAnswerType != "Number + [ºC | F]" {
+		t.Errorf("expected answer type = %s", tr.ExpectedAnswerType)
+	}
+	if !strings.Contains(strings.Join(tr.MainSBs, " "), "Barcelona") {
+		t.Errorf("main SBs missing the ontology expansion: %v", tr.MainSBs)
+	}
+	if !strings.Contains(tr.ExtractedAnswer, "ºC") || !strings.Contains(tr.ExtractedAnswer, "Barcelona") {
+		t.Errorf("extracted answer = %s", tr.ExtractedAnswer)
+	}
+	out := tr.Format()
+	if !strings.Contains(out, "Extracted answer") {
+		t.Error("trace format incomplete")
+	}
+}
+
+func TestStep5FeedsWarehouse(t *testing.T) {
+	p := runAll(t)
+	if p.LoadReport == nil || p.LoadReport.Loaded == 0 {
+		t.Fatal("step 5 loaded nothing")
+	}
+	// Roughly: 6 corpus cities × 3 months × ~30 days, bounded by what the
+	// passage budget reaches and table-page losses.
+	if p.Warehouse.FactCount("Weather") < 200 {
+		t.Errorf("weather rows = %d, want a substantial feed", p.Warehouse.FactCount("Weather"))
+	}
+	// Loaded values must match the corpus gold for prose-covered months.
+	res, err := p.Warehouse.Execute(dw.Query{
+		Fact: "Weather", Measure: "TempC", Agg: dw.Avg,
+		GroupBy: []dw.LevelSel{{Role: "City", Level: "City"}, {Role: "Date", Level: "Day"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, correct := 0, 0
+	for _, row := range res.Rows {
+		city, day := row.Groups[0], row.Groups[1]
+		var y, m, d int
+		if _, err := fmt.Sscanf(day, "%d-%d-%d", &y, &m, &d); err != nil {
+			t.Fatalf("bad day key %q: %v", day, err)
+		}
+		gold, ok := p.Corpus.GoldHigh(city, y, m, d)
+		if !ok {
+			continue
+		}
+		checked++
+		if row.Value > gold-0.05 && row.Value < gold+0.05 {
+			correct++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no loaded record matched the gold index")
+	}
+	if ratio := float64(correct) / float64(checked); ratio < 0.8 {
+		t.Errorf("feed accuracy = %.2f (%d/%d), want >= 0.8", ratio, correct, checked)
+	}
+}
+
+func TestBIAnalysisFindsCorrelation(t *testing.T) {
+	p := runAll(t)
+	rep, err := bi.Analyze(p.Warehouse, bi.DefaultJoinSpec(), bi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The demand model sells more tickets to warmer destinations: the
+	// analysis over QA-fed weather must recover a clear positive
+	// correlation (the paper's motivating result).
+	if rep.Correlation < 0.3 {
+		t.Errorf("correlation = %.3f, want clearly positive", rep.Correlation)
+	}
+	if rep.BestBin == nil {
+		t.Fatal("no best temperature range identified")
+	}
+	if len(rep.Recommendations) == 0 {
+		t.Error("no recommendations derived")
+	}
+	out := rep.Format()
+	if !strings.Contains(out, "Pearson") || !strings.Contains(out, "ºC") {
+		t.Errorf("report format incomplete:\n%s", out)
+	}
+}
+
+func TestOntologyAblationPipeline(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QA.UseOntology = false
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Without the merge, the lexicon must not know the airports.
+	if p.Lexicon.LemmaIsA("el prat", "n", "airport") {
+		t.Error("ablated pipeline enriched the lexicon")
+	}
+	res, err := p.Ask("What is the weather like in January of 2004 in El Prat?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != nil && res.Best.Location == "Barcelona" {
+		t.Error("ablated pipeline should not resolve El Prat to Barcelona")
+	}
+}
+
+func TestWeatherQuestionsWorkload(t *testing.T) {
+	p := newPipeline(t)
+	qs := p.WeatherQuestions()
+	if len(qs) != len(ScenarioAirports)*len(p.Config.Months) {
+		t.Errorf("workload = %d questions", len(qs))
+	}
+	for _, q := range qs {
+		if !strings.HasPrefix(q, "What is the weather like in ") {
+			t.Errorf("bad question %q", q)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	p := runAll(t)
+	s := p.Summary()
+	for _, want := range []string{"warehouse:", "corpus:", "ontology:", "merge:", "etl:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCLEFThroughPipeline(t *testing.T) {
+	p := runAll(t)
+	res, err := p.Ask("Which country did Iraq invade in 1990?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || res.Best.Text != "Kuwait" {
+		t.Errorf("CLEF answer = %+v", res.Best)
+	}
+}
+
+func TestMilesBetween(t *testing.T) {
+	if milesBetween("Barcelona", "Madrid") != milesBetween("Madrid", "Barcelona") {
+		t.Error("distance not symmetric")
+	}
+	if milesBetween("Barcelona", "Barcelona") != 0 {
+		t.Error("self distance not zero")
+	}
+	if milesBetween("Nowhere", "Elsewhere") != 1000 {
+		t.Error("unknown route fallback broken")
+	}
+}
+
+func TestTemperatureAxioms(t *testing.T) {
+	axs := TemperatureAxioms()
+	if len(axs) != 3 {
+		t.Fatalf("axioms = %d, want 3 (format, range, conversion)", len(axs))
+	}
+}
+
+var sink *qa.Result
+
+func BenchmarkFullPipeline(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := NewPipeline(DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAskThroughPipeline(b *testing.B) {
+	p, err := NewPipeline(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.Ask("What is the weather like in January of 2004 in El Prat?")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = res
+	}
+}

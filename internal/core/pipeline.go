@@ -1,0 +1,377 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dwqa/internal/dw"
+	"dwqa/internal/etl"
+	"dwqa/internal/ir"
+	"dwqa/internal/mdm"
+	"dwqa/internal/merge"
+	"dwqa/internal/ontology"
+	"dwqa/internal/qa"
+	"dwqa/internal/uml2onto"
+	"dwqa/internal/webcorpus"
+	"dwqa/internal/wordnet"
+)
+
+// Config parameterises a pipeline run.
+type Config struct {
+	Seed   int64
+	Year   int
+	Months []int
+
+	// QA holds the ablation switches forwarded to the QA system.
+	QA qa.Config
+
+	// TableAware selects the future-work table pre-processing when
+	// extracting text from web pages (experiment E-TBL).
+	TableAware bool
+
+	// Corpus overrides the web corpus configuration; zero value uses the
+	// scenario default derived from Year/Months.
+	Corpus *webcorpus.Config
+
+	// HarvestPassages widens Module 2's passage budget during Step 5
+	// harvesting (a month of daily records needs more passages than a
+	// single-answer question).
+	HarvestPassages int
+
+	// PassageSize overrides the IR-n sentence-window size (0 keeps the
+	// paper's eight consecutive sentences, footnote 6). The E-PSIZE
+	// ablation sweeps it.
+	PassageSize int
+}
+
+// DefaultConfig is the paper's evaluated configuration: everything on.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            42,
+		Year:            2004,
+		Months:          []int{1, 2, 3},
+		QA:              qa.DefaultConfig(),
+		HarvestPassages: 150,
+	}
+}
+
+// Pipeline holds every system of the integration: the warehouse side, the
+// QA side, and the shared ontology between them. Steps must run in order;
+// RunAll does so.
+type Pipeline struct {
+	Config Config
+
+	Schema    *mdm.Schema
+	Warehouse *dw.Warehouse
+	Corpus    *webcorpus.Corpus
+	Index     *ir.Index
+	Lexicon   *wordnet.WordNet
+
+	Ontology    *ontology.Ontology // created by Step 1
+	MergeReport *merge.Report      // created by Step 3
+	QA          *qa.System         // created by Step 4
+	Loader      *etl.Loader        // created by Step 5
+	LoadReport  *etl.Report        // result of Step 5
+
+	step int // highest completed step
+}
+
+// NewPipeline builds the scenario environment: the Figure 1 schema, the
+// populated warehouse, the web corpus and the passage index (the
+// indexation phase of Figure 3). No integration step has run yet.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	if cfg.Year == 0 {
+		cfg.Year = 2004
+	}
+	if len(cfg.Months) == 0 {
+		cfg.Months = []int{1, 2, 3}
+	}
+	if cfg.HarvestPassages <= 0 {
+		cfg.HarvestPassages = 40
+	}
+	schema := Figure1Schema()
+	wh, err := dw.New(schema)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := PopulateScenario(wh, cfg.Year, cfg.Months, cfg.Seed); err != nil {
+		return nil, fmt.Errorf("core: populating scenario: %w", err)
+	}
+	ccfg := webcorpus.DefaultConfig()
+	ccfg.Year = cfg.Year
+	ccfg.Months = cfg.Months
+	ccfg.Seed = cfg.Seed
+	if cfg.Corpus != nil {
+		ccfg = *cfg.Corpus
+	}
+	corpus := webcorpus.Build(ccfg)
+	var opts []ir.Option
+	if cfg.PassageSize > 0 {
+		opts = append(opts, ir.WithPassageSize(cfg.PassageSize))
+	}
+	index := ir.NewIndex(opts...)
+	if err := index.AddAll(corpus.Documents(cfg.TableAware)); err != nil {
+		return nil, fmt.Errorf("core: indexing corpus: %w", err)
+	}
+	return &Pipeline{
+		Config:    cfg,
+		Schema:    schema,
+		Warehouse: wh,
+		Corpus:    corpus,
+		Index:     index,
+		Lexicon:   wordnet.Seed(),
+	}, nil
+}
+
+func (p *Pipeline) require(step int) error {
+	if p.step < step {
+		return fmt.Errorf("core: step %d requires step %d to have run", step+1, step)
+	}
+	return nil
+}
+
+// Step1DeriveOntology obtains the domain ontology from the UML
+// multidimensional model (Figure 1 → Figure 2).
+func (p *Pipeline) Step1DeriveOntology() error {
+	o, err := uml2onto.Transform(p.Schema)
+	if err != nil {
+		return err
+	}
+	p.Ontology = o
+	p.step = 1
+	return nil
+}
+
+// Step2FeedOntology feeds the ontology with the contents of the DW: every
+// airport member becomes an Airport instance (with its city), every city a
+// City instance, exactly as the paper enriches "Airport" with "JFK",
+// "John Wayne" and "La Guardia".
+func (p *Pipeline) Step2FeedOntology() error {
+	if err := p.require(1); err != nil {
+		return err
+	}
+	for _, name := range p.Warehouse.Members("Airport", "Airport") {
+		city, err := p.Warehouse.ParentName("Airport", "Airport", name)
+		if err != nil {
+			return fmt.Errorf("core: step 2: %w", err)
+		}
+		key, _ := p.Warehouse.MemberKey("Airport", "Airport", name)
+		m, _ := p.Warehouse.Member("Airport", "Airport", key)
+		var aliases []string
+		if alias := m.Attrs["Alias"]; alias != "" {
+			aliases = append(aliases, alias)
+		}
+		if iata := m.Attrs["IATA"]; iata != "" && iata != name {
+			aliases = append(aliases, iata)
+		}
+		p.Ontology.AddInstance("Airport", ontology.Instance{
+			Name:       name,
+			Aliases:    aliases,
+			Properties: map[string]string{"locatedIn": city},
+		})
+	}
+	for _, city := range p.Warehouse.Members("Airport", "City") {
+		country, err := p.Warehouse.ParentName("Airport", "City", city)
+		if err != nil {
+			return fmt.Errorf("core: step 2: %w", err)
+		}
+		p.Ontology.AddInstance("City", ontology.Instance{
+			Name:       city,
+			Properties: map[string]string{"locatedIn": country},
+		})
+	}
+	for _, country := range p.Warehouse.Members("Airport", "Country") {
+		p.Ontology.AddInstance("Country", ontology.Instance{Name: country})
+	}
+	p.step = 2
+	return nil
+}
+
+// Step3MergeUpperOntology merges the enriched domain ontology into the
+// QA system's upper ontology (WordNet). With QA.UseOntology off (the
+// E-ONTO ablation) the merge is skipped and the lexicon stays untuned.
+func (p *Pipeline) Step3MergeUpperOntology() error {
+	if err := p.require(2); err != nil {
+		return err
+	}
+	if p.Config.QA.UseOntology {
+		rep, err := merge.Merge(p.Ontology, p.Lexicon)
+		if err != nil {
+			return err
+		}
+		p.MergeReport = rep
+	} else {
+		p.MergeReport = &merge.Report{Mapping: map[string]string{}}
+	}
+	p.step = 3
+	return nil
+}
+
+// TemperatureAxioms returns the Step 4 axiomatic knowledge: a temperature
+// is a number followed by the scale (ºC or F), valid in [-90, 60] ºC, with
+// the Celsius↔Fahrenheit conversion formula.
+func TemperatureAxioms() []ontology.Axiom {
+	return []ontology.Axiom{
+		{Concept: "Temperature", Kind: ontology.AxiomValueFormat, Units: []string{"ºC", "F"}},
+		{Concept: "Temperature", Kind: ontology.AxiomValueRange, Unit: "C", Min: -90, Max: 60},
+		{Concept: "Temperature", Kind: ontology.AxiomUnitConversion, FromUnit: "C", ToUnit: "F", Scale: 1.8, Offset: 32},
+	}
+}
+
+// Step4TuneQA tunes the QA system to the new query types: the Temperature
+// concept receives its axioms and the weather question patterns are
+// installed.
+func (p *Pipeline) Step4TuneQA() error {
+	if err := p.require(3); err != nil {
+		return err
+	}
+	for _, a := range TemperatureAxioms() {
+		if err := p.Ontology.AddAxiom(a); err != nil {
+			return err
+		}
+	}
+	sys, err := qa.NewSystem(p.Lexicon, p.qaOntology(), p.Index, p.Config.QA)
+	if err != nil {
+		return err
+	}
+	sys.TunePatterns(qa.WeatherPatterns()...)
+	p.QA = sys
+	p.step = 4
+	return nil
+}
+
+// WeatherQuestions generates the Step 5 query workload: one month-level
+// weather question per (destination airport, covered month), phrased like
+// the paper's examples.
+func (p *Pipeline) WeatherQuestions() []string {
+	var qs []string
+	for _, a := range ScenarioAirports {
+		if _, ok := p.Corpus.Weather[a.City]; !ok {
+			continue
+		}
+		for _, month := range p.Config.Months {
+			qs = append(qs, fmt.Sprintf("What is the weather like in %s of %d in %s?",
+				time.Month(month), p.Config.Year, a.Name))
+		}
+	}
+	return qs
+}
+
+// StepResult carries per-question Step 5 outcomes.
+type StepResult struct {
+	Question string
+	Answers  int
+}
+
+// Step5FeedWarehouse runs the harvest questions through the QA system and
+// loads every well-formed (temperature – date – city – web page) record
+// into the Weather fact.
+func (p *Pipeline) Step5FeedWarehouse(questions []string) ([]StepResult, error) {
+	if err := p.require(4); err != nil {
+		return nil, err
+	}
+	// The loader persists across Step 5 runs so its deduplication makes
+	// repeated feeds idempotent.
+	if p.Loader == nil {
+		loader, err := etl.NewLoader(p.Ontology, p.Warehouse, "Weather", "City", "Date")
+		if err != nil {
+			return nil, err
+		}
+		p.Loader = loader
+	}
+	loader := p.Loader
+	total := &etl.Report{}
+	var results []StepResult
+	harvestCfg := p.Config.QA
+	harvestCfg.TopPassages = p.Config.HarvestPassages
+	harvester, err := qa.NewSystem(p.Lexicon, p.qaOntology(), p.Index, harvestCfg)
+	if err != nil {
+		return nil, err
+	}
+	harvester.TunePatterns(qa.WeatherPatterns()...)
+	for _, q := range questions {
+		answers, _, err := harvester.Harvest(q)
+		if err != nil {
+			return nil, fmt.Errorf("core: step 5 question %q: %w", q, err)
+		}
+		rep, err := loader.Load(answers)
+		if err != nil {
+			return nil, err
+		}
+		total.Normalized += rep.Normalized
+		total.Loaded += rep.Loaded
+		total.Rejections = append(total.Rejections, rep.Rejections...)
+		results = append(results, StepResult{Question: q, Answers: rep.Loaded})
+	}
+	p.LoadReport = total
+	p.step = 5
+	return results, nil
+}
+
+// qaOntology returns the ontology handed to QA systems: nil when the
+// ontology ablation is on keeps even axiom access away.
+func (p *Pipeline) qaOntology() *ontology.Ontology {
+	if !p.Config.QA.UseOntology {
+		return nil
+	}
+	return p.Ontology
+}
+
+// RunAll executes the five steps with the default question workload.
+func (p *Pipeline) RunAll() error {
+	if err := p.Step1DeriveOntology(); err != nil {
+		return err
+	}
+	if err := p.Step2FeedOntology(); err != nil {
+		return err
+	}
+	if err := p.Step3MergeUpperOntology(); err != nil {
+		return err
+	}
+	if err := p.Step4TuneQA(); err != nil {
+		return err
+	}
+	_, err := p.Step5FeedWarehouse(p.WeatherQuestions())
+	return err
+}
+
+// Ask answers one question through the tuned QA system (requires Step 4).
+func (p *Pipeline) Ask(question string) (*qa.Result, error) {
+	if err := p.require(4); err != nil {
+		return nil, err
+	}
+	return p.QA.Answer(question)
+}
+
+// Table1 reproduces the paper's Table 1 trace for a question (by default
+// the paper's own query).
+func (p *Pipeline) Table1(question string) (qa.Trace, error) {
+	if question == "" {
+		question = "What is the weather like in January of 2004 in El Prat?"
+	}
+	res, err := p.Ask(question)
+	if err != nil {
+		return qa.Trace{}, err
+	}
+	return res.Trace(), nil
+}
+
+// Summary renders a human-readable pipeline summary.
+func (p *Pipeline) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pipeline (seed %d, year %d, months %v)\n", p.Config.Seed, p.Config.Year, p.Config.Months)
+	fmt.Fprintf(&b, "  warehouse: %d sales rows, %d weather rows\n",
+		p.Warehouse.FactCount("LastMinuteSales"), p.Warehouse.FactCount("Weather"))
+	fmt.Fprintf(&b, "  corpus: %d pages, %d passages indexed\n", len(p.Corpus.Pages), p.Index.PassageCount())
+	if p.Ontology != nil {
+		fmt.Fprintf(&b, "  ontology: %d concepts, %d instances\n", p.Ontology.Size(), p.Ontology.InstanceCount())
+	}
+	if p.MergeReport != nil {
+		fmt.Fprintf(&b, "  %s\n", p.MergeReport)
+	}
+	if p.LoadReport != nil {
+		fmt.Fprintf(&b, "  %s\n", p.LoadReport)
+	}
+	return b.String()
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"dwqa/internal/dw"
+)
+
+// This file implements the paper's second future-work item (§5): "how an
+// initial query in the DW system can generate different queries in the QA
+// system". Given the OLAP query an analyst runs, the generator derives the
+// natural-language questions whose answers would contextualise its result
+// cells: one weather question per (destination city, month) the query
+// touches, phrased like the paper's examples, with airports preferred over
+// city names when the shared ontology knows one (the QA side resolves them
+// back through Step 2-3 knowledge).
+
+// GeneratedQuery pairs a natural-language question with the query cell it
+// contextualises.
+type GeneratedQuery struct {
+	Question string
+	City     string
+	Month    string // Date-dimension month member, "2004-01"
+}
+
+// QuestionsFromQuery inspects an OLAP query against the sales fact and
+// generates the QA questions that would fetch the missing unstructured
+// context for each result cell. The query must group by a City-level
+// selector of an airport-based role and (optionally) a Date-level
+// selector; month coverage defaults to the pipeline's configured months.
+func (p *Pipeline) QuestionsFromQuery(q dw.Query) ([]GeneratedQuery, error) {
+	res, err := p.Warehouse.Execute(q)
+	if err != nil {
+		return nil, fmt.Errorf("core: querygen: %w", err)
+	}
+	cityIdx, monthIdx := -1, -1
+	for i, g := range q.GroupBy {
+		switch g.Level {
+		case "City":
+			cityIdx = i
+		case "Month":
+			monthIdx = i
+		case "Day":
+			if monthIdx == -1 {
+				monthIdx = i // a Day member also identifies its month
+			}
+		}
+	}
+	if cityIdx == -1 {
+		return nil, fmt.Errorf("core: querygen: the query must group by a City level to contextualise")
+	}
+
+	type cell struct{ city, month string }
+	seen := map[cell]bool{}
+	var cells []cell
+	for _, row := range res.Rows {
+		c := cell{city: row.Groups[cityIdx]}
+		if monthIdx >= 0 {
+			c.month = row.Groups[monthIdx][:7] // "2004-01-31" and "2004-01" both start with the month
+		}
+		if c.month == "" {
+			for _, m := range p.Config.Months {
+				mc := c
+				mc.month = fmt.Sprintf("%04d-%02d", p.Config.Year, m)
+				if !seen[mc] {
+					seen[mc] = true
+					cells = append(cells, mc)
+				}
+			}
+			continue
+		}
+		if !seen[c] {
+			seen[c] = true
+			cells = append(cells, c)
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].city != cells[j].city {
+			return cells[i].city < cells[j].city
+		}
+		return cells[i].month < cells[j].month
+	})
+
+	out := make([]GeneratedQuery, 0, len(cells))
+	for _, c := range cells {
+		var year, month int
+		if _, err := fmt.Sscanf(c.month, "%d-%d", &year, &month); err != nil {
+			return nil, fmt.Errorf("core: querygen: bad month member %q", c.month)
+		}
+		place := c.city
+		// Prefer an airport name the ontology can resolve back — the
+		// generated question exercises the full Step 2-3 machinery.
+		if p.Ontology != nil {
+			if a := p.airportInCity(c.city); a != "" {
+				place = a
+			}
+		}
+		out = append(out, GeneratedQuery{
+			Question: fmt.Sprintf("What is the weather like in %s of %d in %s?",
+				time.Month(month), year, place),
+			City:  c.city,
+			Month: c.month,
+		})
+	}
+	return out, nil
+}
+
+// airportInCity finds an Airport instance of the shared ontology located
+// in the city, preferring the alphabetically first for determinism.
+func (p *Pipeline) airportInCity(city string) string {
+	concept := p.Ontology.Concept("Airport")
+	if concept == nil {
+		return ""
+	}
+	var names []string
+	for _, inst := range concept.Instances {
+		if strings.EqualFold(inst.Properties["locatedIn"], city) {
+			names = append(names, inst.Name)
+		}
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	sort.Strings(names)
+	return names[0]
+}
+
+// ContextualizeQuery is the closed loop the future work sketches: generate
+// the QA questions for an OLAP query, harvest and load their answers
+// (Step 5), and return how many records each question contributed. After
+// it runs, re-executing the original query joins against fresh context.
+func (p *Pipeline) ContextualizeQuery(q dw.Query) ([]StepResult, error) {
+	if err := p.require(4); err != nil {
+		return nil, err
+	}
+	gqs, err := p.QuestionsFromQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	questions := make([]string, len(gqs))
+	for i, g := range gqs {
+		questions[i] = g.Question
+	}
+	return p.Step5FeedWarehouse(questions)
+}

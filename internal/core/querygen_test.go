@@ -1,0 +1,125 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dwqa/internal/dw"
+)
+
+func salesByCityMonth() dw.Query {
+	return dw.Query{
+		Fact: "LastMinuteSales", Measure: "Price", Agg: dw.Count,
+		GroupBy: []dw.LevelSel{
+			{Role: "Destination", Level: "City"},
+			{Role: "Date", Level: "Month"},
+		},
+	}
+}
+
+func TestQuestionsFromQuery(t *testing.T) {
+	p := runAll(t)
+	gqs, err := p.QuestionsFromQuery(salesByCityMonth())
+	if err != nil {
+		t.Fatalf("QuestionsFromQuery: %v", err)
+	}
+	// 6 destination cities × 3 months.
+	if len(gqs) != 18 {
+		t.Fatalf("generated %d questions, want 18", len(gqs))
+	}
+	seen := map[string]bool{}
+	for _, g := range gqs {
+		if seen[g.Question] {
+			t.Errorf("duplicate question %q", g.Question)
+		}
+		seen[g.Question] = true
+		if !strings.HasPrefix(g.Question, "What is the weather like in ") {
+			t.Errorf("bad phrasing: %q", g.Question)
+		}
+		if g.City == "" || len(g.Month) != 7 {
+			t.Errorf("bad cell: %+v", g)
+		}
+	}
+	// The ontology prefers airport names — El Prat for Barcelona.
+	found := false
+	for _, g := range gqs {
+		if g.City == "Barcelona" && strings.Contains(g.Question, "El Prat") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Barcelona questions should name the airport El Prat via the ontology")
+	}
+}
+
+func TestQuestionsFromQueryWithoutCityGroup(t *testing.T) {
+	p := runAll(t)
+	q := dw.Query{Fact: "LastMinuteSales", Measure: "Price", Agg: dw.Sum}
+	if _, err := p.QuestionsFromQuery(q); err == nil {
+		t.Error("query without a City grouping should be rejected")
+	}
+}
+
+func TestQuestionsFromQueryCityOnly(t *testing.T) {
+	// Without a Date grouping the generator covers the configured months.
+	p := runAll(t)
+	q := dw.Query{
+		Fact: "LastMinuteSales", Measure: "Price", Agg: dw.Sum,
+		GroupBy: []dw.LevelSel{{Role: "Destination", Level: "City"}},
+	}
+	gqs, err := p.QuestionsFromQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gqs) != 18 {
+		t.Errorf("generated %d, want 6 cities × 3 months = 18", len(gqs))
+	}
+}
+
+func TestContextualizeQueryClosedLoop(t *testing.T) {
+	// Run steps 1-4 only, then let the OLAP query itself drive Step 5.
+	p := newPipeline(t)
+	for _, step := range []func() error{
+		p.Step1DeriveOntology, p.Step2FeedOntology,
+		p.Step3MergeUpperOntology, p.Step4TuneQA,
+	} {
+		if err := step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Warehouse.FactCount("Weather") != 0 {
+		t.Fatal("weather fact should start empty")
+	}
+	results, err := p.ContextualizeQuery(salesByCityMonth())
+	if err != nil {
+		t.Fatalf("ContextualizeQuery: %v", err)
+	}
+	if len(results) != 18 {
+		t.Errorf("contextualised %d cells, want 18", len(results))
+	}
+	if p.Warehouse.FactCount("Weather") < 200 {
+		t.Errorf("closed loop loaded %d weather rows, want a substantial feed",
+			p.Warehouse.FactCount("Weather"))
+	}
+	// The original query's cells now have joinable context.
+	fed, err := p.Warehouse.Execute(dw.Query{
+		Fact: "Weather", Measure: "TempC", Agg: dw.Count,
+		GroupBy: []dw.LevelSel{{Role: "City", Level: "City"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fed.Rows) < 5 {
+		t.Errorf("weather fed for %d cities, want >= 5", len(fed.Rows))
+	}
+	if err := p.require(5); err != nil {
+		t.Errorf("closed loop should complete step 5: %v", err)
+	}
+}
+
+func TestContextualizeRequiresStep4(t *testing.T) {
+	p := newPipeline(t)
+	if _, err := p.ContextualizeQuery(salesByCityMonth()); err == nil {
+		t.Error("ContextualizeQuery before step 4 accepted")
+	}
+}

@@ -1,0 +1,276 @@
+package dw
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Agg is an aggregation function applied to a measure.
+type Agg string
+
+// Supported aggregation functions.
+const (
+	Sum   Agg = "sum"
+	Count Agg = "count"
+	Avg   Agg = "avg"
+	Min   Agg = "min"
+	Max   Agg = "max"
+)
+
+// LevelSel selects the aggregation level for one role of the fact: "group
+// the Destination role at the City level". Rolling up means selecting a
+// coarser level; drilling down a finer one.
+type LevelSel struct {
+	Role  string
+	Level string
+}
+
+// Filter keeps fact rows whose member (for Role, at Level) is in Values —
+// the OLAP slice (single value) and dice (several values) operations.
+type Filter struct {
+	Role   string
+	Level  string
+	Values []string
+}
+
+// Query is an OLAP query over one fact table.
+type Query struct {
+	Fact    string
+	Measure string
+	Agg     Agg
+	GroupBy []LevelSel
+	Filters []Filter
+}
+
+// Row is one result row: the group member names (in GroupBy order), the
+// aggregated value and the number of fact rows aggregated.
+type Row struct {
+	Groups []string
+	Value  float64
+	Count  int
+}
+
+// Result is a deterministic (sorted) result set.
+type Result struct {
+	Query Query
+	Rows  []Row
+}
+
+// Execute runs an OLAP query against the warehouse.
+func (w *Warehouse) Execute(q Query) (*Result, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+
+	fd, ok := w.facts[q.Fact]
+	if !ok {
+		return nil, fmt.Errorf("dw: unknown fact %q", q.Fact)
+	}
+	if q.Agg != Count {
+		if fd.class.Measure(q.Measure) == nil {
+			return nil, fmt.Errorf("dw: fact %q has no measure %q", q.Fact, q.Measure)
+		}
+	}
+	switch q.Agg {
+	case Sum, Count, Avg, Min, Max:
+	default:
+		return nil, fmt.Errorf("dw: unknown aggregation %q", q.Agg)
+	}
+	// Pre-resolve the dimension of each role used by group-bys and filters.
+	roleDim := map[string]string{}
+	for _, ref := range fd.class.Dimensions {
+		roleDim[ref.Role] = ref.Dimension
+	}
+	for _, g := range q.GroupBy {
+		if err := w.checkRoleLevelLocked(roleDim, g.Role, g.Level, q.Fact); err != nil {
+			return nil, err
+		}
+	}
+	// Compile filters to allowed surrogate-key sets at their level.
+	type compiledFilter struct {
+		role, level string
+		allowed     map[int]bool
+	}
+	var filters []compiledFilter
+	for _, f := range q.Filters {
+		if err := w.checkRoleLevelLocked(roleDim, f.Role, f.Level, q.Fact); err != nil {
+			return nil, err
+		}
+		allowed := make(map[int]bool, len(f.Values))
+		lt := w.dims[roleDim[f.Role]].levels[f.Level]
+		for _, v := range f.Values {
+			key, ok := lt.byName[v]
+			if !ok {
+				// A filter value that matches no member simply matches no
+				// rows; this is not an error (slicing on "Oz" is empty).
+				continue
+			}
+			allowed[key] = true
+		}
+		filters = append(filters, compiledFilter{f.Role, f.Level, allowed})
+	}
+
+	type cell struct {
+		groups []string
+		sum    float64
+		count  int
+		min    float64
+		max    float64
+	}
+	cells := map[string]*cell{}
+
+rows:
+	for _, row := range fd.rows {
+		for _, f := range filters {
+			key := w.rollUpKeyLocked(roleDim[f.role], row.Coords[f.role], f.level)
+			if key == NoParent || !f.allowed[key] {
+				continue rows
+			}
+		}
+		groups := make([]string, len(q.GroupBy))
+		for i, g := range q.GroupBy {
+			key := w.rollUpKeyLocked(roleDim[g.Role], row.Coords[g.Role], g.Level)
+			if key == NoParent {
+				groups[i] = "(unknown)"
+			} else {
+				groups[i] = w.memberNameLocked(roleDim[g.Role], g.Level, key)
+			}
+		}
+		ck := strings.Join(groups, "\x00")
+		c, ok := cells[ck]
+		if !ok {
+			c = &cell{groups: groups, min: math.Inf(1), max: math.Inf(-1)}
+			cells[ck] = c
+		}
+		v := row.Measures[q.Measure]
+		c.sum += v
+		c.count++
+		if v < c.min {
+			c.min = v
+		}
+		if v > c.max {
+			c.max = v
+		}
+	}
+
+	res := &Result{Query: q}
+	keys := make([]string, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := cells[k]
+		var v float64
+		switch q.Agg {
+		case Sum:
+			v = c.sum
+		case Count:
+			v = float64(c.count)
+		case Avg:
+			v = c.sum / float64(c.count)
+		case Min:
+			v = c.min
+		case Max:
+			v = c.max
+		}
+		res.Rows = append(res.Rows, Row{Groups: c.groups, Value: v, Count: c.count})
+	}
+	return res, nil
+}
+
+func (w *Warehouse) checkRoleLevelLocked(roleDim map[string]string, role, level, fact string) error {
+	dim, ok := roleDim[role]
+	if !ok {
+		return fmt.Errorf("dw: fact %q has no role %q", fact, role)
+	}
+	if w.dims[dim].class.PathTo(level) == nil {
+		return fmt.Errorf("dw: level %q is not on the roll-up path of dimension %q", level, dim)
+	}
+	return nil
+}
+
+// RollUp re-runs a query with one role moved to a coarser level.
+func (w *Warehouse) RollUp(q Query, role, toLevel string) (*Result, error) {
+	return w.Execute(retarget(q, role, toLevel))
+}
+
+// DrillDown re-runs a query with one role moved to a finer level. The
+// mechanics are the same as RollUp; the direction is the caller's intent
+// ("drilling down to obtain those documents published in July 1998").
+func (w *Warehouse) DrillDown(q Query, role, toLevel string) (*Result, error) {
+	return w.Execute(retarget(q, role, toLevel))
+}
+
+// Slice adds a single-value filter to a query and runs it.
+func (w *Warehouse) Slice(q Query, role, level, value string) (*Result, error) {
+	q.Filters = append(append([]Filter(nil), q.Filters...), Filter{role, level, []string{value}})
+	return w.Execute(q)
+}
+
+// Dice adds a multi-value filter to a query and runs it.
+func (w *Warehouse) Dice(q Query, role, level string, values []string) (*Result, error) {
+	q.Filters = append(append([]Filter(nil), q.Filters...), Filter{role, level, values})
+	return w.Execute(q)
+}
+
+func retarget(q Query, role, toLevel string) Query {
+	gb := make([]LevelSel, len(q.GroupBy))
+	copy(gb, q.GroupBy)
+	replaced := false
+	for i := range gb {
+		if gb[i].Role == role {
+			gb[i].Level = toLevel
+			replaced = true
+		}
+	}
+	if !replaced {
+		gb = append(gb, LevelSel{role, toLevel})
+	}
+	q.GroupBy = gb
+	return q
+}
+
+// Format renders the result as an aligned text table (used by the OLAP CLI
+// and the experiment reports).
+func (r *Result) Format() string {
+	var b strings.Builder
+	header := make([]string, 0, len(r.Query.GroupBy)+1)
+	for _, g := range r.Query.GroupBy {
+		header = append(header, g.Role+"/"+g.Level)
+	}
+	header = append(header, fmt.Sprintf("%s(%s)", r.Query.Agg, r.Query.Measure))
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	cellsOf := func(row Row) []string {
+		cells := append([]string(nil), row.Groups...)
+		return append(cells, fmt.Sprintf("%.2f", row.Value))
+	}
+	for _, row := range r.Rows {
+		for i, c := range cellsOf(row) {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for pad := len(c); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, row := range r.Rows {
+		writeRow(cellsOf(row))
+	}
+	return b.String()
+}

@@ -1,0 +1,332 @@
+// Package dw implements the data warehouse engine beneath the BI side of
+// the integration: star-schema storage for a multidimensional schema
+// (package mdm), surrogate-keyed dimension tables with roll-up hierarchies,
+// fact tables, and an OLAP query engine supporting roll-up, drill-down,
+// slice and dice with the usual aggregation functions.
+package dw
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dwqa/internal/mdm"
+)
+
+// NoParent marks a member without a parent at the next level.
+const NoParent = -1
+
+// Member is a row of a dimension level table: a surrogate key, the
+// descriptor value (its name), optional attributes and the surrogate key
+// of its parent member at the next coarser level.
+type Member struct {
+	Key    int
+	Name   string
+	Attrs  map[string]string
+	Parent int // surrogate key at RollsUpTo level, or NoParent
+}
+
+// levelTable stores the members of one dimension level.
+type levelTable struct {
+	members []Member
+	byName  map[string]int // descriptor value → surrogate key
+}
+
+func newLevelTable() *levelTable {
+	return &levelTable{byName: make(map[string]int)}
+}
+
+// dimensionData stores every level table of one dimension.
+type dimensionData struct {
+	class  *mdm.DimensionClass
+	levels map[string]*levelTable
+}
+
+// FactRow is one fact table row: surrogate keys of the base-level members
+// per role, and the measure values.
+type FactRow struct {
+	Coords   map[string]int // role → base-level surrogate key
+	Measures map[string]float64
+	// Provenance carries free-form lineage (Step 5 stores the source web
+	// page next to each loaded record).
+	Provenance string
+}
+
+// factData stores the rows of one fact table.
+type factData struct {
+	class *mdm.FactClass
+	rows  []FactRow
+}
+
+// Warehouse is a populated star schema. It is safe for concurrent use;
+// loads take the write lock, queries the read lock.
+type Warehouse struct {
+	mu     sync.RWMutex
+	schema *mdm.Schema
+	dims   map[string]*dimensionData
+	facts  map[string]*factData
+}
+
+// New builds an empty warehouse for a validated schema.
+func New(schema *mdm.Schema) (*Warehouse, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, fmt.Errorf("dw: invalid schema: %w", err)
+	}
+	w := &Warehouse{
+		schema: schema,
+		dims:   make(map[string]*dimensionData),
+		facts:  make(map[string]*factData),
+	}
+	for _, d := range schema.Dimensions {
+		dd := &dimensionData{class: d, levels: make(map[string]*levelTable)}
+		for _, l := range d.Levels {
+			dd.levels[l.Name] = newLevelTable()
+		}
+		w.dims[d.Name] = dd
+	}
+	for _, f := range schema.Facts {
+		w.facts[f.Name] = &factData{class: f}
+	}
+	return w, nil
+}
+
+// Schema returns the schema the warehouse was built for.
+func (w *Warehouse) Schema() *mdm.Schema { return w.schema }
+
+// AddMember inserts (or finds) a member of a dimension level and returns
+// its surrogate key. parentName names the member's parent at the
+// RollsUpTo level and must already exist ("" for top levels or unknown
+// parents). Re-adding an existing member updates its attributes and parent
+// when provided.
+func (w *Warehouse) AddMember(dim, level, name string, attrs map[string]string, parentName string) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.addMemberLocked(dim, level, name, attrs, parentName)
+}
+
+func (w *Warehouse) addMemberLocked(dim, level, name string, attrs map[string]string, parentName string) (int, error) {
+	dd, ok := w.dims[dim]
+	if !ok {
+		return 0, fmt.Errorf("dw: unknown dimension %q", dim)
+	}
+	lt, ok := dd.levels[level]
+	if !ok {
+		return 0, fmt.Errorf("dw: unknown level %q of dimension %q", level, dim)
+	}
+	if name == "" {
+		return 0, fmt.Errorf("dw: empty member name for %s.%s", dim, level)
+	}
+	lvl := dd.class.Level(level)
+	parent := NoParent
+	if parentName != "" {
+		if lvl.RollsUpTo == "" {
+			return 0, fmt.Errorf("dw: level %q of %q is the hierarchy top, cannot have parent %q", level, dim, parentName)
+		}
+		pt := dd.levels[lvl.RollsUpTo]
+		pk, ok := pt.byName[parentName]
+		if !ok {
+			return 0, fmt.Errorf("dw: parent %q not found at level %q of %q", parentName, lvl.RollsUpTo, dim)
+		}
+		parent = pk
+	}
+	if key, ok := lt.byName[name]; ok {
+		m := &lt.members[key]
+		for k, v := range attrs {
+			if m.Attrs == nil {
+				m.Attrs = make(map[string]string)
+			}
+			m.Attrs[k] = v
+		}
+		if parent != NoParent {
+			m.Parent = parent
+		}
+		return key, nil
+	}
+	key := len(lt.members)
+	cp := make(map[string]string, len(attrs))
+	for k, v := range attrs {
+		cp[k] = v
+	}
+	lt.members = append(lt.members, Member{Key: key, Name: name, Attrs: cp, Parent: parent})
+	lt.byName[name] = key
+	return key, nil
+}
+
+// MemberKey returns the surrogate key of a member by name, or an error.
+func (w *Warehouse) MemberKey(dim, level, name string) (int, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	dd, ok := w.dims[dim]
+	if !ok {
+		return 0, fmt.Errorf("dw: unknown dimension %q", dim)
+	}
+	lt, ok := dd.levels[level]
+	if !ok {
+		return 0, fmt.Errorf("dw: unknown level %q of dimension %q", level, dim)
+	}
+	key, ok := lt.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("dw: member %q not found at %s.%s", name, dim, level)
+	}
+	return key, nil
+}
+
+// Member returns a copy of the member with the given key.
+func (w *Warehouse) Member(dim, level string, key int) (Member, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	dd, ok := w.dims[dim]
+	if !ok {
+		return Member{}, fmt.Errorf("dw: unknown dimension %q", dim)
+	}
+	lt, ok := dd.levels[level]
+	if !ok {
+		return Member{}, fmt.Errorf("dw: unknown level %q of dimension %q", level, dim)
+	}
+	if key < 0 || key >= len(lt.members) {
+		return Member{}, fmt.Errorf("dw: key %d out of range at %s.%s", key, dim, level)
+	}
+	return lt.members[key], nil
+}
+
+// ParentName returns the name of a member's parent at the next coarser
+// level ("" when the member has no parent or the level is the top).
+func (w *Warehouse) ParentName(dim, level, name string) (string, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	dd, ok := w.dims[dim]
+	if !ok {
+		return "", fmt.Errorf("dw: unknown dimension %q", dim)
+	}
+	lt, ok := dd.levels[level]
+	if !ok {
+		return "", fmt.Errorf("dw: unknown level %q of dimension %q", level, dim)
+	}
+	key, ok := lt.byName[name]
+	if !ok {
+		return "", fmt.Errorf("dw: member %q not found at %s.%s", name, dim, level)
+	}
+	parent := lt.members[key].Parent
+	lvl := dd.class.Level(level)
+	if parent == NoParent || lvl.RollsUpTo == "" {
+		return "", nil
+	}
+	return w.memberNameLocked(dim, lvl.RollsUpTo, parent), nil
+}
+
+// Members returns the member names of a dimension level, sorted.
+func (w *Warehouse) Members(dim, level string) []string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	dd, ok := w.dims[dim]
+	if !ok {
+		return nil
+	}
+	lt, ok := dd.levels[level]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(lt.members))
+	for _, m := range lt.members {
+		out = append(out, m.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MemberCount returns the number of members at a dimension level.
+func (w *Warehouse) MemberCount(dim, level string) int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	if dd, ok := w.dims[dim]; ok {
+		if lt, ok := dd.levels[level]; ok {
+			return len(lt.members)
+		}
+	}
+	return 0
+}
+
+// AddFact appends a fact row. coords maps each role of the fact to a
+// base-level member *name*; every role must be present and resolvable.
+func (w *Warehouse) AddFact(fact string, coords map[string]string, measures map[string]float64) error {
+	return w.AddFactProvenance(fact, coords, measures, "")
+}
+
+// AddFactProvenance is AddFact with a lineage string attached to the row.
+func (w *Warehouse) AddFactProvenance(fact string, coords map[string]string, measures map[string]float64, provenance string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	fd, ok := w.facts[fact]
+	if !ok {
+		return fmt.Errorf("dw: unknown fact %q", fact)
+	}
+	row := FactRow{
+		Coords:     make(map[string]int, len(fd.class.Dimensions)),
+		Measures:   make(map[string]float64, len(measures)),
+		Provenance: provenance,
+	}
+	for _, ref := range fd.class.Dimensions {
+		name, ok := coords[ref.Role]
+		if !ok {
+			return fmt.Errorf("dw: fact %q row missing role %q", fact, ref.Role)
+		}
+		dd := w.dims[ref.Dimension]
+		base := dd.class.Base()
+		key, ok := dd.levels[base.Name].byName[name]
+		if !ok {
+			return fmt.Errorf("dw: fact %q role %q: member %q not found at base level %q of %q",
+				fact, ref.Role, name, base.Name, ref.Dimension)
+		}
+		row.Coords[ref.Role] = key
+	}
+	for name, v := range measures {
+		if fd.class.Measure(name) == nil {
+			return fmt.Errorf("dw: fact %q has no measure %q", fact, name)
+		}
+		row.Measures[name] = v
+	}
+	fd.rows = append(fd.rows, row)
+	return nil
+}
+
+// FactCount returns the number of rows in a fact table.
+func (w *Warehouse) FactCount(fact string) int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	if fd, ok := w.facts[fact]; ok {
+		return len(fd.rows)
+	}
+	return 0
+}
+
+// rollUpKey maps a base-level surrogate key of a dimension to the
+// surrogate key of its ancestor at the target level. Returns NoParent when
+// the chain is broken (missing parent links).
+func (w *Warehouse) rollUpKeyLocked(dim string, baseKey int, level string) int {
+	dd := w.dims[dim]
+	path := dd.class.PathTo(level)
+	if path == nil {
+		return NoParent
+	}
+	key := baseKey
+	for i := 0; i < len(path)-1; i++ {
+		lt := dd.levels[path[i]]
+		if key < 0 || key >= len(lt.members) {
+			return NoParent
+		}
+		key = lt.members[key].Parent
+	}
+	if key < 0 {
+		return NoParent
+	}
+	return key
+}
+
+// memberNameLocked resolves a surrogate key at a level to its name.
+func (w *Warehouse) memberNameLocked(dim, level string, key int) string {
+	lt := w.dims[dim].levels[level]
+	if key < 0 || key >= len(lt.members) {
+		return ""
+	}
+	return lt.members[key].Name
+}

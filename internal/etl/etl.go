@@ -1,0 +1,227 @@
+// Package etl implements Step 5 of the paper's integration model: "the QA
+// system will feed the DW with the new information extracted from the
+// queries posed on the Web". Harvested answers are normalised into
+// structured records (temperature – date – city – web page), validated
+// against the ontology axioms (unit known, value in the valid interval,
+// Fahrenheit converted through the conversion formula), and loaded into a
+// Weather fact table with full provenance — the paper stores the web page
+// alongside each record "to make the approach robust against errors".
+package etl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dwqa/internal/dw"
+	"dwqa/internal/ontology"
+	"dwqa/internal/qa"
+)
+
+// WeatherRecord is a normalised (temperature – date – city – web page)
+// tuple ready for warehouse loading. TempC is always Celsius.
+type WeatherRecord struct {
+	City      string
+	Year      int
+	Month     int
+	Day       int
+	TempC     float64
+	SourceURL string
+	Score     float64 // extraction confidence carried from the QA system
+}
+
+// DayKey renders the Date-dimension member name for the record's day.
+func (r WeatherRecord) DayKey() string {
+	return fmt.Sprintf("%04d-%02d-%02d", r.Year, r.Month, r.Day)
+}
+
+// MonthKey renders the Date-dimension member name for the record's month.
+func (r WeatherRecord) MonthKey() string {
+	return fmt.Sprintf("%04d-%02d", r.Year, r.Month)
+}
+
+// YearKey renders the Date-dimension member name for the record's year.
+func (r WeatherRecord) YearKey() string { return fmt.Sprintf("%04d", r.Year) }
+
+// Rejection explains why an answer did not become a record.
+type Rejection struct {
+	Answer qa.Answer
+	Reason string
+}
+
+// Report summarises one load.
+type Report struct {
+	Normalized int
+	Loaded     int
+	Skipped    int // duplicates of already-loaded records
+	Rejections []Rejection
+}
+
+// String renders a compact summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("etl: %d normalized, %d loaded, %d duplicates skipped, %d rejected",
+		r.Normalized, r.Loaded, r.Skipped, len(r.Rejections))
+}
+
+// RejectionReasons aggregates rejection counts by reason, sorted.
+func (r *Report) RejectionReasons() []string {
+	counts := map[string]int{}
+	for _, rej := range r.Rejections {
+		counts[rej.Reason]++
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%s ×%d", k, counts[k]))
+	}
+	return out
+}
+
+// Loader normalises QA answers and feeds them into a warehouse fact. It
+// deduplicates across its lifetime: re-harvesting the same (city, day)
+// from the same source page does not duplicate fact rows, so repeated
+// Step 5 runs are idempotent.
+type Loader struct {
+	dom     *ontology.Ontology // axioms; may be nil (built-in fallbacks)
+	wh      *dw.Warehouse
+	fact    string // Weather fact name
+	cityDim string // dimension holding the City base level
+	dateDim string // dimension holding the Day base level
+
+	loaded map[string]bool // dedup key: city|day|source
+}
+
+// NewLoader builds a loader for a warehouse whose schema contains the
+// weather fact with a City-based role and a Date role.
+func NewLoader(dom *ontology.Ontology, wh *dw.Warehouse, fact, cityDim, dateDim string) (*Loader, error) {
+	if wh == nil {
+		return nil, fmt.Errorf("etl: nil warehouse")
+	}
+	if wh.Schema().Fact(fact) == nil {
+		return nil, fmt.Errorf("etl: warehouse has no fact %q", fact)
+	}
+	for _, dim := range []string{cityDim, dateDim} {
+		if wh.Schema().Dimension(dim) == nil {
+			return nil, fmt.Errorf("etl: warehouse has no dimension %q", dim)
+		}
+	}
+	return &Loader{
+		dom: dom, wh: wh, fact: fact, cityDim: cityDim, dateDim: dateDim,
+		loaded: make(map[string]bool),
+	}, nil
+}
+
+// Normalize converts one QA answer into a weather record, applying the
+// ontology's conversion and range axioms. It returns a reason string when
+// the answer must be rejected.
+func (l *Loader) Normalize(ans qa.Answer) (WeatherRecord, string) {
+	if !ans.HasValue {
+		return WeatherRecord{}, "no numeric value"
+	}
+	if ans.Location == "" {
+		return WeatherRecord{}, "no location"
+	}
+	if ans.Date.Year == 0 || ans.Date.Month == 0 || ans.Date.Day == 0 {
+		return WeatherRecord{}, "incomplete date"
+	}
+	tempC := ans.Value
+	switch strings.ToUpper(ans.Unit) {
+	case "C", "ºC", "°C", "":
+		// Unitless values are assumed Celsius but validated below; the
+		// assumption mirrors the robustness fallback of §4.2.
+	case "F", "ºF", "°F":
+		tempC = l.convertFtoC(ans.Value)
+	default:
+		return WeatherRecord{}, "unknown unit " + ans.Unit
+	}
+	if !l.inRange(tempC) {
+		return WeatherRecord{}, fmt.Sprintf("out of range: %.1fC", tempC)
+	}
+	return WeatherRecord{
+		City: ans.Location,
+		Year: ans.Date.Year, Month: ans.Date.Month, Day: ans.Date.Day,
+		TempC: tempC, SourceURL: ans.URL, Score: ans.Score,
+	}, ""
+}
+
+func (l *Loader) convertFtoC(v float64) float64 {
+	if l.dom != nil {
+		if c, err := l.dom.Convert("Temperature", v, "F", "C"); err == nil {
+			return c
+		}
+	}
+	return (v - 32) / 1.8
+}
+
+func (l *Loader) inRange(tempC float64) bool {
+	if l.dom != nil {
+		if ok, err := l.dom.InRange("Temperature", tempC, "C"); err == nil {
+			return ok
+		}
+	}
+	return tempC >= -90 && tempC <= 60
+}
+
+// Load normalises and loads a batch of QA answers, creating the needed
+// Date and City dimension members on the fly. Every loaded fact row
+// carries the source URL as provenance.
+func (l *Loader) Load(answers []qa.Answer) (*Report, error) {
+	rep := &Report{}
+	for _, ans := range answers {
+		rec, reason := l.Normalize(ans)
+		if reason != "" {
+			rep.Rejections = append(rep.Rejections, Rejection{ans, reason})
+			continue
+		}
+		rep.Normalized++
+		loaded, err := l.LoadRecord(rec)
+		if err != nil {
+			rep.Rejections = append(rep.Rejections, Rejection{ans, err.Error()})
+			continue
+		}
+		if loaded {
+			rep.Loaded++
+		} else {
+			rep.Skipped++
+		}
+	}
+	return rep, nil
+}
+
+// LoadRecord loads one normalised record into the warehouse. It reports
+// whether the record was stored: records already loaded by this Loader
+// (same city, day and source page) are skipped, making repeated Step 5
+// runs idempotent.
+func (l *Loader) LoadRecord(rec WeatherRecord) (bool, error) {
+	key := strings.ToLower(rec.City) + "|" + rec.DayKey() + "|" + rec.SourceURL
+	if l.loaded[key] {
+		return false, nil
+	}
+	// Date hierarchy members (idempotent adds).
+	if _, err := l.wh.AddMember(l.dateDim, "Year", rec.YearKey(), nil, ""); err != nil {
+		return false, fmt.Errorf("etl: %w", err)
+	}
+	if _, err := l.wh.AddMember(l.dateDim, "Month", rec.MonthKey(), nil, rec.YearKey()); err != nil {
+		return false, fmt.Errorf("etl: %w", err)
+	}
+	if _, err := l.wh.AddMember(l.dateDim, "Day", rec.DayKey(), nil, rec.MonthKey()); err != nil {
+		return false, fmt.Errorf("etl: %w", err)
+	}
+	// City member: created when the DW did not know it yet.
+	if _, err := l.wh.AddMember(l.cityDim, "City", rec.City, nil, ""); err != nil {
+		return false, fmt.Errorf("etl: %w", err)
+	}
+	err := l.wh.AddFactProvenance(l.fact,
+		map[string]string{"City": rec.City, "Date": rec.DayKey()},
+		map[string]float64{"TempC": rec.TempC},
+		rec.SourceURL)
+	if err != nil {
+		return false, fmt.Errorf("etl: %w", err)
+	}
+	l.loaded[key] = true
+	return true, nil
+}

@@ -1,0 +1,378 @@
+// Package ir implements the passage retrieval substrate of the
+// reproduction, modelled on the IR-n system (reference [9] of the paper)
+// that AliQAn uses to filter the quantity of text the QA process analyses.
+//
+// IR-n's defining property is reproduced: documents are split into
+// passages formed by a fixed number of consecutive sentences (the paper's
+// footnote 6: "the IR-n system ... returns the most relevant passage
+// formed by eight consecutive sentences"), windows overlap, and passages
+// are ranked by query-term weights. A document-level retrieval mode serves
+// as the classical-IR baseline for the QA-vs-IR experiment: it returns
+// whole documents, which is exactly the shortcoming the paper attributes
+// to IR systems.
+package ir
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"dwqa/internal/nlp"
+)
+
+// DefaultPassageSize is the number of consecutive sentences per passage.
+const DefaultPassageSize = 8
+
+// Document is an indexable unit of text with provenance.
+type Document struct {
+	URL  string
+	Text string
+}
+
+// Passage is a retrieval result: a window of consecutive sentences from
+// one document.
+type Passage struct {
+	DocURL    string
+	DocIndex  int
+	SentStart int // first sentence index in the document
+	SentEnd   int // one past the last sentence index
+	Text      string
+	Score     float64
+	Sentences []nlp.Sentence // analysed sentences of the window
+}
+
+// DocResult is a document-level retrieval result (the IR baseline mode).
+type DocResult struct {
+	URL      string
+	DocIndex int
+	Score    float64
+	Text     string
+}
+
+// posting records one passage containing a term.
+type posting struct {
+	passage int
+	tf      int
+}
+
+// passageEntry is the stored form of a passage.
+type passageEntry struct {
+	doc        int
+	sentStart  int
+	sentEnd    int
+	sentOffset int // index into the document's sentence slice
+}
+
+// Index is an inverted passage index. Safe for concurrent searches after
+// construction; adding documents takes the write lock.
+type Index struct {
+	passageSize int
+	stride      int
+
+	mu        sync.RWMutex
+	docs      []Document
+	docSents  [][]nlp.Sentence
+	passages  []passageEntry
+	postings  map[string][]posting // lemma → passages containing it
+	docDF     map[string]int       // lemma → number of documents containing it
+	docTF     []map[string]int     // per-document term frequencies
+	docLength []int
+}
+
+// Option configures an Index.
+type Option func(*Index)
+
+// WithPassageSize sets the sentence-window size (minimum 1).
+func WithPassageSize(n int) Option {
+	return func(ix *Index) {
+		if n >= 1 {
+			ix.passageSize = n
+		}
+	}
+}
+
+// WithStride sets the window stride; smaller strides mean more overlap.
+func WithStride(n int) Option {
+	return func(ix *Index) {
+		if n >= 1 {
+			ix.stride = n
+		}
+	}
+}
+
+// NewIndex returns an empty index with the given options. The default
+// window is 8 sentences with a half-window stride.
+func NewIndex(opts ...Option) *Index {
+	ix := &Index{
+		passageSize: DefaultPassageSize,
+		postings:    make(map[string][]posting),
+		docDF:       make(map[string]int),
+	}
+	for _, o := range opts {
+		o(ix)
+	}
+	if ix.stride == 0 {
+		ix.stride = ix.passageSize / 2
+		if ix.stride == 0 {
+			ix.stride = 1
+		}
+	}
+	// A stride beyond the window would leave sentences uncovered.
+	if ix.stride > ix.passageSize {
+		ix.stride = ix.passageSize
+	}
+	return ix
+}
+
+// Add indexes a document: sentence split, lemmatisation, stopword removal,
+// passage windowing. Empty documents are rejected.
+func (ix *Index) Add(doc Document) error {
+	if strings.TrimSpace(doc.Text) == "" {
+		return fmt.Errorf("ir: empty document %q", doc.URL)
+	}
+	sents := nlp.SplitSentences(doc.Text)
+	if len(sents) == 0 {
+		return fmt.Errorf("ir: no sentences in document %q", doc.URL)
+	}
+
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+
+	docIdx := len(ix.docs)
+	ix.docs = append(ix.docs, doc)
+	ix.docSents = append(ix.docSents, sents)
+
+	// Document-level stats for the IR baseline.
+	dtf := map[string]int{}
+	length := 0
+	for _, s := range sents {
+		for _, lemma := range s.ContentLemmas() {
+			dtf[lemma]++
+			length++
+		}
+	}
+	ix.docTF = append(ix.docTF, dtf)
+	ix.docLength = append(ix.docLength, length)
+	for lemma := range dtf {
+		ix.docDF[lemma]++
+	}
+
+	// Passage windows.
+	for start := 0; start < len(sents); start += ix.stride {
+		end := start + ix.passageSize
+		if end > len(sents) {
+			end = len(sents)
+		}
+		pid := len(ix.passages)
+		ix.passages = append(ix.passages, passageEntry{
+			doc: docIdx, sentStart: start, sentEnd: end, sentOffset: start,
+		})
+		ptf := map[string]int{}
+		for _, s := range sents[start:end] {
+			for _, lemma := range s.ContentLemmas() {
+				ptf[lemma]++
+			}
+		}
+		for lemma, tf := range ptf {
+			ix.postings[lemma] = append(ix.postings[lemma], posting{pid, tf})
+		}
+		if end == len(sents) {
+			break
+		}
+	}
+	return nil
+}
+
+// AddAll indexes a batch of documents, collecting per-document errors.
+func (ix *Index) AddAll(docs []Document) error {
+	var errs []string
+	for _, d := range docs {
+		if err := ix.Add(d); err != nil {
+			errs = append(errs, err.Error())
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("ir: %d documents failed: %s", len(errs), strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// DocCount returns the number of indexed documents.
+func (ix *Index) DocCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs)
+}
+
+// PassageCount returns the number of indexed passages.
+func (ix *Index) PassageCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.passages)
+}
+
+// DF returns the number of documents containing the lemma.
+func (ix *Index) DF(lemma string) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.docDF[lemma]
+}
+
+// QueryTerms analyses free text into content lemmas for retrieval —
+// stop-words are discarded, matching the paper's description of the IR
+// side ("IR usually receives just a set of keywords ... discarding
+// stop-words").
+func QueryTerms(text string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, t := range nlp.Analyze(text) {
+		if t.IsContentWord() && !nlp.IsStopword(t.Lemma) && !seen[t.Lemma] {
+			seen[t.Lemma] = true
+			out = append(out, t.Lemma)
+		}
+	}
+	return out
+}
+
+// Search returns the top-k passages for the query terms, ranked by the
+// IR-n style weight sum((1+log tf) * idf). Deterministic: ties break by
+// document then passage position.
+func (ix *Index) Search(terms []string, k int) []Passage {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(ix.passages) == 0 || len(terms) == 0 || k <= 0 {
+		return nil
+	}
+	scores := make(map[int]float64)
+	nPass := float64(len(ix.passages))
+	seen := map[string]bool{}
+	for _, term := range terms {
+		term = strings.ToLower(term)
+		if seen[term] {
+			continue
+		}
+		seen[term] = true
+		posts := ix.postings[term]
+		if len(posts) == 0 {
+			continue
+		}
+		idf := math.Log(1 + nPass/float64(len(posts)))
+		for _, p := range posts {
+			scores[p.passage] += (1 + math.Log(float64(p.tf))) * idf
+		}
+	}
+	ids := make([]int, 0, len(scores))
+	for id := range scores {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		si, sj := scores[ids[i]], scores[ids[j]]
+		if si != sj {
+			return si > sj
+		}
+		return ids[i] < ids[j]
+	})
+	if len(ids) > k {
+		ids = ids[:k]
+	}
+	out := make([]Passage, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, ix.materializeLocked(id, scores[id]))
+	}
+	return out
+}
+
+// materializeLocked builds the Passage value for a passage ID.
+func (ix *Index) materializeLocked(id int, score float64) Passage {
+	pe := ix.passages[id]
+	sents := ix.docSents[pe.doc][pe.sentStart:pe.sentEnd]
+	doc := ix.docs[pe.doc]
+	start := sents[0].Start
+	end := sents[len(sents)-1].End
+	return Passage{
+		DocURL:    doc.URL,
+		DocIndex:  pe.doc,
+		SentStart: pe.sentStart,
+		SentEnd:   pe.sentEnd,
+		Text:      doc.Text[start:end],
+		Score:     score,
+		Sentences: sents,
+	}
+}
+
+// SearchDocuments is the classical-IR baseline: rank whole documents by
+// tf-idf and return them in full. The caller (a user, per the paper) "has
+// to further search for the requested information" inside them.
+func (ix *Index) SearchDocuments(terms []string, k int) []DocResult {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(ix.docs) == 0 || len(terms) == 0 || k <= 0 {
+		return nil
+	}
+	nDocs := float64(len(ix.docs))
+	scores := make(map[int]float64)
+	seen := map[string]bool{}
+	for _, term := range terms {
+		term = strings.ToLower(term)
+		if seen[term] {
+			continue
+		}
+		seen[term] = true
+		df := ix.docDF[term]
+		if df == 0 {
+			continue
+		}
+		idf := math.Log(1 + nDocs/float64(df))
+		for d, dtf := range ix.docTF {
+			if tf := dtf[term]; tf > 0 {
+				scores[d] += (1 + math.Log(float64(tf))) * idf
+			}
+		}
+	}
+	ids := make([]int, 0, len(scores))
+	for id := range scores {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		si, sj := scores[ids[i]], scores[ids[j]]
+		if si != sj {
+			return si > sj
+		}
+		return ids[i] < ids[j]
+	})
+	if len(ids) > k {
+		ids = ids[:k]
+	}
+	out := make([]DocResult, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, DocResult{
+			URL: ix.docs[id].URL, DocIndex: id,
+			Score: scores[id], Text: ix.docs[id].Text,
+		})
+	}
+	return out
+}
+
+// AllPassages materializes every passage (score zero) — used by the
+// QA-without-IR-filter ablation, which must analyse the whole collection.
+func (ix *Index) AllPassages() []Passage {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]Passage, 0, len(ix.passages))
+	for id := range ix.passages {
+		out = append(out, ix.materializeLocked(id, 0))
+	}
+	return out
+}
+
+// Document returns the indexed document at the given index.
+func (ix *Index) Document(i int) (Document, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if i < 0 || i >= len(ix.docs) {
+		return Document{}, fmt.Errorf("ir: document index %d out of range", i)
+	}
+	return ix.docs[i], nil
+}

@@ -1,0 +1,243 @@
+// Package merge implements Step 3 of the paper's integration model: the
+// domain ontology (derived from the UML model in Step 1 and enriched with
+// DW instances in Step 2) is merged and mapped into the upper ontology
+// (WordNet) used by the QA system.
+//
+// The algorithm follows the paper's description of its PROMPT-inspired
+// name matching (references [5, 12]):
+//
+//  1. every concept is looked up in WordNet; if found, its instances are
+//     attached under that synset;
+//  2. if the concept is not found, its head word is looked up and the
+//     concept is added as a new hyponym of the head's synset ("Last
+//     Minute Sales" → hyponym of "Sale");
+//  3. if there is no similar concept, the concept starts a new
+//     ontological tree;
+//  4. instances that already exist under the right subtree are kept;
+//     instances whose alias matches an existing synset enrich it with the
+//     new name ("JFK" becomes a synonym of "Kennedy International
+//     Airport"); all others become new instance synsets.
+package merge
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dwqa/internal/nlp"
+	"dwqa/internal/ontology"
+	"dwqa/internal/wordnet"
+)
+
+// Action classifies what the merge did for one concept or instance.
+type Action string
+
+// Merge actions.
+const (
+	ExactMatch       Action = "exact-match"       // concept found in WordNet
+	HeadMatch        Action = "head-match"        // added under its head word's synset
+	NewTree          Action = "new-tree"          // added as a new root
+	InstanceKept     Action = "instance-kept"     // instance already present under the subtree
+	InstanceAdded    Action = "instance-added"    // instance synset created
+	SynonymEnriched  Action = "synonym-enriched"  // existing synset gained the new name
+	AlreadyMerged    Action = "already-merged"    // concept synset existed from a prior merge
+	InstanceRelinked Action = "instance-relinked" // holonym edge added from instance properties
+)
+
+// Entry records one merge decision.
+type Entry struct {
+	Name     string // concept or instance name
+	Action   Action
+	SynsetID string // the synset the name ended up in / under
+}
+
+// Report summarises a merge run.
+type Report struct {
+	Entries []Entry
+	// Mapping maps ontology concept names (normalised) to synset IDs —
+	// the conceptualisation shared between DW and QA.
+	Mapping map[string]string
+}
+
+// Count returns how many entries carry the action.
+func (r *Report) Count(a Action) int {
+	n := 0
+	for _, e := range r.Entries {
+		if e.Action == a {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders a compact summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("merge: %d exact, %d head, %d new-tree, %d inst-added, %d inst-kept, %d enriched",
+		r.Count(ExactMatch), r.Count(HeadMatch), r.Count(NewTree),
+		r.Count(InstanceAdded), r.Count(InstanceKept), r.Count(SynonymEnriched))
+}
+
+// conceptSynsetID derives the deterministic synset ID for a merged domain
+// concept.
+func conceptSynsetID(name string) string {
+	return "n.dom." + strings.ReplaceAll(ontology.Normalize(name), " ", "_")
+}
+
+// instanceSynsetID derives the deterministic synset ID for a merged
+// instance.
+func instanceSynsetID(name string) string {
+	return "n.inst." + strings.ReplaceAll(ontology.Normalize(name), " ", "_")
+}
+
+// Merge merges the domain ontology into the lexical database in place and
+// returns the report. Merging is idempotent: re-running on the same inputs
+// adds nothing new.
+func Merge(dom *ontology.Ontology, wn *wordnet.WordNet) (*Report, error) {
+	rep := &Report{Mapping: make(map[string]string)}
+
+	concepts := dom.Concepts()
+	sort.Strings(concepts)
+
+	// Pass 1: map or create concept synsets.
+	for _, name := range concepts {
+		id, action, err := mergeConcept(dom, wn, name)
+		if err != nil {
+			return nil, err
+		}
+		rep.Mapping[ontology.Normalize(name)] = id
+		rep.Entries = append(rep.Entries, Entry{Name: name, Action: action, SynsetID: id})
+	}
+
+	// Pass 2: instances.
+	for _, name := range concepts {
+		c := dom.Concept(name)
+		conceptSyn := rep.Mapping[ontology.Normalize(name)]
+		instNames := make([]string, 0, len(c.Instances))
+		for k := range c.Instances {
+			instNames = append(instNames, k)
+		}
+		sort.Strings(instNames)
+		for _, ik := range instNames {
+			inst := c.Instances[ik]
+			entries, err := mergeInstance(wn, conceptSyn, inst)
+			if err != nil {
+				return nil, err
+			}
+			rep.Entries = append(rep.Entries, entries...)
+		}
+	}
+	return rep, nil
+}
+
+// mergeConcept maps one concept to a synset, creating it when needed.
+func mergeConcept(dom *ontology.Ontology, wn *wordnet.WordNet, name string) (string, Action, error) {
+	// Already merged in a previous run?
+	domID := conceptSynsetID(name)
+	if wn.Synset(domID) != nil {
+		return domID, AlreadyMerged, nil
+	}
+	// 1) Exact match on the concept name.
+	if senses := wn.Lookup(name, wordnet.Noun); len(senses) > 0 {
+		return senses[0].ID, ExactMatch, nil
+	}
+	// 2) Head-word match: the head of the phrase, lemmatised as a plural
+	// noun would be ("Last Minute Sales" → "sale").
+	head := headWord(name)
+	if head != "" && !strings.EqualFold(head, name) {
+		if senses := wn.Lookup(head, wordnet.Noun); len(senses) > 0 {
+			if _, err := wn.AddSynset(domID, wordnet.Noun, senses[0].Base,
+				domainGloss(dom, name), ontology.Normalize(name)); err != nil {
+				return "", "", fmt.Errorf("merge: %w", err)
+			}
+			if err := wn.Relate(domID, wordnet.Hypernym, senses[0].ID); err != nil {
+				return "", "", fmt.Errorf("merge: %w", err)
+			}
+			return domID, HeadMatch, nil
+		}
+	}
+	// 3) New ontological tree.
+	if _, err := wn.AddSynset(domID, wordnet.Noun, wordnet.BaseObject,
+		domainGloss(dom, name), ontology.Normalize(name)); err != nil {
+		return "", "", fmt.Errorf("merge: %w", err)
+	}
+	return domID, NewTree, nil
+}
+
+// headWord extracts the lemma of the syntactic head of a concept name —
+// its last word, singularised ("Last Minute Sales" → "sale").
+func headWord(name string) string {
+	fields := strings.Fields(ontology.Normalize(name))
+	if len(fields) == 0 {
+		return ""
+	}
+	last := fields[len(fields)-1]
+	return nlp.Lemmatize(last, nlp.TagNNS)
+}
+
+func domainGloss(dom *ontology.Ontology, name string) string {
+	return "domain concept " + name + " from the " + dom.Name + " ontology"
+}
+
+// mergeInstance attaches one instance under the concept synset following
+// the paper's rules.
+func mergeInstance(wn *wordnet.WordNet, conceptSyn string, inst *ontology.Instance) ([]Entry, error) {
+	var entries []Entry
+
+	names := append([]string{inst.Name}, inst.Aliases...)
+
+	// (a) Instance (or an alias) already known under the subtree?
+	for _, n := range names {
+		for _, s := range wn.Lookup(n, wordnet.Noun) {
+			if wn.IsA(s.ID, conceptSyn) {
+				// Known: make sure the canonical name is a lemma of it
+				// (the JFK case: alias "Kennedy International Airport" is
+				// known, enrich it with the synonym "JFK").
+				if !s.HasLemma(inst.Name) {
+					if err := wn.AddLemma(s.ID, inst.Name); err != nil {
+						return nil, fmt.Errorf("merge: %w", err)
+					}
+					entries = append(entries, Entry{Name: inst.Name, Action: SynonymEnriched, SynsetID: s.ID})
+				} else {
+					entries = append(entries, Entry{Name: inst.Name, Action: InstanceKept, SynsetID: s.ID})
+				}
+				return entries, nil
+			}
+		}
+	}
+
+	// (b) New instance synset. Note: a name may exist in WordNet under an
+	// unrelated subtree (the "John Wayne" actor, the "El Prat" band); the
+	// paper adds the airport reading as a *new* sense rather than reusing
+	// those.
+	id := instanceSynsetID(inst.Name)
+	if wn.Synset(id) == nil {
+		if _, err := wn.AddSynset(id, wordnet.Noun, wordnet.BaseObject,
+			"instance "+inst.Name+" fed from the data warehouse", names...); err != nil {
+			return nil, fmt.Errorf("merge: %w", err)
+		}
+		if err := wn.Relate(id, wordnet.InstanceHypernym, conceptSyn); err != nil {
+			return nil, fmt.Errorf("merge: %w", err)
+		}
+		entries = append(entries, Entry{Name: inst.Name, Action: InstanceAdded, SynsetID: id})
+	} else {
+		entries = append(entries, Entry{Name: inst.Name, Action: InstanceKept, SynsetID: id})
+	}
+
+	// (c) Location-style properties become holonym edges when the value
+	// resolves to a known synset ("El Prat" locatedIn "Barcelona").
+	propKeys := make([]string, 0, len(inst.Properties))
+	for k := range inst.Properties {
+		propKeys = append(propKeys, k)
+	}
+	sort.Strings(propKeys)
+	for _, k := range propKeys {
+		v := inst.Properties[k]
+		if senses := wn.Lookup(v, wordnet.Noun); len(senses) > 0 {
+			if err := wn.Relate(id, wordnet.PartHolonym, senses[0].ID); err != nil {
+				return nil, fmt.Errorf("merge: %w", err)
+			}
+			entries = append(entries, Entry{Name: inst.Name + "→" + v, Action: InstanceRelinked, SynsetID: senses[0].ID})
+		}
+	}
+	return entries, nil
+}

@@ -1,0 +1,228 @@
+package merge
+
+import (
+	"strings"
+	"testing"
+
+	"dwqa/internal/ontology"
+	"dwqa/internal/wordnet"
+)
+
+// domainOntology builds the enriched Figure 2 ontology: concepts from the
+// UML model plus DW instances (Step 2 already applied).
+func domainOntology() *ontology.Ontology {
+	o := ontology.New("LastMinuteSales")
+	for _, c := range []string{"Airport", "City", "State", "Customer", "Last Minute Sales"} {
+		o.AddConcept(c)
+	}
+	o.AddRelation("Airport", ontology.Relation{Name: "locatedIn", Target: "City"})
+	o.AddInstance("Airport", ontology.Instance{
+		Name:       "El Prat",
+		Properties: map[string]string{"locatedIn": "Barcelona"},
+	})
+	o.AddInstance("Airport", ontology.Instance{
+		Name:    "JFK",
+		Aliases: []string{"Kennedy International Airport"},
+	})
+	o.AddInstance("Airport", ontology.Instance{Name: "John Wayne"})
+	o.AddInstance("Airport", ontology.Instance{Name: "La Guardia"})
+	o.AddInstance("City", ontology.Instance{Name: "Barcelona"})
+	o.AddInstance("City", ontology.Instance{Name: "Costa Mesa"})
+	return o
+}
+
+func TestMergeExactMatch(t *testing.T) {
+	wn := wordnet.Seed()
+	rep, err := Merge(domainOntology(), wn)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	// Airport, City, State exist in WordNet → exact matches.
+	if rep.Mapping["airport"] != "n.airport" {
+		t.Errorf("airport mapped to %s", rep.Mapping["airport"])
+	}
+	if rep.Mapping["city"] != "n.city" {
+		t.Errorf("city mapped to %s", rep.Mapping["city"])
+	}
+	if rep.Count(ExactMatch) < 3 {
+		t.Errorf("exact matches = %d, want >= 3", rep.Count(ExactMatch))
+	}
+}
+
+func TestMergeHeadMatch(t *testing.T) {
+	// The paper: "Last Minute Sales" is not in WordNet; its head "Sale" is,
+	// so a new hyponym of Sale is created.
+	wn := wordnet.Seed()
+	rep, err := Merge(domainOntology(), wn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := rep.Mapping["last minute sales"]
+	if id == "" {
+		t.Fatal("last minute sales not mapped")
+	}
+	s := wn.Synset(id)
+	if s == nil {
+		t.Fatal("mapped synset does not exist")
+	}
+	if !wn.IsA(id, "n.sale") {
+		t.Errorf("last minute sales should be a hyponym of sale, paths: %v", wn.HypernymPaths(id))
+	}
+	found := false
+	for _, e := range rep.Entries {
+		if e.Name == "Last Minute Sales" && e.Action == HeadMatch {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no head-match entry for Last Minute Sales")
+	}
+}
+
+func TestMergeInstanceAdded(t *testing.T) {
+	// "John Wayne" and "La Guardia" do not exist as airports: after the
+	// merge they must be hyponyms/instances of airport, while their person
+	// senses survive.
+	wn := wordnet.Seed()
+	if _, err := Merge(domainOntology(), wn); err != nil {
+		t.Fatal(err)
+	}
+	if !wn.LemmaIsA("john wayne", wordnet.Noun, "airport") {
+		t.Error("john wayne should now have an airport sense")
+	}
+	if !wn.LemmaIsA("john wayne", wordnet.Noun, "person") {
+		t.Error("john wayne must keep its actor sense")
+	}
+	if !wn.LemmaIsA("la guardia", wordnet.Noun, "airport") {
+		t.Error("la guardia should now have an airport sense")
+	}
+	if !wn.LemmaIsA("el prat", wordnet.Noun, "airport") {
+		t.Error("el prat should now have an airport sense")
+	}
+}
+
+func TestMergeSynonymEnrichment(t *testing.T) {
+	// The JFK case: "Kennedy International Airport" exists under airport,
+	// so "JFK" becomes a synonym of that synset rather than a new one.
+	wn := wordnet.Seed()
+	rep, err := Merge(domainOntology(), wn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	senses := wn.Lookup("jfk", wordnet.Noun)
+	if len(senses) != 1 {
+		t.Fatalf("jfk has %d senses, want 1", len(senses))
+	}
+	if senses[0].ID != "n.kennedy_airport" {
+		t.Errorf("jfk attached to %s, want n.kennedy_airport", senses[0].ID)
+	}
+	enriched := false
+	for _, e := range rep.Entries {
+		if e.Name == "JFK" && e.Action == SynonymEnriched {
+			enriched = true
+		}
+	}
+	if !enriched {
+		t.Error("no synonym-enriched entry for JFK")
+	}
+}
+
+func TestMergeInstanceKept(t *testing.T) {
+	// Barcelona already exists as an instance of city: nothing is added.
+	wn := wordnet.Seed()
+	rep, err := Merge(domainOntology(), wn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := false
+	for _, e := range rep.Entries {
+		if e.Name == "Barcelona" && e.Action == InstanceKept {
+			kept = true
+		}
+	}
+	if !kept {
+		t.Errorf("Barcelona should be instance-kept; entries: %+v", rep.Entries)
+	}
+	if n := len(wn.Lookup("barcelona", wordnet.Noun)); n != 1 {
+		t.Errorf("barcelona has %d senses after merge, want 1", n)
+	}
+}
+
+func TestMergeLocationProperty(t *testing.T) {
+	// El Prat locatedIn Barcelona → holonym edge, so QA can expand the
+	// airport to its city ("the SB El Prat is tagged as an airport located
+	// in the city of Barcelona").
+	wn := wordnet.Seed()
+	if _, err := Merge(domainOntology(), wn); err != nil {
+		t.Fatal(err)
+	}
+	prat := wn.Lookup("el prat", wordnet.Noun)
+	var airportSense *wordnet.Synset
+	for _, s := range prat {
+		if wn.IsA(s.ID, "n.airport") {
+			airportSense = s
+		}
+	}
+	if airportSense == nil {
+		t.Fatal("no airport sense for el prat")
+	}
+	holo := airportSense.Related(wordnet.PartHolonym)
+	if len(holo) == 0 || holo[0] != "n.barcelona" {
+		t.Errorf("el prat holonyms = %v, want [n.barcelona]", holo)
+	}
+}
+
+func TestMergeIdempotent(t *testing.T) {
+	wn := wordnet.Seed()
+	dom := domainOntology()
+	if _, err := Merge(dom, wn); err != nil {
+		t.Fatal(err)
+	}
+	sizeAfterFirst := wn.Size()
+	rep2, err := Merge(dom, wn)
+	if err != nil {
+		t.Fatalf("second merge: %v", err)
+	}
+	if wn.Size() != sizeAfterFirst {
+		t.Errorf("second merge grew the lexicon: %d → %d", sizeAfterFirst, wn.Size())
+	}
+	if rep2.Count(InstanceAdded) != 0 {
+		t.Errorf("second merge added %d instances", rep2.Count(InstanceAdded))
+	}
+	if rep2.Count(SynonymEnriched) != 0 {
+		t.Errorf("second merge enriched %d synonyms", rep2.Count(SynonymEnriched))
+	}
+}
+
+func TestMergeNewTree(t *testing.T) {
+	// A concept with no WordNet match at all starts a new tree.
+	wn := wordnet.Seed()
+	o := ontology.New("x")
+	o.AddConcept("Zorblatt Quux")
+	rep, err := Merge(o, wn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := rep.Mapping["zorblatt quux"]
+	if id == "" || wn.Synset(id) == nil {
+		t.Fatal("new-tree concept not added")
+	}
+	if rep.Count(NewTree) != 1 {
+		t.Errorf("NewTree count = %d", rep.Count(NewTree))
+	}
+	if d := wn.Depth(id); d != 0 {
+		t.Errorf("new tree root should have depth 0, got %d", d)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	wn := wordnet.Seed()
+	rep, err := Merge(domainOntology(), wn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "exact") || !strings.Contains(s, "inst-added") {
+		t.Errorf("report string incomplete: %s", s)
+	}
+}

@@ -1,0 +1,127 @@
+package nlp
+
+// lexicon maps lower-cased word forms of closed classes and frequent open
+// class words to their tag. Open-class words not present here are tagged by
+// the suffix and capitalisation heuristics in tagger.go.
+var lexicon = map[string]Tag{
+	// Determiners.
+	"the": TagDT, "a": TagDT, "an": TagDT, "this": TagDT, "that": TagDT,
+	"these": TagDT, "those": TagDT, "each": TagDT, "every": TagDT,
+	"some": TagDT, "any": TagDT, "no": TagDT, "all": TagDT, "both": TagDT,
+
+	// Prepositions (the paper's trace splits "of" into its own OF tag).
+	"of": TagOF,
+	"in": TagIN, "on": TagIN, "at": TagIN, "by": TagIN, "for": TagIN,
+	"with": TagIN, "from": TagIN, "into": TagIN, "during": TagIN,
+	"about": TagIN, "against": TagIN, "between": TagIN, "through": TagIN,
+	"under": TagIN, "over": TagIN, "after": TagIN, "before": TagIN,
+	"above": TagIN, "below": TagIN, "around": TagIN, "near": TagIN,
+	"like": TagIN, "as": TagIN, "per": TagIN, "since": TagIN,
+	"until": TagIN, "within": TagIN, "without": TagIN, "towards": TagIN,
+
+	// Wh-words.
+	"what": TagWP, "who": TagWP, "whom": TagWP, "which": TagWP, "whose": TagWP,
+	"when": TagWRB, "where": TagWRB, "why": TagWRB, "how": TagWRB,
+
+	// Forms of "to be" (tagged VBZ/VBD... with lemma "be").
+	"is": TagVBZ, "am": TagVBP, "are": TagVBP, "was": TagVBD, "were": TagVBD,
+	"be": TagVB, "been": TagVBN, "being": TagVBG, "isn't": TagVBZ,
+
+	// Forms of "to have" and "to do".
+	"has": TagVBZ, "have": TagVBP, "had": TagVBD, "having": TagVBG,
+	"does": TagVBZ, "do": TagVBP, "did": TagVBD, "doing": TagVBG, "done": TagVBN,
+
+	// Modals.
+	"can": TagMD, "could": TagMD, "will": TagMD, "would": TagMD,
+	"shall": TagMD, "should": TagMD, "may": TagMD, "might": TagMD, "must": TagMD,
+
+	// Infinitival "to" (IN "to" as direction collapses here too; the
+	// shallow parser treats TO like a preposition when followed by an NP).
+	"to": TagTO,
+
+	// Pronouns.
+	"i": TagPRP, "you": TagPRP, "he": TagPRP, "she": TagPRP, "it": TagPRP,
+	"we": TagPRP, "they": TagPRP, "me": TagPRP, "him": TagPRP, "her": TagPRP,
+	"us": TagPRP, "them": TagPRP,
+	"my": TagPRPS, "your": TagPRPS, "his": TagPRPS, "its": TagPRPS,
+	"our": TagPRPS, "their": TagPRPS,
+
+	// Conjunctions.
+	"and": TagCC, "or": TagCC, "but": TagCC, "nor": TagCC, "yet": TagCC,
+
+	// Existential.
+	"there": TagEX,
+
+	// Frequent adverbs that the suffix rules would miss.
+	"not": TagRB, "n't": TagRB, "very": TagRB, "too": TagRB, "also": TagRB,
+	"now": TagRB, "then": TagRB, "here": TagRB, "so": TagRB, "just": TagRB,
+	"only": TagRB, "more": TagRB, "most": TagRB, "much": TagRB, "well": TagRB,
+	"today": TagNN, "yesterday": TagNN, "tomorrow": TagNN,
+
+	// Frequent adjectives without adjectival suffixes.
+	"good": TagJJ, "bad": TagJJ, "new": TagJJ, "old": TagJJ, "high": TagJJ,
+	"low": TagJJ, "hot": TagJJ, "cold": TagJJ, "warm": TagJJ, "cool": TagJJ,
+	"mild": TagJJ, "clear": TagJJ, "cloudy": TagJJ, "sunny": TagJJ,
+	"rainy": TagJJ, "last": TagJJ, "next": TagJJ, "first": TagJJ,
+	"late": TagJJ, "great": TagJJ, "big": TagJJ, "small": TagJJ,
+	"best": TagJJ, "worst": TagJJ, "average": TagJJ, "maximum": TagJJ,
+	"minimum": TagJJ, "brightest": TagJJ, "visible": TagJJ, "many": TagJJ,
+	"few": TagJJ, "several": TagJJ, "daily": TagJJ, "whole": TagJJ,
+
+	// Frequent verbs the heuristics would mistag.
+	"buy": TagVBP, "bought": TagVBD, "sell": TagVBP, "sold": TagVBD,
+	"sale": TagNN, "fly": TagVBP, "flew": TagVBD, "flown": TagVBN,
+	"shine": TagVBP, "shone": TagVBD, "go": TagVBP, "went": TagVBD,
+	"gone": TagVBN, "come": TagVBP, "came": TagVBD, "get": TagVBP,
+	"got": TagVBD, "made": TagVBD, "make": TagVBP, "take": TagVBP,
+	"took": TagVBD, "taken": TagVBN, "see": TagVBP, "saw": TagVBD,
+	"seen": TagVBN, "say": TagVBP, "said": TagVBD, "invade": TagVB,
+	"invaded": TagVBD, "reach": TagVBP, "reached": TagVBD, "rose": TagVBD,
+	"rise": TagVBP, "fell": TagVBD, "fall": TagVBP, "expect": TagVBP,
+	"expected": TagVBD, "record": TagVBP, "recorded": TagVBD,
+	"measure": TagVBP, "measured": TagVBD, "drop": TagVBP,
+	"dropped": TagVBD, "remain": TagVBP, "remained": TagVBD,
+	"stay": TagVBP, "stayed": TagVBD, "hover": TagVBP, "hovered": TagVBD,
+
+	// Frequent common nouns relevant to the evaluation domain.
+	"weather": TagNN, "temperature": TagNN, "temperatures": TagNNS,
+	"sky": TagNN, "skies": TagNNS, "city": TagNN, "cities": TagNNS,
+	"country": TagNN, "airport": TagNN, "airports": TagNNS,
+	"flight": TagNN, "flights": TagNNS, "ticket": TagNN, "tickets": TagNNS,
+	"price": TagNN, "prices": TagNNS, "degree": TagNN, "degrees": TagNNS,
+	"day": TagNN, "days": TagNNS, "month": TagNN, "months": TagNNS,
+	"year": TagNN, "years": TagNNS, "week": TagNN, "weeks": TagNNS,
+	"star": TagNN, "stars": TagNNS, "universe": TagNN, "night": TagNN,
+	"morning": TagNN, "afternoon": TagNN, "evening": TagNN,
+	"rain": TagNN, "snow": TagNN, "wind": TagNN, "humidity": TagNN,
+	"forecast": TagNN, "climate": TagNN, "customer": TagNN,
+	"customers": TagNNS, "company": TagNN, "group": TagNN,
+	"person": TagNN, "people": TagNNS, "mile": TagNN, "miles": TagNNS,
+	"sales": TagNNS, "report": TagNN, "reports": TagNNS,
+	"passenger": TagNN, "passengers": TagNNS, "traveler": TagNN,
+	"travelers": TagNNS, "capital": TagNN, "state": TagNN,
+	"conditions": TagNNS, "condition": TagNN, "none": TagNN,
+}
+
+// monthNames and dayNames are tagged as proper nouns (the paper tags
+// "January NP january") and drive date detection in the shallow parser.
+var monthNames = map[string]int{
+	"january": 1, "february": 2, "march": 3, "april": 4, "may": 5,
+	"june": 6, "july": 7, "august": 8, "september": 9, "october": 10,
+	"november": 11, "december": 12,
+}
+
+var dayNames = map[string]bool{
+	"monday": true, "tuesday": true, "wednesday": true, "thursday": true,
+	"friday": true, "saturday": true, "sunday": true,
+}
+
+// IsMonthName reports whether the lower-cased word names a month and, if
+// so, its 1-based number.
+func IsMonthName(lower string) (int, bool) {
+	m, ok := monthNames[lower]
+	return m, ok
+}
+
+// IsDayName reports whether the lower-cased word names a weekday.
+func IsDayName(lower string) bool { return dayNames[lower] }

@@ -1,0 +1,87 @@
+package nlp
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Sentence is a contiguous span of analysed tokens plus its byte span in
+// the original text. Sentences are the unit from which the IR-n substrate
+// builds passages (footnote 6 of the paper: "each passage is formed by a
+// number of consecutive sentences in the document").
+type Sentence struct {
+	Tokens []Token
+	Start  int // byte offset of the first token
+	End    int // byte offset one past the last token
+}
+
+// Text reconstructs a plain-text rendering of the sentence from its tokens.
+func (s Sentence) Text() string {
+	var b strings.Builder
+	for i, t := range s.Tokens {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t.Text)
+	}
+	return b.String()
+}
+
+// ContentLemmas returns the lemmas of content words in the sentence,
+// lower-cased, stopwords removed.
+func (s Sentence) ContentLemmas() []string {
+	var out []string
+	for _, t := range s.Tokens {
+		if t.IsContentWord() && !IsStopword(t.Lemma) {
+			out = append(out, t.Lemma)
+		}
+	}
+	return out
+}
+
+// SplitSentences analyses text and groups the tokens into sentences.
+// Boundaries are sentence-final punctuation (. ! ?) not inside a decimal
+// number, and blank lines (which web page extraction produces between
+// blocks). A lone newline also ends a sentence when the next line starts
+// with a capital or digit — web weather pages are line-structured.
+func SplitSentences(text string) []Sentence {
+	toks := Analyze(text)
+	var sents []Sentence
+	var cur []Token
+	flush := func() {
+		if len(cur) > 0 {
+			sents = append(sents, Sentence{
+				Tokens: cur,
+				Start:  cur[0].Start,
+				End:    cur[len(cur)-1].End,
+			})
+			cur = nil
+		}
+	}
+	for i, t := range toks {
+		cur = append(cur, t)
+		if t.Tag == TagSENT {
+			flush()
+			continue
+		}
+		// Newline-based boundary between this token and the next.
+		if i+1 < len(toks) {
+			gap := text[t.End:toks[i+1].Start]
+			if strings.Count(gap, "\n") >= 2 {
+				flush()
+				continue
+			}
+			if strings.Contains(gap, "\n") && startsUpperOrDigit(toks[i+1].Text) {
+				flush()
+			}
+		}
+	}
+	flush()
+	return sents
+}
+
+func startsUpperOrDigit(s string) bool {
+	r, _ := utf8.DecodeRuneInString(s)
+	return unicode.IsUpper(r) || unicode.IsDigit(r)
+}

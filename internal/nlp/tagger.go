@@ -1,0 +1,173 @@
+package nlp
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Analyze tokenises and tags text, filling in lemma, tag and offsets for
+// every token. It is the entry point equivalent to running the paper's
+// Maco+/TreeTagger step.
+func Analyze(text string) []Token {
+	toks := Tokenize(text)
+	tagTokens(toks)
+	for i := range toks {
+		toks[i].Lemma = Lemmatize(toks[i].Text, toks[i].Tag)
+	}
+	return toks
+}
+
+// tagTokens assigns a part-of-speech tag to every token in place.
+func tagTokens(toks []Token) {
+	for i := range toks {
+		toks[i].Tag = tagOne(toks, i)
+	}
+	// Contextual repair passes.
+	for i := range toks {
+		// A determiner is never followed directly by a verb reading for an
+		// ambiguous word: "the record" → record/NN.
+		if i > 0 && toks[i-1].Tag == TagDT && toks[i].Tag.IsVerb() &&
+			toks[i].Tag != TagVBN && toks[i].Tag != TagVBG {
+			toks[i].Tag = TagNN
+		}
+		// "to" followed by a verb stays TO; followed by an NP it acts as a
+		// preposition for chunking purposes.
+		if toks[i].Tag == TagTO && i+1 < len(toks) && !toks[i+1].Tag.IsVerb() {
+			toks[i].Tag = TagIN
+		}
+	}
+}
+
+func tagOne(toks []Token, i int) Tag {
+	text := toks[i].Text
+	lower := strings.ToLower(text)
+
+	// The degree markers are tagged NN, matching the paper's Table 1
+	// passage analysis ("8 CD 8 º NN º C NP c").
+	if text == "º" || text == "°" {
+		return TagNN
+	}
+
+	// Punctuation and symbols.
+	r, _ := utf8.DecodeRuneInString(text)
+	if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+		switch text {
+		case ".", "?", "!":
+			return TagSENT
+		case ",", ":", ";", "(", ")", "\"", "'", "-", "–", "—", "/":
+			return TagPunc
+		default:
+			return TagSYM // º, %, $, €...
+		}
+	}
+
+	// Numbers and ordinals.
+	if unicode.IsDigit(r) {
+		return TagCD
+	}
+	switch lower {
+	case "one", "two", "three", "four", "five", "six", "seven", "eight",
+		"nine", "ten", "eleven", "twelve", "twenty", "thirty", "hundred",
+		"thousand", "million":
+		return TagCD
+	}
+
+	// Month and weekday names are proper nouns in the paper's traces.
+	if _, ok := monthNames[lower]; ok {
+		return TagNP
+	}
+	if dayNames[lower] {
+		return TagNP
+	}
+
+	// Closed-class and frequent-word lexicon.
+	if tag, ok := lexicon[lower]; ok {
+		// Capitalised lexicon entries mid-sentence are usually part of a
+		// proper name ("Barcelona Weather", "Clear skies" in the paper's
+		// passage analysis): prefer NP when capitalised and not
+		// sentence-initial and the lexicon tag is an open class.
+		if isCapitalized(text) && !sentenceInitial(toks, i) && isOpenClass(tag) {
+			return TagNP
+		}
+		return tag
+	}
+
+	// Single capital letters are unit/proper symbols: "C", "F".
+	if len(text) == 1 && unicode.IsUpper(r) {
+		return TagNP
+	}
+
+	// Capitalised unknown words are proper nouns. Sentence-initial words
+	// get the benefit of the doubt only when they look name-like (no
+	// lexicon entry and no recognisable suffix).
+	if isCapitalized(text) {
+		if !sentenceInitial(toks, i) {
+			return TagNP
+		}
+		if suffixTag(lower) == TagNN {
+			return TagNP
+		}
+	}
+
+	return suffixTag(lower)
+}
+
+// suffixTag guesses the tag of an unknown lower-cased word from its suffix.
+func suffixTag(lower string) Tag {
+	switch {
+	case strings.HasSuffix(lower, "ly"):
+		return TagRB
+	case strings.HasSuffix(lower, "ing") && len(lower) > 4:
+		return TagVBG
+	case strings.HasSuffix(lower, "ed") && len(lower) > 3:
+		return TagVBD
+	case strings.HasSuffix(lower, "ous"), strings.HasSuffix(lower, "ful"),
+		strings.HasSuffix(lower, "ive"), strings.HasSuffix(lower, "able"),
+		strings.HasSuffix(lower, "ible"), strings.HasSuffix(lower, "ical"),
+		strings.HasSuffix(lower, "less"), strings.HasSuffix(lower, "est"):
+		return TagJJ
+	case strings.HasSuffix(lower, "tion"), strings.HasSuffix(lower, "sion"),
+		strings.HasSuffix(lower, "ment"), strings.HasSuffix(lower, "ness"),
+		strings.HasSuffix(lower, "ity"), strings.HasSuffix(lower, "ism"),
+		strings.HasSuffix(lower, "ure"), strings.HasSuffix(lower, "ance"),
+		strings.HasSuffix(lower, "ence"):
+		return TagNN
+	case strings.HasSuffix(lower, "s") && !strings.HasSuffix(lower, "ss") &&
+		!strings.HasSuffix(lower, "us") && !strings.HasSuffix(lower, "is") &&
+		len(lower) > 3:
+		return TagNNS
+	default:
+		return TagNN
+	}
+}
+
+func isCapitalized(text string) bool {
+	r, _ := utf8.DecodeRuneInString(text)
+	return unicode.IsUpper(r)
+}
+
+func isOpenClass(t Tag) bool {
+	switch t {
+	case TagNN, TagNNS, TagJJ, TagRB, TagVB, TagVBZ, TagVBP, TagVBD, TagVBG, TagVBN:
+		return true
+	}
+	return false
+}
+
+// sentenceInitial reports whether token i starts a sentence (is first, or
+// preceded by sentence punctuation).
+func sentenceInitial(toks []Token, i int) bool {
+	for j := i - 1; j >= 0; j-- {
+		switch toks[j].Text {
+		case ".", "?", "!", ":", "\n":
+			return true
+		}
+		// Any word token before us means we are not sentence-initial.
+		r, _ := utf8.DecodeRuneInString(toks[j].Text)
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,138 @@
+package ontology
+
+import "fmt"
+
+// AxiomKind distinguishes the axiom flavours the paper's Step 4 attaches
+// to answer-type concepts ("the temperature concept in the ontology is
+// updated with the axiomatic information that is required in a temperature
+// answer: that a temperature is composed by a number followed by the scale
+// (Celsius or Fahrenheit), the right temperature intervals, the conversion
+// formulae between Celsius and Fahrenheit scales, etc.").
+type AxiomKind string
+
+// Axiom kinds.
+const (
+	AxiomValueFormat    AxiomKind = "value-format"    // number followed by a unit
+	AxiomValueRange     AxiomKind = "value-range"     // valid interval in a unit
+	AxiomUnitConversion AxiomKind = "unit-conversion" // linear unit conversion
+)
+
+// Axiom is machine-usable domain knowledge attached to a concept. Both the
+// QA answer extractor (candidate filtering) and the Step 5 ETL (record
+// validation) consume axioms — the double use the paper describes.
+type Axiom struct {
+	Concept string    // owning concept, e.g. "Temperature"
+	Kind    AxiomKind // which flavour
+	// ValueFormat / ValueRange fields.
+	Units []string // acceptable unit spellings, e.g. ºC, C, Celsius
+	Unit  string   // unit the Min/Max interval is expressed in
+	Min   float64
+	Max   float64
+	// UnitConversion fields: to = from*Scale + Offset.
+	FromUnit string
+	ToUnit   string
+	Scale    float64
+	Offset   float64
+}
+
+// AddAxiom attaches an axiom to its owning concept (created if absent).
+func (o *Ontology) AddAxiom(a Axiom) error {
+	if a.Concept == "" {
+		return fmt.Errorf("ontology: axiom without concept")
+	}
+	switch a.Kind {
+	case AxiomValueFormat:
+		if len(a.Units) == 0 {
+			return fmt.Errorf("ontology: value-format axiom for %q needs units", a.Concept)
+		}
+	case AxiomValueRange:
+		if a.Min > a.Max {
+			return fmt.Errorf("ontology: value-range axiom for %q has min > max", a.Concept)
+		}
+	case AxiomUnitConversion:
+		if a.FromUnit == "" || a.ToUnit == "" {
+			return fmt.Errorf("ontology: unit-conversion axiom for %q needs both units", a.Concept)
+		}
+		if a.Scale == 0 {
+			return fmt.Errorf("ontology: unit-conversion axiom for %q has zero scale", a.Concept)
+		}
+	default:
+		return fmt.Errorf("ontology: unknown axiom kind %q", a.Kind)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c := o.addConceptLocked(a.Concept)
+	c.Axioms = append(c.Axioms, a)
+	return nil
+}
+
+// AxiomsFor returns the axioms of the given kind on a concept.
+func (o *Ontology) AxiomsFor(concept string, kind AxiomKind) []Axiom {
+	c := o.Concept(concept)
+	if c == nil {
+		return nil
+	}
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	var out []Axiom
+	for _, a := range c.Axioms {
+		if a.Kind == kind {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Convert applies a unit-conversion axiom chain on the concept to express
+// value (given in fromUnit) in toUnit. It tries a direct axiom, then the
+// inverse of a declared axiom. Returns an error when no conversion exists.
+func (o *Ontology) Convert(concept string, value float64, fromUnit, toUnit string) (float64, error) {
+	if Normalize(fromUnit) == Normalize(toUnit) {
+		return value, nil
+	}
+	for _, a := range o.AxiomsFor(concept, AxiomUnitConversion) {
+		if Normalize(a.FromUnit) == Normalize(fromUnit) && Normalize(a.ToUnit) == Normalize(toUnit) {
+			return value*a.Scale + a.Offset, nil
+		}
+		if Normalize(a.FromUnit) == Normalize(toUnit) && Normalize(a.ToUnit) == Normalize(fromUnit) {
+			return (value - a.Offset) / a.Scale, nil
+		}
+	}
+	return 0, fmt.Errorf("ontology: no conversion from %q to %q on %q", fromUnit, toUnit, concept)
+}
+
+// InRange checks value (in unit) against the concept's value-range axioms,
+// converting units when necessary. With no range axiom it returns true.
+func (o *Ontology) InRange(concept string, value float64, unit string) (bool, error) {
+	ranges := o.AxiomsFor(concept, AxiomValueRange)
+	if len(ranges) == 0 {
+		return true, nil
+	}
+	for _, a := range ranges {
+		v := value
+		if Normalize(unit) != Normalize(a.Unit) {
+			converted, err := o.Convert(concept, value, unit, a.Unit)
+			if err != nil {
+				return false, err
+			}
+			v = converted
+		}
+		if v >= a.Min && v <= a.Max {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// UnitKnown reports whether the unit spelling appears in any value-format
+// axiom of the concept.
+func (o *Ontology) UnitKnown(concept, unit string) bool {
+	for _, a := range o.AxiomsFor(concept, AxiomValueFormat) {
+		for _, u := range a.Units {
+			if Normalize(u) == Normalize(unit) {
+				return true
+			}
+		}
+	}
+	return false
+}

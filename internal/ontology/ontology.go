@@ -1,0 +1,325 @@
+// Package ontology implements the domain ontology that mediates between
+// the data warehouse and the question answering system (Steps 1-2 of the
+// paper's integration model). An ontology holds concepts (derived from the
+// UML multidimensional model), subclass and association relations,
+// instances (fed from the DW contents) and axioms (the Step 4 tuning
+// knowledge: e.g. a temperature is a number followed by a scale, with
+// valid intervals and conversion formulae between Celsius and Fahrenheit).
+package ontology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// AttrKind classifies a concept attribute following the UML profile of the
+// multidimensional model: fact measures, dimension descriptors, surrogate
+// identifiers and plain attributes.
+type AttrKind string
+
+// Attribute kinds.
+const (
+	KindMeasure    AttrKind = "measure"    // fact measure (Price, Miles)
+	KindDescriptor AttrKind = "descriptor" // level descriptor (Name)
+	KindOID        AttrKind = "oid"        // surrogate identifier
+	KindAttribute  AttrKind = "attribute"  // any other attribute
+)
+
+// Attribute is a named, typed attribute of a concept.
+type Attribute struct {
+	Name string
+	Kind AttrKind
+	Type string // free-form type name: "Float", "String", "Date"...
+}
+
+// Relation is a named association from one concept to another, e.g.
+// Airport --locatedIn--> City or LastMinuteSales --analyzedBy--> Date.
+type Relation struct {
+	Name   string
+	Target string
+}
+
+// Instance is a concrete individual of a concept, carried over from the DW
+// contents in Step 2 ("the ontological concept Airport will have instances
+// like JFK, John Wayne or La Guardia").
+type Instance struct {
+	Name       string            // canonical name, e.g. "El Prat"
+	Aliases    []string          // alternative names, e.g. "Barcelona-El Prat"
+	Properties map[string]string // relation values, e.g. "locatedIn" → "Barcelona"
+}
+
+// Concept is an ontological concept: a node in the subclass hierarchy with
+// attributes, associations, instances and axioms.
+type Concept struct {
+	Name       string
+	Parents    []string // subclass-of
+	Attributes []Attribute
+	Relations  []Relation
+	Instances  map[string]*Instance
+	Axioms     []Axiom
+}
+
+// Ontology is a mutable concept graph, safe for concurrent use.
+type Ontology struct {
+	Name string
+
+	mu       sync.RWMutex
+	concepts map[string]*Concept // key: Normalize(name)
+}
+
+// New returns an empty ontology with the given name.
+func New(name string) *Ontology {
+	return &Ontology{Name: name, concepts: make(map[string]*Concept)}
+}
+
+// Normalize canonicalises a concept or instance name for lookup: lower
+// case, single spaces.
+func Normalize(name string) string {
+	return strings.Join(strings.Fields(strings.ToLower(name)), " ")
+}
+
+// AddConcept creates a concept. Creating an existing concept returns the
+// existing one (idempotent, since Step 1 and Step 2 may both touch it).
+func (o *Ontology) AddConcept(name string) *Concept {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.addConceptLocked(name)
+}
+
+func (o *Ontology) addConceptLocked(name string) *Concept {
+	key := Normalize(name)
+	if c, ok := o.concepts[key]; ok {
+		return c
+	}
+	c := &Concept{Name: name, Instances: make(map[string]*Instance)}
+	o.concepts[key] = c
+	return c
+}
+
+// Subclass records that child is-a parent, creating both concepts if
+// needed. Duplicate edges are ignored.
+func (o *Ontology) Subclass(child, parent string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c := o.addConceptLocked(child)
+	o.addConceptLocked(parent)
+	pk := Normalize(parent)
+	for _, p := range c.Parents {
+		if Normalize(p) == pk {
+			return
+		}
+	}
+	c.Parents = append(c.Parents, parent)
+}
+
+// AddAttribute attaches an attribute to a concept (created if absent).
+func (o *Ontology) AddAttribute(concept string, a Attribute) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c := o.addConceptLocked(concept)
+	for _, existing := range c.Attributes {
+		if existing.Name == a.Name {
+			return
+		}
+	}
+	c.Attributes = append(c.Attributes, a)
+}
+
+// AddRelation attaches an association from concept to target.
+func (o *Ontology) AddRelation(concept string, r Relation) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c := o.addConceptLocked(concept)
+	o.addConceptLocked(r.Target)
+	for _, existing := range c.Relations {
+		if existing.Name == r.Name && Normalize(existing.Target) == Normalize(r.Target) {
+			return
+		}
+	}
+	c.Relations = append(c.Relations, r)
+}
+
+// AddInstance records an individual of a concept. Re-adding merges aliases
+// and properties rather than overwriting.
+func (o *Ontology) AddInstance(concept string, inst Instance) *Instance {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c := o.addConceptLocked(concept)
+	key := Normalize(inst.Name)
+	cur, ok := c.Instances[key]
+	if !ok {
+		cp := inst
+		cp.Properties = map[string]string{}
+		for k, v := range inst.Properties {
+			cp.Properties[k] = v
+		}
+		cp.Aliases = append([]string(nil), inst.Aliases...)
+		c.Instances[key] = &cp
+		return &cp
+	}
+	for _, a := range inst.Aliases {
+		if !containsFold(cur.Aliases, a) {
+			cur.Aliases = append(cur.Aliases, a)
+		}
+	}
+	for k, v := range inst.Properties {
+		cur.Properties[k] = v
+	}
+	return cur
+}
+
+func containsFold(list []string, s string) bool {
+	for _, x := range list {
+		if Normalize(x) == Normalize(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Concept returns the concept with the given name, or nil.
+func (o *Ontology) Concept(name string) *Concept {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.concepts[Normalize(name)]
+}
+
+// Concepts returns all concept names sorted alphabetically.
+func (o *Ontology) Concepts() []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	names := make([]string, 0, len(o.concepts))
+	for _, c := range o.concepts {
+		names = append(names, c.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Size returns the number of concepts.
+func (o *Ontology) Size() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.concepts)
+}
+
+// InstanceCount returns the total number of instances across concepts.
+func (o *Ontology) InstanceCount() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	n := 0
+	for _, c := range o.concepts {
+		n += len(c.Instances)
+	}
+	return n
+}
+
+// FindInstance locates an instance by name or alias anywhere in the
+// ontology, returning its concept and the instance. The search is
+// case-insensitive. Returns ("", nil) when absent.
+func (o *Ontology) FindInstance(name string) (string, *Instance) {
+	key := Normalize(name)
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	// Deterministic order: scan concepts sorted by name.
+	names := make([]string, 0, len(o.concepts))
+	for k := range o.concepts {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, ck := range names {
+		c := o.concepts[ck]
+		if inst, ok := c.Instances[key]; ok {
+			return c.Name, inst
+		}
+		for _, inst := range c.Instances {
+			if containsFold(inst.Aliases, name) {
+				return c.Name, inst
+			}
+		}
+	}
+	return "", nil
+}
+
+// IsA reports whether concept child is (transitively) a subclass of
+// ancestor. A concept IsA itself.
+func (o *Ontology) IsA(child, ancestor string) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	ck, ak := Normalize(child), Normalize(ancestor)
+	if ck == ak {
+		_, ok := o.concepts[ck]
+		return ok
+	}
+	seen := map[string]bool{}
+	var walk func(string) bool
+	walk = func(cur string) bool {
+		if cur == ak {
+			return true
+		}
+		if seen[cur] {
+			return false
+		}
+		seen[cur] = true
+		c, ok := o.concepts[cur]
+		if !ok {
+			return false
+		}
+		for _, p := range c.Parents {
+			if walk(Normalize(p)) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(ck)
+}
+
+// Validate checks structural invariants: parents and relation targets
+// exist and the subclass graph is acyclic.
+func (o *Ontology) Validate() error {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	for key, c := range o.concepts {
+		for _, p := range c.Parents {
+			if _, ok := o.concepts[Normalize(p)]; !ok {
+				return fmt.Errorf("ontology %s: concept %q has unknown parent %q", o.Name, c.Name, p)
+			}
+		}
+		for _, r := range c.Relations {
+			if _, ok := o.concepts[Normalize(r.Target)]; !ok {
+				return fmt.Errorf("ontology %s: concept %q relation %q targets unknown %q", o.Name, c.Name, r.Name, r.Target)
+			}
+		}
+		if err := o.checkAcyclicFrom(key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (o *Ontology) checkAcyclicFrom(start string) error {
+	state := map[string]int{} // 0 unvisited, 1 in-stack, 2 done
+	var walk func(string) error
+	walk = func(cur string) error {
+		switch state[cur] {
+		case 1:
+			return fmt.Errorf("ontology %s: subclass cycle through %q", o.Name, cur)
+		case 2:
+			return nil
+		}
+		state[cur] = 1
+		if c, ok := o.concepts[cur]; ok {
+			for _, p := range c.Parents {
+				if err := walk(Normalize(p)); err != nil {
+					return err
+				}
+			}
+		}
+		state[cur] = 2
+		return nil
+	}
+	return walk(start)
+}

@@ -1,0 +1,163 @@
+package ontology
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file serialises an ontology to a simplified OWL/XML document and
+// parses it back. The paper's Step 1(b): "the generation of the ontology
+// in some of the ontology representation languages. For instance, we can
+// use the most extended ontology language, OWL".
+
+type owlDoc struct {
+	XMLName     xml.Name        `xml:"Ontology"`
+	Name        string          `xml:"name,attr"`
+	Classes     []owlClass      `xml:"Class"`
+	Individuals []owlIndividual `xml:"NamedIndividual"`
+}
+
+type owlClass struct {
+	Name       string         `xml:"name,attr"`
+	SubClassOf []string       `xml:"SubClassOf"`
+	Attributes []owlAttribute `xml:"DatatypeProperty"`
+	Relations  []owlRelation  `xml:"ObjectProperty"`
+	Axioms     []owlAxiom     `xml:"Axiom"`
+}
+
+type owlAttribute struct {
+	Name string `xml:"name,attr"`
+	Kind string `xml:"kind,attr"`
+	Type string `xml:"type,attr"`
+}
+
+type owlRelation struct {
+	Name   string `xml:"name,attr"`
+	Target string `xml:"target,attr"`
+}
+
+type owlAxiom struct {
+	Kind     string   `xml:"kind,attr"`
+	Units    []string `xml:"Unit"`
+	RefUnit  string   `xml:"unit,attr,omitempty"`
+	Min      float64  `xml:"min,attr,omitempty"`
+	Max      float64  `xml:"max,attr,omitempty"`
+	FromUnit string   `xml:"from,attr,omitempty"`
+	ToUnit   string   `xml:"to,attr,omitempty"`
+	Scale    float64  `xml:"scale,attr,omitempty"`
+	Offset   float64  `xml:"offset,attr,omitempty"`
+}
+
+type owlIndividual struct {
+	Name       string        `xml:"name,attr"`
+	Class      string        `xml:"class,attr"`
+	Aliases    []string      `xml:"Alias"`
+	Properties []owlProperty `xml:"Property"`
+}
+
+type owlProperty struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:"value,attr"`
+}
+
+// WriteOWL serialises the ontology as indented OWL-style XML.
+func (o *Ontology) WriteOWL(w io.Writer) error {
+	o.mu.RLock()
+	doc := owlDoc{Name: o.Name}
+	keys := make([]string, 0, len(o.concepts))
+	for k := range o.concepts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := o.concepts[k]
+		oc := owlClass{Name: c.Name, SubClassOf: append([]string(nil), c.Parents...)}
+		for _, a := range c.Attributes {
+			oc.Attributes = append(oc.Attributes, owlAttribute{a.Name, string(a.Kind), a.Type})
+		}
+		for _, r := range c.Relations {
+			oc.Relations = append(oc.Relations, owlRelation{r.Name, r.Target})
+		}
+		for _, a := range c.Axioms {
+			oc.Axioms = append(oc.Axioms, owlAxiom{
+				Kind: string(a.Kind), Units: a.Units, RefUnit: a.Unit,
+				Min: a.Min, Max: a.Max, FromUnit: a.FromUnit, ToUnit: a.ToUnit,
+				Scale: a.Scale, Offset: a.Offset,
+			})
+		}
+		doc.Classes = append(doc.Classes, oc)
+
+		instKeys := make([]string, 0, len(c.Instances))
+		for ik := range c.Instances {
+			instKeys = append(instKeys, ik)
+		}
+		sort.Strings(instKeys)
+		for _, ik := range instKeys {
+			inst := c.Instances[ik]
+			oi := owlIndividual{Name: inst.Name, Class: c.Name, Aliases: append([]string(nil), inst.Aliases...)}
+			propKeys := make([]string, 0, len(inst.Properties))
+			for pk := range inst.Properties {
+				propKeys = append(propKeys, pk)
+			}
+			sort.Strings(propKeys)
+			for _, pk := range propKeys {
+				oi.Properties = append(oi.Properties, owlProperty{pk, inst.Properties[pk]})
+			}
+			doc.Individuals = append(doc.Individuals, oi)
+		}
+	}
+	o.mu.RUnlock()
+
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("ontology: OWL encode: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// ReadOWL parses an OWL-style XML document produced by WriteOWL.
+func ReadOWL(r io.Reader) (*Ontology, error) {
+	var doc owlDoc
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("ontology: OWL decode: %w", err)
+	}
+	o := New(doc.Name)
+	for _, oc := range doc.Classes {
+		o.AddConcept(oc.Name)
+		for _, p := range oc.SubClassOf {
+			o.Subclass(oc.Name, p)
+		}
+		for _, a := range oc.Attributes {
+			o.AddAttribute(oc.Name, Attribute{a.Name, AttrKind(a.Kind), a.Type})
+		}
+		for _, rel := range oc.Relations {
+			o.AddRelation(oc.Name, Relation{rel.Name, rel.Target})
+		}
+		for _, ax := range oc.Axioms {
+			err := o.AddAxiom(Axiom{
+				Concept: oc.Name, Kind: AxiomKind(ax.Kind), Units: ax.Units,
+				Unit: ax.RefUnit, Min: ax.Min, Max: ax.Max,
+				FromUnit: ax.FromUnit, ToUnit: ax.ToUnit,
+				Scale: ax.Scale, Offset: ax.Offset,
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, oi := range doc.Individuals {
+		props := map[string]string{}
+		for _, p := range oi.Properties {
+			props[p.Name] = p.Value
+		}
+		o.AddInstance(oi.Class, Instance{Name: oi.Name, Aliases: oi.Aliases, Properties: props})
+	}
+	return o, nil
+}

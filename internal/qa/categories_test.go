@@ -1,0 +1,133 @@
+package qa
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests exercise the remaining answer-type extractors of Module 3
+// against the corpus distractor pages (which double as a small open-domain
+// document set): temporal, person, numerical quantity, percentage and
+// definition questions.
+
+func TestAnswerTemporalWhen(t *testing.T) {
+	sys, _ := buildSystem(t, DefaultConfig(), true)
+	res, err := sys.Answer("When did Iraq invade Kuwait?")
+	if err != nil {
+		t.Fatalf("Answer: %v", err)
+	}
+	if res.Analysis.Category != CatTempDate {
+		t.Errorf("category = %s, want temporal date", res.Analysis.Category)
+	}
+	if res.Best == nil {
+		t.Fatal("no answer")
+	}
+	// The Gulf War page: "Iraq invaded Kuwait in August of 1990."
+	if res.Best.Date.Year != 1990 || res.Best.Date.Month != 8 {
+		t.Errorf("answer date = %+v, want August 1990", res.Best.Date)
+	}
+	if !strings.Contains(res.Best.Text, "1990") {
+		t.Errorf("answer text = %q", res.Best.Text)
+	}
+}
+
+func TestAnswerPersonWho(t *testing.T) {
+	sys, _ := buildSystem(t, DefaultConfig(), true)
+	res, err := sys.Answer("Who was the mayor of New York?")
+	if err != nil {
+		t.Fatalf("Answer: %v", err)
+	}
+	if res.Analysis.Category != CatPerson {
+		t.Errorf("category = %s, want person", res.Analysis.Category)
+	}
+	if res.Best == nil {
+		t.Fatal("no answer")
+	}
+	if !strings.Contains(strings.ToLower(res.Best.Text), "la guardia") {
+		t.Errorf("answer = %q, want La Guardia", res.Best.Text)
+	}
+}
+
+func TestAnswerNumericalQuantity(t *testing.T) {
+	sys, _ := buildSystem(t, DefaultConfig(), true)
+	res, err := sys.Answer("How many terms did La Guardia serve?")
+	if err != nil {
+		t.Fatalf("Answer: %v", err)
+	}
+	if res.Analysis.Category != CatNumQuantity {
+		t.Errorf("category = %s, want numerical quantity", res.Analysis.Category)
+	}
+	if res.Best == nil {
+		t.Fatal("no answer")
+	}
+	// "La Guardia served 3 terms between 1934 and 1945" — the count, not
+	// the years.
+	if res.Best.Value != 3 {
+		t.Errorf("answer = %q (value %v), want 3", res.Best.Text, res.Best.Value)
+	}
+}
+
+func TestAnswerPercentage(t *testing.T) {
+	sys, _ := buildSystem(t, DefaultConfig(), true)
+	res, err := sys.Answer("What percentage did inflation reach in January of 1998?")
+	if err != nil {
+		t.Fatalf("Answer: %v", err)
+	}
+	if res.Analysis.Category != CatNumPercent {
+		t.Errorf("category = %s, want numerical percentage", res.Analysis.Category)
+	}
+	if res.Best == nil {
+		t.Fatal("no answer")
+	}
+	// "Inflation reached 8 percent in January of 1998".
+	if res.Best.Value != 8 || !strings.Contains(res.Best.Text, "%") {
+		t.Errorf("answer = %q (value %v), want 8%%", res.Best.Text, res.Best.Value)
+	}
+}
+
+func TestAnswerDefinition(t *testing.T) {
+	sys, _ := buildSystem(t, DefaultConfig(), true)
+	res, err := sys.Answer("What is Sirius?")
+	if err != nil {
+		t.Fatalf("Answer: %v", err)
+	}
+	if res.Analysis.Category != CatDefinition {
+		t.Errorf("category = %s, want definition (proper-noun focus)", res.Analysis.Category)
+	}
+	if res.Best == nil {
+		t.Fatal("no answer")
+	}
+	low := strings.ToLower(res.Best.Sentence)
+	if !strings.Contains(low, "sirius") {
+		t.Errorf("supporting sentence %q should mention Sirius", res.Best.Sentence)
+	}
+}
+
+func TestAnswerGroupQuestion(t *testing.T) {
+	// "Which band recorded 46 songs?" — group category via the focus.
+	sys, _ := buildSystem(t, DefaultConfig(), true)
+	res, err := sys.Answer("Which band played concerts in Barcelona?")
+	if err != nil {
+		t.Fatalf("Answer: %v", err)
+	}
+	if res.Analysis.Category != CatGroup {
+		t.Errorf("category = %s, want group", res.Analysis.Category)
+	}
+	if res.Best == nil {
+		t.Fatal("no answer")
+	}
+	if !strings.Contains(strings.ToLower(res.Best.Text), "el prat") {
+		t.Errorf("answer = %q, want El Prat (the musical group)", res.Best.Text)
+	}
+}
+
+func TestNoPatternFallsBackToDefinition(t *testing.T) {
+	sys, _ := buildSystem(t, DefaultConfig(), true)
+	res, err := sys.Answer("Tell me about the financial crisis.")
+	if err != nil {
+		t.Fatalf("keyword-style input should still analyse: %v", err)
+	}
+	if res.Analysis.Category != CatDefinition {
+		t.Errorf("category = %s, want the definition fallback", res.Analysis.Category)
+	}
+}

@@ -1,0 +1,152 @@
+package webcorpus
+
+import (
+	"fmt"
+
+	"dwqa/internal/ir"
+)
+
+// DistractorPages returns pages carrying the paper's ambiguity landscape
+// plus generic noise. They contain the entity names of the scenario in
+// their *non-airport* senses, so a QA system without the enriched
+// ontology confuses them, and numbers/dates that bait naive extractors.
+func DistractorPages() []Page {
+	mk := func(url, title, body string) Page {
+		html := fmt.Sprintf("<html><head><title>%s</title></head><body><h1>%s</h1>\n%s</body></html>",
+			title, title, body)
+		return Page{URL: url, Title: title, HTML: html}
+	}
+	return []Page{
+		mk("http://cinema.example/john-wayne",
+			"John Wayne, American film actor",
+			"<p>John Wayne was an American film actor born in 1907. The actor starred in 142 westerns "+
+				"and won an Academy Award in 1970. Critics measured his influence in decades, not years. "+
+				"In January of 1971 he gave 3 interviews about the weather in Hollywood studios.</p>"),
+		mk("http://music.example/el-prat",
+			"El Prat - Spanish musical group",
+			"<p>El Prat is a Spanish musical group founded in 1998. The band recorded 46 songs and played "+
+				"8 concerts in Barcelona last January. Their album reached number 12 in 2004 charts. "+
+				"Fans say the group's temperature on stage is always rising.</p>"),
+		mk("http://politics.example/la-guardia",
+			"Fiorello La Guardia biography",
+			"<p>Fiorello La Guardia was the mayor of New York. La Guardia served 3 terms between 1934 and 1945. "+
+				"The politician reformed 12 city departments. On the 12th of May, 1937 he opened a new bridge.</p>"),
+		mk("http://news.example/financial-crisis",
+			"Financial crisis retrospective",
+			"<p>The financial crisis shook New York during the first quarter of 1998. Analysts published 31 reports. "+
+				"Inflation reached 8 percent in January of 1998 while markets fell 46.4 points.</p>"),
+		mk("http://travel.example/last-minute-tips",
+			"Last minute flight tips",
+			"<p>Travelers can buy last minute tickets at the airport. Prices drop 40 percent on Monday. "+
+				"A flight from Madrid to Barcelona takes 1 hour. Airlines sell tickets at the gate.</p>"),
+		mk("http://astronomy.example/sirius",
+			"Sirius, the brightest star",
+			"<p>All stars shine but none do it like Sirius, the brightest star in the night sky. "+
+				"Sirius is visible in the universe from both hemispheres. Astronomers measured its temperature "+
+				"at 9940 degrees kelvin in 2003.</p>"),
+		mk("http://history.example/gulf-war",
+			"The Gulf War of 1990",
+			"<p>Iraq invaded Kuwait in August of 1990. The invasion started the Gulf War. "+
+				"Many countries joined a coalition in 1991. The conflict reshaped politics in the region.</p>"),
+	}
+}
+
+// Config controls corpus generation.
+type Config struct {
+	Cities []string // cities with weather pages
+	Year   int
+	Months []int // months with coverage
+	Seed   int64
+	// TableShare in [0,1]: fraction of weather pages rendered as Figure 5
+	// style tables instead of Figure 4 prose. The generator alternates
+	// deterministically to honour the share.
+	TableShare float64
+	// IncludeDistractors adds the ambiguity/noise pages.
+	IncludeDistractors bool
+}
+
+// DefaultConfig is the Last Minute Sales evaluation corpus: the scenario's
+// destination cities across January-March 2004, prose and table pages,
+// with distractors.
+func DefaultConfig() Config {
+	return Config{
+		Cities:             []string{"Barcelona", "Madrid", "New York", "Costa Mesa", "Seville", "Bilbao"},
+		Year:               2004,
+		Months:             []int{1, 2, 3},
+		Seed:               42,
+		TableShare:         0.3,
+		IncludeDistractors: true,
+	}
+}
+
+// Corpus is a generated page collection with gold truth.
+type Corpus struct {
+	Pages []Page
+	// Weather indexes the gold series: city → month → days.
+	Weather map[string]map[int][]WeatherDay
+}
+
+// Build generates the deterministic corpus for a configuration.
+func Build(cfg Config) *Corpus {
+	c := &Corpus{Weather: make(map[string]map[int][]WeatherDay)}
+	tableBudget := 0.0
+	for _, city := range cfg.Cities {
+		c.Weather[city] = make(map[int][]WeatherDay)
+		for _, month := range cfg.Months {
+			days := WeatherSeries(city, cfg.Year, month, cfg.Seed)
+			c.Weather[city][month] = days
+			tableBudget += cfg.TableShare
+			if tableBudget >= 1.0 {
+				tableBudget -= 1.0
+				c.Pages = append(c.Pages, TablePage(days))
+			} else {
+				c.Pages = append(c.Pages, ProsePage(days))
+			}
+		}
+	}
+	if cfg.IncludeDistractors {
+		c.Pages = append(c.Pages, DistractorPages()...)
+	}
+	return c
+}
+
+// GoldHigh returns the gold daily-high temperature for a city/date, and
+// whether the corpus covers it.
+func (c *Corpus) GoldHigh(city string, year, month, day int) (float64, bool) {
+	months, ok := c.Weather[city]
+	if !ok {
+		return 0, false
+	}
+	for _, d := range months[month] {
+		if d.Year == year && d.Day == day {
+			return float64(d.HighC), true
+		}
+	}
+	return 0, false
+}
+
+// Documents converts the corpus to IR documents using the chosen
+// extractor. tableAware selects the future-work table pre-processing.
+func (c *Corpus) Documents(tableAware bool) []ir.Document {
+	docs := make([]ir.Document, 0, len(c.Pages))
+	for _, p := range c.Pages {
+		var text string
+		if tableAware {
+			text = ExtractTextTableAware(p.HTML)
+		} else {
+			text = ExtractText(p.HTML)
+		}
+		docs = append(docs, ir.Document{URL: p.URL, Text: text})
+	}
+	return docs
+}
+
+// Page returns the page with the given URL, or nil.
+func (c *Corpus) Page(url string) *Page {
+	for i := range c.Pages {
+		if c.Pages[i].URL == url {
+			return &c.Pages[i]
+		}
+	}
+	return nil
+}

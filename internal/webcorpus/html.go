@@ -1,0 +1,182 @@
+package webcorpus
+
+import "strings"
+
+// This file implements the HTML→text extraction the QA system applies to
+// web pages before NLP analysis. Two variants exist:
+//
+//   - ExtractText: the baseline extractor used by the paper's evaluation.
+//     Tags are stripped and block boundaries become newlines; table cells
+//     are joined with spaces, which is precisely what destroys the
+//     measure↔unit association in Figure 5 pages.
+//   - ExtractTextTableAware: the paper's proposed future-work extension
+//     ("we will study the pre-processing of web pages in order to handle
+//     tables correctly"): tables are linearised row by row, prefixing each
+//     cell with its column header, so units declared in headers re-attach
+//     to the values.
+
+// blockTags are HTML elements whose close (or open, for br/tr) forces a
+// sentence boundary in the extracted text.
+var blockTags = map[string]bool{
+	"p": true, "br": true, "div": true, "h1": true, "h2": true, "h3": true,
+	"h4": true, "li": true, "tr": true, "table": true, "title": true,
+}
+
+// ExtractText strips tags from HTML, inserting newlines at block
+// boundaries and spaces at cell boundaries. It never fails: malformed
+// HTML degrades to best-effort text.
+func ExtractText(html string) string {
+	var b strings.Builder
+	i := 0
+	for i < len(html) {
+		c := html[i]
+		if c != '<' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		end := strings.IndexByte(html[i:], '>')
+		if end < 0 {
+			// Unclosed tag: drop the rest (best effort).
+			break
+		}
+		tag := strings.ToLower(strings.TrimSpace(strings.Trim(html[i+1:i+end], "/")))
+		if sp := strings.IndexAny(tag, " \t\n"); sp >= 0 {
+			tag = tag[:sp]
+		}
+		if blockTags[tag] {
+			b.WriteByte('\n')
+		} else {
+			// Inline boundary: keep words apart ("<td>8</td><td>3</td>").
+			b.WriteByte(' ')
+		}
+		i += end + 1
+	}
+	return collapseSpace(b.String())
+}
+
+// tableRegion locates the next <table>...</table> region at or after
+// position i, returning start, end (after close tag) and ok.
+func tableRegion(html string, i int) (int, int, bool) {
+	lower := strings.ToLower(html)
+	start := strings.Index(lower[i:], "<table")
+	if start < 0 {
+		return 0, 0, false
+	}
+	start += i
+	close := strings.Index(lower[start:], "</table>")
+	if close < 0 {
+		return 0, 0, false
+	}
+	return start, start + close + len("</table>"), true
+}
+
+// ExtractTextTableAware is ExtractText with table pre-processing: every
+// data row is rewritten as "Header1 cell1. Header2 cell2. ..." so the
+// units named in the header row attach to each value.
+func ExtractTextTableAware(html string) string {
+	var b strings.Builder
+	i := 0
+	for {
+		start, end, ok := tableRegion(html, i)
+		if !ok {
+			b.WriteString(ExtractText(html[i:]))
+			break
+		}
+		b.WriteString(ExtractText(html[i:start]))
+		b.WriteByte('\n')
+		b.WriteString(linearizeTable(html[start:end]))
+		b.WriteByte('\n')
+		i = end
+	}
+	return collapseSpace(b.String())
+}
+
+// linearizeTable rewrites one <table> region row by row with header
+// prefixes.
+func linearizeTable(tableHTML string) string {
+	rows := sliceBetween(tableHTML, "<tr", "</tr>")
+	if len(rows) == 0 {
+		return ExtractText(tableHTML)
+	}
+	headers := cellTexts(rows[0], true)
+	var b strings.Builder
+	dataRows := rows
+	if len(headers) > 0 {
+		dataRows = rows[1:]
+	}
+	for _, row := range dataRows {
+		cells := cellTexts(row, false)
+		if len(cells) == 0 {
+			continue
+		}
+		for j, cell := range cells {
+			if cell == "" {
+				continue
+			}
+			if j < len(headers) && headers[j] != "" {
+				// "High (ºC) 8." — the unit from the header lands next to
+				// the value, which is what re-enables extraction.
+				b.WriteString(headers[j])
+				b.WriteByte(' ')
+			}
+			b.WriteString(cell)
+			b.WriteString(". ")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// sliceBetween returns the inner content of each non-overlapping
+// openPrefix...closeTag region (case-insensitive, attribute-tolerant).
+func sliceBetween(html, openPrefix, closeTag string) []string {
+	var out []string
+	lower := strings.ToLower(html)
+	i := 0
+	for {
+		start := strings.Index(lower[i:], openPrefix)
+		if start < 0 {
+			return out
+		}
+		start += i
+		// Skip past the opening tag's '>'.
+		gt := strings.IndexByte(lower[start:], '>')
+		if gt < 0 {
+			return out
+		}
+		contentStart := start + gt + 1
+		end := strings.Index(lower[contentStart:], closeTag)
+		if end < 0 {
+			return out
+		}
+		out = append(out, html[contentStart:contentStart+end])
+		i = contentStart + end + len(closeTag)
+	}
+}
+
+// cellTexts extracts the text of each <td> (or <th> when header) cell.
+func cellTexts(rowHTML string, header bool) []string {
+	open, close := "<td", "</td>"
+	if header {
+		open, close = "<th", "</th>"
+	}
+	var out []string
+	for _, c := range sliceBetween(rowHTML, open, close) {
+		out = append(out, strings.TrimSpace(ExtractText(c)))
+	}
+	return out
+}
+
+// collapseSpace normalises runs of spaces/tabs and trims each line.
+func collapseSpace(s string) string {
+	lines := strings.Split(s, "\n")
+	var out []string
+	for _, line := range lines {
+		line = strings.Join(strings.Fields(line), " ")
+		if line != "" {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -1,0 +1,229 @@
+// Package webcorpus provides the synthetic web substrate of the
+// reproduction. The paper evaluates against live web pages (e.g.
+// barcelona-tourist-guide.com); this package replaces them with a
+// deterministic generator whose gold truth is known by construction:
+//
+//   - prose weather pages in the exact layout of the paper's Figure 4
+//     ("Monday, January 31, 2004 / Barcelona Weather: Temperature 8º C
+//     around 46.4 F Clear skies today"),
+//   - HTML-table weather pages in the layout of Figure 5, whose naive
+//     text linearisation loses the measure↔unit association (the paper's
+//     reported failure mode),
+//   - distractor pages carrying the ambiguity landscape (the actor John
+//     Wayne, the musical group El Prat, 1998 financial-crisis news),
+//   - an HTML→text extractor plus the table-aware variant the paper
+//     proposes as future work.
+package webcorpus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// WeatherDay is one day of generated ground truth.
+type WeatherDay struct {
+	City      string
+	Year      int
+	Month     int // 1-12
+	Day       int // 1-31
+	HighC     int // daily high, integer Celsius as weather pages print
+	LowC      int
+	Condition string
+}
+
+// Date returns the civil date of the record.
+func (d WeatherDay) Date() time.Time {
+	return time.Date(d.Year, time.Month(d.Month), d.Day, 0, 0, 0, 0, time.UTC)
+}
+
+// Weekday returns the English weekday name ("Monday").
+func (d WeatherDay) Weekday() string { return d.Date().Weekday().String() }
+
+// MonthName returns the English month name ("January").
+func (d WeatherDay) MonthName() string { return d.Date().Month().String() }
+
+// FahrenheitHigh returns the high converted to Fahrenheit.
+func (d WeatherDay) FahrenheitHigh() float64 {
+	return float64(d.HighC)*1.8 + 32
+}
+
+// cityClimate holds the seasonal model parameters per city: annual mean,
+// seasonal amplitude and noise level (ºC).
+type cityClimate struct {
+	mean  float64
+	amp   float64
+	noise float64
+}
+
+// climates covers the cities of the Last Minute Sales scenario. Unknown
+// cities fall back to a temperate default.
+var climates = map[string]cityClimate{
+	"Barcelona":  {15.5, 8.0, 2.0},
+	"Madrid":     {14.5, 10.5, 2.5},
+	"Valencia":   {17.0, 7.5, 2.0},
+	"Seville":    {18.5, 9.0, 2.5},
+	"Bilbao":     {13.5, 6.0, 2.5},
+	"Alicante":   {18.0, 7.0, 1.8},
+	"New York":   {12.0, 12.0, 3.0},
+	"Costa Mesa": {17.5, 4.5, 1.5},
+	"Paris":      {11.5, 8.5, 2.5},
+	"London":     {10.5, 7.0, 2.5},
+	"Rome":       {15.5, 9.0, 2.0},
+	"Lausanne":   {9.5, 9.5, 2.5},
+}
+
+var conditions = []string{
+	"Clear skies", "Light rain", "Partly cloudy", "Sunny spells",
+	"Overcast", "Morning fog", "Scattered showers", "Strong wind",
+}
+
+// daysIn returns the number of days of a month.
+func daysIn(year, month int) int {
+	return time.Date(year, time.Month(month)+1, 0, 0, 0, 0, 0, time.UTC).Day()
+}
+
+// WeatherSeries generates the deterministic daily weather of a city for
+// one month. The same (city, year, month, seed) always yields the same
+// series; this is the gold truth every experiment scores against.
+func WeatherSeries(city string, year, month int, seed int64) []WeatherDay {
+	cl, ok := climates[city]
+	if !ok {
+		cl = cityClimate{13.0, 8.0, 2.5}
+	}
+	// Blend the identifying inputs into the seed so each (city, month)
+	// series differs but stays reproducible.
+	h := seed
+	for _, r := range city {
+		h = h*31 + int64(r)
+	}
+	h = h*31 + int64(year)*12 + int64(month)
+	rng := rand.New(rand.NewSource(h))
+
+	n := daysIn(year, month)
+	out := make([]WeatherDay, 0, n)
+	for day := 1; day <= n; day++ {
+		doy := time.Date(year, time.Month(month), day, 0, 0, 0, 0, time.UTC).YearDay()
+		// Seasonal sinusoid peaking around late July (day 205).
+		seasonal := cl.amp * math.Cos(2*math.Pi*float64(doy-205)/365.25)
+		high := cl.mean + seasonal + rng.NormFloat64()*cl.noise
+		spread := 5 + rng.Float64()*4
+		cond := conditions[rng.Intn(len(conditions))]
+		out = append(out, WeatherDay{
+			City: city, Year: year, Month: month, Day: day,
+			HighC:     int(math.Round(high)),
+			LowC:      int(math.Round(high - spread)),
+			Condition: cond,
+		})
+	}
+	return out
+}
+
+// Gold is a ground-truth fact a page asserts: the daily high temperature
+// of a city on a date — the (temperature – date – city) triple the paper's
+// Step 5 database stores.
+type Gold struct {
+	City  string
+	Year  int
+	Month int
+	Day   int
+	TempC float64
+}
+
+// Page is one synthetic web page with its gold facts.
+type Page struct {
+	URL   string
+	Title string
+	HTML  string
+	Gold  []Gold
+}
+
+// slug converts a city name to its URL form.
+func slug(city string) string {
+	out := make([]rune, 0, len(city))
+	for _, r := range city {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+'a'-'A')
+		case r == ' ':
+			out = append(out, '-')
+		}
+	}
+	return string(out)
+}
+
+func goldFor(days []WeatherDay) []Gold {
+	gs := make([]Gold, len(days))
+	for i, d := range days {
+		gs[i] = Gold{City: d.City, Year: d.Year, Month: d.Month, Day: d.Day, TempC: float64(d.HighC)}
+	}
+	return gs
+}
+
+// ProsePage renders the Figure 4 layout: one dated line followed by a
+// "City Weather: Temperature NNº C around NN.N F Condition today" line per
+// day. Temperatures and dates are "clearly identified" (the paper's best
+// case for extraction).
+func ProsePage(days []WeatherDay) Page {
+	if len(days) == 0 {
+		return Page{}
+	}
+	city := days[0].City
+	var body string
+	for _, d := range days {
+		body += fmt.Sprintf("<p>%s, %s %d, %d<br>\n%s Weather: Temperature %dº C around %.1f F %s today</p>\n",
+			d.Weekday(), d.MonthName(), d.Day, d.Year, city, d.HighC, d.FahrenheitHigh(), d.Condition)
+	}
+	title := fmt.Sprintf("%s Weather in %s %d - Tourist Guide", city, days[0].MonthName(), days[0].Year)
+	html := fmt.Sprintf("<html><head><title>%s</title></head><body>\n<h1>%s</h1>\n%s</body></html>", title, title, body)
+	url := fmt.Sprintf("http://www.%s-tourist-guide.example/en/weather/weather-%s-%d.html",
+		slug(city), slug(days[0].MonthName()), days[0].Year)
+	return Page{URL: url, Title: title, HTML: html, Gold: goldFor(days)}
+}
+
+// LayoutHighFirst reports the column order a city's climate-table site
+// uses. Real sites disagree on whether the maximum or the minimum comes
+// first; the choice is a deterministic function of the city so the corpus
+// exhibits both layouts.
+func LayoutHighFirst(city string) bool {
+	sum := 0
+	for _, r := range city {
+		sum += int(r)
+	}
+	return sum%2 == 0
+}
+
+// TablePage renders the Figure 5 layout: an HTML table whose units and
+// column meanings live only in the header row, with a per-site column
+// order, so that naive linearisation detaches measures from units and
+// columns ("the task of associating the measure with its corresponding
+// measure unit gets more difficult").
+func TablePage(days []WeatherDay) Page {
+	if len(days) == 0 {
+		return Page{}
+	}
+	city := days[0].City
+	highFirst := LayoutHighFirst(city)
+	c1, c2 := "Low (ºC)", "High (ºC)"
+	if highFirst {
+		c1, c2 = c2, c1
+	}
+	body := fmt.Sprintf("<table>\n<tr><th>Date</th><th>%s</th><th>%s</th><th>Conditions</th></tr>\n", c1, c2)
+	for _, d := range days {
+		v1, v2 := d.LowC, d.HighC
+		if highFirst {
+			v1, v2 = v2, v1
+		}
+		body += fmt.Sprintf("<tr><td>%s %d, %d</td><td>%d</td><td>%d</td><td>%s</td></tr>\n",
+			d.MonthName(), d.Day, d.Year, v1, v2, d.Condition)
+	}
+	body += "</table>\n"
+	title := fmt.Sprintf("%s climate table %s %d", city, days[0].MonthName(), days[0].Year)
+	html := fmt.Sprintf("<html><head><title>%s</title></head><body>\n<h1>%s weather</h1>\n<p>Historical weather for %s.</p>\n%s</body></html>",
+		title, city, city, body)
+	url := fmt.Sprintf("http://climate-data.example/%s/%d-%02d?layout=table", slug(city), days[0].Year, days[0].Month)
+	return Page{URL: url, Title: title, HTML: html, Gold: goldFor(days)}
+}

@@ -1,0 +1,75 @@
+package wordnet
+
+// BaseType is a WordNet "unique beginner" (base type). The paper: WordNet
+// "provides a main level of ontological concepts to describe all the words
+// contained in the knowledge base: 25 for nouns and 15 for verbs". The QA
+// answer-type taxonomy is built on these plus the EuroWordNet top concepts.
+type BaseType string
+
+// The 25 noun unique beginners.
+const (
+	BaseAct           BaseType = "noun.act"
+	BaseAnimal        BaseType = "noun.animal"
+	BaseArtifact      BaseType = "noun.artifact"
+	BaseAttribute     BaseType = "noun.attribute"
+	BaseBody          BaseType = "noun.body"
+	BaseCognition     BaseType = "noun.cognition"
+	BaseCommunication BaseType = "noun.communication"
+	BaseEvent         BaseType = "noun.event"
+	BaseFeeling       BaseType = "noun.feeling"
+	BaseFood          BaseType = "noun.food"
+	BaseGroup         BaseType = "noun.group"
+	BaseLocation      BaseType = "noun.location"
+	BaseMotive        BaseType = "noun.motive"
+	BaseObject        BaseType = "noun.object"
+	BasePerson        BaseType = "noun.person"
+	BasePhenomenon    BaseType = "noun.phenomenon"
+	BasePlant         BaseType = "noun.plant"
+	BasePossession    BaseType = "noun.possession"
+	BaseProcess       BaseType = "noun.process"
+	BaseQuantity      BaseType = "noun.quantity"
+	BaseRelation      BaseType = "noun.relation"
+	BaseShape         BaseType = "noun.shape"
+	BaseState         BaseType = "noun.state"
+	BaseSubstance     BaseType = "noun.substance"
+	BaseTime          BaseType = "noun.time"
+)
+
+// The 15 verb unique beginners.
+const (
+	BaseVerbBody        BaseType = "verb.body"
+	BaseVerbChange      BaseType = "verb.change"
+	BaseVerbCognition   BaseType = "verb.cognition"
+	BaseVerbCommunicate BaseType = "verb.communication"
+	BaseVerbCompetition BaseType = "verb.competition"
+	BaseVerbConsumption BaseType = "verb.consumption"
+	BaseVerbContact     BaseType = "verb.contact"
+	BaseVerbCreation    BaseType = "verb.creation"
+	BaseVerbEmotion     BaseType = "verb.emotion"
+	BaseVerbMotion      BaseType = "verb.motion"
+	BaseVerbPerception  BaseType = "verb.perception"
+	BaseVerbPossession  BaseType = "verb.possession"
+	BaseVerbSocial      BaseType = "verb.social"
+	BaseVerbStative     BaseType = "verb.stative"
+	BaseVerbWeather     BaseType = "verb.weather"
+)
+
+// BaseNone marks synsets without a unique beginner (adjectives, adverbs).
+const BaseNone BaseType = ""
+
+// NounBaseTypes lists all 25 noun unique beginners.
+var NounBaseTypes = []BaseType{
+	BaseAct, BaseAnimal, BaseArtifact, BaseAttribute, BaseBody,
+	BaseCognition, BaseCommunication, BaseEvent, BaseFeeling, BaseFood,
+	BaseGroup, BaseLocation, BaseMotive, BaseObject, BasePerson,
+	BasePhenomenon, BasePlant, BasePossession, BaseProcess, BaseQuantity,
+	BaseRelation, BaseShape, BaseState, BaseSubstance, BaseTime,
+}
+
+// VerbBaseTypes lists all 15 verb unique beginners.
+var VerbBaseTypes = []BaseType{
+	BaseVerbBody, BaseVerbChange, BaseVerbCognition, BaseVerbCommunicate,
+	BaseVerbCompetition, BaseVerbConsumption, BaseVerbContact,
+	BaseVerbCreation, BaseVerbEmotion, BaseVerbMotion, BaseVerbPerception,
+	BaseVerbPossession, BaseVerbSocial, BaseVerbStative, BaseVerbWeather,
+}

@@ -1,0 +1,456 @@
+package wordnet
+
+// This file holds the seed lexicon: the subset of WordNet the reproduction
+// ships with. It intentionally contains the paper's ambiguity landscape:
+//
+//   - "john wayne" exists only as an actor (a person),
+//   - "la guardia" exists only as a politician (a person),
+//   - "kennedy international airport" exists as an instance of airport,
+//     but the alias "jfk" does not (Step 3 adds it as a synonym),
+//   - "el prat" exists only as a Spanish musical group,
+//   - months, weekdays, cities, countries, weather vocabulary and the
+//     measurement units ºC/ºF are present,
+//   - "sirius" under "star" supports the paper's CLEF extraction example.
+//
+// Step 2/3 of the integration model then enrich this lexicon with the DW's
+// airports and other instances, which is what the E-ONTO experiment
+// ablates.
+
+type seedEntry struct {
+	id     string
+	pos    POS
+	base   BaseType
+	parent string // hypernym (or instance-hypernym when inst is true)
+	inst   bool
+	gloss  string
+	lemmas []string
+}
+
+func ls(lemmas ...string) []string { return lemmas }
+
+var seedEntries = []seedEntry{
+	// ---- top of the noun hierarchy -------------------------------------
+	{"n.entity", Noun, BaseObject, "", false, "that which is perceived or known or inferred to have its own distinct existence", ls("entity")},
+	{"n.physical_entity", Noun, BaseObject, "n.entity", false, "an entity that has physical existence", ls("physical entity")},
+	{"n.abstraction", Noun, BaseCognition, "n.entity", false, "a general concept formed by extracting common features from specific examples", ls("abstraction", "abstract entity")},
+	{"n.object", Noun, BaseObject, "n.physical_entity", false, "a tangible and visible entity", ls("object", "physical object")},
+	{"n.whole", Noun, BaseObject, "n.object", false, "an assemblage of parts that is regarded as a single entity", ls("whole", "unit")},
+
+	// ---- artifacts ------------------------------------------------------
+	{"n.artifact", Noun, BaseArtifact, "n.whole", false, "a man-made object taken as a whole", ls("artifact", "artefact")},
+	{"n.facility", Noun, BaseArtifact, "n.artifact", false, "a building or place that provides a particular service", ls("facility", "installation")},
+	{"n.airfield", Noun, BaseArtifact, "n.facility", false, "a place where planes take off and land", ls("airfield", "landing field", "flying field")},
+	{"n.airport", Noun, BaseArtifact, "n.airfield", false, "an airfield equipped with control tower and hangars as well as accommodations for passengers and cargo", ls("airport", "airdrome", "aerodrome")},
+	{"n.kennedy_airport", Noun, BaseArtifact, "n.airport", true, "a large airport on Long Island to the east of New York City", ls("kennedy international airport", "kennedy international")},
+	{"n.station", Noun, BaseArtifact, "n.facility", false, "a facility equipped with special equipment and personnel for a particular purpose", ls("station")},
+	{"n.structure", Noun, BaseArtifact, "n.artifact", false, "a thing constructed; a complex entity constructed of many parts", ls("structure", "construction")},
+	{"n.building", Noun, BaseArtifact, "n.structure", false, "a structure that has a roof and walls", ls("building", "edifice")},
+	{"n.vehicle", Noun, BaseArtifact, "n.artifact", false, "a conveyance that transports people or objects", ls("vehicle")},
+	{"n.aircraft", Noun, BaseArtifact, "n.vehicle", false, "a vehicle that can fly", ls("aircraft")},
+	{"n.airplane", Noun, BaseArtifact, "n.aircraft", false, "an aircraft that has a fixed wing and is powered by propellers or jets", ls("airplane", "aeroplane", "plane")},
+	{"n.document", Noun, BaseCommunication, "n.artifact", false, "writing that provides information", ls("document")},
+	{"n.ticket", Noun, BaseArtifact, "n.document", false, "a commercial document showing that the holder is entitled to something", ls("ticket")},
+	{"n.report", Noun, BaseCommunication, "n.document", false, "a written document describing the findings of some individual or group", ls("report", "study", "written report")},
+	{"n.web_page", Noun, BaseCommunication, "n.document", false, "a document connected to the World Wide Web", ls("web page", "webpage", "website")},
+	{"n.email", Noun, BaseCommunication, "n.document", false, "a message sent electronically", ls("email", "e-mail", "electronic mail")},
+
+	// ---- natural objects ------------------------------------------------
+	{"n.natural_object", Noun, BaseObject, "n.whole", false, "an object occurring naturally; not made by man", ls("natural object")},
+	{"n.celestial_body", Noun, BaseObject, "n.natural_object", false, "natural objects visible in the sky", ls("celestial body", "heavenly body")},
+	{"n.star", Noun, BaseObject, "n.celestial_body", false, "a celestial body of hot gases that radiates energy", ls("star")},
+	{"n.sirius", Noun, BaseObject, "n.star", true, "the brightest star in the sky; in Canis Major", ls("sirius", "dog star", "canicula")},
+	{"n.sun", Noun, BaseObject, "n.star", true, "the star that is the source of light and heat for the planets in the solar system", ls("sun")},
+	{"n.sky", Noun, BaseObject, "n.natural_object", false, "the atmosphere and outer space as viewed from the earth", ls("sky")},
+
+	// ---- living things and persons ---------------------------------------
+	{"n.living_thing", Noun, BaseObject, "n.object", false, "a living (or once living) entity", ls("living thing", "animate thing")},
+	{"n.organism", Noun, BaseObject, "n.living_thing", false, "a living thing that has the ability to act or function independently", ls("organism", "being")},
+	{"n.person", Noun, BasePerson, "n.organism", false, "a human being", ls("person", "individual", "someone", "somebody", "human")},
+	{"n.worker", Noun, BasePerson, "n.person", false, "a person who works at a specific occupation", ls("worker")},
+	{"n.professional", Noun, BasePerson, "n.worker", false, "a person engaged in one of the learned professions", ls("professional", "professional person")},
+	{"n.performer", Noun, BasePerson, "n.professional", false, "an entertainer who performs a dramatic or musical work for an audience", ls("performer", "entertainer")},
+	{"n.actor", Noun, BasePerson, "n.performer", false, "a theatrical performer", ls("actor", "histrion", "player")},
+	{"n.john_wayne_person", Noun, BasePerson, "n.actor", true, "United States film actor who played tough heroes (1907-1979)", ls("john wayne", "duke wayne")},
+	{"n.musician", Noun, BasePerson, "n.performer", false, "artist who composes or conducts music as a profession", ls("musician")},
+	{"n.politician", Noun, BasePerson, "n.professional", false, "a leader engaged in civil administration", ls("politician", "politico")},
+	{"n.la_guardia_person", Noun, BasePerson, "n.politician", true, "United States politician who was mayor of New York (1882-1947)", ls("la guardia", "fiorello la guardia")},
+	{"n.traveler", Noun, BasePerson, "n.person", false, "a person who changes location", ls("traveler", "traveller")},
+	{"n.passenger", Noun, BasePerson, "n.traveler", false, "a traveler riding in a vehicle who is not operating it", ls("passenger", "rider")},
+	{"n.consumer", Noun, BasePerson, "n.person", false, "a person who uses goods or services", ls("consumer")},
+	{"n.customer", Noun, BasePerson, "n.consumer", false, "someone who pays for goods or services", ls("customer", "client", "buyer")},
+	{"n.manager", Noun, BasePerson, "n.worker", false, "someone who controls resources and expenditures", ls("manager", "director")},
+	{"n.analyst", Noun, BasePerson, "n.professional", false, "someone who is skilled at analyzing data", ls("analyst")},
+
+	// ---- locations -------------------------------------------------------
+	{"n.location", Noun, BaseLocation, "n.object", false, "a point or extent in space", ls("location")},
+	{"n.region", Noun, BaseLocation, "n.location", false, "a large indefinite location on the surface of the Earth", ls("region")},
+	{"n.district", Noun, BaseLocation, "n.region", false, "a region marked off for administrative or other purposes", ls("district", "territory")},
+	{"n.administrative_district", Noun, BaseLocation, "n.district", false, "a district defined for administrative purposes", ls("administrative district", "administrative division")},
+	{"n.country", Noun, BaseLocation, "n.administrative_district", false, "the territory occupied by a nation", ls("country", "state", "land")},
+	{"n.state_province", Noun, BaseLocation, "n.administrative_district", false, "the territory occupied by one of the constituent administrative districts of a nation", ls("state", "province")},
+	{"n.municipality", Noun, BaseLocation, "n.administrative_district", false, "an urban district having corporate status", ls("municipality")},
+	{"n.city", Noun, BaseLocation, "n.municipality", false, "a large and densely populated urban area", ls("city", "metropolis", "urban center")},
+	{"n.capital_city", Noun, BaseLocation, "n.city", false, "a seat of government", ls("capital")},
+	{"n.town", Noun, BaseLocation, "n.municipality", false, "an urban area with a fixed boundary that is smaller than a city", ls("town")},
+
+	// Countries.
+	{"n.spain", Noun, BaseLocation, "n.country", true, "a parliamentary monarchy in southwestern Europe", ls("spain", "kingdom of spain")},
+	{"n.france", Noun, BaseLocation, "n.country", true, "a republic in western Europe", ls("france", "french republic")},
+	{"n.iraq", Noun, BaseLocation, "n.country", true, "a republic in the Middle East in western Asia", ls("iraq", "republic of iraq")},
+	{"n.kuwait", Noun, BaseLocation, "n.country", true, "an Arab kingdom in Asia on the northwestern coast of the Persian Gulf", ls("kuwait", "state of kuwait")},
+	{"n.united_states", Noun, BaseLocation, "n.country", true, "North American republic", ls("united states", "united states of america", "usa", "america", "us")},
+	{"n.germany", Noun, BaseLocation, "n.country", true, "a republic in central Europe", ls("germany", "federal republic of germany")},
+	{"n.italy", Noun, BaseLocation, "n.country", true, "a republic in southern Europe", ls("italy", "italian republic")},
+	{"n.united_kingdom", Noun, BaseLocation, "n.country", true, "a monarchy in northwestern Europe", ls("united kingdom", "uk", "great britain", "britain")},
+	{"n.switzerland", Noun, BaseLocation, "n.country", true, "a landlocked federal republic in central Europe", ls("switzerland", "swiss confederation")},
+
+	// States / provinces.
+	{"n.california", Noun, BaseLocation, "n.state_province", true, "a state in the western United States on the Pacific", ls("california", "golden state", "ca")},
+	{"n.new_york_state", Noun, BaseLocation, "n.state_province", true, "a Mid-Atlantic state; one of the original 13 colonies", ls("new york", "new york state", "ny")},
+	{"n.catalonia", Noun, BaseLocation, "n.state_province", true, "a region of northeastern Spain", ls("catalonia", "cataluna")},
+
+	// Cities.
+	{"n.barcelona", Noun, BaseLocation, "n.city", true, "a city in northeastern Spain on the Mediterranean; 2nd largest Spanish city", ls("barcelona")},
+	{"n.madrid", Noun, BaseLocation, "n.capital_city", true, "the capital and largest city of Spain", ls("madrid", "capital of spain")},
+	{"n.valencia", Noun, BaseLocation, "n.city", true, "a city in eastern Spain on the Mediterranean", ls("valencia")},
+	{"n.seville", Noun, BaseLocation, "n.city", true, "a city in southwestern Spain", ls("seville", "sevilla")},
+	{"n.bilbao", Noun, BaseLocation, "n.city", true, "a city in northern Spain", ls("bilbao")},
+	{"n.alicante", Noun, BaseLocation, "n.city", true, "a port city on the Mediterranean coast of Spain", ls("alicante")},
+	{"n.new_york_city", Noun, BaseLocation, "n.city", true, "the largest city in the United States", ls("new york", "new york city", "greater new york")},
+	{"n.costa_mesa", Noun, BaseLocation, "n.city", true, "a city in southern California", ls("costa mesa")},
+	{"n.paris", Noun, BaseLocation, "n.capital_city", true, "the capital and largest city of France", ls("paris", "city of light", "capital of france")},
+	{"n.london", Noun, BaseLocation, "n.capital_city", true, "the capital and largest city of England", ls("london", "greater london")},
+	{"n.rome", Noun, BaseLocation, "n.capital_city", true, "capital and largest city of Italy", ls("rome", "roma", "eternal city")},
+	{"n.lausanne", Noun, BaseLocation, "n.city", true, "a city in western Switzerland on Lake Geneva", ls("lausanne")},
+
+	// ---- processes and weather phenomena ---------------------------------
+	{"n.process", Noun, BaseProcess, "n.physical_entity", false, "a sustained phenomenon or one marked by gradual changes", ls("process", "physical process")},
+	{"n.phenomenon", Noun, BasePhenomenon, "n.process", false, "any state or process known through the senses", ls("phenomenon")},
+	{"n.natural_phenomenon", Noun, BasePhenomenon, "n.phenomenon", false, "all phenomena that are not artificial", ls("natural phenomenon")},
+	{"n.physical_phenomenon", Noun, BasePhenomenon, "n.natural_phenomenon", false, "a natural phenomenon involving the physical properties of matter and energy", ls("physical phenomenon")},
+	{"n.atmospheric_phenomenon", Noun, BasePhenomenon, "n.physical_phenomenon", false, "a physical phenomenon associated with the atmosphere", ls("atmospheric phenomenon")},
+	{"n.weather", Noun, BasePhenomenon, "n.atmospheric_phenomenon", false, "the atmospheric conditions that comprise the state of the atmosphere in terms of temperature and wind and clouds and precipitation", ls("weather", "weather condition", "atmospheric condition", "conditions")},
+	{"n.precipitation", Noun, BasePhenomenon, "n.atmospheric_phenomenon", false, "the falling to earth of any form of water", ls("precipitation", "downfall")},
+	{"n.rain", Noun, BasePhenomenon, "n.precipitation", false, "water falling in drops from vapor condensed in the atmosphere", ls("rain", "rainfall")},
+	{"n.snow", Noun, BasePhenomenon, "n.precipitation", false, "precipitation falling from clouds in the form of ice crystals", ls("snow", "snowfall")},
+	{"n.wind", Noun, BasePhenomenon, "n.atmospheric_phenomenon", false, "air moving from an area of high pressure to an area of low pressure", ls("wind", "air current", "current of air")},
+	{"n.storm", Noun, BasePhenomenon, "n.atmospheric_phenomenon", false, "a violent weather condition", ls("storm", "violent storm")},
+	{"n.fog", Noun, BasePhenomenon, "n.atmospheric_phenomenon", false, "droplets of water vapor suspended in the air near the ground", ls("fog", "fogginess", "mist")},
+	{"n.climate", Noun, BasePhenomenon, "n.atmospheric_phenomenon", false, "the weather in some location averaged over a long period of time", ls("climate", "clime")},
+
+	// ---- attributes and measures ------------------------------------------
+	{"n.attribute", Noun, BaseAttribute, "n.abstraction", false, "an abstraction belonging to or characteristic of an entity", ls("attribute")},
+	{"n.property", Noun, BaseAttribute, "n.attribute", false, "a basic or essential attribute shared by all members of a class", ls("property")},
+	{"n.temperature", Noun, BaseAttribute, "n.property", false, "the degree of hotness or coldness of a body or environment", ls("temperature")},
+	{"n.low_temperature", Noun, BaseAttribute, "n.temperature", false, "the absence of heat", ls("low temperature", "cold", "frigidity")},
+	{"n.high_temperature", Noun, BaseAttribute, "n.temperature", false, "the presence of heat", ls("high temperature", "hotness", "heat")},
+	{"n.measure", Noun, BaseQuantity, "n.abstraction", false, "how much there is or how many there are of something that you can quantify", ls("measure", "quantity", "amount")},
+	{"n.unit_of_measurement", Noun, BaseQuantity, "n.measure", false, "any division of quantity accepted as a standard of measurement or exchange", ls("unit of measurement", "unit")},
+	{"n.temperature_unit", Noun, BaseQuantity, "n.unit_of_measurement", false, "a unit of measurement for temperature", ls("temperature unit")},
+	{"n.degree_celsius", Noun, BaseQuantity, "n.temperature_unit", false, "a degree on the centigrade scale of temperature", ls("degree celsius", "celsius", "centigrade", "c", "ºc")},
+	{"n.degree_fahrenheit", Noun, BaseQuantity, "n.temperature_unit", false, "a degree on the Fahrenheit scale of temperature", ls("degree fahrenheit", "fahrenheit", "f", "ºf")},
+	{"n.degree", Noun, BaseQuantity, "n.unit_of_measurement", false, "a unit of measurement for angles or temperature", ls("degree")},
+	{"n.linear_unit", Noun, BaseQuantity, "n.unit_of_measurement", false, "a unit of measurement of length", ls("linear unit", "linear measure")},
+	{"n.mile", Noun, BaseQuantity, "n.linear_unit", false, "a unit of length equal to 1760 yards", ls("mile", "statute mile")},
+	{"n.monetary_unit", Noun, BaseQuantity, "n.unit_of_measurement", false, "a unit of money", ls("monetary unit")},
+	{"n.euro", Noun, BaseQuantity, "n.monetary_unit", true, "the basic monetary unit of most members of the European Union", ls("euro")},
+	{"n.dollar", Noun, BaseQuantity, "n.monetary_unit", true, "the basic monetary unit of the United States", ls("dollar")},
+	{"n.number", Noun, BaseQuantity, "n.measure", false, "a concept of quantity involving zero and units", ls("number", "figure")},
+	{"n.percentage", Noun, BaseQuantity, "n.number", false, "a proportion in relation to a whole expressed per hundred", ls("percentage", "percent", "pct")},
+	{"n.age", Noun, BaseAttribute, "n.property", false, "how long something has existed", ls("age")},
+
+	// ---- time --------------------------------------------------------------
+	{"n.time_period", Noun, BaseTime, "n.measure", false, "an amount of time", ls("time period", "period", "period of time")},
+	{"n.year", Noun, BaseTime, "n.time_period", false, "a period of time containing 365 (or 366) days", ls("year", "twelvemonth")},
+	{"n.season", Noun, BaseTime, "n.time_period", false, "one of the natural periods into which the year is divided", ls("season", "time of year")},
+	{"n.quarter", Noun, BaseTime, "n.time_period", false, "a fourth part of a year", ls("quarter", "trimester")},
+	{"n.month", Noun, BaseTime, "n.time_period", false, "one of the twelve divisions of the calendar year", ls("month", "calendar month")},
+	{"n.week", Noun, BaseTime, "n.time_period", false, "a period of seven consecutive days", ls("week", "calendar week")},
+	{"n.day", Noun, BaseTime, "n.time_period", false, "time for Earth to make a complete rotation on its axis", ls("day", "twenty-four hours")},
+	{"n.date", Noun, BaseTime, "n.day", false, "the specified day of the month", ls("date", "calendar date")},
+	{"n.today", Noun, BaseTime, "n.day", false, "the day that includes the present moment", ls("today")},
+
+	// Months.
+	{"n.january", Noun, BaseTime, "n.month", false, "the first month of the year", ls("january", "jan")},
+	{"n.february", Noun, BaseTime, "n.month", false, "the second month of the year", ls("february", "feb")},
+	{"n.march", Noun, BaseTime, "n.month", false, "the third month of the year", ls("march", "mar")},
+	{"n.april", Noun, BaseTime, "n.month", false, "the fourth month of the year", ls("april", "apr")},
+	{"n.may", Noun, BaseTime, "n.month", false, "the fifth month of the year", ls("may")},
+	{"n.june", Noun, BaseTime, "n.month", false, "the sixth month of the year", ls("june", "jun")},
+	{"n.july", Noun, BaseTime, "n.month", false, "the seventh month of the year", ls("july", "jul")},
+	{"n.august", Noun, BaseTime, "n.month", false, "the eighth month of the year", ls("august", "aug")},
+	{"n.september", Noun, BaseTime, "n.month", false, "the ninth month of the year", ls("september", "sep", "sept")},
+	{"n.october", Noun, BaseTime, "n.month", false, "the tenth month of the year", ls("october", "oct")},
+	{"n.november", Noun, BaseTime, "n.month", false, "the eleventh month of the year", ls("november", "nov")},
+	{"n.december", Noun, BaseTime, "n.month", false, "the last month of the year", ls("december", "dec")},
+
+	// Weekdays.
+	{"n.monday", Noun, BaseTime, "n.day", false, "the second day of the week; the first working day", ls("monday", "mon")},
+	{"n.tuesday", Noun, BaseTime, "n.day", false, "the third day of the week", ls("tuesday", "tue")},
+	{"n.wednesday", Noun, BaseTime, "n.day", false, "the fourth day of the week", ls("wednesday", "wed")},
+	{"n.thursday", Noun, BaseTime, "n.day", false, "the fifth day of the week", ls("thursday", "thu")},
+	{"n.friday", Noun, BaseTime, "n.day", false, "the sixth day of the week", ls("friday", "fri")},
+	{"n.saturday", Noun, BaseTime, "n.day", false, "the seventh and last day of the week", ls("saturday", "sat")},
+	{"n.sunday", Noun, BaseTime, "n.day", false, "first day of the week", ls("sunday", "sun")},
+
+	// ---- groups and organizations -------------------------------------------
+	{"n.group", Noun, BaseGroup, "n.abstraction", false, "any number of entities (members) considered as a unit", ls("group", "grouping")},
+	{"n.social_group", Noun, BaseGroup, "n.group", false, "people sharing some social relation", ls("social group")},
+	{"n.organization", Noun, BaseGroup, "n.social_group", false, "a group of people who work together", ls("organization", "organisation")},
+	{"n.company", Noun, BaseGroup, "n.organization", false, "an institution created to conduct business", ls("company", "firm", "business")},
+	{"n.airline", Noun, BaseGroup, "n.company", false, "a commercial enterprise that provides scheduled flights for passengers", ls("airline", "airline business", "airway")},
+	{"n.musical_group", Noun, BaseGroup, "n.social_group", false, "an organization of musicians who perform together", ls("musical group", "musical organization", "band")},
+	{"n.el_prat_band", Noun, BaseGroup, "n.musical_group", true, "a Spanish musical group", ls("el prat")},
+	{"n.department", Noun, BaseGroup, "n.organization", false, "a specialized division of a large organization", ls("department", "section")},
+
+	// ---- communication --------------------------------------------------------
+	{"n.communication", Noun, BaseCommunication, "n.abstraction", false, "something that is communicated by or to or between people or groups", ls("communication")},
+	{"n.name", Noun, BaseCommunication, "n.communication", false, "a language unit by which a person or thing is known", ls("name")},
+	{"n.abbreviation", Noun, BaseCommunication, "n.name", false, "a shortened form of a word or phrase", ls("abbreviation", "acronym")},
+	{"n.question", Noun, BaseCommunication, "n.communication", false, "a sentence of inquiry that asks for a reply", ls("question", "query", "interrogation")},
+	{"n.answer", Noun, BaseCommunication, "n.communication", false, "a statement that solves a problem or explains how to solve the problem", ls("answer", "reply", "response")},
+	{"n.definition", Noun, BaseCommunication, "n.communication", false, "a concise explanation of the meaning of a word or phrase", ls("definition")},
+
+	// ---- acts and events --------------------------------------------------------
+	{"n.act", Noun, BaseAct, "n.abstraction", false, "something that people do or cause to happen", ls("act", "deed", "human action")},
+	{"n.activity", Noun, BaseAct, "n.act", false, "any specific behavior", ls("activity")},
+	{"n.transaction", Noun, BaseAct, "n.activity", false, "the act of transacting within or between groups", ls("transaction", "dealing", "dealings")},
+	{"n.sale", Noun, BaseAct, "n.transaction", false, "the general activity of selling", ls("sale")},
+	{"n.purchase", Noun, BaseAct, "n.transaction", false, "the acquisition of something for payment", ls("purchase")},
+	{"n.travel", Noun, BaseAct, "n.activity", false, "the act of going from one place to another", ls("travel", "traveling", "travelling")},
+	{"n.air_travel", Noun, BaseAct, "n.travel", false, "travel via aircraft", ls("air travel", "aviation", "air")},
+	{"n.flight", Noun, BaseAct, "n.air_travel", false, "a scheduled trip by plane between designated airports", ls("flight")},
+	{"n.promotion", Noun, BaseCommunication, "n.communication", false, "a message issued in behalf of some product or cause", ls("promotion", "publicity", "promotional material")},
+	{"n.occupation", Noun, BaseAct, "n.activity", false, "the principal activity in your life that you do to earn money", ls("occupation", "profession", "job", "line of work")},
+	{"n.analysis", Noun, BaseAct, "n.activity", false, "an investigation of the component parts of a whole", ls("analysis")},
+	{"n.event", Noun, BaseEvent, "n.abstraction", false, "something that happens at a given place and time", ls("event")},
+
+	// ---- possessions -------------------------------------------------------------
+	{"n.possession", Noun, BasePossession, "n.abstraction", false, "anything owned or possessed", ls("possession")},
+	{"n.cost", Noun, BasePossession, "n.possession", false, "the total spent for goods or services", ls("cost", "expense")},
+	{"n.price", Noun, BasePossession, "n.cost", false, "the amount of money needed to purchase something", ls("price", "terms", "damage")},
+	{"n.money", Noun, BasePossession, "n.possession", false, "the most common medium of exchange", ls("money")},
+	{"n.currency", Noun, BasePossession, "n.money", false, "the metal or paper medium of exchange that is presently used", ls("currency")},
+	{"n.benefit", Noun, BasePossession, "n.possession", false, "financial assistance in time of need; something that aids", ls("benefit", "profit", "gain")},
+
+	// ---- relations and cognition ----------------------------------------------------
+	{"n.relation", Noun, BaseRelation, "n.abstraction", false, "an abstraction belonging to or characteristic of two entities together", ls("relation")},
+	{"n.rate", Noun, BaseRelation, "n.relation", false, "a magnitude or frequency relative to a time unit", ls("rate", "charge per unit")},
+	{"n.cognition", Noun, BaseCognition, "n.abstraction", false, "the psychological result of perception and learning and reasoning", ls("cognition", "knowledge")},
+	{"n.information", Noun, BaseCognition, "n.cognition", false, "knowledge acquired through study or experience", ls("information", "info")},
+	{"n.data", Noun, BaseCognition, "n.information", false, "a collection of facts from which conclusions may be drawn", ls("data", "datum")},
+	{"n.state_condition", Noun, BaseState, "n.attribute", false, "the way something is with respect to its main attributes", ls("condition", "status")},
+
+	// ---- verbs ----------------------------------------------------------------------
+	{"v.be", Verb, BaseVerbStative, "", false, "have the quality of being", ls("be", "exist")},
+	{"v.have", Verb, BaseVerbPossession, "", false, "have or possess", ls("have", "possess", "own")},
+	{"v.buy", Verb, BaseVerbPossession, "", false, "obtain by purchase", ls("buy", "purchase")},
+	{"v.sell", Verb, BaseVerbPossession, "", false, "exchange or deliver for money", ls("sell")},
+	{"v.feed", Verb, BaseVerbPossession, "", false, "provide as food or supply", ls("feed", "provide", "supply")},
+	{"v.invade", Verb, BaseVerbCompetition, "", false, "march aggressively into another's territory", ls("invade", "occupy")},
+	{"v.travel", Verb, BaseVerbMotion, "", false, "change location; move", ls("travel", "go", "move", "locomote")},
+	{"v.fly", Verb, BaseVerbMotion, "v.travel", false, "travel through the air", ls("fly", "wing")},
+	{"v.arrive", Verb, BaseVerbMotion, "v.travel", false, "reach a destination", ls("arrive", "get", "come")},
+	{"v.depart", Verb, BaseVerbMotion, "v.travel", false, "leave; go away from a place", ls("depart", "leave", "take off")},
+	{"v.rain", Verb, BaseVerbWeather, "", false, "precipitate as rain", ls("rain", "rain down")},
+	{"v.snow", Verb, BaseVerbWeather, "", false, "fall as snow", ls("snow")},
+	{"v.shine", Verb, BaseVerbWeather, "", false, "emit light", ls("shine", "beam")},
+	{"v.increase", Verb, BaseVerbChange, "", false, "become bigger or greater in amount", ls("increase", "rise", "grow")},
+	{"v.decrease", Verb, BaseVerbChange, "", false, "decrease in size, extent, or range", ls("decrease", "diminish", "fall", "drop")},
+	{"v.reach", Verb, BaseVerbContact, "", false, "reach a point in time, or a certain state or level", ls("reach", "attain", "hit")},
+	{"v.measure", Verb, BaseVerbCognition, "", false, "determine the measurements of something", ls("measure", "mensurate")},
+	{"v.analyze", Verb, BaseVerbCognition, "", false, "consider in detail in order to discover essential features", ls("analyze", "analyse", "study", "examine")},
+	{"v.know", Verb, BaseVerbCognition, "", false, "be cognizant or aware of a fact", ls("know", "cognize")},
+	{"v.say", Verb, BaseVerbCommunicate, "", false, "express in words", ls("say", "state", "tell")},
+	{"v.ask", Verb, BaseVerbCommunicate, "", false, "make a request or inquiry", ls("ask", "inquire", "enquire")},
+	{"v.make", Verb, BaseVerbCreation, "", false, "make or cause to be or to become", ls("make", "create")},
+	{"v.see", Verb, BaseVerbPerception, "", false, "perceive by sight", ls("see", "perceive")},
+	{"v.record", Verb, BaseVerbCommunicate, "", false, "make a record of; set down in permanent form", ls("record", "register")},
+
+	// ---- adjectives -------------------------------------------------------------------
+	{"a.hot", Adjective, BaseNone, "", false, "used of physical heat; having a high temperature", ls("hot")},
+	{"a.cold", Adjective, BaseNone, "", false, "having a low temperature", ls("cold")},
+	{"a.warm", Adjective, BaseNone, "", false, "having a moderately high temperature", ls("warm")},
+	{"a.cool", Adjective, BaseNone, "", false, "neither warm nor very cold", ls("cool")},
+	{"a.mild", Adjective, BaseNone, "", false, "mild weather lacking extremes of temperature", ls("mild", "balmy", "temperate")},
+	{"a.clear", Adjective, BaseNone, "", false, "free from clouds or mist or haze", ls("clear")},
+	{"a.sunny", Adjective, BaseNone, "", false, "bright with sunlight", ls("sunny", "cheery")},
+	{"a.cloudy", Adjective, BaseNone, "", false, "full of or covered with clouds", ls("cloudy", "overcast")},
+	{"a.rainy", Adjective, BaseNone, "", false, "marked by rain", ls("rainy", "showery", "wet")},
+	{"a.bright", Adjective, BaseNone, "", false, "emitting or reflecting light readily or in large amounts", ls("bright", "brilliant")},
+	{"a.cheap", Adjective, BaseNone, "", false, "relatively low in price", ls("cheap", "inexpensive")},
+	{"a.expensive", Adjective, BaseNone, "", false, "high in price", ls("expensive", "costly", "dear")},
+	{"a.visible", Adjective, BaseNone, "", false, "capable of being seen", ls("visible", "seeable")},
+	{"a.economic", Adjective, BaseNone, "", false, "of or relating to an economy", ls("economic", "economical")},
+
+	// ---- adverbs ----------------------------------------------------------------------
+	{"r.approximately", Adverb, BaseNone, "", false, "imprecise but fairly close to correct", ls("approximately", "about", "around", "roughly", "some")},
+	{"r.daily", Adverb, BaseNone, "", false, "every day; without missing a day", ls("daily", "every day")},
+
+	// ---- broader geography ---------------------------------------------------------
+	{"n.continent", Noun, BaseLocation, "n.region", false, "one of the large landmasses of the earth", ls("continent")},
+	{"n.europe", Noun, BaseLocation, "n.continent", true, "the second smallest continent", ls("europe")},
+	{"n.asia", Noun, BaseLocation, "n.continent", true, "the largest continent", ls("asia")},
+	{"n.america_continent", Noun, BaseLocation, "n.continent", true, "the landmasses of the western hemisphere", ls("americas")},
+	{"n.island", Noun, BaseLocation, "n.region", false, "a land mass that is surrounded by water", ls("island")},
+	{"n.mountain", Noun, BaseObject, "n.natural_object", false, "a land mass that projects well above its surroundings", ls("mountain", "mount")},
+	{"n.river", Noun, BaseObject, "n.natural_object", false, "a large natural stream of water", ls("river")},
+	{"n.sea", Noun, BaseObject, "n.natural_object", false, "a division of an ocean", ls("sea")},
+	{"n.ocean", Noun, BaseObject, "n.natural_object", false, "a large body of salt water", ls("ocean")},
+	{"n.coast", Noun, BaseLocation, "n.region", false, "the shore of a sea or ocean", ls("coast", "seashore", "seacoast")},
+	{"n.mediterranean", Noun, BaseObject, "n.sea", true, "the largest inland sea, between Europe and Africa", ls("mediterranean", "mediterranean sea")},
+
+	// ---- travel infrastructure ------------------------------------------------------
+	{"n.hotel", Noun, BaseArtifact, "n.building", false, "a building where travelers can pay for lodging", ls("hotel")},
+	{"n.terminal", Noun, BaseArtifact, "n.station", false, "a facility where passengers assemble", ls("terminal", "terminus")},
+	{"n.gate", Noun, BaseArtifact, "n.structure", false, "passageway through which passengers embark", ls("gate")},
+	{"n.runway", Noun, BaseArtifact, "n.structure", false, "a strip of level paved surface where planes take off and land", ls("runway")},
+	{"n.bridge", Noun, BaseArtifact, "n.structure", false, "a structure that allows people or vehicles to cross an obstacle", ls("bridge", "span")},
+	{"n.luggage", Noun, BaseArtifact, "n.artifact", false, "cases used to carry belongings when traveling", ls("luggage", "baggage")},
+	{"n.passport", Noun, BaseCommunication, "n.document", false, "a document issued by a country to a citizen", ls("passport")},
+	{"n.crew", Noun, BaseGroup, "n.social_group", false, "the men and women who man a vehicle", ls("crew")},
+
+	// ---- economy ----------------------------------------------------------------------
+	{"n.economy", Noun, BaseGroup, "n.group", false, "the system of production and distribution and consumption", ls("economy", "economic system")},
+	{"n.market", Noun, BaseGroup, "n.group", false, "the world of commercial activity", ls("market", "marketplace")},
+	{"n.inflation", Noun, BaseProcess, "n.process", false, "a general and progressive increase in prices", ls("inflation", "rising prices")},
+	{"n.recession", Noun, BaseProcess, "n.process", false, "the state of the economy declining", ls("recession")},
+	{"n.crisis", Noun, BaseState, "n.state_condition", false, "an unstable situation of extreme danger or difficulty", ls("crisis")},
+	{"n.tax", Noun, BasePossession, "n.cost", false, "charge against a citizen's person or property", ls("tax", "taxation")},
+	{"n.revenue", Noun, BasePossession, "n.possession", false, "the entire amount of income", ls("revenue", "gross", "receipts")},
+	{"n.discount", Noun, BasePossession, "n.cost", false, "a reduction in price", ls("discount", "price reduction", "deduction")},
+	{"n.fare", Noun, BasePossession, "n.price", false, "the sum charged for riding in a public conveyance", ls("fare", "transportation fee")},
+	{"n.stock", Noun, BasePossession, "n.possession", false, "capital raised by a corporation", ls("stock")},
+
+	// ---- time extras --------------------------------------------------------------------
+	{"n.decade", Noun, BaseTime, "n.time_period", false, "a period of 10 years", ls("decade", "decennary")},
+	{"n.century", Noun, BaseTime, "n.time_period", false, "a period of 100 years", ls("century")},
+	{"n.hour", Noun, BaseTime, "n.time_period", false, "a period of time equal to 60 minutes", ls("hour", "60 minutes")},
+	{"n.minute", Noun, BaseTime, "n.time_period", false, "a unit of time equal to 60 seconds", ls("minute", "min")},
+	{"n.weekend", Noun, BaseTime, "n.time_period", false, "a time period usually extending from Friday night through Sunday", ls("weekend")},
+	{"n.holiday", Noun, BaseTime, "n.day", false, "a day on which work is suspended", ls("holiday")},
+	{"n.summer", Noun, BaseTime, "n.season", false, "the warmest season of the year", ls("summer", "summertime")},
+	{"n.winter", Noun, BaseTime, "n.season", false, "the coldest season of the year", ls("winter", "wintertime")},
+	{"n.spring", Noun, BaseTime, "n.season", false, "the season of growth", ls("spring", "springtime")},
+	{"n.autumn", Noun, BaseTime, "n.season", false, "the season when the leaves fall", ls("autumn", "fall")},
+
+	// ---- weather extras ------------------------------------------------------------------
+	{"n.humidity", Noun, BaseState, "n.state_condition", false, "wetness in the atmosphere", ls("humidity", "humidness")},
+	{"n.pressure", Noun, BasePhenomenon, "n.physical_phenomenon", false, "the force applied to a unit area of surface", ls("pressure", "atmospheric pressure")},
+	{"n.sunshine", Noun, BasePhenomenon, "n.atmospheric_phenomenon", false, "the rays of the sun", ls("sunshine", "sunlight")},
+	{"n.thunderstorm", Noun, BasePhenomenon, "n.storm", false, "a storm resulting from strong rising air currents", ls("thunderstorm", "electrical storm")},
+	{"n.hail", Noun, BasePhenomenon, "n.precipitation", false, "precipitation of ice pellets", ls("hail")},
+	{"n.drizzle", Noun, BasePhenomenon, "n.rain", false, "very light rain", ls("drizzle", "mizzle")},
+	{"n.cloud", Noun, BasePhenomenon, "n.atmospheric_phenomenon", false, "a visible mass of water droplets suspended in the air", ls("cloud")},
+	{"n.forecast", Noun, BaseCommunication, "n.communication", false, "a prediction about how something will develop", ls("forecast", "prognosis")},
+
+	// ---- more persons ----------------------------------------------------------------------
+	{"n.mayor", Noun, BasePerson, "n.politician", false, "the head of a city government", ls("mayor", "city manager")},
+	{"n.president", Noun, BasePerson, "n.politician", false, "the chief executive of a republic", ls("president")},
+	{"n.king", Noun, BasePerson, "n.person", false, "a male sovereign", ls("king", "male monarch")},
+	{"n.pilot", Noun, BasePerson, "n.professional", false, "someone who is licensed to operate an aircraft", ls("pilot", "airplane pilot")},
+	{"n.writer", Noun, BasePerson, "n.professional", false, "a person who writes books or articles", ls("writer", "author")},
+	{"n.scientist", Noun, BasePerson, "n.professional", false, "a person with advanced knowledge of a science", ls("scientist")},
+	{"n.astronomer", Noun, BasePerson, "n.scientist", false, "a scientist who studies celestial bodies", ls("astronomer", "stargazer")},
+	{"n.critic", Noun, BasePerson, "n.professional", false, "someone who judges the merits of works of art", ls("critic")},
+	{"n.fan", Noun, BasePerson, "n.person", false, "an enthusiastic devotee", ls("fan", "devotee")},
+
+	// ---- arts and conflict (distractor-page vocabulary) --------------------------------------
+	{"n.music", Noun, BaseCommunication, "n.communication", false, "an artistic form of auditory communication", ls("music")},
+	{"n.album", Noun, BaseArtifact, "n.artifact", false, "one or more recordings issued together", ls("album", "record album")},
+	{"n.song", Noun, BaseCommunication, "n.music", false, "a short musical composition with words", ls("song", "vocal")},
+	{"n.concert", Noun, BaseEvent, "n.event", false, "a performance of music by players or singers", ls("concert")},
+	{"n.film", Noun, BaseCommunication, "n.communication", false, "a form of entertainment that enacts a story", ls("film", "movie", "picture")},
+	{"n.western", Noun, BaseCommunication, "n.film", false, "a film about life in the western United States", ls("western")},
+	{"n.award", Noun, BasePossession, "n.possession", false, "a tangible symbol signifying approval or distinction", ls("award", "prize")},
+	{"n.war", Noun, BaseAct, "n.act", false, "the waging of armed conflict against an enemy", ls("war", "warfare")},
+	{"n.invasion", Noun, BaseAct, "n.act", false, "the act of invading with armed forces", ls("invasion")},
+	{"n.coalition", Noun, BaseGroup, "n.organization", false, "an organization formed by merging several groups", ls("coalition", "alliance")},
+	{"n.conflict", Noun, BaseAct, "n.war", false, "an open clash between two opposing groups", ls("conflict", "struggle")},
+	{"n.interview", Noun, BaseCommunication, "n.communication", false, "the questioning of a person", ls("interview")},
+	{"n.term_of_office", Noun, BaseTime, "n.time_period", false, "the period during which someone holds an office", ls("term", "term of office")},
+
+	// ---- more verbs ----------------------------------------------------------------------------
+	{"v.play", Verb, BaseVerbCompetition, "", false, "participate in games or perform music", ls("play")},
+	{"v.win", Verb, BaseVerbCompetition, "", false, "be the winner in a contest", ls("win")},
+	{"v.serve", Verb, BaseVerbSocial, "", false, "do duty or hold office", ls("serve")},
+	{"v.found", Verb, BaseVerbCreation, "", false, "set up or lay the groundwork for", ls("found", "establish")},
+	{"v.star", Verb, BaseVerbSocial, "", false, "be the star in a performance", ls("star")},
+	{"v.publish", Verb, BaseVerbCommunicate, "", false, "prepare and issue for public distribution", ls("publish", "print")},
+	{"v.mention", Verb, BaseVerbCommunicate, "", false, "make reference to", ls("mention", "note", "remark")},
+	{"v.join", Verb, BaseVerbSocial, "", false, "become part of or member of", ls("join")},
+	{"v.open", Verb, BaseVerbContact, "", false, "cause to open or become open", ls("open")},
+	{"v.visit", Verb, BaseVerbSocial, "", false, "go to see a place", ls("visit")},
+	{"v.adjust", Verb, BaseVerbChange, "", false, "alter or regulate so as to achieve accuracy", ls("adjust", "set", "correct")},
+	{"v.maximize", Verb, BaseVerbChange, "", false, "make as big or large as possible", ls("maximize", "maximise")},
+	{"v.start", Verb, BaseVerbChange, "", false, "set in motion, cause to begin", ls("start", "begin", "initiate")},
+	{"v.pay", Verb, BaseVerbPossession, "", false, "give money in exchange for goods or services", ls("pay")},
+	{"v.cost", Verb, BaseVerbStative, "", false, "be priced at", ls("cost", "be priced at")},
+	{"v.land", Verb, BaseVerbMotion, "v.arrive", false, "bring a plane down to the ground", ls("land", "set down")},
+	{"v.board", Verb, BaseVerbMotion, "", false, "get on a means of transportation", ls("board", "get on")},
+}
+
+// antonymPairs are symmetric antonym edges added after the synsets exist.
+var antonymPairs = [][2]string{
+	{"a.hot", "a.cold"},
+	{"a.warm", "a.cool"},
+	{"a.cheap", "a.expensive"},
+	{"n.low_temperature", "n.high_temperature"},
+	{"v.increase", "v.decrease"},
+	{"v.buy", "v.sell"},
+}
+
+// partHolonymPairs record part-of edges (part, whole).
+var partHolonymPairs = [][2]string{
+	{"n.barcelona", "n.spain"},
+	{"n.madrid", "n.spain"},
+	{"n.valencia", "n.spain"},
+	{"n.seville", "n.spain"},
+	{"n.bilbao", "n.spain"},
+	{"n.alicante", "n.spain"},
+	{"n.catalonia", "n.spain"},
+	{"n.barcelona", "n.catalonia"},
+	{"n.paris", "n.france"},
+	{"n.london", "n.united_kingdom"},
+	{"n.rome", "n.italy"},
+	{"n.lausanne", "n.switzerland"},
+	{"n.new_york_city", "n.new_york_state"},
+	{"n.new_york_state", "n.united_states"},
+	{"n.california", "n.united_states"},
+	{"n.costa_mesa", "n.california"},
+	{"n.kennedy_airport", "n.new_york_city"},
+}
+
+// Seed returns a lexical database populated with the seed lexicon. It
+// panics only on programming errors in the seed tables (checked by tests).
+func Seed() *WordNet {
+	w := New()
+	for _, e := range seedEntries {
+		if _, err := w.AddSynset(e.id, e.pos, e.base, e.gloss, e.lemmas...); err != nil {
+			panic("wordnet: bad seed entry " + e.id + ": " + err.Error())
+		}
+	}
+	for _, e := range seedEntries {
+		if e.parent == "" {
+			continue
+		}
+		rel := Hypernym
+		if e.inst {
+			rel = InstanceHypernym
+		}
+		if err := w.Relate(e.id, rel, e.parent); err != nil {
+			panic("wordnet: bad seed relation " + e.id + "→" + e.parent + ": " + err.Error())
+		}
+	}
+	for _, p := range antonymPairs {
+		if err := w.Relate(p[0], Antonym, p[1]); err != nil {
+			panic("wordnet: bad antonym pair: " + err.Error())
+		}
+	}
+	for _, p := range partHolonymPairs {
+		if err := w.Relate(p[0], PartHolonym, p[1]); err != nil {
+			panic("wordnet: bad holonym pair: " + err.Error())
+		}
+	}
+	return w
+}

@@ -1,0 +1,198 @@
+// Package wsd implements the word sense disambiguation step of the AliQAn
+// indexation phase, replacing the WSD algorithm of Ferrández et al. 2006
+// (reference [4] of the paper). Nouns and verbs are assigned a WordNet
+// synset by a Lesk-style method: the candidate sense whose gloss, synonyms
+// and hypernym neighbourhood overlap most with the sentence context wins,
+// with the WordNet first-sense ranking as prior and an optional domain
+// boost for senses reachable from domain concepts (the ontology enrichment
+// of Steps 2-3 is what creates those senses).
+package wsd
+
+import (
+	"strings"
+
+	"dwqa/internal/nlp"
+	"dwqa/internal/wordnet"
+)
+
+// Assignment records the sense chosen for one token.
+type Assignment struct {
+	TokenIndex int
+	SynsetID   string
+	Score      float64
+}
+
+// Config tunes the disambiguator.
+type Config struct {
+	// DomainSynsets boosts candidate senses subsumed by any of these
+	// synset IDs (e.g. the airport subtree after Step 3 enrichment).
+	DomainSynsets []string
+	// DomainBoost is the additive score for a domain-subsumed sense.
+	DomainBoost float64
+}
+
+// Disambiguator assigns senses against one lexical database.
+type Disambiguator struct {
+	wn  *wordnet.WordNet
+	cfg Config
+}
+
+// New returns a Disambiguator with the given configuration. A zero Config
+// is valid (pure Lesk + first-sense prior).
+func New(wn *wordnet.WordNet, cfg Config) *Disambiguator {
+	if cfg.DomainBoost == 0 {
+		cfg.DomainBoost = 2.0
+	}
+	return &Disambiguator{wn: wn, cfg: cfg}
+}
+
+// posFor maps a token tag to the WordNet POS to search.
+func posFor(tag nlp.Tag) (wordnet.POS, bool) {
+	switch {
+	case tag.IsNoun():
+		return wordnet.Noun, true
+	case tag.IsVerb():
+		return wordnet.Verb, true
+	case tag == nlp.TagJJ:
+		return wordnet.Adjective, true
+	case tag == nlp.TagRB:
+		return wordnet.Adverb, true
+	}
+	return "", false
+}
+
+// Disambiguate assigns a synset to every content token of the sentence
+// that has at least one candidate sense. Multi-word entities are matched
+// greedily first (longest span wins), so "El Prat" resolves as one lemma
+// before "prat" alone is attempted.
+func (d *Disambiguator) Disambiguate(sent nlp.Sentence) []Assignment {
+	toks := sent.Tokens
+	context := contextSet(toks)
+	var out []Assignment
+	i := 0
+	for i < len(toks) {
+		pos, ok := posFor(toks[i].Tag)
+		if !ok {
+			i++
+			continue
+		}
+		// Greedy multi-word lookup: longest lemma span (up to 4 tokens).
+		matched := false
+		for span := min(4, len(toks)-i); span >= 2; span-- {
+			lemma := spanLemma(toks[i : i+span])
+			if senses := d.wn.Lookup(lemma, wordnet.Noun); len(senses) > 0 {
+				best, score := d.pick(senses, context)
+				out = append(out, Assignment{TokenIndex: i, SynsetID: best, Score: score})
+				i += span
+				matched = true
+				break
+			}
+		}
+		if matched {
+			continue
+		}
+		senses := d.wn.Lookup(toks[i].Lemma, pos)
+		if len(senses) == 0 && pos == wordnet.Noun {
+			// Proper nouns may only exist as surface forms ("El" alone is
+			// nothing but "el prat" was handled above); fall through.
+			senses = d.wn.Lookup(strings.ToLower(toks[i].Text), pos)
+		}
+		if len(senses) > 0 {
+			best, score := d.pick(senses, context)
+			out = append(out, Assignment{TokenIndex: i, SynsetID: best, Score: score})
+		}
+		i++
+	}
+	return out
+}
+
+// pick scores each candidate sense and returns the winner.
+func (d *Disambiguator) pick(senses []*wordnet.Synset, context map[string]bool) (string, float64) {
+	bestID, bestScore := "", -1.0
+	for rank, s := range senses {
+		score := d.senseScore(s, context)
+		// First-sense prior: earlier senses win ties and near-ties.
+		score += 0.5 / float64(rank+1)
+		if score > bestScore {
+			bestID, bestScore = s.ID, score
+		}
+	}
+	return bestID, bestScore
+}
+
+// senseScore is the Lesk overlap of gloss + lemmas + hypernym lemmas with
+// the sentence context, plus the domain boost when applicable.
+func (d *Disambiguator) senseScore(s *wordnet.Synset, context map[string]bool) float64 {
+	score := 0.0
+	for _, w := range glossWords(s.Gloss) {
+		if context[w] {
+			score++
+		}
+	}
+	for _, l := range s.Lemmas {
+		for _, w := range strings.Fields(l) {
+			if context[w] {
+				score += 0.5
+			}
+		}
+	}
+	for _, hid := range s.Related(wordnet.Hypernym) {
+		if h := d.wn.Synset(hid); h != nil {
+			for _, l := range h.Lemmas {
+				for _, w := range strings.Fields(l) {
+					if context[w] {
+						score += 0.5
+					}
+				}
+			}
+		}
+	}
+	for _, dom := range d.cfg.DomainSynsets {
+		if d.wn.IsA(s.ID, dom) {
+			score += d.cfg.DomainBoost
+			break
+		}
+	}
+	return score
+}
+
+// contextSet collects the lower-cased lemmas and surface words of the
+// sentence for overlap scoring.
+func contextSet(toks []nlp.Token) map[string]bool {
+	ctx := make(map[string]bool, 2*len(toks))
+	for _, t := range toks {
+		if t.IsContentWord() && !nlp.IsStopword(t.Lemma) {
+			ctx[t.Lemma] = true
+			ctx[strings.ToLower(t.Text)] = true
+		}
+	}
+	return ctx
+}
+
+// glossWords tokenises a gloss into lower-cased content words.
+func glossWords(gloss string) []string {
+	var out []string
+	for _, f := range strings.Fields(strings.ToLower(gloss)) {
+		f = strings.Trim(f, ".,;:()'\"")
+		if f != "" && !nlp.IsStopword(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// spanLemma joins token lemmas into a multi-word lemma candidate.
+func spanLemma(toks []nlp.Token) string {
+	parts := make([]string, len(toks))
+	for i, t := range toks {
+		parts[i] = strings.ToLower(t.Text)
+	}
+	return strings.Join(parts, " ")
+}

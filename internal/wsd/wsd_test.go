@@ -1,0 +1,147 @@
+package wsd
+
+import (
+	"testing"
+
+	"dwqa/internal/nlp"
+	"dwqa/internal/wordnet"
+)
+
+func sentenceOf(t *testing.T, text string) nlp.Sentence {
+	t.Helper()
+	sents := nlp.SplitSentences(text)
+	if len(sents) == 0 {
+		t.Fatalf("no sentences in %q", text)
+	}
+	return sents[0]
+}
+
+func assignmentFor(as []Assignment, toks []nlp.Token, word string) (Assignment, bool) {
+	for _, a := range as {
+		if toks[a.TokenIndex].Text == word {
+			return a, true
+		}
+	}
+	return Assignment{}, false
+}
+
+func TestDisambiguateBasic(t *testing.T) {
+	wn := wordnet.Seed()
+	d := New(wn, Config{})
+	sent := sentenceOf(t, "The temperature in Barcelona was mild.")
+	as := d.Disambiguate(sent)
+	a, ok := assignmentFor(as, sent.Tokens, "temperature")
+	if !ok {
+		t.Fatal("temperature got no sense")
+	}
+	if a.SynsetID != "n.temperature" {
+		t.Errorf("temperature sense = %s", a.SynsetID)
+	}
+	a, ok = assignmentFor(as, sent.Tokens, "Barcelona")
+	if !ok || a.SynsetID != "n.barcelona" {
+		t.Errorf("barcelona sense = %+v, ok=%v", a, ok)
+	}
+}
+
+func TestMultiWordEntity(t *testing.T) {
+	wn := wordnet.Seed()
+	d := New(wn, Config{})
+	sent := sentenceOf(t, "El Prat played a concert in Madrid.")
+	as := d.Disambiguate(sent)
+	a, ok := assignmentFor(as, sent.Tokens, "El")
+	if !ok {
+		t.Fatal("multi-word El Prat not matched")
+	}
+	if a.SynsetID != "n.el_prat_band" {
+		t.Errorf("el prat sense = %s, want n.el_prat_band (the only seed sense)", a.SynsetID)
+	}
+}
+
+func TestDomainBoostFlipsSense(t *testing.T) {
+	// Enrich: add "el prat" as an airport synset too, then check that the
+	// domain boost makes the airport sense win for a travel context.
+	wn := wordnet.Seed()
+	if _, err := wn.AddSynset("n.el_prat_airport", wordnet.Noun, wordnet.BaseArtifact,
+		"the airport serving Barcelona", "el prat", "barcelona-el prat airport"); err != nil {
+		t.Fatal(err)
+	}
+	if err := wn.Relate("n.el_prat_airport", wordnet.InstanceHypernym, "n.airport"); err != nil {
+		t.Fatal(err)
+	}
+
+	neutral := New(wn, Config{})
+	sent := sentenceOf(t, "El Prat is popular.")
+	as := neutral.Disambiguate(sent)
+	a, ok := assignmentFor(as, sent.Tokens, "El")
+	if !ok {
+		t.Fatal("no assignment")
+	}
+	baseline := a.SynsetID
+
+	boosted := New(wn, Config{DomainSynsets: []string{"n.airport"}, DomainBoost: 5})
+	as = boosted.Disambiguate(sent)
+	a, ok = assignmentFor(as, sent.Tokens, "El")
+	if !ok {
+		t.Fatal("no boosted assignment")
+	}
+	if a.SynsetID != "n.el_prat_airport" {
+		t.Errorf("boosted sense = %s, want airport (baseline was %s)", a.SynsetID, baseline)
+	}
+}
+
+func TestLeskContextOverlap(t *testing.T) {
+	// "new york" is both a state and a city in the seed. A context
+	// mentioning "city" should pick the city sense; "state" the state.
+	wn := wordnet.Seed()
+	d := New(wn, Config{})
+
+	sent := sentenceOf(t, "New York is the largest city in America.")
+	as := d.Disambiguate(sent)
+	a, ok := assignmentFor(as, sent.Tokens, "New")
+	if !ok {
+		t.Fatal("new york not matched")
+	}
+	if a.SynsetID != "n.new_york_city" {
+		t.Errorf("city context sense = %s, want n.new_york_city", a.SynsetID)
+	}
+}
+
+func TestVerbsGetSenses(t *testing.T) {
+	wn := wordnet.Seed()
+	d := New(wn, Config{})
+	sent := sentenceOf(t, "Iraq invaded Kuwait.")
+	as := d.Disambiguate(sent)
+	a, ok := assignmentFor(as, sent.Tokens, "invaded")
+	if !ok || a.SynsetID != "v.invade" {
+		t.Errorf("invaded sense = %+v, ok=%v", a, ok)
+	}
+}
+
+func TestUnknownWordsSkipped(t *testing.T) {
+	wn := wordnet.Seed()
+	d := New(wn, Config{})
+	sent := sentenceOf(t, "The quorblat zzzed.")
+	for _, a := range d.Disambiguate(sent) {
+		if sent.Tokens[a.TokenIndex].Text == "quorblat" {
+			t.Error("unknown word got a sense")
+		}
+	}
+}
+
+func TestEmptySentence(t *testing.T) {
+	wn := wordnet.Seed()
+	d := New(wn, Config{})
+	if got := d.Disambiguate(nlp.Sentence{}); len(got) != 0 {
+		t.Errorf("empty sentence produced %v", got)
+	}
+}
+
+func BenchmarkDisambiguate(b *testing.B) {
+	wn := wordnet.Seed()
+	d := New(wn, Config{})
+	sents := nlp.SplitSentences("The temperature in Barcelona reached 8 degrees in January.")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Disambiguate(sents[0])
+	}
+}
