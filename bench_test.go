@@ -11,7 +11,10 @@ import (
 	"testing"
 
 	"dwqa"
+	"dwqa/internal/core"
 	"dwqa/internal/eval"
+	"dwqa/internal/ir"
+	"dwqa/internal/webcorpus"
 )
 
 func benchExperiment(b *testing.B, run func() (*eval.Table, error)) {
@@ -111,6 +114,62 @@ func BenchmarkAskSingleQuestion(b *testing.B) {
 		if res.Best == nil {
 			b.Fatal("no answer")
 		}
+	}
+}
+
+// benchOLAPExecute benchmarks the compiled columnar engine against the
+// retained row-at-a-time reference engine over the same generated
+// warehouse, verifying first that both return identical results.
+func benchOLAPExecute(b *testing.B, targetRows int) {
+	wh, q, err := core.PrepareScaledBenchmark(targetRows, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("fact rows: %d", wh.FactCount("LastMinuteSales"))
+	b.Run("compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		if err := core.RunCompiledOLAP(wh, q, b.N); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		if err := core.RunReferenceOLAP(wh, q, b.N); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkOLAPExecute1k exercises the single-chunk sequential scan.
+func BenchmarkOLAPExecute1k(b *testing.B) { benchOLAPExecute(b, 1_000) }
+
+// BenchmarkOLAPExecute10k crosses the chunking threshold.
+func BenchmarkOLAPExecute10k(b *testing.B) { benchOLAPExecute(b, 10_000) }
+
+// BenchmarkOLAPExecute100k is the headline scaling benchmark: a grouped
+// roll-up with a dice filter over 100k+ generated fact rows, compiled vs
+// reference in the same run.
+func BenchmarkOLAPExecute100k(b *testing.B) { benchOLAPExecute(b, 100_000) }
+
+// BenchmarkIRSearchTopK measures passage retrieval with the bounded top-k
+// heap over the scenario corpus (the IR-n filter of Figure 3).
+func BenchmarkIRSearchTopK(b *testing.B) {
+	ccfg := webcorpus.DefaultConfig()
+	ccfg.Year, ccfg.Months, ccfg.Seed = 2004, []int{1, 2, 3}, 42
+	corpus := webcorpus.Build(ccfg)
+	ix := ir.NewIndex()
+	if err := ix.AddAll(corpus.Documents(false)); err != nil {
+		b.Fatal(err)
+	}
+	terms := ir.QueryTerms("What is the weather like in Barcelona in January?")
+	if len(ix.Search(terms, 10)) == 0 {
+		b.Fatal("no search results")
+	}
+	b.Logf("passages: %d", ix.PassageCount())
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := core.RunIRSearchTopK(ix, terms, 10, b.N); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -8,6 +8,8 @@
 //	benchreport              # run everything, plain text
 //	benchreport -exp F5      # one experiment
 //	benchreport -markdown    # markdown tables (EXPERIMENTS.md format)
+//	benchreport -json        # machine-readable JSON tables
+//	benchreport -bench       # scaling benchmarks → BENCH_PERF.json
 package main
 
 import (
@@ -22,8 +24,24 @@ import (
 func main() {
 	exp := flag.String("exp", "", "run a single experiment: F1 F2 F3 T1 F4 F5 QAIR ONTO IRFILTER PSIZE FEED")
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON tables")
+	bench := flag.Bool("bench", false, "run the OLAP/IR scaling benchmarks and write BENCH_PERF.json")
+	outDir := flag.String("out", ".", "directory for BENCH_*.json artefacts")
 	seed := flag.Int64("seed", 42, "deterministic seed")
 	flag.Parse()
+
+	if *bench {
+		if *exp != "" || *markdown || *jsonOut {
+			fmt.Fprintln(os.Stderr, "benchreport: -bench cannot be combined with -exp, -markdown or -json")
+			os.Exit(2)
+		}
+		rep, err := runPerf(*outDir, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		printPerf(rep)
+		return
+	}
 
 	s := &eval.Suite{Seed: *seed}
 	runs := map[string]func() (*eval.Table, error){
@@ -50,6 +68,14 @@ func main() {
 			fatal(err)
 		}
 		tables = all
+	}
+	if *jsonOut {
+		s, err := eval.TablesJSON(tables)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(s)
+		return
 	}
 	for _, t := range tables {
 		if *markdown {

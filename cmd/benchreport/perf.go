@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dwqa/internal/core"
+	"dwqa/internal/ir"
+	"dwqa/internal/webcorpus"
+)
+
+// perfMeasurement is one benchmark data point of BENCH_PERF.json.
+type perfMeasurement struct {
+	Name        string  `json:"name"`
+	Rows        int     `json:"rows,omitempty"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// perfComparison pairs the compiled engine against the reference engine at
+// one scale and records the ratios future PRs track.
+type perfComparison struct {
+	Rows           int     `json:"rows"`
+	Compiled       float64 `json:"compiled_ns_per_op"`
+	Reference      float64 `json:"reference_ns_per_op"`
+	Speedup        float64 `json:"speedup"`
+	AllocReduction float64 `json:"alloc_reduction"`
+}
+
+// perfReport is the schema of BENCH_PERF.json.
+type perfReport struct {
+	Schema       string            `json:"schema"`
+	Measurements []perfMeasurement `json:"measurements"`
+	OLAP         []perfComparison  `json:"olap_compiled_vs_reference"`
+}
+
+func measure(name string, rows int, fn func(b *testing.B)) (perfMeasurement, error) {
+	r := testing.Benchmark(fn)
+	// b.Fatal inside testing.Benchmark does not propagate — it yields a
+	// zero result. Refuse to record it as a plausible-looking data point.
+	if r.N <= 0 || r.T <= 0 {
+		return perfMeasurement{}, fmt.Errorf("benchmark %s failed (zero result — see output above)", name)
+	}
+	return perfMeasurement{
+		Name:        name,
+		Rows:        rows,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}, nil
+}
+
+// runPerf benchmarks the OLAP engines at 1k/10k/100k generated fact rows
+// and the IR-n top-k search, and writes BENCH_PERF.json to outDir.
+func runPerf(outDir string, seed int64) (*perfReport, error) {
+	// Create the artefact directory up front so a bad -out fails before
+	// minutes of benchmarking, not after.
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return nil, err
+	}
+	rep := &perfReport{Schema: "dwqa-bench/v1"}
+	for _, target := range []int{1_000, 10_000, 100_000} {
+		wh, q, err := core.PrepareScaledBenchmark(target, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows := wh.FactCount("LastMinuteSales")
+		compiled, err := measure(fmt.Sprintf("OLAPExecute%dk/compiled", target/1000), rows, func(b *testing.B) {
+			b.ReportAllocs()
+			if err := core.RunCompiledOLAP(wh, q, b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		reference, err := measure(fmt.Sprintf("OLAPExecute%dk/reference", target/1000), rows, func(b *testing.B) {
+			b.ReportAllocs()
+			if err := core.RunReferenceOLAP(wh, q, b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Measurements = append(rep.Measurements, compiled, reference)
+		cmp := perfComparison{
+			Rows:      rows,
+			Compiled:  compiled.NsPerOp,
+			Reference: reference.NsPerOp,
+		}
+		if compiled.NsPerOp > 0 {
+			cmp.Speedup = reference.NsPerOp / compiled.NsPerOp
+		}
+		if reference.AllocsPerOp > 0 {
+			cmp.AllocReduction = 1 - float64(compiled.AllocsPerOp)/float64(reference.AllocsPerOp)
+		}
+		rep.OLAP = append(rep.OLAP, cmp)
+	}
+
+	ccfg := webcorpus.DefaultConfig()
+	ccfg.Year, ccfg.Months, ccfg.Seed = 2004, []int{1, 2, 3}, seed
+	ix := ir.NewIndex()
+	if err := ix.AddAll(webcorpus.Build(ccfg).Documents(false)); err != nil {
+		return nil, err
+	}
+	terms := ir.QueryTerms("What is the weather like in Barcelona in January?")
+	irBench, err := measure("IRSearchTopK", ix.PassageCount(), func(b *testing.B) {
+		b.ReportAllocs()
+		if err := core.RunIRSearchTopK(ix, terms, 10, b.N); err != nil {
+			b.Fatal(err)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Measurements = append(rep.Measurements, irBench)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(outDir, "BENCH_PERF.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func printPerf(rep *perfReport) {
+	fmt.Println("== PERF: compiled OLAP engine vs row-at-a-time reference ==")
+	for _, c := range rep.OLAP {
+		fmt.Printf("%8d rows  compiled %12.0f ns/op  reference %12.0f ns/op  speedup %6.1fx  allocs -%0.f%%\n",
+			c.Rows, c.Compiled, c.Reference, c.Speedup, c.AllocReduction*100)
+	}
+	for _, m := range rep.Measurements {
+		if m.Name == "IRSearchTopK" {
+			fmt.Printf("IR top-k search over %d passages: %.0f ns/op, %d allocs/op\n",
+				m.Rows, m.NsPerOp, m.AllocsPerOp)
+		}
+	}
+}

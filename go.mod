@@ -1,0 +1,3 @@
+module dwqa
+
+go 1.24

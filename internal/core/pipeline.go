@@ -23,6 +23,11 @@ type Config struct {
 	Year   int
 	Months []int
 
+	// ScaleFactor multiplies the synthetic sales demand (0 or 1 keeps the
+	// paper's scenario size; large values generate 100k+ fact rows for the
+	// scaling benchmarks — see PopulateScenarioScaled).
+	ScaleFactor int
+
 	// QA holds the ablation switches forwarded to the QA system.
 	QA qa.Config
 
@@ -95,7 +100,7 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	if err := PopulateScenario(wh, cfg.Year, cfg.Months, cfg.Seed); err != nil {
+	if err := PopulateScenarioScaled(wh, cfg.Year, cfg.Months, cfg.Seed, cfg.ScaleFactor); err != nil {
 		return nil, fmt.Errorf("core: populating scenario: %w", err)
 	}
 	ccfg := webcorpus.DefaultConfig()

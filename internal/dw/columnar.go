@@ -1,0 +1,96 @@
+package dw
+
+import (
+	"fmt"
+
+	"dwqa/internal/mdm"
+)
+
+// factData stores one fact table in columnar form: one int32 surrogate-key
+// column per role and one float64 column per measure, instead of a map per
+// row. The layout keeps the OLAP scan cache-friendly and lets the query
+// engine index columns directly by row number. Provenance (rare: only
+// QA-fed rows carry it) lives in a sparse sidecar keyed by row number.
+type factData struct {
+	class *mdm.FactClass
+
+	roles      []string       // role order, mirrors class.Dimensions
+	roleIdx    map[string]int // role name → column index
+	measureIdx map[string]int // measure name → column index
+
+	coords     [][]int32   // [role column][row] base-level surrogate keys
+	measures   [][]float64 // [measure column][row] measure values (0 when absent)
+	provenance map[int]string
+	rows       int
+}
+
+func newFactData(class *mdm.FactClass) *factData {
+	fd := &factData{
+		class:      class,
+		roles:      make([]string, len(class.Dimensions)),
+		roleIdx:    make(map[string]int, len(class.Dimensions)),
+		measureIdx: make(map[string]int, len(class.Measures)),
+		coords:     make([][]int32, len(class.Dimensions)),
+		measures:   make([][]float64, len(class.Measures)),
+	}
+	for i, ref := range class.Dimensions {
+		fd.roles[i] = ref.Role
+		fd.roleIdx[ref.Role] = i
+	}
+	for i, m := range class.Measures {
+		fd.measureIdx[m.Name] = i
+	}
+	return fd
+}
+
+// appendRow appends one fact row. keys must be in role-column order and
+// vals in measure-column order.
+func (fd *factData) appendRow(keys []int32, vals []float64, prov string) {
+	for i := range fd.coords {
+		fd.coords[i] = append(fd.coords[i], keys[i])
+	}
+	for i := range fd.measures {
+		fd.measures[i] = append(fd.measures[i], vals[i])
+	}
+	if prov != "" {
+		if fd.provenance == nil {
+			fd.provenance = make(map[int]string)
+		}
+		fd.provenance[fd.rows] = prov
+	}
+	fd.rows++
+}
+
+// measureColumn returns the column of a measure, or nil when the fact has
+// no such measure.
+func (fd *factData) measureColumn(name string) []float64 {
+	i, ok := fd.measureIdx[name]
+	if !ok {
+		return nil
+	}
+	return fd.measures[i]
+}
+
+// roleColumn returns the coordinate column of a role, or nil.
+func (fd *factData) roleColumn(role string) []int32 {
+	i, ok := fd.roleIdx[role]
+	if !ok {
+		return nil
+	}
+	return fd.coords[i]
+}
+
+// FactProvenance returns the lineage string attached to a fact row ("" for
+// rows loaded without provenance).
+func (w *Warehouse) FactProvenance(fact string, row int) (string, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	fd, ok := w.facts[fact]
+	if !ok {
+		return "", fmt.Errorf("dw: unknown fact %q", fact)
+	}
+	if row < 0 || row >= fd.rows {
+		return "", fmt.Errorf("dw: fact %q row %d out of range", fact, row)
+	}
+	return fd.provenance[row], nil
+}

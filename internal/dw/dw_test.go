@@ -42,7 +42,7 @@ func testSchema() *mdm.Schema {
 }
 
 // populate fills the warehouse with a small deterministic dataset.
-func populate(t *testing.T, w *Warehouse) {
+func populate(t testing.TB, w *Warehouse) {
 	t.Helper()
 	add := func(dim, level, name, parent string) {
 		t.Helper()
@@ -292,7 +292,7 @@ func TestFilterUnknownValueMatchesNothing(t *testing.T) {
 // rolled up from Airport to City to Country never changes.
 func TestRollUpSumInvariant(t *testing.T) {
 	w, _ := New(testSchema())
-	populate(&testing.T{}, w)
+	populate(t, w)
 	rng := rand.New(rand.NewSource(7))
 	days := []string{"2004-01-30", "2004-01-31", "2004-02-01"}
 	airports := []string{"El Prat", "Barajas", "JFK", "La Guardia"}
@@ -394,7 +394,7 @@ func TestConcurrentLoadAndQuery(t *testing.T) {
 
 func BenchmarkExecuteGroupBy(b *testing.B) {
 	w, _ := New(testSchema())
-	populate(&testing.T{}, w)
+	populate(b, w)
 	rng := rand.New(rand.NewSource(7))
 	days := []string{"2004-01-30", "2004-01-31", "2004-02-01"}
 	airports := []string{"El Prat", "Barajas", "JFK", "La Guardia"}

@@ -1,0 +1,421 @@
+package dw
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// ---------------------------------------------------------------------------
+// Memoised roll-up lookup arrays.
+//
+// rollUpKeyLocked walks the parent chain per row per query — O(pathLen) map
+// and slice hops for every fact row. The compiled engine instead resolves a
+// whole (dimension, level) pair once into a dense lookup array mapping every
+// base-level surrogate key to its ancestor key at the target level (-1 for
+// broken chains). Arrays are memoised on the warehouse and invalidated
+// whenever a member write could change them.
+// ---------------------------------------------------------------------------
+
+type rollupMemoKey struct{ dim, level string }
+
+// rollupTableLocked returns the memoised base→level lookup array. Callers
+// must hold w.mu (read or write). The memo has its own mutex so concurrent
+// readers can share freshly built tables; lock order is always w.mu before
+// w.memoMu.
+func (w *Warehouse) rollupTableLocked(dim, level string) []int32 {
+	key := rollupMemoKey{dim, level}
+	w.memoMu.Lock()
+	defer w.memoMu.Unlock()
+	if t, ok := w.rollups[key]; ok {
+		return t
+	}
+	t := w.buildRollupLocked(dim, level)
+	if w.rollups == nil {
+		w.rollups = make(map[rollupMemoKey][]int32)
+	}
+	w.rollups[key] = t
+	return t
+}
+
+// buildRollupLocked composes the parent links level by level along the
+// roll-up path, mirroring rollUpKeyLocked's semantics exactly.
+func (w *Warehouse) buildRollupLocked(dim, level string) []int32 {
+	dd := w.dims[dim]
+	path := dd.class.PathTo(level)
+	if path == nil {
+		return nil
+	}
+	base := dd.levels[path[0]]
+	out := make([]int32, len(base.members))
+	for k := range out {
+		out[k] = int32(k)
+	}
+	for i := 0; i < len(path)-1; i++ {
+		lt := dd.levels[path[i]]
+		for j, k := range out {
+			if k < 0 || int(k) >= len(lt.members) {
+				out[j] = int32(NoParent)
+				continue
+			}
+			out[j] = int32(lt.members[k].Parent)
+		}
+	}
+	return out
+}
+
+// invalidateRollups drops every memoised lookup array. Called under w.mu
+// whenever a member write could change a parent chain or level cardinality.
+func (w *Warehouse) invalidateRollups() {
+	w.memoMu.Lock()
+	w.rollups = nil
+	w.memoMu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Compiled query plans.
+//
+// compilePlan resolves every role, level, filter value and measure of a
+// query exactly once, so the scan is pure array indexing: per row, each
+// filter is two array loads and a bool test, each group-by is two array
+// loads folded into a dense composite integer key. No maps, no strings, no
+// per-row allocation on the hot path.
+// ---------------------------------------------------------------------------
+
+type planGroup struct {
+	col    []int32  // coordinate column of the role
+	lookup []int32  // base key → target-level key (-1 = unknown)
+	names  []string // target-level member names by key
+	card   uint64   // len(names)+1; slot 0 encodes "(unknown)"
+}
+
+type planFilter struct {
+	col     []int32
+	lookup  []int32
+	allowed []bool // indexed by target-level key
+}
+
+type plan struct {
+	q       Query
+	nRows   int
+	measure []float64 // nil for Count (the value is never read)
+	groups  []planGroup
+	filters []planFilter
+	// cells is the product of group cardinalities: the size of the dense
+	// aggregation table, or the key space of the sparse one.
+	cells uint64
+	// overflow marks a key space beyond uint64: composite keys would wrap
+	// and merge distinct groups, so Execute must fall back to the
+	// reference engine's string keys.
+	overflow bool
+}
+
+// planCell accumulates one group's aggregates. count==0 marks an untouched
+// dense slot.
+type planCell struct {
+	sum   float64
+	count int
+	min   float64
+	max   float64
+}
+
+func (c *planCell) add(v float64) {
+	if c.count == 0 {
+		c.min = math.Inf(1)
+		c.max = math.Inf(-1)
+	}
+	c.sum += v
+	c.count++
+	if v < c.min {
+		c.min = v
+	}
+	if v > c.max {
+		c.max = v
+	}
+}
+
+func (c *planCell) merge(o planCell) {
+	if o.count == 0 {
+		return
+	}
+	if c.count == 0 {
+		*c = o
+		return
+	}
+	c.sum += o.sum
+	c.count += o.count
+	if o.min < c.min {
+		c.min = o.min
+	}
+	if o.max > c.max {
+		c.max = o.max
+	}
+}
+
+// compilePlanLocked builds the execution plan for a validated query.
+// Callers must hold w.mu.
+func (w *Warehouse) compilePlanLocked(q Query, fd *factData, roleDim map[string]string) *plan {
+	p := &plan{q: q, nRows: fd.rows, cells: 1}
+	if q.Agg != Count {
+		p.measure = fd.measureColumn(q.Measure)
+	}
+	for _, g := range q.GroupBy {
+		dim := roleDim[g.Role]
+		lt := w.dims[dim].levels[g.Level]
+		names := make([]string, len(lt.members))
+		for i := range lt.members {
+			names[i] = lt.members[i].Name
+		}
+		pg := planGroup{
+			col:    fd.roleColumn(g.Role),
+			lookup: w.rollupTableLocked(dim, g.Level),
+			names:  names,
+			card:   uint64(len(names)) + 1,
+		}
+		if p.cells > math.MaxUint64/pg.card {
+			p.overflow = true
+		}
+		p.cells *= pg.card
+		p.groups = append(p.groups, pg)
+	}
+	for _, f := range q.Filters {
+		dim := roleDim[f.Role]
+		lt := w.dims[dim].levels[f.Level]
+		allowed := make([]bool, len(lt.members))
+		for _, v := range f.Values {
+			if key, ok := lt.byName[v]; ok {
+				allowed[key] = true
+			}
+		}
+		p.filters = append(p.filters, planFilter{
+			col:     fd.roleColumn(f.Role),
+			lookup:  w.rollupTableLocked(dim, f.Level),
+			allowed: allowed,
+		})
+	}
+	return p
+}
+
+// planChunkSize is fixed (not derived from GOMAXPROCS) so chunk boundaries
+// — and therefore the floating-point association order of the merged sums —
+// are identical on every machine and at every parallelism level.
+const planChunkSize = 8192
+
+// denseCellLimit bounds the dense aggregation table; beyond it the scan
+// falls back to a sparse map keyed by the same composite integer.
+const denseCellLimit = 1 << 16
+
+// chunkDenseLimit bounds a per-chunk dense table: a chunk touches at most
+// planChunkSize groups, so a dense table much larger than that wastes
+// zeroing and merge sweeps — such chunks go sparse even when the final
+// accumulator is dense.
+const chunkDenseLimit = 2 * planChunkSize
+
+// partial holds aggregates: dense when the group-key space is small,
+// sparse otherwise.
+type partial struct {
+	dense  []planCell
+	sparse map[uint64]*planCell
+}
+
+func newPartial(cells, denseLimit uint64) *partial {
+	if cells <= denseLimit {
+		return &partial{dense: make([]planCell, cells)}
+	}
+	return &partial{sparse: make(map[uint64]*planCell)}
+}
+
+func (pt *partial) cell(key uint64) *planCell {
+	if pt.dense != nil {
+		return &pt.dense[key]
+	}
+	c, ok := pt.sparse[key]
+	if !ok {
+		c = &planCell{}
+		pt.sparse[key] = c
+	}
+	return c
+}
+
+// mergeFrom folds another partial in. Distinct keys never interact, so the
+// per-cell association order is the order of mergeFrom calls (chunk order)
+// regardless of the sparse map's iteration order — determinism holds.
+func (pt *partial) mergeFrom(o *partial) {
+	if o.dense != nil {
+		for i := range o.dense {
+			if o.dense[i].count > 0 {
+				pt.cell(uint64(i)).merge(o.dense[i])
+			}
+		}
+		return
+	}
+	for k, c := range o.sparse {
+		pt.cell(k).merge(*c)
+	}
+}
+
+// scanChunk aggregates rows [start, end) into pt.
+func (p *plan) scanChunk(pt *partial, start, end int) {
+rows:
+	for r := start; r < end; r++ {
+		for fi := range p.filters {
+			f := &p.filters[fi]
+			k := f.col[r]
+			if k < 0 || int(k) >= len(f.lookup) {
+				continue rows
+			}
+			t := f.lookup[k]
+			if t < 0 || int(t) >= len(f.allowed) || !f.allowed[t] {
+				continue rows
+			}
+		}
+		var key, mult uint64 = 0, 1
+		for gi := range p.groups {
+			g := &p.groups[gi]
+			k := g.col[r]
+			var slot uint64
+			if k >= 0 && int(k) < len(g.lookup) {
+				if t := g.lookup[k]; t >= 0 {
+					slot = uint64(t) + 1
+				}
+			}
+			key += slot * mult
+			mult *= g.card
+		}
+		var v float64
+		if p.measure != nil {
+			v = p.measure[r]
+		}
+		pt.cell(key).add(v)
+	}
+}
+
+// run executes the plan: the scan is split into fixed-size chunks
+// processed in waves of up to GOMAXPROCS workers, and each wave's partial
+// aggregates are merged into the accumulator in chunk order before the
+// next wave starts — so at most GOMAXPROCS partials are ever live, and the
+// per-cell float association order is the chunk order, which keeps the
+// result bit-for-bit deterministic regardless of scheduling or core count.
+func (p *plan) run() *partial {
+	nChunks := (p.nRows + planChunkSize - 1) / planChunkSize
+	if nChunks <= 1 {
+		pt := newPartial(p.cells, denseCellLimit)
+		p.scanChunk(pt, 0, p.nRows)
+		return pt
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nChunks {
+		workers = nChunks
+	}
+	total := newPartial(p.cells, denseCellLimit)
+	wave := make([]*partial, workers)
+	for base := 0; base < nChunks; base += workers {
+		n := workers
+		if base+n > nChunks {
+			n = nChunks - base
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				start := (base + i) * planChunkSize
+				end := start + planChunkSize
+				if end > p.nRows {
+					end = p.nRows
+				}
+				pt := newPartial(p.cells, chunkDenseLimit)
+				p.scanChunk(pt, start, end)
+				wave[i] = pt
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < n; i++ {
+			total.mergeFrom(wave[i])
+			wave[i] = nil
+		}
+	}
+	return total
+}
+
+// materialize turns the aggregate table into a sorted Result, decoding each
+// composite key back into member names.
+func (p *plan) materialize(pt *partial) *Result {
+	type named struct {
+		groups []string
+		c      planCell
+	}
+	var cells []named
+	emit := func(key uint64, c *planCell) {
+		groups := make([]string, len(p.groups))
+		for i := range p.groups {
+			g := &p.groups[i]
+			slot := key % g.card
+			key /= g.card
+			if slot == 0 {
+				groups[i] = "(unknown)"
+			} else {
+				groups[i] = g.names[slot-1]
+			}
+		}
+		cells = append(cells, named{groups, *c})
+	}
+	if pt.dense != nil {
+		for i := range pt.dense {
+			if pt.dense[i].count > 0 {
+				emit(uint64(i), &pt.dense[i])
+			}
+		}
+	} else {
+		keys := make([]uint64, 0, len(pt.sparse))
+		for k := range pt.sparse {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			emit(k, pt.sparse[k])
+		}
+	}
+	less := func(a, b []string) bool {
+		for x := range a {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return false
+	}
+	// Sort by group names, matching the reference engine's order (it sorts
+	// NUL-joined name strings; elementwise comparison is equivalent because
+	// member names never contain NUL).
+	sort.Slice(cells, func(i, j int) bool { return less(cells[i].groups, cells[j].groups) })
+	// Coalesce adjacent cells with identical names: a member literally
+	// named "(unknown)" shares its label with the broken-chain sentinel
+	// slot, and the reference engine (keyed by name strings) merges the
+	// two; do the same.
+	res := &Result{Query: p.q}
+	for i := 0; i < len(cells); {
+		c := cells[i].c
+		j := i + 1
+		for j < len(cells) && !less(cells[i].groups, cells[j].groups) {
+			c.merge(cells[j].c)
+			j++
+		}
+		var v float64
+		switch p.q.Agg {
+		case Sum:
+			v = c.sum
+		case Count:
+			v = float64(c.count)
+		case Avg:
+			v = c.sum / float64(c.count)
+		case Min:
+			v = c.min
+		case Max:
+			v = c.max
+		}
+		res.Rows = append(res.Rows, Row{Groups: cells[i].groups, Value: v, Count: c.count})
+		i = j
+	}
+	return res
+}

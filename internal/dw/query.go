@@ -58,45 +58,101 @@ type Result struct {
 	Rows  []Row
 }
 
-// Execute runs an OLAP query against the warehouse.
-func (w *Warehouse) Execute(q Query) (*Result, error) {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-
+// validateLocked checks a query against the schema and resolves the fact
+// table and the dimension of every referenced role. Both the compiled
+// engine and the reference engine share it. Callers must hold w.mu.
+func (w *Warehouse) validateLocked(q Query) (*factData, map[string]string, error) {
 	fd, ok := w.facts[q.Fact]
 	if !ok {
-		return nil, fmt.Errorf("dw: unknown fact %q", q.Fact)
+		return nil, nil, fmt.Errorf("dw: unknown fact %q", q.Fact)
 	}
-	if q.Agg != Count {
-		if fd.class.Measure(q.Measure) == nil {
-			return nil, fmt.Errorf("dw: fact %q has no measure %q", q.Fact, q.Measure)
+	if q.Agg == Count {
+		// Count needs no measure, but naming a nonexistent one is a query
+		// bug that would otherwise be silently accepted.
+		if q.Measure != "" && fd.class.Measure(q.Measure) == nil {
+			return nil, nil, fmt.Errorf("dw: fact %q has no measure %q", q.Fact, q.Measure)
 		}
+	} else if fd.class.Measure(q.Measure) == nil {
+		return nil, nil, fmt.Errorf("dw: fact %q has no measure %q", q.Fact, q.Measure)
 	}
 	switch q.Agg {
 	case Sum, Count, Avg, Min, Max:
 	default:
-		return nil, fmt.Errorf("dw: unknown aggregation %q", q.Agg)
+		return nil, nil, fmt.Errorf("dw: unknown aggregation %q", q.Agg)
 	}
-	// Pre-resolve the dimension of each role used by group-bys and filters.
 	roleDim := map[string]string{}
 	for _, ref := range fd.class.Dimensions {
 		roleDim[ref.Role] = ref.Dimension
 	}
+	// Grouping one role at two different levels is a legitimate drill
+	// presentation; only an exact (role, level) repeat is a redundant
+	// column and almost certainly a query bug.
+	seenGroups := map[LevelSel]bool{}
 	for _, g := range q.GroupBy {
+		if seenGroups[g] {
+			return nil, nil, fmt.Errorf("dw: duplicate group-by %s at level %s", g.Role, g.Level)
+		}
+		seenGroups[g] = true
 		if err := w.checkRoleLevelLocked(roleDim, g.Role, g.Level, q.Fact); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	// Compile filters to allowed surrogate-key sets at their level.
+	for _, f := range q.Filters {
+		if err := w.checkRoleLevelLocked(roleDim, f.Role, f.Level, q.Fact); err != nil {
+			return nil, nil, err
+		}
+	}
+	return fd, roleDim, nil
+}
+
+// Execute runs an OLAP query against the warehouse using the compiled
+// columnar engine: roles, levels and filters are resolved once into a plan
+// whose scan is pure array indexing over the fact columns, parallelised
+// across row chunks (see plan.go).
+func (w *Warehouse) Execute(q Query) (*Result, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	fd, roleDim, err := w.validateLocked(q)
+	if err != nil {
+		return nil, err
+	}
+	p := w.compilePlanLocked(q, fd, roleDim)
+	if p.overflow {
+		// The composite group-key space exceeds uint64; integer keys would
+		// wrap and merge distinct groups. Pathological (the product of the
+		// grouped level cardinalities must top 2^64) but not impossible,
+		// so take the string-keyed reference scan instead of answering
+		// wrong.
+		return w.referenceScanLocked(q, fd, roleDim), nil
+	}
+	return p.materialize(p.run()), nil
+}
+
+// ExecuteReference runs the same query with the retained row-at-a-time
+// engine: per-row roll-up walks, string group keys, map accumulators. It is
+// the correctness oracle for the compiled engine (the equivalence tests
+// assert byte-identical formatted output) and the baseline the scaling
+// benchmarks measure against.
+func (w *Warehouse) ExecuteReference(q Query) (*Result, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	fd, roleDim, err := w.validateLocked(q)
+	if err != nil {
+		return nil, err
+	}
+	return w.referenceScanLocked(q, fd, roleDim), nil
+}
+
+// referenceScanLocked is the row-at-a-time scan shared by
+// ExecuteReference and Execute's key-space-overflow fallback. Callers must
+// hold w.mu and have validated the query.
+func (w *Warehouse) referenceScanLocked(q Query, fd *factData, roleDim map[string]string) *Result {
 	type compiledFilter struct {
 		role, level string
 		allowed     map[int]bool
 	}
 	var filters []compiledFilter
 	for _, f := range q.Filters {
-		if err := w.checkRoleLevelLocked(roleDim, f.Role, f.Level, q.Fact); err != nil {
-			return nil, err
-		}
 		allowed := make(map[int]bool, len(f.Values))
 		lt := w.dims[roleDim[f.Role]].levels[f.Level]
 		for _, v := range f.Values {
@@ -119,18 +175,19 @@ func (w *Warehouse) Execute(q Query) (*Result, error) {
 		max    float64
 	}
 	cells := map[string]*cell{}
+	measure := fd.measureColumn(q.Measure)
 
 rows:
-	for _, row := range fd.rows {
+	for r := 0; r < fd.rows; r++ {
 		for _, f := range filters {
-			key := w.rollUpKeyLocked(roleDim[f.role], row.Coords[f.role], f.level)
+			key := w.rollUpKeyLocked(roleDim[f.role], int(fd.roleColumn(f.role)[r]), f.level)
 			if key == NoParent || !f.allowed[key] {
 				continue rows
 			}
 		}
 		groups := make([]string, len(q.GroupBy))
 		for i, g := range q.GroupBy {
-			key := w.rollUpKeyLocked(roleDim[g.Role], row.Coords[g.Role], g.Level)
+			key := w.rollUpKeyLocked(roleDim[g.Role], int(fd.roleColumn(g.Role)[r]), g.Level)
 			if key == NoParent {
 				groups[i] = "(unknown)"
 			} else {
@@ -143,7 +200,10 @@ rows:
 			c = &cell{groups: groups, min: math.Inf(1), max: math.Inf(-1)}
 			cells[ck] = c
 		}
-		v := row.Measures[q.Measure]
+		var v float64
+		if measure != nil {
+			v = measure[r]
+		}
 		c.sum += v
 		c.count++
 		if v < c.min {
@@ -177,7 +237,7 @@ rows:
 		}
 		res.Rows = append(res.Rows, Row{Groups: c.groups, Value: v, Count: c.count})
 	}
-	return res, nil
+	return res
 }
 
 func (w *Warehouse) checkRoleLevelLocked(roleDim map[string]string, role, level, fact string) error {
@@ -216,14 +276,21 @@ func (w *Warehouse) Dice(q Query, role, level string, values []string) (*Result,
 }
 
 func retarget(q Query, role, toLevel string) Query {
-	gb := make([]LevelSel, len(q.GroupBy))
-	copy(gb, q.GroupBy)
+	// Rewriting every entry of the role can collapse a two-level drill
+	// presentation onto one level; dedup so the result stays valid.
+	gb := make([]LevelSel, 0, len(q.GroupBy))
+	seen := map[LevelSel]bool{}
 	replaced := false
-	for i := range gb {
-		if gb[i].Role == role {
-			gb[i].Level = toLevel
+	for _, g := range q.GroupBy {
+		if g.Role == role {
+			g.Level = toLevel
 			replaced = true
 		}
+		if seen[g] {
+			continue
+		}
+		seen[g] = true
+		gb = append(gb, g)
 	}
 	if !replaced {
 		gb = append(gb, LevelSel{role, toLevel})

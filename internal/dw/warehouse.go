@@ -42,29 +42,18 @@ type dimensionData struct {
 	levels map[string]*levelTable
 }
 
-// FactRow is one fact table row: surrogate keys of the base-level members
-// per role, and the measure values.
-type FactRow struct {
-	Coords   map[string]int // role → base-level surrogate key
-	Measures map[string]float64
-	// Provenance carries free-form lineage (Step 5 stores the source web
-	// page next to each loaded record).
-	Provenance string
-}
-
-// factData stores the rows of one fact table.
-type factData struct {
-	class *mdm.FactClass
-	rows  []FactRow
-}
-
 // Warehouse is a populated star schema. It is safe for concurrent use;
-// loads take the write lock, queries the read lock.
+// loads take the write lock, queries the read lock. Fact tables are stored
+// columnar (see factData); roll-up lookup arrays are memoised per
+// (dimension, level) and invalidated on member writes.
 type Warehouse struct {
 	mu     sync.RWMutex
 	schema *mdm.Schema
 	dims   map[string]*dimensionData
 	facts  map[string]*factData
+
+	memoMu  sync.Mutex
+	rollups map[rollupMemoKey][]int32
 }
 
 // New builds an empty warehouse for a validated schema.
@@ -85,7 +74,7 @@ func New(schema *mdm.Schema) (*Warehouse, error) {
 		w.dims[d.Name] = dd
 	}
 	for _, f := range schema.Facts {
-		w.facts[f.Name] = &factData{class: f}
+		w.facts[f.Name] = newFactData(f)
 	}
 	return w, nil
 }
@@ -137,11 +126,13 @@ func (w *Warehouse) addMemberLocked(dim, level, name string, attrs map[string]st
 			}
 			m.Attrs[k] = v
 		}
-		if parent != NoParent {
+		if parent != NoParent && m.Parent != parent {
 			m.Parent = parent
+			w.invalidateRollups()
 		}
 		return key, nil
 	}
+	w.invalidateRollups()
 	key := len(lt.members)
 	cp := make(map[string]string, len(attrs))
 	for k, v := range attrs {
@@ -260,12 +251,8 @@ func (w *Warehouse) AddFactProvenance(fact string, coords map[string]string, mea
 	if !ok {
 		return fmt.Errorf("dw: unknown fact %q", fact)
 	}
-	row := FactRow{
-		Coords:     make(map[string]int, len(fd.class.Dimensions)),
-		Measures:   make(map[string]float64, len(measures)),
-		Provenance: provenance,
-	}
-	for _, ref := range fd.class.Dimensions {
+	keys := make([]int32, len(fd.roles))
+	for i, ref := range fd.class.Dimensions {
 		name, ok := coords[ref.Role]
 		if !ok {
 			return fmt.Errorf("dw: fact %q row missing role %q", fact, ref.Role)
@@ -277,15 +264,17 @@ func (w *Warehouse) AddFactProvenance(fact string, coords map[string]string, mea
 			return fmt.Errorf("dw: fact %q role %q: member %q not found at base level %q of %q",
 				fact, ref.Role, name, base.Name, ref.Dimension)
 		}
-		row.Coords[ref.Role] = key
+		keys[i] = int32(key)
 	}
+	vals := make([]float64, len(fd.measures))
 	for name, v := range measures {
-		if fd.class.Measure(name) == nil {
+		i, ok := fd.measureIdx[name]
+		if !ok {
 			return fmt.Errorf("dw: fact %q has no measure %q", fact, name)
 		}
-		row.Measures[name] = v
+		vals[i] = v
 	}
-	fd.rows = append(fd.rows, row)
+	fd.appendRow(keys, vals, provenance)
 	return nil
 }
 
@@ -294,7 +283,7 @@ func (w *Warehouse) FactCount(fact string) int {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
 	if fd, ok := w.facts[fact]; ok {
-		return len(fd.rows)
+		return fd.rows
 	}
 	return 0
 }

@@ -5,6 +5,7 @@
 package eval
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -123,6 +124,30 @@ func (t *Table) Format() string {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
+}
+
+// tableJSON is the machine-readable shape of one table.
+type tableJSON struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// TablesJSON renders tables as one JSON array (the shape of
+// cmd/benchreport's -json output), so consumers can parse it as a single
+// document.
+func TablesJSON(tables []*Table) (string, error) {
+	all := make([]tableJSON, len(tables))
+	for i, t := range tables {
+		all[i] = tableJSON{t.ID, t.Title, t.Header, t.Rows, t.Notes}
+	}
+	out, err := json.MarshalIndent(all, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
 }
 
 // Markdown renders the table as a GitHub-flavoured markdown table.

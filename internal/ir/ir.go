@@ -15,7 +15,6 @@ package ir
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 	"sync"
 
@@ -238,14 +237,20 @@ func QueryTerms(text string) []string {
 
 // Search returns the top-k passages for the query terms, ranked by the
 // IR-n style weight sum((1+log tf) * idf). Deterministic: ties break by
-// document then passage position.
+// document then passage position. Scores accumulate in a dense slice
+// indexed by passage id and the ranking uses a bounded top-k heap:
+// O(passages) to allocate and sweep the accumulator plus O(postings +
+// matches·log k) to score and rank — the linear term trades for zero
+// per-candidate map overhead and is the right trade while queries match
+// a large fraction of the index (revisit if selective queries over very
+// large indexes become the workload).
 func (ix *Index) Search(terms []string, k int) []Passage {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if len(ix.passages) == 0 || len(terms) == 0 || k <= 0 {
 		return nil
 	}
-	scores := make(map[int]float64)
+	scores := make([]float64, len(ix.passages))
 	nPass := float64(len(ix.passages))
 	seen := map[string]bool{}
 	for _, term := range terms {
@@ -263,23 +268,10 @@ func (ix *Index) Search(terms []string, k int) []Passage {
 			scores[p.passage] += (1 + math.Log(float64(p.tf))) * idf
 		}
 	}
-	ids := make([]int, 0, len(scores))
-	for id := range scores {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool {
-		si, sj := scores[ids[i]], scores[ids[j]]
-		if si != sj {
-			return si > sj
-		}
-		return ids[i] < ids[j]
-	})
-	if len(ids) > k {
-		ids = ids[:k]
-	}
+	ids := selectTopK(scores, k)
 	out := make([]Passage, 0, len(ids))
 	for _, id := range ids {
-		out = append(out, ix.materializeLocked(id, scores[id]))
+		out = append(out, ix.materializeLocked(int(id), scores[id]))
 	}
 	return out
 }
@@ -312,7 +304,7 @@ func (ix *Index) SearchDocuments(terms []string, k int) []DocResult {
 		return nil
 	}
 	nDocs := float64(len(ix.docs))
-	scores := make(map[int]float64)
+	scores := make([]float64, len(ix.docs))
 	seen := map[string]bool{}
 	for _, term := range terms {
 		term = strings.ToLower(term)
@@ -331,24 +323,11 @@ func (ix *Index) SearchDocuments(terms []string, k int) []DocResult {
 			}
 		}
 	}
-	ids := make([]int, 0, len(scores))
-	for id := range scores {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool {
-		si, sj := scores[ids[i]], scores[ids[j]]
-		if si != sj {
-			return si > sj
-		}
-		return ids[i] < ids[j]
-	})
-	if len(ids) > k {
-		ids = ids[:k]
-	}
+	ids := selectTopK(scores, k)
 	out := make([]DocResult, 0, len(ids))
 	for _, id := range ids {
 		out = append(out, DocResult{
-			URL: ix.docs[id].URL, DocIndex: id,
+			URL: ix.docs[id].URL, DocIndex: int(id),
 			Score: scores[id], Text: ix.docs[id].Text,
 		})
 	}
