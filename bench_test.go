@@ -12,6 +12,8 @@ import (
 
 	"dwqa"
 	"dwqa/internal/core"
+	"dwqa/internal/engine"
+	"dwqa/internal/etl"
 	"dwqa/internal/eval"
 	"dwqa/internal/ir"
 	"dwqa/internal/webcorpus"
@@ -185,4 +187,140 @@ func BenchmarkIntegrationRunAll(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// servingWorkload is the traffic-shaped question mix of the QA serving
+// benchmarks: every scenario question, repeated — user traffic asks the
+// same things over and over, which is exactly what the engine's request
+// coalescing and answer cache exist for. Repeats are interleaved so a
+// batch never presents the same question twice in a row.
+func servingWorkload(p *dwqa.Pipeline, repeat int) []string {
+	unique := p.WeatherQuestions()
+	out := make([]string, 0, len(unique)*repeat)
+	for r := 0; r < repeat; r++ {
+		out = append(out, unique...)
+	}
+	return out
+}
+
+// BenchmarkAskThroughput compares one op = answering the whole serving
+// workload sequentially (one Ask per question, the pre-engine library
+// path) against the engine's AskAll with 8 workers, request coalescing
+// and the answer cache. Both paths are verified to return identical
+// answers in identical order before timing.
+func BenchmarkAskThroughput(b *testing.B) {
+	p, err := dwqa.New(dwqa.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+	workload := servingWorkload(p, 8)
+	eng, err := p.Engine()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Correctness gate: batch slots must match the sequential loop.
+	batch := eng.AskAll(workload)
+	for i, q := range workload {
+		res, err := p.Ask(q)
+		if err != nil || batch[i].Err != nil {
+			b.Fatalf("slot %d: sequential err %v, batch err %v", i, err, batch[i].Err)
+		}
+		if res.Trace().Format() != batch[i].Result.Trace().Format() {
+			b.Fatalf("slot %d (%q): batch result diverges from sequential Ask", i, q)
+		}
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, q := range workload {
+				res, err := p.Ask(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Best == nil {
+					b.Fatal("no answer")
+				}
+			}
+		}
+		b.ReportMetric(float64(len(workload))*float64(b.N)/b.Elapsed().Seconds(), "questions/sec")
+	})
+	b.Run("engine8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range eng.AskAll(workload) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+				if r.Result.Best == nil {
+					b.Fatal("no answer")
+				}
+			}
+		}
+		b.ReportMetric(float64(len(workload))*float64(b.N)/b.Elapsed().Seconds(), "questions/sec")
+	})
+}
+
+// BenchmarkHarvestBatch compares one op = the full Step 5 feed run
+// sequentially (harvest one question, load row-at-a-time) against the
+// engine's concurrent harvest with batch warehouse loading. Each
+// iteration uses a fresh loader so deduplication state never carries
+// over.
+func BenchmarkHarvestBatch(b *testing.B) {
+	p, err := dwqa.New(dwqa.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, step := range []func() error{
+		p.Step1DeriveOntology, p.Step2FeedOntology,
+		p.Step3MergeUpperOntology, p.Step4TuneQA,
+	} {
+		if err := step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	questions := p.WeatherQuestions()
+	harvester, err := p.NewHarvester()
+	if err != nil {
+		b.Fatal(err)
+	}
+	newLoader := func() *etl.Loader {
+		l, err := etl.NewLoader(p.Ontology, p.Warehouse, "Weather", "City", "Date")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return l
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			loader := newLoader()
+			for _, q := range questions {
+				answers, _, err := harvester.Harvest(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := loader.Load(answers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("engine8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng, err := engine.New(engine.Config{}, p.QA, harvester, newLoader(), p.Index)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := eng.HarvestAll(questions); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

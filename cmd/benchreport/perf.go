@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"dwqa/internal/core"
+	"dwqa/internal/engine"
+	"dwqa/internal/etl"
 	"dwqa/internal/ir"
 	"dwqa/internal/webcorpus"
 )
@@ -32,11 +34,35 @@ type perfComparison struct {
 	AllocReduction float64 `json:"alloc_reduction"`
 }
 
+// qaServingComparison pairs the serving engine against the sequential
+// one-Ask-at-a-time loop over the same workload.
+type qaServingComparison struct {
+	WorkloadQuestions int     `json:"workload_questions"`
+	UniqueQuestions   int     `json:"unique_questions"`
+	Workers           int     `json:"workers"`
+	Sequential        float64 `json:"sequential_ns_per_op"`
+	Engine            float64 `json:"engine_ns_per_op"`
+	Speedup           float64 `json:"speedup"`
+	SequentialQPS     float64 `json:"sequential_questions_per_sec"`
+	EngineQPS         float64 `json:"engine_questions_per_sec"`
+}
+
+// harvestComparison pairs the engine's concurrent harvest + batch load
+// against the sequential harvest-and-load loop for the full Step 5 feed.
+type harvestComparison struct {
+	Questions  int     `json:"questions"`
+	Sequential float64 `json:"sequential_ns_per_op"`
+	Engine     float64 `json:"engine_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
 // perfReport is the schema of BENCH_PERF.json.
 type perfReport struct {
-	Schema       string            `json:"schema"`
-	Measurements []perfMeasurement `json:"measurements"`
-	OLAP         []perfComparison  `json:"olap_compiled_vs_reference"`
+	Schema       string               `json:"schema"`
+	Measurements []perfMeasurement    `json:"measurements"`
+	OLAP         []perfComparison     `json:"olap_compiled_vs_reference"`
+	QAServing    *qaServingComparison `json:"qa_serving_engine_vs_sequential,omitempty"`
+	Harvest      *harvestComparison   `json:"harvest_batch_vs_sequential,omitempty"`
 }
 
 func measure(name string, rows int, fn func(b *testing.B)) (perfMeasurement, error) {
@@ -64,7 +90,7 @@ func runPerf(outDir string, seed int64) (*perfReport, error) {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return nil, err
 	}
-	rep := &perfReport{Schema: "dwqa-bench/v1"}
+	rep := &perfReport{Schema: "dwqa-bench/v2"}
 	for _, target := range []int{1_000, 10_000, 100_000} {
 		wh, q, err := core.PrepareScaledBenchmark(target, seed)
 		if err != nil {
@@ -122,6 +148,10 @@ func runPerf(outDir string, seed int64) (*perfReport, error) {
 	}
 	rep.Measurements = append(rep.Measurements, irBench)
 
+	if err := runQAServingPerf(rep, seed); err != nil {
+		return nil, err
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return nil, err
@@ -131,6 +161,151 @@ func runPerf(outDir string, seed int64) (*perfReport, error) {
 		return nil, err
 	}
 	return rep, nil
+}
+
+// runQAServingPerf benchmarks the QA serving side: AskThroughput
+// (sequential Ask loop vs the engine's AskAll over a traffic-shaped
+// workload with repeats) and HarvestBatch (sequential Step 5 loop vs the
+// engine's concurrent harvest + batch load). Batch answers are verified
+// identical to the sequential loop before any timing.
+func runQAServingPerf(rep *perfReport, seed int64) error {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	p, err := core.NewPipeline(cfg)
+	if err != nil {
+		return err
+	}
+	if err := p.RunAll(); err != nil {
+		return err
+	}
+	eng, err := p.Engine()
+	if err != nil {
+		return err
+	}
+	unique := p.WeatherQuestions()
+	const repeat = 8
+	var workload []string
+	for r := 0; r < repeat; r++ {
+		workload = append(workload, unique...)
+	}
+
+	// Correctness gate: the batch must be byte-identical to the
+	// sequential Ask order.
+	batch := eng.AskAll(workload)
+	for i, q := range workload {
+		res, err := p.Ask(q)
+		if err != nil || batch[i].Err != nil {
+			return fmt.Errorf("benchreport: slot %d: sequential err %v, batch err %v", i, err, batch[i].Err)
+		}
+		if res.Trace().Format() != batch[i].Result.Trace().Format() {
+			return fmt.Errorf("benchreport: slot %d (%q): batch result diverges from sequential Ask", i, q)
+		}
+	}
+
+	seq, err := measure("AskThroughput/sequential", len(workload), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, q := range workload {
+				if _, err := p.Ask(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	engd, err := measure("AskThroughput/engine8", len(workload), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range eng.AskAll(workload) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	rep.Measurements = append(rep.Measurements, seq, engd)
+	qs := &qaServingComparison{
+		WorkloadQuestions: len(workload),
+		UniqueQuestions:   len(unique),
+		Workers:           eng.Workers(),
+		Sequential:        seq.NsPerOp,
+		Engine:            engd.NsPerOp,
+	}
+	if engd.NsPerOp > 0 {
+		qs.Speedup = seq.NsPerOp / engd.NsPerOp
+	}
+	if seq.NsPerOp > 0 {
+		qs.SequentialQPS = float64(len(workload)) / (seq.NsPerOp / 1e9)
+	}
+	if engd.NsPerOp > 0 {
+		qs.EngineQPS = float64(len(workload)) / (engd.NsPerOp / 1e9)
+	}
+	rep.QAServing = qs
+
+	// Harvest: fresh loaders per iteration so dedup state never carries.
+	harvester, err := p.NewHarvester()
+	if err != nil {
+		return err
+	}
+	newLoader := func() (*etl.Loader, error) {
+		return etl.NewLoader(p.Ontology, p.Warehouse, "Weather", "City", "Date")
+	}
+	hseq, err := measure("HarvestBatch/sequential", len(unique), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			loader, err := newLoader()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, q := range unique {
+				answers, _, err := harvester.Harvest(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := loader.Load(answers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	heng, err := measure("HarvestBatch/engine8", len(unique), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			loader, err := newLoader()
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := engine.New(engine.Config{}, p.QA, harvester, loader, p.Index)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := e.HarvestAll(unique); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	rep.Measurements = append(rep.Measurements, hseq, heng)
+	hc := &harvestComparison{
+		Questions:  len(unique),
+		Sequential: hseq.NsPerOp,
+		Engine:     heng.NsPerOp,
+	}
+	if heng.NsPerOp > 0 {
+		hc.Speedup = hseq.NsPerOp / heng.NsPerOp
+	}
+	rep.Harvest = hc
+	return nil
 }
 
 func printPerf(rep *perfReport) {
@@ -144,5 +319,15 @@ func printPerf(rep *perfReport) {
 			fmt.Printf("IR top-k search over %d passages: %.0f ns/op, %d allocs/op\n",
 				m.Rows, m.NsPerOp, m.AllocsPerOp)
 		}
+	}
+	if qs := rep.QAServing; qs != nil {
+		fmt.Println("== PERF: QA serving engine vs sequential Ask loop ==")
+		fmt.Printf("%d-question workload (%d unique, %d workers): sequential %.0f q/s, engine %.0f q/s, speedup %.1fx\n",
+			qs.WorkloadQuestions, qs.UniqueQuestions, qs.Workers,
+			qs.SequentialQPS, qs.EngineQPS, qs.Speedup)
+	}
+	if hc := rep.Harvest; hc != nil {
+		fmt.Printf("Step 5 feed (%d questions): sequential %.0f ms, batch engine %.0f ms, speedup %.2fx\n",
+			hc.Questions, hc.Sequential/1e6, hc.Engine/1e6, hc.Speedup)
 	}
 }

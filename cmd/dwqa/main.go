@@ -1,35 +1,73 @@
 // Command dwqa runs the full five-step DW↔QA integration on the Last
-// Minute Sales scenario and prints the paper's Table 1 trace plus the BI
-// analysis the scenario motivates.
+// Minute Sales scenario. Without a subcommand it prints the paper's
+// Table 1 trace plus the BI analysis the scenario motivates; the serve
+// subcommand keeps the integrated system running behind an HTTP JSON API.
 //
 // Usage:
 //
 //	dwqa [-seed N] [-no-ontology] [-no-irfilter] [-table-aware] [-q QUESTION]
+//	dwqa serve [-addr :8080] [-workers 8] [-cache 1024] [-no-feed] [shared flags]
+//
+// The serve API:
+//
+//	POST /ask        {"question": "..."}      one answer
+//	POST /ask/batch  {"questions": [...]}     batched answers, input order
+//	POST /harvest    {"questions": [...]}     Step 5 feed (empty = default workload)
+//	GET  /trace?q=…                           the paper's Table 1 trace
+//	GET  /healthz                             serving statistics
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"dwqa"
 )
 
-func main() {
-	seed := flag.Int64("seed", 42, "deterministic seed for scenario, corpus and workload")
-	noOntology := flag.Bool("no-ontology", false, "ablate the shared ontology (skip Steps 2-3 enrichment)")
-	noIRFilter := flag.Bool("no-irfilter", false, "ablate the IR filtering phase (QA scans every passage)")
-	tableAware := flag.Bool("table-aware", false, "enable the future-work table pre-processing")
-	question := flag.String("q", "What is the weather like in January of 2004 in El Prat?", "question to trace")
-	flag.Parse()
+// sharedFlags registers the pipeline flags common to both modes.
+type sharedFlags struct {
+	seed       *int64
+	noOntology *bool
+	noIRFilter *bool
+	tableAware *bool
+}
 
+func registerShared(fs *flag.FlagSet) sharedFlags {
+	return sharedFlags{
+		seed:       fs.Int64("seed", 42, "deterministic seed for scenario, corpus and workload"),
+		noOntology: fs.Bool("no-ontology", false, "ablate the shared ontology (skip Steps 2-3 enrichment)"),
+		noIRFilter: fs.Bool("no-irfilter", false, "ablate the IR filtering phase (QA scans every passage)"),
+		tableAware: fs.Bool("table-aware", false, "enable the future-work table pre-processing"),
+	}
+}
+
+func (sf sharedFlags) config() dwqa.Config {
 	cfg := dwqa.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.QA.UseOntology = !*noOntology
-	cfg.QA.UseIRFilter = !*noIRFilter
-	cfg.TableAware = *tableAware
+	cfg.Seed = *sf.seed
+	cfg.QA.UseOntology = !*sf.noOntology
+	cfg.QA.UseIRFilter = !*sf.noIRFilter
+	cfg.TableAware = *sf.tableAware
+	return cfg
+}
 
-	p, err := dwqa.New(cfg)
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
+	runTrace(os.Args[1:])
+}
+
+// runTrace is the classic one-shot mode: integrate, trace, analyse.
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("dwqa", flag.ExitOnError)
+	sf := registerShared(fs)
+	question := fs.String("q", "What is the weather like in January of 2004 in El Prat?", "question to trace")
+	_ = fs.Parse(args)
+
+	p, err := dwqa.New(sf.config())
 	if err != nil {
 		fatal(err)
 	}
@@ -52,6 +90,55 @@ func main() {
 	}
 	fmt.Println("--- BI analysis (the scenario's goal) ---")
 	fmt.Println(rep.Format())
+}
+
+// runServe integrates once, then serves the QA side over HTTP.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("dwqa serve", flag.ExitOnError)
+	sf := registerShared(fs)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "concurrent questions per batch (0 = engine default)")
+	cache := fs.Int("cache", 0, "answer-cache entries (0 = engine default, negative disables)")
+	noFeed := fs.Bool("no-feed", false, "skip the initial Step 5 feed (serve over the unfed warehouse)")
+	_ = fs.Parse(args)
+
+	cfg := sf.config()
+	cfg.Engine.Workers = *workers
+	cfg.Engine.CacheSize = *cache
+
+	p, err := dwqa.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("dwqa serve: running the five-step integration (paper §3)...")
+	if *noFeed {
+		if err := p.Step1DeriveOntology(); err != nil {
+			fatal(err)
+		}
+		if err := p.Step2FeedOntology(); err != nil {
+			fatal(err)
+		}
+		if err := p.Step3MergeUpperOntology(); err != nil {
+			fatal(err)
+		}
+		if err := p.Step4TuneQA(); err != nil {
+			fatal(err)
+		}
+	} else if err := p.RunAll(); err != nil {
+		fatal(err)
+	}
+	fmt.Print(p.Summary())
+
+	eng, err := p.Engine()
+	if err != nil {
+		fatal(err)
+	}
+	st := eng.Stats()
+	fmt.Printf("dwqa serve: listening on %s (%d workers, %d passages indexed)\n",
+		*addr, eng.Workers(), st.Passages)
+	if err := http.ListenAndServe(*addr, dwqa.NewServer(eng)); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

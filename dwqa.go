@@ -27,8 +27,11 @@
 package dwqa
 
 import (
+	"net/http"
+
 	"dwqa/internal/bi"
 	"dwqa/internal/core"
+	"dwqa/internal/engine"
 	"dwqa/internal/qa"
 )
 
@@ -58,6 +61,24 @@ type Trace = qa.Trace
 // BIReport is the sales×weather analysis over the enriched warehouse.
 type BIReport = bi.Report
 
+// Engine is the concurrent QA serving layer over a pipeline: worker-pool
+// batch execution (AskAll, HarvestAll) with deterministic result
+// ordering, request coalescing and an LRU answer cache invalidated on
+// every warehouse feed. Obtain one with Pipeline.Engine() (after Step 4);
+// batch questions with Pipeline.AskAll.
+type Engine = engine.Engine
+
+// EngineConfig sizes the serving layer (worker count, answer-cache
+// capacity); set it on Config.Engine before New.
+type EngineConfig = engine.Config
+
+// AskResult is one slot of a batched AskAll call: the result (or error)
+// for the question at the same input position.
+type AskResult = engine.AskResult
+
+// HarvestResult is one question's outcome of a batched Step 5 harvest.
+type HarvestResult = engine.HarvestResult
+
 // New builds a pipeline over the Last Minute Sales scenario: the Figure 1
 // schema, a populated warehouse, the synthetic web corpus and the passage
 // index. No integration step has run yet.
@@ -73,3 +94,8 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 func AnalyzeSalesWeather(p *Pipeline) (*BIReport, error) {
 	return bi.Analyze(p.Warehouse, bi.DefaultJoinSpec(), bi.Options{})
 }
+
+// NewServer returns the HTTP JSON API (POST /ask, /ask/batch, /harvest;
+// GET /trace, /healthz) over a pipeline's serving engine — what `dwqa
+// serve` listens with.
+func NewServer(e *Engine) http.Handler { return engine.NewServer(e) }

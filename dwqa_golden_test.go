@@ -1,0 +1,55 @@
+package dwqa_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dwqa"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestTable1Golden runs the five-step integration end to end and compares
+// the full Table 1 trace for the paper's own query ("What is the weather
+// like in January of 2004 in El Prat?") byte-for-byte against the
+// checked-in golden file. Any drift in tokenisation, tagging, chunking,
+// pattern matching, retrieval ranking or extraction shows up here as a
+// readable diff. Regenerate deliberately with:
+//
+//	go test -run TestTable1Golden -update .
+func TestTable1Golden(t *testing.T) {
+	p, err := dwqa.New(dwqa.DefaultConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := p.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	tr, err := p.Table1("")
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	got := tr.Format()
+
+	golden := filepath.Join("testdata", "table1.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("Table 1 trace diverged from %s.\n--- got ---\n%s\n--- want ---\n%s",
+			golden, got, want)
+	}
+}

@@ -3,9 +3,12 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dwqa/internal/dw"
+	"dwqa/internal/engine"
 	"dwqa/internal/etl"
 	"dwqa/internal/ir"
 	"dwqa/internal/mdm"
@@ -48,6 +51,11 @@ type Config struct {
 	// paper's eight consecutive sentences, footnote 6). The E-PSIZE
 	// ablation sweeps it.
 	PassageSize int
+
+	// Engine sizes the concurrent serving layer returned by
+	// Pipeline.Engine (worker count, answer-cache capacity). The zero
+	// value selects the engine defaults.
+	Engine engine.Config
 }
 
 // DefaultConfig is the paper's evaluated configuration: everything on.
@@ -64,6 +72,11 @@ func DefaultConfig() Config {
 // Pipeline holds every system of the integration: the warehouse side, the
 // QA side, and the shared ontology between them. Steps must run in order;
 // RunAll does so.
+//
+// Once Step 4 has run, Ask, AskAll and Step5FeedWarehouse are safe to
+// call concurrently from any number of goroutines — the serving scenario
+// of answering user questions while a feed refreshes the warehouse. The
+// setup steps themselves (1-4) are not concurrent with each other.
 type Pipeline struct {
 	Config Config
 
@@ -79,7 +92,10 @@ type Pipeline struct {
 	Loader      *etl.Loader        // created by Step 5
 	LoadReport  *etl.Report        // result of Step 5
 
-	step int // highest completed step
+	step atomic.Int32 // highest completed step
+
+	mu  sync.Mutex     // guards eng/Loader creation and LoadReport writes
+	eng *engine.Engine // lazily built by Engine()
 }
 
 // NewPipeline builds the scenario environment: the Figure 1 schema, the
@@ -130,7 +146,7 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 }
 
 func (p *Pipeline) require(step int) error {
-	if p.step < step {
+	if int(p.step.Load()) < step {
 		return fmt.Errorf("core: step %d requires step %d to have run", step+1, step)
 	}
 	return nil
@@ -144,7 +160,7 @@ func (p *Pipeline) Step1DeriveOntology() error {
 		return err
 	}
 	p.Ontology = o
-	p.step = 1
+	p.step.Store(1)
 	return nil
 }
 
@@ -189,7 +205,7 @@ func (p *Pipeline) Step2FeedOntology() error {
 	for _, country := range p.Warehouse.Members("Airport", "Country") {
 		p.Ontology.AddInstance("Country", ontology.Instance{Name: country})
 	}
-	p.step = 2
+	p.step.Store(2)
 	return nil
 }
 
@@ -209,7 +225,7 @@ func (p *Pipeline) Step3MergeUpperOntology() error {
 	} else {
 		p.MergeReport = &merge.Report{Mapping: map[string]string{}}
 	}
-	p.step = 3
+	p.step.Store(3)
 	return nil
 }
 
@@ -242,7 +258,7 @@ func (p *Pipeline) Step4TuneQA() error {
 	}
 	sys.TunePatterns(qa.WeatherPatterns()...)
 	p.QA = sys
-	p.step = 4
+	p.step.Store(4)
 	return nil
 }
 
@@ -271,13 +287,58 @@ type StepResult struct {
 
 // Step5FeedWarehouse runs the harvest questions through the QA system and
 // loads every well-formed (temperature – date – city – web page) record
-// into the Weather fact.
+// into the Weather fact. The harvest runs on the serving engine's worker
+// pool: answers are extracted concurrently per question and committed in
+// one batch load, in question order, so the outcome matches the
+// sequential harvest-and-load loop exactly.
 func (p *Pipeline) Step5FeedWarehouse(questions []string) ([]StepResult, error) {
+	eng, err := p.Engine()
+	if err != nil {
+		return nil, err
+	}
+	if len(questions) == 0 {
+		// An explicitly empty workload feeds nothing (the engine-level
+		// default-workload fallback is for the serving API only).
+		p.mu.Lock()
+		p.LoadReport = &etl.Report{}
+		p.mu.Unlock()
+		p.step.Store(5)
+		return nil, nil
+	}
+	items, total, err := eng.HarvestAll(questions)
+	if err != nil {
+		return nil, err
+	}
+	// The batch is committed at this point: record what loaded even if a
+	// question failed, so the warehouse state stays observable.
+	p.mu.Lock()
+	p.LoadReport = total
+	p.mu.Unlock()
+	var results []StepResult
+	for _, it := range items {
+		if it.Err != nil {
+			return nil, fmt.Errorf("core: step 5 question %q: %w", it.Question, it.Err)
+		}
+		results = append(results, StepResult{Question: it.Question, Answers: it.Loaded})
+	}
+	p.step.Store(5)
+	return results, nil
+}
+
+// Engine returns the concurrent QA serving layer over the tuned system
+// (requires Step 4), creating it on first call. The engine persists
+// across Step 5 runs — its loader keeps the dedup state that makes
+// repeated feeds idempotent, and its answer cache is invalidated by every
+// feed.
+func (p *Pipeline) Engine() (*engine.Engine, error) {
 	if err := p.require(4); err != nil {
 		return nil, err
 	}
-	// The loader persists across Step 5 runs so its deduplication makes
-	// repeated feeds idempotent.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.eng != nil {
+		return p.eng, nil
+	}
 	if p.Loader == nil {
 		loader, err := etl.NewLoader(p.Ontology, p.Warehouse, "Weather", "City", "Date")
 		if err != nil {
@@ -285,9 +346,25 @@ func (p *Pipeline) Step5FeedWarehouse(questions []string) ([]StepResult, error) 
 		}
 		p.Loader = loader
 	}
-	loader := p.Loader
-	total := &etl.Report{}
-	var results []StepResult
+	harvester, err := p.NewHarvester()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(p.Config.Engine, p.QA, harvester, p.Loader, p.Index)
+	if err != nil {
+		return nil, err
+	}
+	eng.SetDefaultHarvest(p.WeatherQuestions())
+	p.eng = eng
+	return eng, nil
+}
+
+// NewHarvester builds the Step 5 harvesting system: the tuned QA system
+// with the wide harvest passage budget (a month of daily records needs
+// more passages than a single-answer question). The serving engine and
+// the benchmarks share this recipe so they always measure the system the
+// pipeline actually feeds with.
+func (p *Pipeline) NewHarvester() (*qa.System, error) {
 	harvestCfg := p.Config.QA
 	harvestCfg.TopPassages = p.Config.HarvestPassages
 	harvester, err := qa.NewSystem(p.Lexicon, p.qaOntology(), p.Index, harvestCfg)
@@ -295,23 +372,21 @@ func (p *Pipeline) Step5FeedWarehouse(questions []string) ([]StepResult, error) 
 		return nil, err
 	}
 	harvester.TunePatterns(qa.WeatherPatterns()...)
-	for _, q := range questions {
-		answers, _, err := harvester.Harvest(q)
-		if err != nil {
-			return nil, fmt.Errorf("core: step 5 question %q: %w", q, err)
-		}
-		rep, err := loader.Load(answers)
-		if err != nil {
-			return nil, err
-		}
-		total.Normalized += rep.Normalized
-		total.Loaded += rep.Loaded
-		total.Rejections = append(total.Rejections, rep.Rejections...)
-		results = append(results, StepResult{Question: q, Answers: rep.Loaded})
+	return harvester, nil
+}
+
+// AskAll answers a batch of questions concurrently on the serving
+// engine's worker pool (requires Step 4). Results are in input order;
+// for every distinct surface form the result matches what a sequential
+// Ask call would return, and questions that normalise identically share
+// the first form's result (see engine.NormalizeQuestion). Previously
+// answered questions are served from the engine's cache.
+func (p *Pipeline) AskAll(questions []string) ([]engine.AskResult, error) {
+	eng, err := p.Engine()
+	if err != nil {
+		return nil, err
 	}
-	p.LoadReport = total
-	p.step = 5
-	return results, nil
+	return eng.AskAll(questions), nil
 }
 
 // qaOntology returns the ontology handed to QA systems: nil when the
@@ -375,8 +450,11 @@ func (p *Pipeline) Summary() string {
 	if p.MergeReport != nil {
 		fmt.Fprintf(&b, "  %s\n", p.MergeReport)
 	}
-	if p.LoadReport != nil {
-		fmt.Fprintf(&b, "  %s\n", p.LoadReport)
+	p.mu.Lock()
+	load := p.LoadReport
+	p.mu.Unlock()
+	if load != nil {
+		fmt.Fprintf(&b, "  %s\n", load)
 	}
 	return b.String()
 }

@@ -143,6 +143,31 @@ func (w *Warehouse) addMemberLocked(dim, level, name string, attrs map[string]st
 	return key, nil
 }
 
+// MemberSpec describes one member for batch insertion via AddMembers.
+type MemberSpec struct {
+	Dim    string
+	Level  string
+	Name   string
+	Parent string // parent member name at the RollsUpTo level; "" for none
+	Attrs  map[string]string
+}
+
+// AddMembers inserts a batch of members under a single lock acquisition —
+// the bulk path the QA feed uses when Step 5 loads a month of harvested
+// records at once. Specs are applied in order, so parents must precede
+// their children (or already exist). The first failing spec aborts the
+// batch; members inserted before it remain (AddMember semantics).
+func (w *Warehouse) AddMembers(specs []MemberSpec) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, s := range specs {
+		if _, err := w.addMemberLocked(s.Dim, s.Level, s.Name, s.Attrs, s.Parent); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // MemberKey returns the surrogate key of a member by name, or an error.
 func (w *Warehouse) MemberKey(dim, level, name string) (int, error) {
 	w.mu.RLock()
@@ -251,17 +276,64 @@ func (w *Warehouse) AddFactProvenance(fact string, coords map[string]string, mea
 	if !ok {
 		return fmt.Errorf("dw: unknown fact %q", fact)
 	}
+	keys, vals, err := w.resolveRowLocked(fd, fact, coords, measures)
+	if err != nil {
+		return err
+	}
+	fd.appendRow(keys, vals, provenance)
+	return nil
+}
+
+// FactRow is one row for batch fact loading via AddFactRows.
+type FactRow struct {
+	Coords     map[string]string  // role → base-level member name
+	Measures   map[string]float64 // measure name → value
+	Provenance string             // lineage; "" for none
+}
+
+// AddFactRows appends a batch of fact rows under a single lock
+// acquisition. The batch is atomic: every row is resolved and validated
+// before the first one is stored, so a bad row leaves the fact table
+// untouched (unlike a loop over AddFact, which commits the prefix).
+func (w *Warehouse) AddFactRows(fact string, rows []FactRow) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	fd, ok := w.facts[fact]
+	if !ok {
+		return fmt.Errorf("dw: unknown fact %q", fact)
+	}
+	keys := make([][]int32, len(rows))
+	vals := make([][]float64, len(rows))
+	for r, row := range rows {
+		k, v, err := w.resolveRowLocked(fd, fact, row.Coords, row.Measures)
+		if err != nil {
+			return fmt.Errorf("dw: batch row %d: %w", r, err)
+		}
+		keys[r], vals[r] = k, v
+	}
+	for r := range rows {
+		fd.appendRow(keys[r], vals[r], rows[r].Provenance)
+	}
+	return nil
+}
+
+// resolveRowLocked resolves one fact row's member names to surrogate keys
+// and its measure map to column order.
+func (w *Warehouse) resolveRowLocked(fd *factData, fact string, coords map[string]string, measures map[string]float64) ([]int32, []float64, error) {
 	keys := make([]int32, len(fd.roles))
 	for i, ref := range fd.class.Dimensions {
 		name, ok := coords[ref.Role]
 		if !ok {
-			return fmt.Errorf("dw: fact %q row missing role %q", fact, ref.Role)
+			return nil, nil, fmt.Errorf("dw: fact %q row missing role %q", fact, ref.Role)
 		}
 		dd := w.dims[ref.Dimension]
 		base := dd.class.Base()
 		key, ok := dd.levels[base.Name].byName[name]
 		if !ok {
-			return fmt.Errorf("dw: fact %q role %q: member %q not found at base level %q of %q",
+			return nil, nil, fmt.Errorf("dw: fact %q role %q: member %q not found at base level %q of %q",
 				fact, ref.Role, name, base.Name, ref.Dimension)
 		}
 		keys[i] = int32(key)
@@ -270,12 +342,11 @@ func (w *Warehouse) AddFactProvenance(fact string, coords map[string]string, mea
 	for name, v := range measures {
 		i, ok := fd.measureIdx[name]
 		if !ok {
-			return fmt.Errorf("dw: fact %q has no measure %q", fact, name)
+			return nil, nil, fmt.Errorf("dw: fact %q has no measure %q", fact, name)
 		}
 		vals[i] = v
 	}
-	fd.appendRow(keys, vals, provenance)
-	return nil
+	return keys, vals, nil
 }
 
 // FactCount returns the number of rows in a fact table.

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"dwqa/internal/qa"
+)
+
+// NormalizeQuestion canonicalises a question for cache keying and request
+// coalescing: interior whitespace collapses to single spaces and trailing
+// sentence punctuation is dropped, so "What is  the weather…?" and "What
+// is the weather…" share one entry. Letter case is preserved on purpose —
+// the analysis pipeline is case-sensitive (capitalisation drives
+// proper-noun tagging, so "El Prat" and "el prat" genuinely analyse
+// differently and must not share an answer).
+func NormalizeQuestion(q string) string {
+	s := strings.Join(strings.Fields(q), " ")
+	return strings.TrimRight(s, "?!. ")
+}
+
+// answerCache is a mutex-guarded LRU of question results. Entries are the
+// shared *qa.Result values handed to every caller, so cached results are
+// read-only by contract. The engine flushes the cache whenever Step 5
+// feeds the warehouse (see Engine.InvalidateCache).
+type answerCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List               // front = most recently used
+	items map[string]*list.Element // key → element holding *cacheEntry
+	// epoch counts flushes. put carries the epoch observed before the
+	// answer was computed; a flush in between makes the insert a no-op,
+	// so a result computed against the pre-feed warehouse can never be
+	// re-inserted after the feed invalidated the cache.
+	epoch uint64
+
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key string
+	res *qa.Result
+}
+
+// newAnswerCache builds an LRU holding up to capacity entries. A capacity
+// of zero or less disables caching (every get misses, puts are dropped).
+func newAnswerCache(capacity int) *answerCache {
+	return &answerCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached result for key (if any) plus the current epoch,
+// which the caller passes back to put so flushes in between drop the
+// insert.
+func (c *answerCache) get(key string) (*qa.Result, bool, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false, c.epoch
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true, c.epoch
+}
+
+// put inserts a result computed while the cache was at the given epoch.
+// If a flush happened since (a warehouse feed invalidated everything),
+// the insert is dropped — the result may describe pre-feed state.
+func (c *answerCache) put(key string, res *qa.Result, epoch uint64) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epoch != epoch {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// flush empties the cache and starts a new epoch (hit/miss counters
+// survive, they describe the engine's lifetime).
+func (c *answerCache) flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+	c.epoch++
+}
+
+func (c *answerCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+func (c *answerCache) counters() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

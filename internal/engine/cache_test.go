@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"dwqa/internal/qa"
+)
+
+func TestNormalizeQuestion(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"What is  the \t weather?", "What is the weather"},
+		{"What is the weather", "What is the weather"},
+		{"  padded   question ?  ", "padded question"},
+		{"Really?!", "Really"},
+		// Case is preserved: the analysis pipeline is case-sensitive.
+		{"Weather in El Prat?", "Weather in El Prat"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := NormalizeQuestion(c.in); got != c.want {
+			t.Errorf("NormalizeQuestion(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func res(i int) *qa.Result { return &qa.Result{Candidates: []qa.Answer{{Score: float64(i)}}} }
+
+func TestAnswerCacheLRU(t *testing.T) {
+	c := newAnswerCache(2)
+	c.put("a", res(1), 0)
+	c.put("b", res(2), 0)
+	if _, ok, _ := c.get("a"); !ok {
+		t.Fatal("a should be cached")
+	}
+	// "b" is now least recently used; inserting "c" evicts it.
+	c.put("c", res(3), 0)
+	if _, ok, _ := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok, _ := c.get("a"); !ok {
+		t.Fatal("a should survive (recently used)")
+	}
+	if _, ok, _ := c.get("c"); !ok {
+		t.Fatal("c should be cached")
+	}
+	if n := c.len(); n != 2 {
+		t.Fatalf("len = %d, want 2", n)
+	}
+	hits, misses := c.counters()
+	if hits != 3 || misses != 1 {
+		t.Errorf("counters = (%d hits, %d misses), want (3, 1)", hits, misses)
+	}
+}
+
+func TestAnswerCachePutExistingMovesToFront(t *testing.T) {
+	c := newAnswerCache(2)
+	c.put("a", res(1), 0)
+	c.put("b", res(2), 0)
+	c.put("a", res(10), 0) // refresh value and recency
+	c.put("c", res(3), 0)  // evicts b, not a
+	if got, ok, _ := c.get("a"); !ok || got.Candidates[0].Score != 10 {
+		t.Fatalf("a = %+v (ok=%v), want refreshed entry", got, ok)
+	}
+	if _, ok, _ := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+}
+
+func TestAnswerCacheFlush(t *testing.T) {
+	c := newAnswerCache(8)
+	for i := 0; i < 5; i++ {
+		c.put(fmt.Sprintf("q%d", i), res(i), 0)
+	}
+	c.flush()
+	if n := c.len(); n != 0 {
+		t.Fatalf("len after flush = %d, want 0", n)
+	}
+	if _, ok, _ := c.get("q0"); ok {
+		t.Fatal("entries must not survive a flush")
+	}
+}
+
+// TestAnswerCacheStalePutDropped pins the feed-invalidation race fix: a
+// result computed before a flush (an older epoch) must not be inserted
+// after it.
+func TestAnswerCacheStalePutDropped(t *testing.T) {
+	c := newAnswerCache(8)
+	_, _, epoch := c.get("q") // miss; observe the pre-feed epoch
+	c.flush()                 // a warehouse feed commits meanwhile
+	c.put("q", res(1), epoch) // late insert of the pre-feed answer
+	if _, ok, _ := c.get("q"); ok {
+		t.Fatal("stale pre-flush result must not enter the cache")
+	}
+	// A put at the current epoch works again.
+	_, _, epoch = c.get("q")
+	c.put("q", res(2), epoch)
+	if _, ok, _ := c.get("q"); !ok {
+		t.Fatal("current-epoch put should be stored")
+	}
+}
+
+func TestAnswerCacheDisabled(t *testing.T) {
+	c := newAnswerCache(-1)
+	c.put("a", res(1), 0)
+	if _, ok, _ := c.get("a"); ok {
+		t.Fatal("disabled cache must never hit")
+	}
+	if n := c.len(); n != 0 {
+		t.Fatalf("len = %d, want 0", n)
+	}
+}

@@ -1,0 +1,325 @@
+// Package engine is the concurrent QA serving layer of the reproduction:
+// the piece that turns the five-step DW↔QA pipeline from a one-question-
+// at-a-time library call into a service able to absorb user traffic (see
+// DESIGN.md §6).
+//
+// An Engine wraps the two tuned qa.Systems of a pipeline — the
+// interactive system and the wide-passage harvester — plus the Step 5
+// loader, and adds:
+//
+//   - a worker-pool batch executor (AskAll, HarvestAll) running up to
+//     Config.Workers questions in parallel with deterministic result
+//     ordering (results[i] always answers questions[i]);
+//   - request coalescing: identical questions inside one batch are
+//     analysed once and fanned out, the serving analogue of the
+//     singleflight pattern;
+//   - an LRU answer cache keyed on the normalised question text,
+//     invalidated whenever Step 5 feeds the warehouse;
+//   - a parallelised Step 5: answers are extracted concurrently per
+//     question and committed to the Weather fact in batch instead of
+//     row-at-a-time.
+//
+// The HTTP façade over an Engine lives in server.go; cmd/dwqa's "serve"
+// subcommand wires both to a pipeline.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dwqa/internal/etl"
+	"dwqa/internal/ir"
+	"dwqa/internal/qa"
+)
+
+// Default sizing of the serving layer.
+const (
+	DefaultWorkers   = 8
+	DefaultCacheSize = 1024
+)
+
+// Config sizes an Engine.
+type Config struct {
+	// Workers is the number of questions processed in parallel per batch.
+	// Zero or less selects DefaultWorkers.
+	Workers int
+	// CacheSize is the LRU answer-cache capacity in entries. Zero selects
+	// DefaultCacheSize; a negative value disables caching.
+	CacheSize int
+}
+
+// Engine is the serving layer over one pipeline's QA side. It is safe for
+// concurrent use: AskAll, Ask, HarvestAll and the HTTP handlers may all
+// run at once (the underlying qa.System, ir.Index and etl.Loader are
+// concurrency-safe, and the cache serialises itself).
+type Engine struct {
+	ask       *qa.System
+	harvester *qa.System
+	loader    *etl.Loader
+	index     *ir.Index
+	cache     *answerCache
+	workers   int
+
+	// generation counts warehouse feeds; it bumps (and the answer cache
+	// flushes) every time HarvestAll commits, so clients can detect that
+	// answers may reflect a fresher warehouse.
+	generation atomic.Uint64
+
+	mu             sync.Mutex
+	defaultHarvest []string
+}
+
+// New assembles an engine. ask is required; harvester defaults to ask when
+// nil (harvesting then runs with the interactive passage budget); loader
+// may be nil, in which case HarvestAll extracts but refuses to load; index
+// is optional and only feeds the /healthz statistics.
+func New(cfg Config, ask, harvester *qa.System, loader *etl.Loader, index *ir.Index) (*Engine, error) {
+	if ask == nil {
+		return nil, fmt.Errorf("engine: nil QA system")
+	}
+	if harvester == nil {
+		harvester = ask
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	cacheSize := cfg.CacheSize
+	if cacheSize == 0 {
+		cacheSize = DefaultCacheSize
+	}
+	return &Engine{
+		ask:       ask,
+		harvester: harvester,
+		loader:    loader,
+		index:     index,
+		cache:     newAnswerCache(cacheSize),
+		workers:   workers,
+	}, nil
+}
+
+// SetDefaultHarvest installs the harvest workload used when HarvestAll or
+// the /harvest endpoint receive no questions (the pipeline installs its
+// WeatherQuestions here).
+func (e *Engine) SetDefaultHarvest(questions []string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.defaultHarvest = append([]string(nil), questions...)
+}
+
+// DefaultHarvest returns a copy of the installed default workload.
+func (e *Engine) DefaultHarvest() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.defaultHarvest...)
+}
+
+// Workers returns the configured parallelism.
+func (e *Engine) Workers() int { return e.workers }
+
+// Generation returns the number of warehouse feeds this engine has
+// committed.
+func (e *Engine) Generation() uint64 { return e.generation.Load() }
+
+// InvalidateCache flushes the answer cache. HarvestAll calls it after
+// every committed feed; callers that mutate the warehouse or corpus
+// through other paths should call it themselves.
+func (e *Engine) InvalidateCache() { e.cache.flush() }
+
+// AskResult is one slot of an AskAll batch. Result and Err mirror exactly
+// what a sequential qa.System.Answer call for Question would have
+// returned; Cached reports whether the answer came from the LRU (or from
+// another identical question in the same batch).
+type AskResult struct {
+	Question string
+	Result   *qa.Result
+	Err      error
+	Cached   bool
+}
+
+// Ask answers a single question through the cache.
+func (e *Engine) Ask(question string) AskResult {
+	return e.AskAll([]string{question})[0]
+}
+
+// AskAll answers a batch of questions on the worker pool. Results are in
+// input order: out[i] corresponds to questions[i], and for every
+// distinct surface form it is byte-identical to what a sequential loop
+// of Answer calls would produce. Questions that normalise identically
+// (see NormalizeQuestion) are computed once per batch and share the
+// first surface form's result — semantically the same answer, though
+// its trace echoes the first form's text. Previously answered questions
+// are served from the LRU until the next warehouse feed invalidates it.
+// Per-question failures (e.g. no pattern matches) land in the
+// corresponding slot's Err — one bad question never poisons the batch.
+func (e *Engine) AskAll(questions []string) []AskResult {
+	out := make([]AskResult, len(questions))
+
+	// Coalesce identical questions: one task answers every index that
+	// asked it.
+	type task struct {
+		key     string
+		text    string // first surface form seen for the key
+		indices []int
+	}
+	byKey := map[string]int{}
+	var tasks []task
+	for i, q := range questions {
+		out[i].Question = q
+		key := NormalizeQuestion(q)
+		if ti, ok := byKey[key]; ok {
+			tasks[ti].indices = append(tasks[ti].indices, i)
+			continue
+		}
+		byKey[key] = len(tasks)
+		tasks = append(tasks, task{key: key, text: q, indices: []int{i}})
+	}
+
+	e.forEach(len(tasks), func(ti int) {
+		t := &tasks[ti]
+		res, ok, epoch := e.cache.get(t.key)
+		if ok {
+			for _, i := range t.indices {
+				out[i].Result = res
+				out[i].Cached = true
+			}
+			return
+		}
+		res, err := e.ask.Answer(t.text)
+		if err == nil {
+			// epoch-checked: a feed committed mid-computation drops the
+			// insert instead of resurrecting a pre-feed answer.
+			e.cache.put(t.key, res, epoch)
+		}
+		for n, i := range t.indices {
+			out[i].Result = res
+			out[i].Err = err
+			// The first index did the work; the rest were coalesced.
+			out[i].Cached = n > 0
+		}
+	})
+	return out
+}
+
+// Trace answers a question and renders the paper's Table 1 trace for it.
+func (e *Engine) Trace(question string) (qa.Trace, error) {
+	r := e.Ask(question)
+	if r.Err != nil {
+		return qa.Trace{}, r.Err
+	}
+	return r.Result.Trace(), nil
+}
+
+// HarvestResult is one question's slot of a HarvestAll batch.
+type HarvestResult struct {
+	Question string
+	Answers  []qa.Answer // extracted well-formed records
+	Loaded   int         // fact rows this question contributed
+	Skipped  int         // duplicates of already-loaded records
+	Err      error
+}
+
+// HarvestAll runs the Step 5 harvest for a batch of questions: extraction
+// runs concurrently on the worker pool, then every question's answers are
+// committed to the warehouse in one batch load, in question order — so
+// loaded/skipped counts match a sequential harvest-and-load loop exactly.
+// An empty batch falls back to the engine's default harvest workload.
+// After a commit the answer cache is flushed and the feed generation
+// bumps. Extraction failures are per-question (Err in the slot); the
+// batch still loads the questions that succeeded.
+func (e *Engine) HarvestAll(questions []string) ([]HarvestResult, *etl.Report, error) {
+	if len(questions) == 0 {
+		questions = e.DefaultHarvest()
+	}
+	items := make([]HarvestResult, len(questions))
+	e.forEach(len(questions), func(i int) {
+		items[i].Question = questions[i]
+		answers, _, err := e.harvester.Harvest(questions[i])
+		items[i].Answers = answers
+		items[i].Err = err
+	})
+
+	if e.loader == nil {
+		return items, nil, fmt.Errorf("engine: no loader configured, cannot feed the warehouse")
+	}
+	batches := make([][]qa.Answer, len(items))
+	for i := range items {
+		if items[i].Err == nil {
+			batches[i] = items[i].Answers
+		}
+	}
+	reports, total, err := e.loader.LoadAll(batches)
+	if err != nil {
+		return items, nil, err
+	}
+	for i := range items {
+		items[i].Loaded = reports[i].Loaded
+		items[i].Skipped = reports[i].Skipped
+	}
+	e.generation.Add(1)
+	e.cache.flush()
+	return items, total, nil
+}
+
+// Stats is the /healthz payload: engine sizing, cache effectiveness and
+// the warehouse-feed generation.
+type Stats struct {
+	Workers      int    `json:"workers"`
+	CacheEntries int    `json:"cache_entries"`
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	Generation   uint64 `json:"generation"`
+	Documents    int    `json:"documents"`
+	Passages     int    `json:"passages"`
+}
+
+// Stats snapshots the engine's serving statistics.
+func (e *Engine) Stats() Stats {
+	hits, misses := e.cache.counters()
+	st := Stats{
+		Workers:      e.workers,
+		CacheEntries: e.cache.len(),
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		Generation:   e.generation.Load(),
+	}
+	if e.index != nil {
+		st.Documents = e.index.DocCount()
+		st.Passages = e.index.PassageCount()
+	}
+	return st
+}
+
+// forEach runs fn(0..n-1) on the worker pool and waits for completion.
+func (e *Engine) forEach(n int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+}

@@ -1,0 +1,330 @@
+package engine_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dwqa/internal/core"
+	"dwqa/internal/engine"
+	"dwqa/internal/etl"
+	"dwqa/internal/qa"
+)
+
+// newPipeline builds a scenario pipeline with steps 1-4 run (the point
+// from which both serving and feeding are possible).
+func newPipeline(t testing.TB) *core.Pipeline {
+	t.Helper()
+	p, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range []func() error{
+		p.Step1DeriveOntology, p.Step2FeedOntology,
+		p.Step3MergeUpperOntology, p.Step4TuneQA,
+	} {
+		if err := step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+// askWorkload is a serving-shaped question mix: every scenario question
+// plus repeats (user traffic asks the same things) plus a failing entry.
+func askWorkload(p *core.Pipeline) []string {
+	qs := p.WeatherQuestions()
+	qs = append(qs, qs...) // exact repeats
+	qs = append(qs, "   ") // analysis error slot
+	qs = append(qs, "What is the weather like in January of 2004 in El Prat?")
+	return qs
+}
+
+// render flattens one result for byte-level comparison.
+func render(res *qa.Result, err error) string {
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	return res.Trace().Format()
+}
+
+func TestAskAllMatchesSequentialAsk(t *testing.T) {
+	p := newPipeline(t)
+	if _, err := p.Step5FeedWarehouse(p.WeatherQuestions()); err != nil {
+		t.Fatal(err)
+	}
+	questions := askWorkload(p)
+
+	// The sequential oracle: one Ask per question, in order.
+	want := make([]string, len(questions))
+	for i, q := range questions {
+		res, err := p.Ask(q)
+		want[i] = render(res, err)
+	}
+
+	results, err := p.AskAll(questions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(questions) {
+		t.Fatalf("got %d results for %d questions", len(results), len(questions))
+	}
+	for i, r := range results {
+		if r.Question != questions[i] {
+			t.Errorf("slot %d holds question %q, want %q", i, r.Question, questions[i])
+		}
+		if got := render(r.Result, r.Err); got != want[i] {
+			t.Errorf("slot %d (%q):\n  batch      = %q\n  sequential = %q", i, questions[i], got, want[i])
+		}
+	}
+
+	// A second pass must be served from the cache with identical bytes.
+	again, err := p.AskAll(questions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range again {
+		if got := render(r.Result, r.Err); got != want[i] {
+			t.Errorf("cached slot %d diverged from sequential result", i)
+		}
+		if r.Err == nil && !r.Cached {
+			t.Errorf("slot %d (%q) should have been served from the cache", i, r.Question)
+		}
+	}
+}
+
+func TestAskAllCoalescesDuplicates(t *testing.T) {
+	p := newPipeline(t)
+	eng, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := "What is the weather like in January of 2004 in El Prat?"
+	batch := []string{q, q, q + "  ", q}
+	results := eng.AskAll(batch)
+	computed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if !r.Cached {
+			computed++
+		}
+	}
+	if computed != 1 {
+		t.Errorf("%d slots computed, want 1 (the rest coalesced)", computed)
+	}
+	st := eng.Stats()
+	if st.CacheMisses != 1 {
+		t.Errorf("cache misses = %d, want 1 (one unique question)", st.CacheMisses)
+	}
+}
+
+// TestNormalizedVariantsShareAnswer pins the cache-key contract: surface
+// variants that normalise identically (extra whitespace, missing question
+// mark) coalesce onto one computation and return the same answer, while a
+// differently-cased variant analyses on its own (case drives proper-noun
+// tagging).
+func TestNormalizedVariantsShareAnswer(t *testing.T) {
+	p := newPipeline(t)
+	eng, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical := "What is the weather like in January of 2004 in El Prat?"
+	variant := "What is   the weather like in January of 2004 in El Prat"
+	results := eng.AskAll([]string{canonical, variant})
+	if results[0].Err != nil || results[1].Err != nil {
+		t.Fatal(results[0].Err, results[1].Err)
+	}
+	if !results[1].Cached {
+		t.Error("whitespace variant should coalesce onto the canonical question")
+	}
+	if results[0].Result != results[1].Result {
+		t.Error("coalesced slots should share the computed result")
+	}
+
+	lower := "what is the weather like in january of 2004 in el prat?"
+	lr := eng.Ask(lower)
+	if lr.Err == nil && lr.Cached {
+		t.Error("case-variant question must not share the cache entry")
+	}
+}
+
+func TestHarvestAllMatchesSequentialLoop(t *testing.T) {
+	// Pipeline A feeds through the engine's parallel harvest + batch load.
+	pa := newPipeline(t)
+	questions := pa.WeatherQuestions()
+	stepResults, err := pa.Step5FeedWarehouse(questions)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pipeline B replicates the pre-engine sequential loop: harvest one
+	// question at a time, load row-at-a-time through Load.
+	pb := newPipeline(t)
+	harvester, err := pb.NewHarvester()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := etl.NewLoader(pb.Ontology, pb.Warehouse, "Weather", "City", "Date")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantLoaded []int
+	totalLoaded := 0
+	for _, q := range questions {
+		answers, _, err := harvester.Harvest(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := loader.Load(answers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLoaded = append(wantLoaded, rep.Loaded)
+		totalLoaded += rep.Loaded
+	}
+
+	if len(stepResults) != len(wantLoaded) {
+		t.Fatalf("%d step results, want %d", len(stepResults), len(wantLoaded))
+	}
+	for i, sr := range stepResults {
+		if sr.Answers != wantLoaded[i] {
+			t.Errorf("question %q loaded %d records via engine, %d sequentially",
+				sr.Question, sr.Answers, wantLoaded[i])
+		}
+	}
+	if got, want := pa.Warehouse.FactCount("Weather"), pb.Warehouse.FactCount("Weather"); got != want {
+		t.Errorf("engine-fed warehouse has %d weather rows, sequential has %d", got, want)
+	}
+	if pa.LoadReport.Loaded != totalLoaded {
+		t.Errorf("LoadReport.Loaded = %d, want %d", pa.LoadReport.Loaded, totalLoaded)
+	}
+}
+
+func TestHarvestInvalidatesCacheAndBumpsGeneration(t *testing.T) {
+	p := newPipeline(t)
+	eng, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := "What is the weather like in January of 2004 in El Prat?"
+	if r := eng.Ask(q); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r := eng.Ask(q); !r.Cached {
+		t.Fatal("second ask should hit the cache")
+	}
+	gen := eng.Generation()
+	if _, _, err := eng.HarvestAll(nil); err != nil { // nil = default workload
+		t.Fatal(err)
+	}
+	if eng.Generation() != gen+1 {
+		t.Errorf("generation = %d, want %d", eng.Generation(), gen+1)
+	}
+	if r := eng.Ask(q); r.Cached {
+		t.Error("cache must be invalidated by a warehouse feed")
+	}
+}
+
+func TestHarvestAllIdempotent(t *testing.T) {
+	p := newPipeline(t)
+	eng, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, first, err := eng.HarvestAll(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Loaded == 0 {
+		t.Fatal("first feed loaded nothing")
+	}
+	rows := p.Warehouse.FactCount("Weather")
+	_, second, err := eng.HarvestAll(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every record of the repeat feed is a duplicate: the first feed's
+	// loads plus its own in-batch duplicates all skip.
+	if second.Loaded != 0 || second.Skipped != second.Normalized {
+		t.Errorf("second feed: %d loaded, %d/%d skipped; want 0 loaded, all skipped",
+			second.Loaded, second.Skipped, second.Normalized)
+	}
+	if second.Normalized != first.Normalized {
+		t.Errorf("normalized counts differ across identical feeds: %d vs %d",
+			second.Normalized, first.Normalized)
+	}
+	if got := p.Warehouse.FactCount("Weather"); got != rows {
+		t.Errorf("weather rows grew from %d to %d on a repeated feed", rows, got)
+	}
+}
+
+// TestConcurrentAskWhileFeeding is the serving scenario under the race
+// detector: many goroutines asking (single and batched) while Step 5
+// feeds the warehouse — plus concurrent Step 4 re-tuning of patterns.
+func TestConcurrentAskWhileFeeding(t *testing.T) {
+	p := newPipeline(t)
+	questions := p.WeatherQuestions()
+	q := "What is the weather like in January of 2004 in El Prat?"
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := p.Ask(q); err != nil {
+					errs <- fmt.Errorf("Ask: %w", err)
+					return
+				}
+				if _, err := p.AskAll(questions[:3]); err != nil {
+					errs <- fmt.Errorf("AskAll: %w", err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := p.Step5FeedWarehouse(questions); err != nil {
+				errs <- fmt.Errorf("Step5: %w", err)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Step 4 tuning may interleave with serving (copy-on-write set).
+		p.QA.TunePatterns(qa.WeatherPatterns()...)
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The system still answers correctly after the storm.
+	res, err := p.Ask(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || res.Best.Location != "Barcelona" {
+		t.Fatalf("best after concurrent feed = %+v", res.Best)
+	}
+}
+
+func TestEngineWithoutLoaderRefusesHarvest(t *testing.T) {
+	p := newPipeline(t)
+	eng, err := engine.New(engine.Config{}, p.QA, nil, nil, p.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.HarvestAll([]string{"What is the weather like in January of 2004 in El Prat?"}); err == nil {
+		t.Fatal("expected an error from a loader-less engine")
+	}
+}

@@ -1,0 +1,248 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"dwqa/internal/qa"
+	"dwqa/internal/sbparser"
+)
+
+// Serving limits: requests beyond them are rejected with 400 rather than
+// ballooning memory.
+const (
+	maxRequestBody = 1 << 20 // 1 MiB of JSON per request
+	maxBatchSize   = 10_000  // questions per /ask/batch or /harvest call
+)
+
+// NewServer returns the HTTP JSON API over an engine:
+//
+//	POST /ask        {"question": "..."}        → one answer
+//	POST /ask/batch  {"questions": ["...",…]}   → answers in input order
+//	POST /harvest    {"questions": ["...",…]}   → Step 5 feed (empty body
+//	                                              or list = default workload)
+//	GET  /trace?q=…                             → the paper's Table 1 trace
+//	GET  /healthz                               → serving statistics
+//
+// QA-level failures (a question no pattern matches) are reported per item
+// in the JSON payload; transport-level failures (bad JSON, oversized
+// batches, wrong method) use HTTP status codes.
+func NewServer(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ask", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Question string `json:"question"`
+		}
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		if req.Question == "" {
+			httpError(w, http.StatusBadRequest, "missing question")
+			return
+		}
+		writeJSON(w, askJSON(e.Ask(req.Question)))
+	})
+	mux.HandleFunc("POST /ask/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Questions []string `json:"questions"`
+		}
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		if len(req.Questions) == 0 {
+			httpError(w, http.StatusBadRequest, "missing questions")
+			return
+		}
+		if len(req.Questions) > maxBatchSize {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d exceeds the %d-question limit", len(req.Questions), maxBatchSize))
+			return
+		}
+		results := e.AskAll(req.Questions)
+		out := struct {
+			Results []askResponse `json:"results"`
+		}{Results: make([]askResponse, len(results))}
+		for i, res := range results {
+			out.Results[i] = askJSON(res)
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("POST /harvest", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Questions []string `json:"questions"`
+		}
+		// An empty body selects the default harvest workload.
+		if !decodeJSONOptional(w, r, &req) {
+			return
+		}
+		if len(req.Questions) > maxBatchSize {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d exceeds the %d-question limit", len(req.Questions), maxBatchSize))
+			return
+		}
+		items, total, err := e.HarvestAll(req.Questions)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		out := harvestResponse{
+			Normalized: total.Normalized,
+			Loaded:     total.Loaded,
+			Skipped:    total.Skipped,
+			Rejected:   len(total.Rejections),
+			Generation: e.Generation(),
+			Results:    make([]harvestItemJSON, len(items)),
+		}
+		for i, it := range items {
+			out.Results[i] = harvestItemJSON{
+				Question: it.Question,
+				Answers:  len(it.Answers),
+				Loaded:   it.Loaded,
+				Skipped:  it.Skipped,
+			}
+			if it.Err != nil {
+				out.Results[i].Error = it.Err.Error()
+			}
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, r *http.Request) {
+		question := r.URL.Query().Get("q")
+		if question == "" {
+			// The paper's own Table 1 query.
+			question = "What is the weather like in January of 2004 in El Prat?"
+		}
+		tr, err := e.Trace(question)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, tr.Format())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, struct {
+			Status string `json:"status"`
+			Stats
+		}{Status: "ok", Stats: e.Stats()})
+	})
+	return mux
+}
+
+// answerJSON is the wire form of one extracted answer.
+type answerJSON struct {
+	Text     string  `json:"text"`
+	Rendered string  `json:"rendered"`
+	Value    float64 `json:"value,omitempty"`
+	HasValue bool    `json:"has_value,omitempty"`
+	Unit     string  `json:"unit,omitempty"`
+	Date     string  `json:"date,omitempty"`
+	Location string  `json:"location,omitempty"`
+	URL      string  `json:"url,omitempty"`
+	Score    float64 `json:"score"`
+}
+
+// askResponse is the wire form of one answered question.
+type askResponse struct {
+	Question   string      `json:"question"`
+	Answer     *answerJSON `json:"answer"` // null when nothing clears MinScore
+	Candidates int         `json:"candidates"`
+	Passages   int         `json:"passages"`
+	Cached     bool        `json:"cached"`
+	Error      string      `json:"error,omitempty"`
+}
+
+type harvestItemJSON struct {
+	Question string `json:"question"`
+	Answers  int    `json:"answers"`
+	Loaded   int    `json:"loaded"`
+	Skipped  int    `json:"skipped"`
+	Error    string `json:"error,omitempty"`
+}
+
+type harvestResponse struct {
+	Normalized int               `json:"normalized"`
+	Loaded     int               `json:"loaded"`
+	Skipped    int               `json:"skipped"`
+	Rejected   int               `json:"rejected"`
+	Generation uint64            `json:"generation"`
+	Results    []harvestItemJSON `json:"results"`
+}
+
+func askJSON(r AskResult) askResponse {
+	out := askResponse{Question: r.Question, Cached: r.Cached}
+	if r.Err != nil {
+		out.Error = r.Err.Error()
+		return out
+	}
+	out.Candidates = len(r.Result.Candidates)
+	out.Passages = len(r.Result.Passages)
+	if r.Result.Best != nil {
+		out.Answer = toAnswerJSON(*r.Result.Best)
+	}
+	return out
+}
+
+func toAnswerJSON(a qa.Answer) *answerJSON {
+	return &answerJSON{
+		Text:     a.Text,
+		Rendered: a.Render(),
+		Value:    a.Value,
+		HasValue: a.HasValue,
+		Unit:     a.Unit,
+		Date:     dateJSON(a.Date),
+		Location: a.Location,
+		URL:      a.URL,
+		Score:    a.Score,
+	}
+}
+
+// dateJSON renders a (possibly partial) date as ISO-style "2004-01-31",
+// "2004-01" or "2004"; "" when nothing was recognised.
+func dateJSON(d sbparser.DateRef) string {
+	switch {
+	case d.Year != 0 && d.Month != 0 && d.Day != 0:
+		return fmt.Sprintf("%04d-%02d-%02d", d.Year, d.Month, d.Day)
+	case d.Year != 0 && d.Month != 0:
+		return fmt.Sprintf("%04d-%02d", d.Year, d.Month)
+	case d.Year != 0:
+		return fmt.Sprintf("%04d", d.Year)
+	default:
+		return ""
+	}
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// decodeJSONOptional is decodeJSON, but an entirely empty body is accepted
+// and leaves dst at its zero value.
+func decodeJSONOptional(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil && err != io.EOF {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,221 @@
+package engine_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dwqa/internal/engine"
+)
+
+// newServer builds a fed pipeline and its HTTP API.
+func newServer(t *testing.T) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	p := newPipeline(t)
+	if _, err := p.Step5FeedWarehouse(p.WeatherQuestions()); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(engine.NewServer(eng))
+	t.Cleanup(srv.Close)
+	return srv, eng
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestServerHealthz(t *testing.T) {
+	srv, _ := newServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var payload struct {
+		Status     string `json:"status"`
+		Workers    int    `json:"workers"`
+		Passages   int    `json:"passages"`
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Status != "ok" || payload.Workers <= 0 || payload.Passages == 0 {
+		t.Errorf("healthz payload = %+v", payload)
+	}
+	if payload.Generation != 1 {
+		t.Errorf("generation = %d, want 1 (one Step 5 feed)", payload.Generation)
+	}
+}
+
+func TestServerAsk(t *testing.T) {
+	srv, _ := newServer(t)
+	resp, body := postJSON(t, srv.URL+"/ask",
+		`{"question": "What is the weather like in January of 2004 in El Prat?"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var payload struct {
+		Answer *struct {
+			Location string  `json:"location"`
+			Unit     string  `json:"unit"`
+			Value    float64 `json:"value"`
+		} `json:"answer"`
+		Candidates int `json:"candidates"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatalf("%v in %s", err, body)
+	}
+	if payload.Answer == nil || payload.Answer.Location != "Barcelona" || payload.Answer.Unit != "C" {
+		t.Errorf("answer = %+v", payload.Answer)
+	}
+	if payload.Candidates == 0 {
+		t.Error("no candidates reported")
+	}
+}
+
+func TestServerAskBadRequests(t *testing.T) {
+	srv, _ := newServer(t)
+	for _, tc := range []struct {
+		name, body string
+		want       int
+	}{
+		{"missing question", `{}`, http.StatusBadRequest},
+		{"malformed json", `{"question": `, http.StatusBadRequest},
+		{"unknown field", `{"quesiton": "typo"}`, http.StatusBadRequest},
+	} {
+		resp, _ := postJSON(t, srv.URL+"/ask", tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+	// Wrong method.
+	resp, err := http.Get(srv.URL + "/ask")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /ask status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestServerAskBatch(t *testing.T) {
+	srv, _ := newServer(t)
+	q := "What is the weather like in January of 2004 in El Prat?"
+	body := `{"questions": [` +
+		`"` + q + `", ` +
+		`"How hot is it in Barcelona in February of 2004?", ` +
+		`"   ", ` +
+		`"` + q + `"]}`
+	resp, raw := postJSON(t, srv.URL+"/ask/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
+	}
+	var payload struct {
+		Results []struct {
+			Question string `json:"question"`
+			Answer   *struct {
+				Location string `json:"location"`
+			} `json:"answer"`
+			Cached bool   `json:"cached"`
+			Error  string `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &payload); err != nil {
+		t.Fatalf("%v in %s", err, raw)
+	}
+	if len(payload.Results) != 4 {
+		t.Fatalf("%d results, want 4", len(payload.Results))
+	}
+	// Order is preserved: slot i answers question i.
+	if payload.Results[0].Question != q || payload.Results[3].Question != q {
+		t.Error("result order does not match input order")
+	}
+	if payload.Results[0].Answer == nil || payload.Results[0].Answer.Location != "Barcelona" {
+		t.Errorf("slot 0 answer = %+v", payload.Results[0].Answer)
+	}
+	if payload.Results[1].Answer == nil || payload.Results[1].Answer.Location != "Barcelona" {
+		t.Errorf("slot 1 answer = %+v", payload.Results[1].Answer)
+	}
+	if payload.Results[2].Error == "" {
+		t.Error("blank question should carry a per-item error")
+	}
+	if !payload.Results[3].Cached {
+		t.Error("duplicate question should be coalesced (cached=true)")
+	}
+}
+
+func TestServerTrace(t *testing.T) {
+	srv, _ := newServer(t)
+	resp, err := http.Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	out := string(raw)
+	for _, want := range []string{"Query", "Question pattern", "Extracted answer", "Barcelona"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServerHarvest(t *testing.T) {
+	srv, eng := newServer(t)
+	gen := eng.Generation()
+	// Empty body selects the default workload; everything is a duplicate
+	// of the feed newServer already ran.
+	resp, raw := postJSON(t, srv.URL+"/harvest", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
+	}
+	var payload struct {
+		Loaded     int    `json:"loaded"`
+		Skipped    int    `json:"skipped"`
+		Generation uint64 `json:"generation"`
+		Results    []struct {
+			Question string `json:"question"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &payload); err != nil {
+		t.Fatalf("%v in %s", err, raw)
+	}
+	if payload.Loaded != 0 || payload.Skipped == 0 {
+		t.Errorf("repeat feed loaded %d, skipped %d; want 0 loaded, >0 skipped",
+			payload.Loaded, payload.Skipped)
+	}
+	if payload.Generation != gen+1 {
+		t.Errorf("generation = %d, want %d", payload.Generation, gen+1)
+	}
+	if len(payload.Results) == 0 {
+		t.Error("no per-question results")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"dwqa/internal/dw"
 	"dwqa/internal/ontology"
@@ -84,7 +85,10 @@ func (r *Report) RejectionReasons() []string {
 // Loader normalises QA answers and feeds them into a warehouse fact. It
 // deduplicates across its lifetime: re-harvesting the same (city, day)
 // from the same source page does not duplicate fact rows, so repeated
-// Step 5 runs are idempotent.
+// Step 5 runs are idempotent. A Loader is safe for concurrent use; loads
+// are serialised by an internal mutex (the parallel harvest in
+// internal/engine extracts concurrently, then commits through one
+// Loader).
 type Loader struct {
 	dom     *ontology.Ontology // axioms; may be nil (built-in fallbacks)
 	wh      *dw.Warehouse
@@ -92,6 +96,7 @@ type Loader struct {
 	cityDim string // dimension holding the City base level
 	dateDim string // dimension holding the Day base level
 
+	mu     sync.Mutex
 	loaded map[string]bool // dedup key: city|day|source
 }
 
@@ -170,26 +175,94 @@ func (l *Loader) inRange(tempC float64) bool {
 // Date and City dimension members on the fly. Every loaded fact row
 // carries the source URL as provenance.
 func (l *Loader) Load(answers []qa.Answer) (*Report, error) {
-	rep := &Report{}
-	for _, ans := range answers {
-		rec, reason := l.Normalize(ans)
-		if reason != "" {
-			rep.Rejections = append(rep.Rejections, Rejection{ans, reason})
-			continue
-		}
-		rep.Normalized++
-		loaded, err := l.LoadRecord(rec)
-		if err != nil {
-			rep.Rejections = append(rep.Rejections, Rejection{ans, err.Error()})
-			continue
-		}
-		if loaded {
-			rep.Loaded++
-		} else {
-			rep.Skipped++
+	reports, _, err := l.LoadAll([][]qa.Answer{answers})
+	if err != nil {
+		return nil, err
+	}
+	return reports[0], nil
+}
+
+// LoadAll normalises and loads a sequence of answer batches (one per
+// harvest question) in order, committing all dimension members and fact
+// rows in two warehouse write transactions instead of row-at-a-time.
+// Deduplication is identical to looping Load over the batches: within
+// the call and across the Loader's lifetime, only the first (city, day,
+// source) record loads; later duplicates count as skipped in their
+// batch's report. It returns one report per batch plus the combined
+// report. The fact append is atomic — a warehouse-level failure loads
+// nothing.
+func (l *Loader) LoadAll(batches [][]qa.Answer) ([]*Report, *Report, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	reports := make([]*Report, len(batches))
+	var memberSpecs []dw.MemberSpec
+	seenMember := map[string]bool{}
+	ensureMember := func(dim, level, name, parent string) {
+		k := dim + "|" + level + "|" + name
+		if !seenMember[k] {
+			seenMember[k] = true
+			memberSpecs = append(memberSpecs, dw.MemberSpec{Dim: dim, Level: level, Name: name, Parent: parent})
 		}
 	}
-	return rep, nil
+	type pendingRow struct {
+		batch int
+		key   string
+	}
+	var rows []dw.FactRow
+	var pendings []pendingRow
+	inFlight := map[string]bool{}
+
+	for bi, answers := range batches {
+		rep := &Report{}
+		reports[bi] = rep
+		for _, ans := range answers {
+			rec, reason := l.Normalize(ans)
+			if reason != "" {
+				rep.Rejections = append(rep.Rejections, Rejection{ans, reason})
+				continue
+			}
+			rep.Normalized++
+			key := strings.ToLower(rec.City) + "|" + rec.DayKey() + "|" + rec.SourceURL
+			if l.loaded[key] || inFlight[key] {
+				rep.Skipped++
+				continue
+			}
+			inFlight[key] = true
+			// Date hierarchy and city members (idempotent adds, parents
+			// first so the batch insert can resolve them).
+			ensureMember(l.dateDim, "Year", rec.YearKey(), "")
+			ensureMember(l.dateDim, "Month", rec.MonthKey(), rec.YearKey())
+			ensureMember(l.dateDim, "Day", rec.DayKey(), rec.MonthKey())
+			ensureMember(l.cityDim, "City", rec.City, "")
+			rows = append(rows, dw.FactRow{
+				Coords:     map[string]string{"City": rec.City, "Date": rec.DayKey()},
+				Measures:   map[string]float64{"TempC": rec.TempC},
+				Provenance: rec.SourceURL,
+			})
+			pendings = append(pendings, pendingRow{batch: bi, key: key})
+		}
+	}
+
+	if err := l.wh.AddMembers(memberSpecs); err != nil {
+		return nil, nil, fmt.Errorf("etl: %w", err)
+	}
+	if err := l.wh.AddFactRows(l.fact, rows); err != nil {
+		return nil, nil, fmt.Errorf("etl: %w", err)
+	}
+	for _, p := range pendings {
+		l.loaded[p.key] = true
+		reports[p.batch].Loaded++
+	}
+
+	total := &Report{}
+	for _, rep := range reports {
+		total.Normalized += rep.Normalized
+		total.Loaded += rep.Loaded
+		total.Skipped += rep.Skipped
+		total.Rejections = append(total.Rejections, rep.Rejections...)
+	}
+	return reports, total, nil
 }
 
 // LoadRecord loads one normalised record into the warehouse. It reports
@@ -197,6 +270,8 @@ func (l *Loader) Load(answers []qa.Answer) (*Report, error) {
 // (same city, day and source page) are skipped, making repeated Step 5
 // runs idempotent.
 func (l *Loader) LoadRecord(rec WeatherRecord) (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	key := strings.ToLower(rec.City) + "|" + rec.DayKey() + "|" + rec.SourceURL
 	if l.loaded[key] {
 		return false, nil

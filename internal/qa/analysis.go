@@ -2,7 +2,6 @@ package qa
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"dwqa/internal/nlp"
@@ -106,13 +105,12 @@ func (s *System) analyze(question string) (*Analysis, error) {
 	blocks := sbparser.Parse(sents[0])
 	facts := extractFacts(toks, blocks)
 
-	// Pattern matching: highest priority first, ties by declaration order.
-	patterns := append([]QuestionPattern(nil), s.patterns...)
-	sort.SliceStable(patterns, func(i, j int) bool { return patterns[i].Priority > patterns[j].Priority })
+	// Pattern matching: the snapshot is already sorted highest priority
+	// first, ties by installation order.
 	var matched *QuestionPattern
-	for i := range patterns {
-		if patterns[i].match(s.lexicon(), facts) {
-			matched = &patterns[i]
+	for _, p := range s.snapshotPatterns() {
+		if p.match(s.lexicon(), facts) {
+			matched = p
 			break
 		}
 	}

@@ -2,6 +2,7 @@ package qa
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -38,12 +39,26 @@ func DefaultConfig() Config {
 // or untuned), an optional domain ontology, the passage index built in the
 // indexation phase, and the question pattern set (defaults + Step 4
 // tuning).
+//
+// A System is safe for concurrent use: Answer and Harvest may run from any
+// number of goroutines (the serving engine in internal/engine does exactly
+// that), and TunePatterns may interleave with them — the pattern set is
+// replaced copy-on-write so in-flight questions keep the set they started
+// with. The substrates are themselves concurrency-safe (ir.Index and
+// wordnet.WordNet use read-write locks; the document-location cache below
+// is guarded by docLocMu).
 type System struct {
-	wn       *wordnet.WordNet
-	dom      *ontology.Ontology
-	index    *ir.Index
-	patterns []QuestionPattern
-	cfg      Config
+	wn    *wordnet.WordNet
+	dom   *ontology.Ontology
+	index *ir.Index
+	cfg   Config
+
+	// patterns holds the active pattern set sorted by priority (highest
+	// first, ties in installation order). TunePatterns replaces the slice
+	// wholesale under patMu; analyze snapshots it under the read lock, so
+	// matched *QuestionPattern pointers stay valid after later tuning.
+	patMu    sync.RWMutex
+	patterns []*QuestionPattern
 
 	docLocMu sync.Mutex
 	docLoc   map[int]string // document index → first city in its header
@@ -61,13 +76,14 @@ func NewSystem(wn *wordnet.WordNet, dom *ontology.Ontology, index *ir.Index, cfg
 	if cfg.TopPassages <= 0 {
 		cfg.TopPassages = 5
 	}
-	return &System{
-		wn:       wn,
-		dom:      dom,
-		index:    index,
-		patterns: DefaultPatterns(),
-		cfg:      cfg,
-	}, nil
+	s := &System{
+		wn:    wn,
+		dom:   dom,
+		index: index,
+		cfg:   cfg,
+	}
+	s.patterns = sortedPatterns(nil, DefaultPatterns())
+	return s, nil
 }
 
 // lexicon returns the lexical database.
@@ -78,9 +94,35 @@ func (s *System) Config() Config { return s.cfg }
 
 // TunePatterns installs additional question patterns — Step 4 of the
 // integration model ("the QA system is tuned to the new types of queries
-// that are required by the users through a training process").
+// that are required by the users through a training process"). Safe to
+// call while questions are in flight: the sorted set is rebuilt and
+// swapped in atomically.
 func (s *System) TunePatterns(ps ...QuestionPattern) {
-	s.patterns = append(s.patterns, ps...)
+	s.patMu.Lock()
+	defer s.patMu.Unlock()
+	s.patterns = sortedPatterns(s.patterns, ps)
+}
+
+// sortedPatterns builds a fresh priority-sorted pattern slice from the
+// existing set plus additions. The old slice is never mutated, so readers
+// holding a snapshot are unaffected.
+func sortedPatterns(old []*QuestionPattern, add []QuestionPattern) []*QuestionPattern {
+	out := make([]*QuestionPattern, 0, len(old)+len(add))
+	out = append(out, old...)
+	for i := range add {
+		p := add[i]
+		out = append(out, &p)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Priority > out[j].Priority })
+	return out
+}
+
+// snapshotPatterns returns the current pattern set for one question's
+// analysis.
+func (s *System) snapshotPatterns() []*QuestionPattern {
+	s.patMu.RLock()
+	defer s.patMu.RUnlock()
+	return s.patterns
 }
 
 // Result is the full outcome of one question: the Module 1 analysis, the

@@ -1,0 +1,80 @@
+package sbparser
+
+import (
+	"testing"
+
+	"dwqa/internal/nlp"
+)
+
+// FuzzParseSB asserts the shallow parser's invariants on arbitrary text:
+// parsing, rendering and date extraction never panic, every produced
+// block carries at least one token (a PP's preposition, an NP/VBC core),
+// and extracted dates stay within calendar-plausible ranges.
+func FuzzParseSB(f *testing.F) {
+	for _, s := range []string{
+		"What is the weather like in January of 2004 in El Prat?",
+		"Which country did Iraq invade in 1990?",
+		"What is Sirius?",
+		"Temperatures reached 8º C in Barcelona on Monday, January 31, 2004.",
+		"the 12th of May",
+		"High (ºC) 8 Low -2",
+		"In 2004. Of May. 31.",
+		"January February 2004 2005 31 31",
+		"to go to the airport to 5",
+		"",
+		"º",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		for _, sent := range nlp.SplitSentences(text) {
+			blocks := Parse(sent)
+			var checkBlock func(b Block)
+			checkBlock = func(b Block) {
+				if len(b.Tokens) == 0 && len(b.Children) == 0 {
+					t.Fatalf("block %v has neither tokens nor children", b.Type)
+				}
+				switch b.Type {
+				case NP, VBC:
+					if len(b.Tokens) == 0 {
+						t.Fatalf("%v block without tokens", b.Type)
+					}
+				case PP:
+					if len(b.Tokens) == 0 {
+						t.Fatal("PP without its preposition token")
+					}
+				default:
+					t.Fatalf("unknown block type %q", b.Type)
+				}
+				_ = b.Text()
+				_ = b.Lemmas()
+				_ = b.ContentLemmas()
+				_ = b.HeadNoun()
+				bb := b
+				_ = (&bb).InnerNP()
+				for _, c := range b.Children {
+					checkBlock(c)
+				}
+			}
+			for _, b := range blocks {
+				checkBlock(b)
+			}
+			_ = Render(blocks)
+			for _, d := range ExtractDates(blocks) {
+				if d.IsZero() {
+					t.Fatal("ExtractDates returned a zero DateRef")
+				}
+				if d.Month < 0 || d.Month > 12 || d.Day < 0 || d.Day > 31 {
+					t.Fatalf("implausible date %+v", d)
+				}
+				if d.Year != 0 && (d.Year < 1500 || d.Year > 2200) {
+					t.Fatalf("implausible year %+v", d)
+				}
+			}
+		}
+		// The whole-text entry point must agree in sentence count.
+		if got, want := len(ParseText(text)), len(nlp.SplitSentences(text)); got != want {
+			t.Fatalf("ParseText produced %d sentence parses, want %d", got, want)
+		}
+	})
+}
