@@ -8,6 +8,7 @@
 package dwqa_test
 
 import (
+	"errors"
 	"testing"
 
 	"dwqa"
@@ -16,6 +17,7 @@ import (
 	"dwqa/internal/etl"
 	"dwqa/internal/eval"
 	"dwqa/internal/ir"
+	"dwqa/internal/nl2olap"
 	"dwqa/internal/webcorpus"
 )
 
@@ -258,6 +260,136 @@ func BenchmarkAskThroughput(b *testing.B) {
 				}
 				if r.Result.Best == nil {
 					b.Fatal("no answer")
+				}
+			}
+		}
+		b.ReportMetric(float64(len(workload))*float64(b.N)/b.Elapsed().Seconds(), "questions/sec")
+	})
+}
+
+// analyticWorkload is the OLAP half of the mixed serving benchmarks —
+// the question shapes the NL→OLAP translator compiles (shared with
+// cmd/benchreport through core.AnalyticQuestions so BENCH_PERF.json
+// measures the same workload CI benchmarks).
+func analyticWorkload() []string { return core.AnalyticQuestions() }
+
+// BenchmarkNL2OLAPTranslate isolates the translator hot path: one op =
+// classifying and compiling every analytic workload question into a
+// validated plan (no execution).
+func BenchmarkNL2OLAPTranslate(b *testing.B) {
+	p, err := dwqa.New(dwqa.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, step := range []func() error{p.Step1DeriveOntology, p.Step2FeedOntology} {
+		if err := step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	trans, err := p.Translator()
+	if err != nil {
+		b.Fatal(err)
+	}
+	questions := analyticWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range questions {
+			if _, err := trans.Translate(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(questions))*float64(b.N)/b.Elapsed().Seconds(), "questions/sec")
+}
+
+// BenchmarkAskThroughputMixed is the mixed-workload variant of
+// BenchmarkAskThroughput: factoid and analytic questions interleaved,
+// sequential dispatch (classify, then translator.Answer or Ask) against
+// the engine's AskAll. Both paths are verified to return identical
+// answers in identical order before timing.
+func BenchmarkAskThroughputMixed(b *testing.B) {
+	p, err := dwqa.New(dwqa.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+	workload := servingWorkload(p, 4)
+	for r := 0; r < 4; r++ {
+		workload = append(workload, analyticWorkload()...)
+	}
+	eng, err := p.Engine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	trans, err := p.Translator()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// The sequential mixed dispatch both benchmark arms must agree with.
+	sequential := func(q string) (string, error) {
+		ans, err := trans.Answer(q)
+		switch {
+		case err == nil:
+			return ans.PlanString() + "\n" + ans.Result.Format(), nil
+		case !errors.Is(err, nl2olap.ErrFactoid):
+			return "", err
+		}
+		res, err := p.Ask(q)
+		if err != nil {
+			return "", err
+		}
+		return res.Trace().Format(), nil
+	}
+	renderBatch := func(r dwqa.AskResult) (string, error) {
+		if r.Err != nil {
+			return "", r.Err
+		}
+		if r.OLAP != nil {
+			return r.OLAP.PlanString() + "\n" + r.OLAP.Result.Format(), nil
+		}
+		return r.Result.Trace().Format(), nil
+	}
+
+	// Correctness gate: batch slots must match the sequential dispatch.
+	batch := eng.AskAll(workload)
+	for i, q := range workload {
+		want, err := sequential(q)
+		if err != nil {
+			b.Fatalf("slot %d (%q): sequential: %v", i, q, err)
+		}
+		got, err := renderBatch(batch[i])
+		if err != nil {
+			b.Fatalf("slot %d (%q): batch: %v", i, q, err)
+		}
+		if got != want {
+			b.Fatalf("slot %d (%q): batch result diverges from sequential dispatch", i, q)
+		}
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, q := range workload {
+				if _, err := sequential(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(workload))*float64(b.N)/b.Elapsed().Seconds(), "questions/sec")
+	})
+	b.Run("engine8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range eng.AskAll(workload) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+				if r.Result == nil && r.OLAP == nil {
+					b.Fatal("empty slot")
 				}
 			}
 		}

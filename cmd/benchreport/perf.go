@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,6 +12,7 @@ import (
 	"dwqa/internal/engine"
 	"dwqa/internal/etl"
 	"dwqa/internal/ir"
+	"dwqa/internal/nl2olap"
 	"dwqa/internal/webcorpus"
 )
 
@@ -56,13 +58,24 @@ type harvestComparison struct {
 	Speedup    float64 `json:"speedup"`
 }
 
+// nl2olapPerf records the NL→OLAP translator hot path: questions
+// classified and compiled to validated plans per second.
+type nl2olapPerf struct {
+	Questions       int     `json:"questions"`
+	NsPerOp         float64 `json:"ns_per_op"` // one op = the whole workload
+	QuestionsPerSec float64 `json:"questions_per_sec"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+}
+
 // perfReport is the schema of BENCH_PERF.json.
 type perfReport struct {
-	Schema       string               `json:"schema"`
-	Measurements []perfMeasurement    `json:"measurements"`
-	OLAP         []perfComparison     `json:"olap_compiled_vs_reference"`
-	QAServing    *qaServingComparison `json:"qa_serving_engine_vs_sequential,omitempty"`
-	Harvest      *harvestComparison   `json:"harvest_batch_vs_sequential,omitempty"`
+	Schema         string               `json:"schema"`
+	Measurements   []perfMeasurement    `json:"measurements"`
+	OLAP           []perfComparison     `json:"olap_compiled_vs_reference"`
+	QAServing      *qaServingComparison `json:"qa_serving_engine_vs_sequential,omitempty"`
+	QAServingMixed *qaServingComparison `json:"qa_serving_mixed_vs_sequential,omitempty"`
+	NL2OLAP        *nl2olapPerf         `json:"nl2olap_translate,omitempty"`
+	Harvest        *harvestComparison   `json:"harvest_batch_vs_sequential,omitempty"`
 }
 
 func measure(name string, rows int, fn func(b *testing.B)) (perfMeasurement, error) {
@@ -90,7 +103,7 @@ func runPerf(outDir string, seed int64) (*perfReport, error) {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return nil, err
 	}
-	rep := &perfReport{Schema: "dwqa-bench/v2"}
+	rep := &perfReport{Schema: "dwqa-bench/v3"}
 	for _, target := range []int{1_000, 10_000, 100_000} {
 		wh, q, err := core.PrepareScaledBenchmark(target, seed)
 		if err != nil {
@@ -247,6 +260,10 @@ func runQAServingPerf(rep *perfReport, seed int64) error {
 	}
 	rep.QAServing = qs
 
+	if err := runAnalyticPerf(rep, p); err != nil {
+		return err
+	}
+
 	// Harvest: fresh loaders per iteration so dedup state never carries.
 	harvester, err := p.NewHarvester()
 	if err != nil {
@@ -308,6 +325,118 @@ func runQAServingPerf(rep *perfReport, seed int64) error {
 	return nil
 }
 
+// runAnalyticPerf benchmarks the analytic question path over a fed
+// pipeline: NL2OLAPTranslate (the translator hot path, one op = the whole
+// analytic workload) and AskThroughputMixed (sequential classify-and-
+// dispatch loop vs the engine's AskAll over an interleaved factoid+
+// analytic workload). The engine's mixed batch is verified against the
+// sequential dispatch before any timing.
+func runAnalyticPerf(rep *perfReport, p *core.Pipeline) error {
+	trans, err := p.Translator()
+	if err != nil {
+		return err
+	}
+	eng, err := p.Engine()
+	if err != nil {
+		return err
+	}
+	analytic := core.AnalyticQuestions()
+
+	tm, err := measure("NL2OLAPTranslate", len(analytic), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, q := range analytic {
+				if _, err := trans.Translate(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	rep.Measurements = append(rep.Measurements, tm)
+	np := &nl2olapPerf{Questions: len(analytic), NsPerOp: tm.NsPerOp, AllocsPerOp: tm.AllocsPerOp}
+	if tm.NsPerOp > 0 {
+		np.QuestionsPerSec = float64(len(analytic)) / (tm.NsPerOp / 1e9)
+	}
+	rep.NL2OLAP = np
+
+	// The mixed workload: the factoid traffic shape plus the analytic
+	// questions, interleaved with repeats.
+	unique := p.WeatherQuestions()
+	var workload []string
+	for r := 0; r < 4; r++ {
+		workload = append(workload, unique...)
+		workload = append(workload, analytic...)
+	}
+	sequential := func(q string) error {
+		_, err := trans.Answer(q)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, nl2olap.ErrFactoid) {
+			return err
+		}
+		_, err = p.Ask(q)
+		return err
+	}
+
+	// Correctness gate: every batch slot answers on the right path.
+	for i, r := range eng.AskAll(workload) {
+		if r.Err != nil {
+			return fmt.Errorf("benchreport: mixed slot %d (%q): %v", i, workload[i], r.Err)
+		}
+		if r.Result == nil && r.OLAP == nil {
+			return fmt.Errorf("benchreport: mixed slot %d (%q): empty answer", i, workload[i])
+		}
+	}
+
+	seq, err := measure("AskThroughputMixed/sequential", len(workload), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, q := range workload {
+				if err := sequential(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	engd, err := measure("AskThroughputMixed/engine8", len(workload), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range eng.AskAll(workload) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	rep.Measurements = append(rep.Measurements, seq, engd)
+	mixed := &qaServingComparison{
+		WorkloadQuestions: len(workload),
+		UniqueQuestions:   len(unique) + len(analytic),
+		Workers:           eng.Workers(),
+		Sequential:        seq.NsPerOp,
+		Engine:            engd.NsPerOp,
+	}
+	if engd.NsPerOp > 0 {
+		mixed.Speedup = seq.NsPerOp / engd.NsPerOp
+		mixed.EngineQPS = float64(len(workload)) / (engd.NsPerOp / 1e9)
+	}
+	if seq.NsPerOp > 0 {
+		mixed.SequentialQPS = float64(len(workload)) / (seq.NsPerOp / 1e9)
+	}
+	rep.QAServingMixed = mixed
+	return nil
+}
+
 func printPerf(rep *perfReport) {
 	fmt.Println("== PERF: compiled OLAP engine vs row-at-a-time reference ==")
 	for _, c := range rep.OLAP {
@@ -322,6 +451,16 @@ func printPerf(rep *perfReport) {
 	}
 	if qs := rep.QAServing; qs != nil {
 		fmt.Println("== PERF: QA serving engine vs sequential Ask loop ==")
+		fmt.Printf("%d-question workload (%d unique, %d workers): sequential %.0f q/s, engine %.0f q/s, speedup %.1fx\n",
+			qs.WorkloadQuestions, qs.UniqueQuestions, qs.Workers,
+			qs.SequentialQPS, qs.EngineQPS, qs.Speedup)
+	}
+	if np := rep.NL2OLAP; np != nil {
+		fmt.Printf("NL→OLAP translation (%d questions): %.0f q/s, %d allocs/workload\n",
+			np.Questions, np.QuestionsPerSec, np.AllocsPerOp)
+	}
+	if qs := rep.QAServingMixed; qs != nil {
+		fmt.Println("== PERF: mixed factoid+analytic serving vs sequential dispatch ==")
 		fmt.Printf("%d-question workload (%d unique, %d workers): sequential %.0f q/s, engine %.0f q/s, speedup %.1fx\n",
 			qs.WorkloadQuestions, qs.UniqueQuestions, qs.Workers,
 			qs.SequentialQPS, qs.EngineQPS, qs.Speedup)

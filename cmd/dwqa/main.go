@@ -1,7 +1,9 @@
 // Command dwqa runs the full five-step DW↔QA integration on the Last
 // Minute Sales scenario. Without a subcommand it prints the paper's
-// Table 1 trace plus the BI analysis the scenario motivates; the serve
-// subcommand keeps the integrated system running behind an HTTP JSON API.
+// Table 1 trace, the mixed factoid+analytic workload (natural-language
+// questions compiled to OLAP plans) and the BI analysis the scenario
+// motivates; the serve subcommand keeps the integrated system running
+// behind an HTTP JSON API.
 //
 // Usage:
 //
@@ -10,8 +12,9 @@
 //
 // The serve API:
 //
-//	POST /ask        {"question": "..."}      one answer
+//	POST /ask        {"question": "..."}      one answer (factoid or OLAP)
 //	POST /ask/batch  {"questions": [...]}     batched answers, input order
+//	POST /ask/olap   {"question": "..."}      the analytic path: plan + table
 //	POST /harvest    {"questions": [...]}     Step 5 feed (empty = default workload)
 //	GET  /trace?q=…                           the paper's Table 1 trace
 //	GET  /healthz                             serving statistics
@@ -83,6 +86,22 @@ func runTrace(args []string) {
 	}
 	fmt.Println("--- Table 1 trace ---")
 	fmt.Println(tr.Format())
+
+	// The mixed workload the integration enables: the same Ask surface
+	// answers factoid questions from the web and analytic questions from
+	// the warehouse (compiled OLAP plans).
+	fmt.Println("--- Analytic questions (NL → compiled OLAP plans) ---")
+	for _, q := range []string{
+		"What is the average temperature in Barcelona by month?",
+		"Total last-minute revenue per destination city in January",
+		"How many tickets were sold to Barcelona in January of 2004?",
+	} {
+		ans, err := p.AskOLAP(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Q: %s\nplan: %s\n%s\n", q, ans.PlanString(), ans.Result.Format())
+	}
 
 	rep, err := dwqa.AnalyzeSalesWeather(p)
 	if err != nil {

@@ -23,7 +23,13 @@
 //	if err != nil { ... }
 //	if err := p.RunAll(); err != nil { ... }          // the five steps
 //	res, err := p.Ask("What is the weather like in January of 2004 in El Prat?")
+//	tab, err := p.AskOLAP("Average temperature in Barcelona by month")
 //	report, err := dwqa.AnalyzeSalesWeather(p)        // the BI payoff
+//
+// The integration runs in both directions: Step 5 lets QA feed the
+// warehouse, and the analytic path (AskOLAP, or any Ask* call — questions
+// are classified automatically) lets users query the warehouse in natural
+// language through compiled OLAP plans.
 package dwqa
 
 import (
@@ -32,6 +38,7 @@ import (
 	"dwqa/internal/bi"
 	"dwqa/internal/core"
 	"dwqa/internal/engine"
+	"dwqa/internal/nl2olap"
 	"dwqa/internal/qa"
 )
 
@@ -73,8 +80,24 @@ type Engine = engine.Engine
 type EngineConfig = engine.Config
 
 // AskResult is one slot of a batched AskAll call: the result (or error)
-// for the question at the same input position.
+// for the question at the same input position. Analytic questions carry
+// their OLAP answer in the OLAP field instead of a factoid Result.
 type AskResult = engine.AskResult
+
+// Translator compiles natural-language analytical questions ("average
+// temperature in Barcelona by month") into validated OLAP query plans
+// over the warehouse, using the schema metadata and the Step 2/3 ontology
+// lexicon. Obtain the scenario's with Pipeline.Translator(); Ask/AskAll
+// dispatch through it automatically.
+type Translator = nl2olap.Translator
+
+// OLAPAnswer is one executed analytic question: the compiled, validated
+// plan plus its result table.
+type OLAPAnswer = nl2olap.Answer
+
+// ErrFactoid reports that a question offered to the analytic path belongs
+// to the factoid QA modules instead (test with errors.Is).
+var ErrFactoid = nl2olap.ErrFactoid
 
 // HarvestResult is one question's outcome of a batched Step 5 harvest.
 type HarvestResult = engine.HarvestResult

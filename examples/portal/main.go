@@ -1,8 +1,9 @@
 // Portal: an enterprise-knowledge-portal session in the style of the
 // paper's related work (§2, Priebe & Pernul): structured OLAP queries and
 // unstructured QA side by side, with the shared ontology carrying context
-// between them — the analyst drills into sales, then asks the web why a
-// destination spiked.
+// between them — the analyst asks the warehouse in natural language
+// (compiled to an OLAP plan by the nl2olap translator), then asks the web
+// why a destination spiked, then drills back into the QA-fed fact.
 //
 //	go run ./examples/portal
 package main
@@ -24,19 +25,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Pane 1 — the OLAP view: ticket counts by destination city per month
-	// ("sales of certain products within the four quarters", §2).
-	sales, err := p.Warehouse.Execute(dw.Query{
-		Fact: "LastMinuteSales", Measure: "Price", Agg: dw.Count,
-		GroupBy: []dw.LevelSel{
-			{Role: "Destination", Level: "City"},
-			{Role: "Date", Level: "Month"},
-		},
-	})
+	// Pane 1 — the OLAP view, asked in natural language: the analytic
+	// path classifies the question and compiles it to the same plan an
+	// analyst would hand-write ("sales of certain products within the
+	// four quarters", §2).
+	const analytic = "How many tickets were sold by destination city and month?"
+	ans, err := p.AskOLAP(analytic)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("OLAP pane: last-minute tickets by destination and month")
+	sales := ans.Result
+	fmt.Printf("OLAP pane: %s\nplan: %s\n", analytic, ans.PlanString())
 	fmt.Print(sales.Format())
 
 	// Find the hottest destination-month.

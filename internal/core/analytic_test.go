@@ -1,0 +1,114 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"dwqa/internal/nl2olap"
+)
+
+// TestPipelineAnalyticSurface covers the pipeline facade of the analytic
+// path: the lazily built translator, the canonical analytic workload, and
+// AskOLAP/AskAll dispatch through the serving engine.
+func TestPipelineAnalyticSurface(t *testing.T) {
+	p := newPipeline(t)
+	for _, step := range []func() error{
+		p.Step1DeriveOntology, p.Step2FeedOntology,
+		p.Step3MergeUpperOntology, p.Step4TuneQA,
+	} {
+		if err := step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	trans, err := p.Translator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := p.Translator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trans != again {
+		t.Error("Translator() should return the cached instance")
+	}
+
+	// Every canonical analytic question must translate (the workload the
+	// mixed benchmarks replay).
+	questions := AnalyticQuestions()
+	if len(questions) == 0 {
+		t.Fatal("empty analytic workload")
+	}
+	for _, q := range questions {
+		if _, err := trans.Translate(q); err != nil {
+			t.Errorf("Translate(%q): %v", q, err)
+		}
+	}
+
+	ans, err := p.AskOLAP("Average price by destination country and month")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Result.Rows) == 0 {
+		t.Error("no result rows")
+	}
+	if _, err := p.AskOLAP("What is Sirius?"); !errors.Is(err, nl2olap.ErrFactoid) {
+		t.Errorf("factoid AskOLAP = %v, want ErrFactoid", err)
+	}
+
+	// AskAll dispatches per question: one factoid, one analytic.
+	results, err := p.AskAll([]string{
+		"What is the weather like in January of 2004 in El Prat?",
+		"Number of flights per departure airport",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Result == nil || results[0].OLAP != nil {
+		t.Errorf("slot 0 should be factoid: %+v", results[0])
+	}
+	if results[1].OLAP == nil || results[1].Result != nil {
+		t.Errorf("slot 1 should be analytic: %+v", results[1])
+	}
+}
+
+// TestAskOLAPRequiresStep4: the analytic path runs on the serving engine,
+// which needs the tuned QA system.
+func TestAskOLAPRequiresStep4(t *testing.T) {
+	p := newPipeline(t)
+	if _, err := p.AskOLAP("Total revenue"); err == nil {
+		t.Fatal("AskOLAP before Step 4 should fail")
+	}
+}
+
+// TestEarlyTranslatorPicksUpOntology: a translator requested before
+// Step 1 must not freeze alias grounding off — once the ontology exists
+// the pipeline rebuilds it, so Engine() always serves lexicon-backed
+// grounding.
+func TestEarlyTranslatorPicksUpOntology(t *testing.T) {
+	p := newPipeline(t)
+	early, err := p.Translator() // before any step: nil ontology
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := early.Translate("maximum temperature in El Prat in February of 2004"); err == nil {
+		t.Fatal("ontology-free translator should not ground El Prat on Weather")
+	}
+	if err := p.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := p.AskOLAP("maximum temperature in El Prat in February of 2004")
+	if err != nil {
+		t.Fatalf("post-RunAll AskOLAP should ground through the ontology: %v", err)
+	}
+	if len(ans.Result.Rows) == 0 {
+		t.Error("no result rows")
+	}
+	rebuilt, err := p.Translator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt == early {
+		t.Error("translator was not rebuilt after the ontology appeared")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"dwqa/internal/ir"
 	"dwqa/internal/mdm"
 	"dwqa/internal/merge"
+	"dwqa/internal/nl2olap"
 	"dwqa/internal/ontology"
 	"dwqa/internal/qa"
 	"dwqa/internal/uml2onto"
@@ -94,8 +95,10 @@ type Pipeline struct {
 
 	step atomic.Int32 // highest completed step
 
-	mu  sync.Mutex     // guards eng/Loader creation and LoadReport writes
-	eng *engine.Engine // lazily built by Engine()
+	mu        sync.Mutex          // guards eng/trans/Loader creation and LoadReport writes
+	eng       *engine.Engine      // lazily built by Engine()
+	trans     *nl2olap.Translator // lazily built by Translator()
+	transOnto *ontology.Ontology  // the lexicon trans was built over
 }
 
 // NewPipeline builds the scenario environment: the Figure 1 schema, the
@@ -355,6 +358,14 @@ func (p *Pipeline) Engine() (*engine.Engine, error) {
 		return nil, err
 	}
 	eng.SetDefaultHarvest(p.WeatherQuestions())
+	// The analytic path: Ask/AskAll classify every question and dispatch
+	// analytic ones to the compiled OLAP engine instead of the factoid
+	// modules (DESIGN.md §6).
+	trans, err := p.translatorLocked()
+	if err != nil {
+		return nil, err
+	}
+	eng.SetTranslator(trans)
 	p.eng = eng
 	return eng, nil
 }
@@ -416,7 +427,10 @@ func (p *Pipeline) RunAll() error {
 	return err
 }
 
-// Ask answers one question through the tuned QA system (requires Step 4).
+// Ask answers one question through the tuned QA system (requires
+// Step 4). This is the raw factoid path; the serving surfaces (AskAll,
+// AskOLAP, the HTTP API) classify each question first and dispatch
+// analytic ones to the compiled OLAP engine instead.
 func (p *Pipeline) Ask(question string) (*qa.Result, error) {
 	if err := p.require(4); err != nil {
 		return nil, err

@@ -415,3 +415,91 @@ func BenchmarkExecuteGroupBy(b *testing.B) {
 		}
 	}
 }
+
+// TestValidateWithoutExecute covers the exported validation entry point
+// the NL→OLAP translator uses to guarantee it never emits a rejectable
+// plan.
+func TestValidateWithoutExecute(t *testing.T) {
+	w := newPopulated(t)
+	good := Query{Fact: "LastMinuteSales", Measure: "Price", Agg: Sum,
+		GroupBy: []LevelSel{{Role: "Destination", Level: "City"}}}
+	if err := w.Validate(good); err != nil {
+		t.Errorf("Validate(good) = %v", err)
+	}
+	for name, bad := range map[string]Query{
+		"unknown fact":    {Fact: "Nope", Measure: "Price", Agg: Sum},
+		"unknown measure": {Fact: "LastMinuteSales", Measure: "Nope", Agg: Sum},
+		"unknown agg":     {Fact: "LastMinuteSales", Measure: "Price", Agg: "median"},
+		"unknown role": {Fact: "LastMinuteSales", Measure: "Price", Agg: Sum,
+			GroupBy: []LevelSel{{Role: "Nope", Level: "City"}}},
+		"duplicate group-by": {Fact: "LastMinuteSales", Measure: "Price", Agg: Sum,
+			GroupBy: []LevelSel{{Role: "Destination", Level: "City"}, {Role: "Destination", Level: "City"}}},
+	} {
+		if err := w.Validate(bad); err == nil {
+			t.Errorf("Validate(%s) accepted an invalid query", name)
+		}
+	}
+}
+
+// TestBatchAPIs covers the single-lock batch loaders the Step 5 feed
+// uses: ordered member batches, atomic fact-row batches, and the
+// Schema/ParentName accessors the metadata layers read.
+func TestBatchAPIs(t *testing.T) {
+	w, err := New(testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Schema() == nil {
+		t.Fatal("Schema() returned nil")
+	}
+	if err := w.AddMembers([]MemberSpec{
+		{Dim: "Airport", Level: "Country", Name: "Spain"},
+		{Dim: "Airport", Level: "City", Name: "Barcelona", Parent: "Spain"},
+		{Dim: "Airport", Level: "Airport", Name: "El Prat", Parent: "Barcelona"},
+		{Dim: "Date", Level: "Month", Name: "2004-01"},
+		{Dim: "Date", Level: "Day", Name: "2004-01-01", Parent: "2004-01"},
+	}); err != nil {
+		t.Fatalf("AddMembers: %v", err)
+	}
+	if parent, err := w.ParentName("Airport", "Airport", "El Prat"); err != nil || parent != "Barcelona" {
+		t.Errorf("ParentName = %q, %v", parent, err)
+	}
+	if _, err := w.ParentName("Airport", "Airport", "Ghost"); err == nil {
+		t.Error("ParentName of a missing member should fail")
+	}
+	// A failing spec aborts the batch at that spec (AddMember semantics).
+	if err := w.AddMembers([]MemberSpec{
+		{Dim: "Airport", Level: "City", Name: "Madrid", Parent: "Spain"},
+		{Dim: "Airport", Level: "City", Name: "Oops", Parent: "Atlantis"},
+	}); err == nil {
+		t.Error("bad parent in a member batch should fail")
+	}
+
+	rows := []FactRow{
+		{Coords: map[string]string{"Departure": "El Prat", "Destination": "El Prat", "Date": "2004-01-01"},
+			Measures: map[string]float64{"Price": 100}},
+		{Coords: map[string]string{"Departure": "El Prat", "Destination": "El Prat", "Date": "2004-01-01"},
+			Measures: map[string]float64{"Price": 50}, Provenance: "test"},
+	}
+	if err := w.AddFactRows("LastMinuteSales", rows); err != nil {
+		t.Fatalf("AddFactRows: %v", err)
+	}
+	if n := w.FactCount("LastMinuteSales"); n != 2 {
+		t.Errorf("FactCount = %d, want 2", n)
+	}
+	// The batch is atomic: one bad row loads nothing.
+	bad := append([]FactRow(nil), rows...)
+	bad = append(bad, FactRow{Coords: map[string]string{"Departure": "Ghost", "Destination": "El Prat", "Date": "2004-01-01"}})
+	if err := w.AddFactRows("LastMinuteSales", bad); err == nil {
+		t.Fatal("bad row in a fact batch should fail")
+	}
+	if n := w.FactCount("LastMinuteSales"); n != 2 {
+		t.Errorf("FactCount after failed batch = %d, want 2 (atomic)", n)
+	}
+	if err := w.AddFactRows("Ghost", rows); err == nil {
+		t.Error("unknown fact in a batch should fail")
+	}
+	if err := w.AddFactRows("LastMinuteSales", nil); err != nil {
+		t.Errorf("empty batch should be a no-op: %v", err)
+	}
+}

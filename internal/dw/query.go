@@ -105,6 +105,18 @@ func (w *Warehouse) validateLocked(q Query) (*factData, map[string]string, error
 	return fd, roleDim, nil
 }
 
+// Validate checks a query against the schema without executing it: the
+// fact, measure, aggregation, every group-by and filter (role, level)
+// pair and exact duplicate group-by columns are verified exactly as
+// Execute would. Query front-ends (the NL→OLAP translator) use it to
+// guarantee they never emit a plan Execute would reject.
+func (w *Warehouse) Validate(q Query) error {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	_, _, err := w.validateLocked(q)
+	return err
+}
+
 // Execute runs an OLAP query against the warehouse using the compiled
 // columnar engine: roles, levels and filters are resolved once into a plan
 // whose scan is pure array indexing over the fact columns, parallelised

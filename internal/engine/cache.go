@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 
+	"dwqa/internal/nl2olap"
 	"dwqa/internal/qa"
 )
 
@@ -20,10 +21,18 @@ func NormalizeQuestion(q string) string {
 	return strings.TrimRight(s, "?!. ")
 }
 
-// answerCache is a mutex-guarded LRU of question results. Entries are the
-// shared *qa.Result values handed to every caller, so cached results are
-// read-only by contract. The engine flushes the cache whenever Step 5
-// feeds the warehouse (see Engine.InvalidateCache).
+// cachedAnswer is one cache value: exactly one of the two paths is set —
+// the factoid result or the analytic (OLAP) answer. Both are shared with
+// every caller, so cached values are read-only by contract.
+type cachedAnswer struct {
+	qa   *qa.Result
+	olap *nl2olap.Answer
+}
+
+// answerCache is a mutex-guarded LRU of question results — factoid and
+// analytic alike, so a warehouse feed invalidates both kinds at once. The
+// engine flushes the cache whenever Step 5 feeds the warehouse (see
+// Engine.InvalidateCache).
 type answerCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -41,7 +50,7 @@ type answerCache struct {
 
 type cacheEntry struct {
 	key string
-	res *qa.Result
+	res cachedAnswer
 }
 
 // newAnswerCache builds an LRU holding up to capacity entries. A capacity
@@ -57,13 +66,13 @@ func newAnswerCache(capacity int) *answerCache {
 // get returns the cached result for key (if any) plus the current epoch,
 // which the caller passes back to put so flushes in between drop the
 // insert.
-func (c *answerCache) get(key string) (*qa.Result, bool, uint64) {
+func (c *answerCache) get(key string) (cachedAnswer, bool, uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
-		return nil, false, c.epoch
+		return cachedAnswer{}, false, c.epoch
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
@@ -73,7 +82,7 @@ func (c *answerCache) get(key string) (*qa.Result, bool, uint64) {
 // put inserts a result computed while the cache was at the given epoch.
 // If a flush happened since (a warehouse feed invalidated everything),
 // the insert is dropped — the result may describe pre-feed state.
-func (c *answerCache) put(key string, res *qa.Result, epoch uint64) {
+func (c *answerCache) put(key string, res cachedAnswer, epoch uint64) {
 	if c.cap <= 0 {
 		return
 	}

@@ -24,7 +24,9 @@ func TestNormalizeQuestion(t *testing.T) {
 	}
 }
 
-func res(i int) *qa.Result { return &qa.Result{Candidates: []qa.Answer{{Score: float64(i)}}} }
+func res(i int) cachedAnswer {
+	return cachedAnswer{qa: &qa.Result{Candidates: []qa.Answer{{Score: float64(i)}}}}
+}
 
 func TestAnswerCacheLRU(t *testing.T) {
 	c := newAnswerCache(2)
@@ -59,7 +61,7 @@ func TestAnswerCachePutExistingMovesToFront(t *testing.T) {
 	c.put("b", res(2), 0)
 	c.put("a", res(10), 0) // refresh value and recency
 	c.put("c", res(3), 0)  // evicts b, not a
-	if got, ok, _ := c.get("a"); !ok || got.Candidates[0].Score != 10 {
+	if got, ok, _ := c.get("a"); !ok || got.qa.Candidates[0].Score != 10 {
 		t.Fatalf("a = %+v (ok=%v), want refreshed entry", got, ok)
 	}
 	if _, ok, _ := c.get("b"); ok {

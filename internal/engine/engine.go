@@ -17,19 +17,26 @@
 //     invalidated whenever Step 5 feeds the warehouse;
 //   - a parallelised Step 5: answers are extracted concurrently per
 //     question and committed to the Weather fact in batch instead of
-//     row-at-a-time.
+//     row-at-a-time;
+//   - analytic dispatch: with a translator installed (SetTranslator),
+//     every asked question is classified and analytic ones ("average
+//     temperature in Barcelona by month") are compiled to OLAP plans
+//     and executed against the warehouse instead of the factoid modules,
+//     their answers cached in the same feed-invalidated LRU.
 //
 // The HTTP façade over an Engine lives in server.go; cmd/dwqa's "serve"
 // subcommand wires both to a pipeline.
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"dwqa/internal/etl"
 	"dwqa/internal/ir"
+	"dwqa/internal/nl2olap"
 	"dwqa/internal/qa"
 )
 
@@ -68,6 +75,12 @@ type Engine struct {
 
 	mu             sync.Mutex
 	defaultHarvest []string
+
+	// trans, when set, classifies every asked question: analytic
+	// questions compile to OLAP plans against the warehouse instead of
+	// running the factoid modules (DESIGN.md §6). Stored atomically so
+	// serving workers read it lock-free.
+	trans atomic.Pointer[nl2olap.Translator]
 }
 
 // New assembles an engine. ask is required; harvester defaults to ask when
@@ -115,6 +128,16 @@ func (e *Engine) DefaultHarvest() []string {
 	return append([]string(nil), e.defaultHarvest...)
 }
 
+// SetTranslator installs the NL→OLAP translator that turns Ask/AskAll
+// into a mixed-workload endpoint: each question is classified and
+// analytic ones are dispatched to the compiled OLAP engine. Analytic
+// answers share the factoid LRU, so Step 5 feeds invalidate them too.
+func (e *Engine) SetTranslator(t *nl2olap.Translator) { e.trans.Store(t) }
+
+// Translator returns the installed NL→OLAP translator (nil when the
+// engine serves the factoid path only).
+func (e *Engine) Translator() *nl2olap.Translator { return e.trans.Load() }
+
 // Workers returns the configured parallelism.
 func (e *Engine) Workers() int { return e.workers }
 
@@ -127,13 +150,16 @@ func (e *Engine) Generation() uint64 { return e.generation.Load() }
 // through other paths should call it themselves.
 func (e *Engine) InvalidateCache() { e.cache.flush() }
 
-// AskResult is one slot of an AskAll batch. Result and Err mirror exactly
-// what a sequential qa.System.Answer call for Question would have
-// returned; Cached reports whether the answer came from the LRU (or from
-// another identical question in the same batch).
+// AskResult is one slot of an AskAll batch. For factoid questions Result
+// and Err mirror exactly what a sequential qa.System.Answer call for
+// Question would have returned; for analytic questions OLAP carries the
+// compiled plan and its result table instead (Result stays nil). Cached
+// reports whether the answer came from the LRU (or from another identical
+// question in the same batch).
 type AskResult struct {
 	Question string
 	Result   *qa.Result
+	OLAP     *nl2olap.Answer
 	Err      error
 	Cached   bool
 }
@@ -178,19 +204,41 @@ func (e *Engine) AskAll(questions []string) []AskResult {
 
 	e.forEach(len(tasks), func(ti int) {
 		t := &tasks[ti]
-		res, ok, epoch := e.cache.get(t.key)
+		cached, ok, epoch := e.cache.get(t.key)
 		if ok {
 			for _, i := range t.indices {
-				out[i].Result = res
+				out[i].Result = cached.qa
+				out[i].OLAP = cached.olap
 				out[i].Cached = true
 			}
 			return
+		}
+		// Dispatch: analytic questions compile to OLAP plans; factoid
+		// questions (ErrFactoid) fall through to the three modules. An
+		// analytic question the metadata cannot ground is an error —
+		// never a silently wrong factoid answer.
+		if trans := e.trans.Load(); trans != nil {
+			ans, err := trans.Answer(t.text)
+			switch {
+			case err == nil:
+				e.cache.put(t.key, cachedAnswer{olap: ans}, epoch)
+				for n, i := range t.indices {
+					out[i].OLAP = ans
+					out[i].Cached = n > 0
+				}
+				return
+			case !errors.Is(err, nl2olap.ErrFactoid):
+				for _, i := range t.indices {
+					out[i].Err = err
+				}
+				return
+			}
 		}
 		res, err := e.ask.Answer(t.text)
 		if err == nil {
 			// epoch-checked: a feed committed mid-computation drops the
 			// insert instead of resurrecting a pre-feed answer.
-			e.cache.put(t.key, res, epoch)
+			e.cache.put(t.key, cachedAnswer{qa: res}, epoch)
 		}
 		for n, i := range t.indices {
 			out[i].Result = res
@@ -202,11 +250,43 @@ func (e *Engine) AskAll(questions []string) []AskResult {
 	return out
 }
 
+// AskOLAP answers one question that must be analytic, through the same
+// classification, cache and dispatch as Ask. Factoid questions are
+// rejected by the translator's cheap classification (an error wrapping
+// nl2olap.ErrFactoid) before the expensive factoid modules ever run, so
+// the rejection path costs microseconds and never pollutes the cache.
+func (e *Engine) AskOLAP(question string) (*nl2olap.Answer, error) {
+	trans := e.trans.Load()
+	if trans == nil {
+		return nil, fmt.Errorf("engine: no NL→OLAP translator configured")
+	}
+	if _, err := trans.Translate(question); err != nil {
+		if errors.Is(err, nl2olap.ErrFactoid) {
+			return nil, fmt.Errorf("engine: %w (ask the factoid path)", err)
+		}
+		return nil, err
+	}
+	r := e.Ask(question) // classified analytic: serve via the cache
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	if r.OLAP == nil {
+		// Unreachable while classification is deterministic; kept so a
+		// future translator change cannot hand back a factoid result.
+		return nil, fmt.Errorf("engine: %w (answered by the factoid path)", nl2olap.ErrFactoid)
+	}
+	return r.OLAP, nil
+}
+
 // Trace answers a question and renders the paper's Table 1 trace for it.
+// Analytic questions have no factoid trace; they are reported as such.
 func (e *Engine) Trace(question string) (qa.Trace, error) {
 	r := e.Ask(question)
 	if r.Err != nil {
 		return qa.Trace{}, r.Err
+	}
+	if r.OLAP != nil {
+		return qa.Trace{}, fmt.Errorf("engine: %q is analytic (plan: %s); use the OLAP path", question, r.OLAP.PlanString())
 	}
 	return r.Result.Trace(), nil
 }

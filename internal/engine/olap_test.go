@@ -1,0 +1,267 @@
+package engine_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"dwqa/internal/core"
+	"dwqa/internal/engine"
+	"dwqa/internal/nl2olap"
+)
+
+// analyticQuestions is the OLAP side of the mixed serving workload (the
+// same set the mixed benchmarks use).
+func analyticQuestions() []string { return core.AnalyticQuestions() }
+
+// mixedWorkload interleaves factoid and analytic questions plus failure
+// slots of both kinds, the traffic shape the ISSUE's serving scenario
+// describes.
+func mixedWorkload(p *core.Pipeline) []string {
+	var out []string
+	factoid := p.WeatherQuestions()
+	analytic := analyticQuestions()
+	n := len(factoid)
+	if len(analytic) > n {
+		n = len(analytic)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, factoid[i%len(factoid)], analytic[i%len(analytic)])
+	}
+	out = append(out,
+		"   ",                                    // analysis error slot
+		"average temperature in Gotham by month", // analytic grounding error slot
+	)
+	return out
+}
+
+// renderAsk flattens one AskAll slot for byte-level comparison across the
+// factoid and analytic paths.
+func renderAsk(r engine.AskResult) string {
+	if r.Err != nil {
+		return "error: " + r.Err.Error()
+	}
+	if r.OLAP != nil {
+		return "olap: " + r.OLAP.PlanString() + "\n" + r.OLAP.Result.Format()
+	}
+	return r.Result.Trace().Format()
+}
+
+// sequentialMixedOracle answers the workload one question at a time with
+// the translator and the QA system directly — no engine, no cache — which
+// is the behaviour every AskAll slot must reproduce.
+func sequentialMixedOracle(t *testing.T, p *core.Pipeline, questions []string) []string {
+	t.Helper()
+	trans, err := p.Translator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, len(questions))
+	for i, q := range questions {
+		ans, err := trans.Answer(q)
+		switch {
+		case err == nil:
+			want[i] = "olap: " + ans.PlanString() + "\n" + ans.Result.Format()
+		case !errors.Is(err, nl2olap.ErrFactoid):
+			want[i] = "error: " + err.Error()
+		default:
+			res, err := p.Ask(q)
+			if err != nil {
+				want[i] = "error: " + err.Error()
+			} else {
+				want[i] = res.Trace().Format()
+			}
+		}
+	}
+	return want
+}
+
+// TestMixedBatchMatchesSequential extends the engine-vs-sequential
+// equivalence to mixed factoid+analytic batches: every slot — answer,
+// OLAP table or error — is byte-identical to the sequential dispatch, and
+// a second pass serves both kinds from the cache.
+func TestMixedBatchMatchesSequential(t *testing.T) {
+	p := newPipeline(t)
+	if _, err := p.Step5FeedWarehouse(p.WeatherQuestions()); err != nil {
+		t.Fatal(err)
+	}
+	questions := mixedWorkload(p)
+	want := sequentialMixedOracle(t, p, questions)
+
+	results, err := p.AskAll(questions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawOLAP, sawFactoid := false, false
+	for i, r := range results {
+		if got := renderAsk(r); got != want[i] {
+			t.Errorf("slot %d (%q):\n  batch      = %q\n  sequential = %q", i, questions[i], got, want[i])
+		}
+		if r.OLAP != nil {
+			sawOLAP = true
+			if r.Result != nil {
+				t.Errorf("slot %d carries both an OLAP and a factoid result", i)
+			}
+		}
+		if r.Result != nil {
+			sawFactoid = true
+		}
+	}
+	if !sawOLAP || !sawFactoid {
+		t.Fatalf("workload did not exercise both paths (olap=%v factoid=%v)", sawOLAP, sawFactoid)
+	}
+
+	again, err := p.AskAll(questions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range again {
+		if got := renderAsk(r); got != want[i] {
+			t.Errorf("cached slot %d diverged from sequential result", i)
+		}
+		if r.Err == nil && !r.Cached {
+			t.Errorf("slot %d (%q) should have been served from the cache", i, r.Question)
+		}
+	}
+}
+
+// TestAnalyticAnswersInvalidatedByFeed pins the cache-flush contract for
+// the analytic path: an OLAP answer computed over the unfed warehouse
+// must not survive a Step 5 feed.
+func TestAnalyticAnswersInvalidatedByFeed(t *testing.T) {
+	p := newPipeline(t)
+	eng, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = "count of weather observations by city"
+
+	before := eng.Ask(q)
+	if before.Err != nil {
+		t.Fatal(before.Err)
+	}
+	if before.OLAP == nil {
+		t.Fatal("question did not route to the OLAP path")
+	}
+	if len(before.OLAP.Result.Rows) != 0 {
+		t.Fatalf("unfed Weather fact has %d rows", len(before.OLAP.Result.Rows))
+	}
+
+	if _, _, err := eng.HarvestAll(nil); err != nil { // default workload feed
+		t.Fatal(err)
+	}
+
+	after := eng.Ask(q)
+	if after.Err != nil {
+		t.Fatal(after.Err)
+	}
+	if after.Cached {
+		t.Fatal("analytic answer served from the cache across a feed")
+	}
+	total := 0
+	for _, r := range after.OLAP.Result.Rows {
+		total += r.Count
+	}
+	if len(after.OLAP.Result.Rows) == 0 || total == 0 {
+		t.Fatalf("post-feed count result = %+v, want harvested rows", after.OLAP.Result.Rows)
+	}
+}
+
+// TestAskOLAPEndpointSemantics covers the analytic-only entry point.
+func TestAskOLAPEndpointSemantics(t *testing.T) {
+	p := newPipeline(t)
+	eng, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := p.AskOLAP("Average price by destination country and month")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Result.Rows) == 0 {
+		t.Error("no result rows")
+	}
+	// Factoid questions are rejected by classification alone: the
+	// expensive factoid pipeline never runs and nothing enters the cache.
+	entriesBefore := eng.Stats().CacheEntries
+	if _, err := eng.AskOLAP("What is the weather like in January of 2004 in El Prat?"); !errors.Is(err, nl2olap.ErrFactoid) {
+		t.Errorf("factoid question through AskOLAP = %v, want ErrFactoid", err)
+	}
+	if got := eng.Stats().CacheEntries; got != entriesBefore {
+		t.Errorf("rejected AskOLAP polluted the cache (%d → %d entries)", entriesBefore, got)
+	}
+	// An engine without a translator refuses rather than misroutes.
+	bare, err := engine.New(engine.Config{}, p.QA, nil, nil, p.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bare.AskOLAP("Total revenue"); err == nil {
+		t.Error("translator-less engine should refuse AskOLAP")
+	}
+	// Trace reports analytic questions instead of panicking on them.
+	if _, err := eng.Trace("Total revenue by month"); err == nil {
+		t.Error("Trace of an analytic question should explain the OLAP routing")
+	}
+}
+
+// TestConcurrentMixedAskWhileFeeding is the mixed-workload serving
+// scenario under the race detector: factoid and analytic batches running
+// on the engine while Step 5 feeds commit, then a post-storm equivalence
+// check against the sequential oracle (cache-flush correctness: nothing
+// stale survives the feeds).
+func TestConcurrentMixedAskWhileFeeding(t *testing.T) {
+	p := newPipeline(t)
+	questions := mixedWorkload(p)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				results, err := p.AskAll(questions)
+				if err != nil {
+					errs <- fmt.Errorf("AskAll: %w", err)
+					return
+				}
+				for s, r := range results {
+					// Failure slots aside, every answer must be one of the
+					// two paths, never both.
+					if r.Result != nil && r.OLAP != nil {
+						errs <- fmt.Errorf("slot %d has both result kinds", s)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := p.Step5FeedWarehouse(p.WeatherQuestions()); err != nil {
+				errs <- fmt.Errorf("Step5: %w", err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// After the storm the caches hold only post-feed state: a fresh batch
+	// must equal the sequential oracle over the final warehouse.
+	want := sequentialMixedOracle(t, p, questions)
+	results, err := p.AskAll(questions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if got := renderAsk(r); got != want[i] {
+			t.Errorf("post-feed slot %d (%q):\n  batch      = %q\n  sequential = %q", i, questions[i], got, want[i])
+		}
+	}
+}

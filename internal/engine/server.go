@@ -2,10 +2,12 @@ package engine
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 
+	"dwqa/internal/nl2olap"
 	"dwqa/internal/qa"
 	"dwqa/internal/sbparser"
 )
@@ -19,8 +21,12 @@ const (
 
 // NewServer returns the HTTP JSON API over an engine:
 //
-//	POST /ask        {"question": "..."}        → one answer
+//	POST /ask        {"question": "..."}        → one answer (factoid or,
+//	                                              when classified analytic,
+//	                                              the OLAP result table)
 //	POST /ask/batch  {"questions": ["...",…]}   → answers in input order
+//	POST /ask/olap   {"question": "..."}        → the analytic path only:
+//	                                              compiled plan + table
 //	POST /harvest    {"questions": ["...",…]}   → Step 5 feed (empty body
 //	                                              or list = default workload)
 //	GET  /trace?q=…                             → the paper's Table 1 trace
@@ -28,7 +34,8 @@ const (
 //
 // QA-level failures (a question no pattern matches) are reported per item
 // in the JSON payload; transport-level failures (bad JSON, oversized
-// batches, wrong method) use HTTP status codes.
+// batches, wrong method) use HTTP status codes. /ask/olap answers 422
+// when the question is factoid or cannot be grounded.
 func NewServer(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ask", func(w http.ResponseWriter, r *http.Request) {
@@ -67,6 +74,29 @@ func NewServer(e *Engine) http.Handler {
 			out.Results[i] = askJSON(res)
 		}
 		writeJSON(w, out)
+	})
+	mux.HandleFunc("POST /ask/olap", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Question string `json:"question"`
+		}
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		if req.Question == "" {
+			httpError(w, http.StatusBadRequest, "missing question")
+			return
+		}
+		ans, err := e.AskOLAP(req.Question)
+		if err != nil {
+			code := http.StatusUnprocessableEntity
+			if errors.Is(err, nl2olap.ErrFactoid) {
+				// Still 422, but spell out where the question belongs.
+				err = fmt.Errorf("%w; POST /ask serves factoid questions", err)
+			}
+			httpError(w, code, err.Error())
+			return
+		}
+		writeJSON(w, toOLAPJSON(ans))
 	})
 	mux.HandleFunc("POST /harvest", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -142,14 +172,46 @@ type answerJSON struct {
 	Score    float64 `json:"score"`
 }
 
-// askResponse is the wire form of one answered question.
+// askResponse is the wire form of one answered question. Exactly one of
+// Answer (factoid) and OLAP (analytic) is populated on success.
 type askResponse struct {
 	Question   string      `json:"question"`
 	Answer     *answerJSON `json:"answer"` // null when nothing clears MinScore
+	OLAP       *olapJSON   `json:"olap,omitempty"`
 	Candidates int         `json:"candidates"`
 	Passages   int         `json:"passages"`
 	Cached     bool        `json:"cached"`
 	Error      string      `json:"error,omitempty"`
+}
+
+// olapJSON is the wire form of one analytic answer: the compiled plan and
+// its result table.
+type olapJSON struct {
+	Question string        `json:"question"`
+	Category string        `json:"category"`
+	Plan     string        `json:"plan"`
+	Rows     []olapRowJSON `json:"rows"`
+	Table    string        `json:"table"`
+}
+
+type olapRowJSON struct {
+	Groups []string `json:"groups"`
+	Value  float64  `json:"value"`
+	Count  int      `json:"count"`
+}
+
+func toOLAPJSON(a *nl2olap.Answer) *olapJSON {
+	out := &olapJSON{
+		Question: a.Question,
+		Category: string(qa.CatAnalytic),
+		Plan:     a.PlanString(),
+		Rows:     make([]olapRowJSON, len(a.Result.Rows)),
+		Table:    a.Result.Format(),
+	}
+	for i, r := range a.Result.Rows {
+		out.Rows[i] = olapRowJSON{Groups: r.Groups, Value: r.Value, Count: r.Count}
+	}
+	return out
 }
 
 type harvestItemJSON struct {
@@ -173,6 +235,10 @@ func askJSON(r AskResult) askResponse {
 	out := askResponse{Question: r.Question, Cached: r.Cached}
 	if r.Err != nil {
 		out.Error = r.Err.Error()
+		return out
+	}
+	if r.OLAP != nil {
+		out.OLAP = toOLAPJSON(r.OLAP)
 		return out
 	}
 	out.Candidates = len(r.Result.Candidates)

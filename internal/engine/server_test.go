@@ -219,3 +219,88 @@ func TestServerHarvest(t *testing.T) {
 		t.Error("no per-question results")
 	}
 }
+
+// TestServerAskRoutesAnalytic: POST /ask classifies and serves analytic
+// questions with the OLAP payload instead of a factoid answer.
+func TestServerAskRoutesAnalytic(t *testing.T) {
+	srv, _ := newServer(t)
+	resp, body := postJSON(t, srv.URL+"/ask",
+		`{"question": "What is the average temperature in Barcelona by month?"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var payload struct {
+		Answer *struct{} `json:"answer"`
+		OLAP   *struct {
+			Category string `json:"category"`
+			Plan     string `json:"plan"`
+			Rows     []struct {
+				Groups []string `json:"groups"`
+				Value  float64  `json:"value"`
+				Count  int      `json:"count"`
+			} `json:"rows"`
+			Table string `json:"table"`
+		} `json:"olap"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatalf("%v in %s", err, body)
+	}
+	if payload.OLAP == nil {
+		t.Fatalf("no olap payload: %s", body)
+	}
+	if payload.Answer != nil {
+		t.Error("analytic answer must not carry a factoid answer")
+	}
+	if payload.OLAP.Category != "analytic" {
+		t.Errorf("category = %q, want analytic", payload.OLAP.Category)
+	}
+	if payload.OLAP.Plan != "Weather avg(TempC) by Date/Month where City/City in {Barcelona}" {
+		t.Errorf("plan = %q", payload.OLAP.Plan)
+	}
+	if len(payload.OLAP.Rows) != 3 { // January, February, March
+		t.Errorf("rows = %d, want 3 months", len(payload.OLAP.Rows))
+	}
+	if payload.OLAP.Table == "" {
+		t.Error("no rendered table")
+	}
+}
+
+// TestServerAskOLAP covers the analytic-only endpoint: success, factoid
+// rejection and grounding failures.
+func TestServerAskOLAP(t *testing.T) {
+	srv, _ := newServer(t)
+
+	resp, body := postJSON(t, srv.URL+"/ask/olap",
+		`{"question": "Total last-minute revenue per destination city in January"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var payload struct {
+		Plan string `json:"plan"`
+		Rows []struct {
+			Groups []string `json:"groups"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatalf("%v in %s", err, body)
+	}
+	if payload.Plan == "" || len(payload.Rows) == 0 {
+		t.Errorf("olap payload = %s", body)
+	}
+
+	for _, tc := range []struct {
+		name, body string
+		wantStatus int
+	}{
+		{"factoid question", `{"question": "What is the weather like in January of 2004 in El Prat?"}`, http.StatusUnprocessableEntity},
+		{"ungroundable entity", `{"question": "average temperature in Gotham by month"}`, http.StatusUnprocessableEntity},
+		{"missing question", `{}`, http.StatusBadRequest},
+		{"bad json", `{`, http.StatusBadRequest},
+	} {
+		resp, body := postJSON(t, srv.URL+"/ask/olap", tc.body)
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s: status = %d, want %d (%s)", tc.name, resp.StatusCode, tc.wantStatus, body)
+		}
+	}
+}

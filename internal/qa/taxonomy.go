@@ -44,6 +44,16 @@ const (
 	CatDefinition   Category = "definition"
 )
 
+// CatAnalytic is the integration's own addition to the paper's taxonomy:
+// questions that aggregate warehouse measures ("average temperature in
+// Barcelona by month") and are answered by the compiled OLAP engine
+// rather than the three factoid modules. Question analysis never assigns
+// it from text alone — the nl2olap translator classifies a question as
+// analytic before the factoid pipeline runs — so it is deliberately not
+// part of AllCategories; it labels analytic results in traces and the
+// serving API.
+const CatAnalytic Category = "analytic"
+
 // AllCategories lists the taxonomy in the paper's order.
 var AllCategories = []Category{
 	CatPerson, CatProfession, CatGroup, CatObject, CatPlaceCity,

@@ -1,0 +1,258 @@
+package dwqa_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dwqa"
+	"dwqa/internal/dw"
+)
+
+// goldenAnalytic is the analytic question→plan corpus: every question
+// must route to the OLAP path, and its result rows must be byte-identical
+// to the hand-written dw.Query equivalent. The rendered plans and tables
+// are pinned in testdata/nl2olap.golden (regenerate with -update).
+var goldenAnalytic = []struct {
+	question string
+	hand     dw.Query
+}{
+	{
+		"What is the average temperature in Barcelona by month?",
+		dw.Query{Fact: "Weather", Measure: "TempC", Agg: dw.Avg,
+			GroupBy: []dw.LevelSel{{Role: "Date", Level: "Month"}},
+			Filters: []dw.Filter{{Role: "City", Level: "City", Values: []string{"Barcelona"}}}},
+	},
+	{
+		"Total last-minute revenue per destination city in January",
+		dw.Query{Fact: "LastMinuteSales", Measure: "Price", Agg: dw.Sum,
+			GroupBy: []dw.LevelSel{{Role: "Destination", Level: "City"}},
+			Filters: []dw.Filter{{Role: "Date", Level: "Month", Values: []string{"2004-01"}}}},
+	},
+	{
+		"How many tickets were sold to Barcelona in January of 2004?",
+		dw.Query{Fact: "LastMinuteSales", Agg: dw.Count,
+			Filters: []dw.Filter{
+				{Role: "Date", Level: "Month", Values: []string{"2004-01"}},
+				{Role: "Destination", Level: "City", Values: []string{"Barcelona"}}}},
+	},
+	{
+		"What is the maximum temperature in El Prat in February of 2004?",
+		dw.Query{Fact: "Weather", Measure: "TempC", Agg: dw.Max,
+			Filters: []dw.Filter{
+				{Role: "City", Level: "City", Values: []string{"Barcelona"}},
+				{Role: "Date", Level: "Month", Values: []string{"2004-02"}}}},
+	},
+	{
+		"Average price by destination country and month",
+		dw.Query{Fact: "LastMinuteSales", Measure: "Price", Agg: dw.Avg,
+			GroupBy: []dw.LevelSel{{Role: "Destination", Level: "Country"}, {Role: "Date", Level: "Month"}}},
+	},
+	{
+		"How many sales from Madrid to New York in 2004?",
+		dw.Query{Fact: "LastMinuteSales", Agg: dw.Count,
+			Filters: []dw.Filter{
+				{Role: "Date", Level: "Year", Values: []string{"2004"}},
+				{Role: "Departure", Level: "City", Values: []string{"Madrid"}},
+				{Role: "Destination", Level: "City", Values: []string{"New York"}}}},
+	},
+	{
+		"Number of flights per departure airport",
+		dw.Query{Fact: "LastMinuteSales", Agg: dw.Count,
+			GroupBy: []dw.LevelSel{{Role: "Departure", Level: "Airport"}}},
+	},
+	{
+		"Total miles flown from Barajas by month",
+		dw.Query{Fact: "LastMinuteSales", Measure: "Miles", Agg: dw.Sum,
+			GroupBy: []dw.LevelSel{{Role: "Date", Level: "Month"}},
+			Filters: []dw.Filter{{Role: "Departure", Level: "Airport", Values: []string{"Barajas"}}}},
+	},
+	{
+		"Average fare for each customer segment",
+		dw.Query{Fact: "LastMinuteSales", Measure: "Price", Agg: dw.Avg,
+			GroupBy: []dw.LevelSel{{Role: "Customer", Level: "Segment"}}},
+	},
+	{
+		"count of weather observations by city",
+		dw.Query{Fact: "Weather", Agg: dw.Count,
+			GroupBy: []dw.LevelSel{{Role: "City", Level: "City"}}},
+	},
+	{
+		"How much revenue per city in February of 2004?",
+		dw.Query{Fact: "LastMinuteSales", Measure: "Price", Agg: dw.Sum,
+			GroupBy: []dw.LevelSel{{Role: "Destination", Level: "City"}},
+			Filters: []dw.Filter{{Role: "Date", Level: "Month", Values: []string{"2004-02"}}}},
+	},
+	{
+		"Average temperature in Bilbao on January 15 of 2004",
+		dw.Query{Fact: "Weather", Measure: "TempC", Agg: dw.Avg,
+			Filters: []dw.Filter{
+				{Role: "City", Level: "City", Values: []string{"Bilbao"}},
+				{Role: "Date", Level: "Day", Values: []string{"2004-01-15"}}}},
+	},
+	{
+		"Total revenue per destination",
+		dw.Query{Fact: "LastMinuteSales", Measure: "Price", Agg: dw.Sum,
+			GroupBy: []dw.LevelSel{{Role: "Destination", Level: "Airport"}}},
+	},
+	{
+		"Average price to BCN by month",
+		dw.Query{Fact: "LastMinuteSales", Measure: "Price", Agg: dw.Avg,
+			GroupBy: []dw.LevelSel{{Role: "Date", Level: "Month"}},
+			Filters: []dw.Filter{{Role: "Destination", Level: "Airport", Values: []string{"El Prat"}}}},
+	},
+	{
+		"Minimum temperature in Seville in March of 2004",
+		dw.Query{Fact: "Weather", Measure: "TempC", Agg: dw.Min,
+			Filters: []dw.Filter{
+				{Role: "City", Level: "City", Values: []string{"Seville"}},
+				{Role: "Date", Level: "Month", Values: []string{"2004-03"}}}},
+	},
+	{
+		"What is the lowest price from Barcelona to Madrid?",
+		dw.Query{Fact: "LastMinuteSales", Measure: "Price", Agg: dw.Min,
+			Filters: []dw.Filter{
+				{Role: "Departure", Level: "City", Values: []string{"Barcelona"}},
+				{Role: "Destination", Level: "City", Values: []string{"Madrid"}}}},
+	},
+	{
+		"Maximum miles per destination country",
+		dw.Query{Fact: "LastMinuteSales", Measure: "Miles", Agg: dw.Max,
+			GroupBy: []dw.LevelSel{{Role: "Destination", Level: "Country"}}},
+	},
+	{
+		"Total revenue by year",
+		dw.Query{Fact: "LastMinuteSales", Measure: "Price", Agg: dw.Sum,
+			GroupBy: []dw.LevelSel{{Role: "Date", Level: "Year"}}},
+	},
+	{
+		"How many trips to New York by month?",
+		dw.Query{Fact: "LastMinuteSales", Agg: dw.Count,
+			GroupBy: []dw.LevelSel{{Role: "Date", Level: "Month"}},
+			Filters: []dw.Filter{{Role: "Destination", Level: "City", Values: []string{"New York"}}}},
+	},
+	{
+		"Average temperature per city in January",
+		dw.Query{Fact: "Weather", Measure: "TempC", Agg: dw.Avg,
+			GroupBy: []dw.LevelSel{{Role: "City", Level: "City"}},
+			Filters: []dw.Filter{{Role: "Date", Level: "Month", Values: []string{"2004-01"}}}},
+	},
+	{
+		"Total revenue in 2004 by customer segment",
+		dw.Query{Fact: "LastMinuteSales", Measure: "Price", Agg: dw.Sum,
+			GroupBy: []dw.LevelSel{{Role: "Customer", Level: "Segment"}},
+			Filters: []dw.Filter{{Role: "Date", Level: "Year", Values: []string{"2004"}}}},
+	},
+	{
+		"Count of sales per departure city",
+		dw.Query{Fact: "LastMinuteSales", Agg: dw.Count,
+			GroupBy: []dw.LevelSel{{Role: "Departure", Level: "City"}}},
+	},
+	{
+		"Average miles by month",
+		dw.Query{Fact: "LastMinuteSales", Measure: "Miles", Agg: dw.Avg,
+			GroupBy: []dw.LevelSel{{Role: "Date", Level: "Month"}}},
+	},
+	{
+		"What is the total revenue from Seville in February of 2004?",
+		dw.Query{Fact: "LastMinuteSales", Measure: "Price", Agg: dw.Sum,
+			Filters: []dw.Filter{
+				{Role: "Departure", Level: "City", Values: []string{"Seville"}},
+				{Role: "Date", Level: "Month", Values: []string{"2004-02"}}}},
+	},
+	{
+		"Highest temperature by city and month",
+		dw.Query{Fact: "Weather", Measure: "TempC", Agg: dw.Max,
+			GroupBy: []dw.LevelSel{{Role: "City", Level: "City"}, {Role: "Date", Level: "Month"}}},
+	},
+	{
+		"How many bookings per destination city in March of 2004?",
+		dw.Query{Fact: "LastMinuteSales", Agg: dw.Count,
+			GroupBy: []dw.LevelSel{{Role: "Destination", Level: "City"}},
+			Filters: []dw.Filter{{Role: "Date", Level: "Month", Values: []string{"2004-03"}}}},
+	},
+	{
+		"Average cost per destination country in January",
+		dw.Query{Fact: "LastMinuteSales", Measure: "Price", Agg: dw.Avg,
+			GroupBy: []dw.LevelSel{{Role: "Destination", Level: "Country"}},
+			Filters: []dw.Filter{{Role: "Date", Level: "Month", Values: []string{"2004-01"}}}},
+	},
+	{
+		"Number of sales by month and destination country",
+		dw.Query{Fact: "LastMinuteSales", Agg: dw.Count,
+			GroupBy: []dw.LevelSel{{Role: "Date", Level: "Month"}, {Role: "Destination", Level: "Country"}}},
+	},
+}
+
+// TestNL2OLAPGolden runs the five-step integration (so the Weather fact
+// is fed), routes every corpus question through the serving engine, and
+// checks three properties per question:
+//
+//  1. it routes to the OLAP path (r.OLAP set, no factoid answer);
+//  2. its result rows are byte-identical to the hand-written dw.Query;
+//  3. plan + table match testdata/nl2olap.golden byte for byte.
+//
+// Regenerate deliberately with:
+//
+//	go test -run TestNL2OLAPGolden -update .
+func TestNL2OLAPGolden(t *testing.T) {
+	if len(goldenAnalytic) < 25 {
+		t.Fatalf("corpus has %d questions, the battery requires ≥25", len(goldenAnalytic))
+	}
+	p, err := dwqa.New(dwqa.DefaultConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := p.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	eng, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	for _, c := range goldenAnalytic {
+		r := eng.Ask(c.question)
+		if r.Err != nil {
+			t.Errorf("Ask(%q): %v", c.question, r.Err)
+			continue
+		}
+		if r.OLAP == nil {
+			t.Errorf("Ask(%q) did not route to the OLAP path", c.question)
+			continue
+		}
+		want, err := p.Warehouse.Execute(c.hand)
+		if err != nil {
+			t.Fatalf("hand-written query for %q: %v", c.question, err)
+		}
+		if got := r.OLAP.Result.Format(); got != want.Format() {
+			t.Errorf("%q: translated result diverges from the hand-written query:\n--- got ---\n%s--- want ---\n%s",
+				c.question, got, want.Format())
+		}
+		fmt.Fprintf(&b, "Q: %s\nplan: %s\n%s\n", c.question, r.OLAP.PlanString(), r.OLAP.Result.Format())
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "nl2olap.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("NL→OLAP corpus diverged from %s.\n--- got ---\n%s\n--- want ---\n%s",
+			golden, got, want)
+	}
+}
