@@ -177,6 +177,88 @@ func BenchmarkIRSearchTopK(b *testing.B) {
 	}
 }
 
+// benchIRSearchScaled benchmarks the sparse passage scorer against the
+// retained dense reference over a generated corpus of the target size,
+// verifying first that both rank every workload query byte-identically.
+// The workload cycles per-city cold-path queries (the main-SB [city,
+// month] shape question analysis sends to IR-n after dropping the focus
+// noun), so the matched-postings fraction stays realistic at every scale.
+func benchIRSearchScaled(b *testing.B, targetPassages int) {
+	sc, err := core.BuildScaledCorpus(targetPassages, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := core.VerifyScaledIR(sc, 10); err != nil {
+		b.Fatal(err)
+	}
+	queries := sc.Queries()
+	b.Logf("passages: %d, cities: %d, terms: %d", sc.Index.PassageCount(), len(sc.Cities), sc.Index.TermCount())
+	b.Run("sparse", func(b *testing.B) {
+		b.ReportAllocs()
+		if err := core.RunIRSearchSparse(sc.Index, queries, 10, b.N); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		if err := core.RunIRSearchDense(sc.Index, queries, 10, b.N); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkIRSearch1k is the toy scale: the dense sweep is tiny, so the
+// two scorers are within noise of each other here.
+func BenchmarkIRSearch1k(b *testing.B) { benchIRSearchScaled(b, 1_000) }
+
+// BenchmarkIRSearch10k crosses the scale where the dense engine's
+// O(index) allocate-and-sweep dominates the matched postings.
+func BenchmarkIRSearch10k(b *testing.B) { benchIRSearchScaled(b, 10_000) }
+
+// BenchmarkIRSearch100k is the headline corpus-scale benchmark: selective
+// queries over 100k+ passages, sparse vs dense in the same run. The
+// acceptance bar is sparse ≥5× ns/op with allocs/op flat across scales.
+func BenchmarkIRSearch100k(b *testing.B) { benchIRSearchScaled(b, 100_000) }
+
+// BenchmarkAskCold measures the cold path of the serving engine: a
+// cache-disabled engine answering an all-unique question workload, the
+// traffic shape of diverse users whose questions never repeat — every op
+// pays full question analysis, sparse IR retrieval and extraction. One op
+// = the whole workload; the questions/sec metric is the cold-path
+// throughput floor BENCH_PERF.json tracks (ask_cold_path).
+func BenchmarkAskCold(b *testing.B) {
+	p, err := dwqa.New(dwqa.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+	questions := core.ColdQuestionWorkload(p)
+	eng, err := engine.New(engine.Config{CacheSize: -1}, p.QA, nil, nil, p.Index)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range eng.AskAll(questions) {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+		if r.Cached {
+			b.Fatal("cache-disabled engine served a cached answer")
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range eng.AskAll(questions) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(questions))*float64(b.N)/b.Elapsed().Seconds(), "questions/sec")
+}
+
 // BenchmarkIntegrationRunAll measures the full five-step integration.
 func BenchmarkIntegrationRunAll(b *testing.B) {
 	b.ReportAllocs()

@@ -67,14 +67,41 @@ type nl2olapPerf struct {
 	AllocsPerOp     int64   `json:"allocs_per_op"`
 }
 
+// irSparseComparison pairs the sparse passage scorer against the retained
+// dense reference at one corpus scale, over the per-city cold-path query
+// workload (rankings verified byte-identical before timing).
+type irSparseComparison struct {
+	Passages     int     `json:"passages"`
+	Queries      int     `json:"queries"`
+	Sparse       float64 `json:"sparse_ns_per_op"`
+	Dense        float64 `json:"dense_ns_per_op"`
+	Speedup      float64 `json:"speedup"`
+	SparseAllocs int64   `json:"sparse_allocs_per_op"`
+	DenseAllocs  int64   `json:"dense_allocs_per_op"`
+	SparseBytes  int64   `json:"sparse_bytes_per_op"`
+	DenseBytes   int64   `json:"dense_bytes_per_op"`
+}
+
+// askColdPerf records the cold serving path: a cache-disabled engine over
+// an all-unique question workload (one op = the whole workload), the
+// throughput floor diverse cache-missing traffic sees.
+type askColdPerf struct {
+	UniqueQuestions int     `json:"unique_questions"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	QuestionsPerSec float64 `json:"questions_per_sec"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+}
+
 // perfReport is the schema of BENCH_PERF.json.
 type perfReport struct {
 	Schema         string               `json:"schema"`
 	Measurements   []perfMeasurement    `json:"measurements"`
 	OLAP           []perfComparison     `json:"olap_compiled_vs_reference"`
+	IRSparse       []irSparseComparison `json:"ir_search_sparse_vs_dense,omitempty"`
 	QAServing      *qaServingComparison `json:"qa_serving_engine_vs_sequential,omitempty"`
 	QAServingMixed *qaServingComparison `json:"qa_serving_mixed_vs_sequential,omitempty"`
 	NL2OLAP        *nl2olapPerf         `json:"nl2olap_translate,omitempty"`
+	AskCold        *askColdPerf         `json:"ask_cold_path,omitempty"`
 	Harvest        *harvestComparison   `json:"harvest_batch_vs_sequential,omitempty"`
 }
 
@@ -103,7 +130,7 @@ func runPerf(outDir string, seed int64) (*perfReport, error) {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return nil, err
 	}
-	rep := &perfReport{Schema: "dwqa-bench/v3"}
+	rep := &perfReport{Schema: "dwqa-bench/v4"}
 	for _, target := range []int{1_000, 10_000, 100_000} {
 		wh, q, err := core.PrepareScaledBenchmark(target, seed)
 		if err != nil {
@@ -161,6 +188,10 @@ func runPerf(outDir string, seed int64) (*perfReport, error) {
 	}
 	rep.Measurements = append(rep.Measurements, irBench)
 
+	if err := runIRScalingPerf(rep, seed); err != nil {
+		return nil, err
+	}
+
 	if err := runQAServingPerf(rep, seed); err != nil {
 		return nil, err
 	}
@@ -174,6 +205,58 @@ func runPerf(outDir string, seed int64) (*perfReport, error) {
 		return nil, err
 	}
 	return rep, nil
+}
+
+// runIRScalingPerf benchmarks the sparse passage scorer against the
+// retained dense reference over generated corpora of 1k/10k/100k
+// passages, cycling the per-city cold-path query workload. Rankings are
+// verified byte-identical at every scale before anything is timed.
+func runIRScalingPerf(rep *perfReport, seed int64) error {
+	for _, target := range []int{1_000, 10_000, 100_000} {
+		sc, err := core.BuildScaledCorpus(target, seed)
+		if err != nil {
+			return err
+		}
+		if err := core.VerifyScaledIR(sc, 10); err != nil {
+			return err
+		}
+		queries := sc.Queries()
+		passages := sc.Index.PassageCount()
+		sparse, err := measure(fmt.Sprintf("IRSearch%dk/sparse", target/1000), passages, func(b *testing.B) {
+			b.ReportAllocs()
+			if err := core.RunIRSearchSparse(sc.Index, queries, 10, b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		dense, err := measure(fmt.Sprintf("IRSearch%dk/dense", target/1000), passages, func(b *testing.B) {
+			b.ReportAllocs()
+			if err := core.RunIRSearchDense(sc.Index, queries, 10, b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		rep.Measurements = append(rep.Measurements, sparse, dense)
+		cmp := irSparseComparison{
+			Passages:     passages,
+			Queries:      len(queries),
+			Sparse:       sparse.NsPerOp,
+			Dense:        dense.NsPerOp,
+			SparseAllocs: sparse.AllocsPerOp,
+			DenseAllocs:  dense.AllocsPerOp,
+			SparseBytes:  sparse.BytesPerOp,
+			DenseBytes:   dense.BytesPerOp,
+		}
+		if sparse.NsPerOp > 0 {
+			cmp.Speedup = dense.NsPerOp / sparse.NsPerOp
+		}
+		rep.IRSparse = append(rep.IRSparse, cmp)
+	}
+	return nil
 }
 
 // runQAServingPerf benchmarks the QA serving side: AskThroughput
@@ -259,6 +342,45 @@ func runQAServingPerf(rep *perfReport, seed int64) error {
 		qs.EngineQPS = float64(len(workload)) / (engd.NsPerOp / 1e9)
 	}
 	rep.QAServing = qs
+
+	// Cold path: a cache-disabled engine over the all-unique workload —
+	// what diverse (cache-missing) traffic pays per question.
+	coldQuestions := core.ColdQuestionWorkload(p)
+	coldEng, err := engine.New(engine.Config{CacheSize: -1}, p.QA, nil, nil, p.Index)
+	if err != nil {
+		return err
+	}
+	for i, r := range coldEng.AskAll(coldQuestions) {
+		if r.Err != nil {
+			return fmt.Errorf("benchreport: cold slot %d (%q): %v", i, coldQuestions[i], r.Err)
+		}
+		if r.Cached {
+			return fmt.Errorf("benchreport: cold slot %d (%q): cache-disabled engine served a cached answer", i, coldQuestions[i])
+		}
+	}
+	cold, err := measure("AskCold", len(coldQuestions), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range coldEng.AskAll(coldQuestions) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	rep.Measurements = append(rep.Measurements, cold)
+	ac := &askColdPerf{
+		UniqueQuestions: len(coldQuestions),
+		NsPerOp:         cold.NsPerOp,
+		AllocsPerOp:     cold.AllocsPerOp,
+	}
+	if cold.NsPerOp > 0 {
+		ac.QuestionsPerSec = float64(len(coldQuestions)) / (cold.NsPerOp / 1e9)
+	}
+	rep.AskCold = ac
 
 	if err := runAnalyticPerf(rep, p); err != nil {
 		return err
@@ -449,11 +571,22 @@ func printPerf(rep *perfReport) {
 				m.Rows, m.NsPerOp, m.AllocsPerOp)
 		}
 	}
+	if len(rep.IRSparse) > 0 {
+		fmt.Println("== PERF: sparse IR scorer vs dense reference (cold-path queries) ==")
+		for _, c := range rep.IRSparse {
+			fmt.Printf("%8d passages  sparse %10.0f ns/op (%d allocs)  dense %10.0f ns/op (%d allocs)  speedup %5.1fx\n",
+				c.Passages, c.Sparse, c.SparseAllocs, c.Dense, c.DenseAllocs, c.Speedup)
+		}
+	}
 	if qs := rep.QAServing; qs != nil {
 		fmt.Println("== PERF: QA serving engine vs sequential Ask loop ==")
 		fmt.Printf("%d-question workload (%d unique, %d workers): sequential %.0f q/s, engine %.0f q/s, speedup %.1fx\n",
 			qs.WorkloadQuestions, qs.UniqueQuestions, qs.Workers,
 			qs.SequentialQPS, qs.EngineQPS, qs.Speedup)
+	}
+	if ac := rep.AskCold; ac != nil {
+		fmt.Printf("Cold path (cache-disabled engine, %d unique questions): %.0f q/s, %d allocs/workload\n",
+			ac.UniqueQuestions, ac.QuestionsPerSec, ac.AllocsPerOp)
 	}
 	if np := rep.NL2OLAP; np != nil {
 		fmt.Printf("NL→OLAP translation (%d questions): %.0f q/s, %d allocs/workload\n",

@@ -10,6 +10,15 @@
 // as the classical-IR baseline for the QA-vs-IR experiment: it returns
 // whole documents, which is exactly the shortcoming the paper attributes
 // to IR systems.
+//
+// Retrieval cost scales with the matched postings, not the index size:
+// terms are interned into a dense dictionary (lemma → int32 term id,
+// append-only — an id, once assigned, is never reused or remapped), the
+// posting lists are slices indexed by term id, and query scores
+// accumulate in pooled epoch-stamped sparse accumulators (sparse.go).
+// SearchReference / SearchDocumentsReference retain the previous dense
+// O(index)-per-query engines as the correctness oracle and the baseline
+// the scaling benchmarks measure against.
 package ir
 
 import (
@@ -50,10 +59,11 @@ type DocResult struct {
 	Text     string
 }
 
-// posting records one passage containing a term.
+// posting records one passage (or document, in the document-level lists)
+// containing a term.
 type posting struct {
-	passage int
-	tf      int
+	id int32 // passage id, or document index in docPostings
+	tf int32
 }
 
 // passageEntry is the stored form of a passage.
@@ -70,14 +80,17 @@ type Index struct {
 	passageSize int
 	stride      int
 
-	mu        sync.RWMutex
-	docs      []Document
-	docSents  [][]nlp.Sentence
-	passages  []passageEntry
-	postings  map[string][]posting // lemma → passages containing it
-	docDF     map[string]int       // lemma → number of documents containing it
-	docTF     []map[string]int     // per-document term frequencies
-	docLength []int
+	mu       sync.RWMutex
+	docs     []Document
+	docSents [][]nlp.Sentence
+	passages []passageEntry
+
+	// terms is the interned term dictionary: lemma → dense term id.
+	// Ids are append-only — assigned in first-occurrence order and never
+	// reused — so the per-term slices below stay valid forever.
+	terms       map[string]int32
+	postings    [][]posting // term id → passages containing it, ascending
+	docPostings [][]posting // term id → documents containing it, ascending
 }
 
 // Option configures an Index.
@@ -106,8 +119,7 @@ func WithStride(n int) Option {
 func NewIndex(opts ...Option) *Index {
 	ix := &Index{
 		passageSize: DefaultPassageSize,
-		postings:    make(map[string][]posting),
-		docDF:       make(map[string]int),
+		terms:       make(map[string]int32),
 	}
 	for _, o := range opts {
 		o(ix)
@@ -123,6 +135,19 @@ func NewIndex(opts ...Option) *Index {
 		ix.stride = ix.passageSize
 	}
 	return ix
+}
+
+// intern returns the dense id of a lemma, assigning the next id on first
+// sight. Caller holds the write lock.
+func (ix *Index) intern(lemma string) int32 {
+	if id, ok := ix.terms[lemma]; ok {
+		return id
+	}
+	id := int32(len(ix.postings))
+	ix.terms[lemma] = id
+	ix.postings = append(ix.postings, nil)
+	ix.docPostings = append(ix.docPostings, nil)
+	return id
 }
 
 // Add indexes a document: sentence split, lemmatisation, stopword removal,
@@ -143,19 +168,30 @@ func (ix *Index) Add(doc Document) error {
 	ix.docs = append(ix.docs, doc)
 	ix.docSents = append(ix.docSents, sents)
 
+	// Intern each sentence's content lemmas once (in text order, so term
+	// ids are deterministic); the document stats and every overlapping
+	// window reuse the id slices instead of re-deriving lemmas.
+	sentTerms := make([][]int32, len(sents))
+	for i, s := range sents {
+		lemmas := s.ContentLemmas()
+		ids := make([]int32, len(lemmas))
+		for j, lemma := range lemmas {
+			ids[j] = ix.intern(lemma)
+		}
+		sentTerms[i] = ids
+	}
+
 	// Document-level stats for the IR baseline.
-	dtf := map[string]int{}
-	length := 0
-	for _, s := range sents {
-		for _, lemma := range s.ContentLemmas() {
-			dtf[lemma]++
-			length++
+	dtf := map[int32]int32{}
+	for _, ids := range sentTerms {
+		for _, id := range ids {
+			dtf[id]++
 		}
 	}
-	ix.docTF = append(ix.docTF, dtf)
-	ix.docLength = append(ix.docLength, length)
-	for lemma := range dtf {
-		ix.docDF[lemma]++
+	for id, tf := range dtf {
+		// Documents are indexed one at a time, so each per-term list
+		// receives ascending document indexes regardless of map order.
+		ix.docPostings[id] = append(ix.docPostings[id], posting{int32(docIdx), tf})
 	}
 
 	// Passage windows.
@@ -168,14 +204,14 @@ func (ix *Index) Add(doc Document) error {
 		ix.passages = append(ix.passages, passageEntry{
 			doc: docIdx, sentStart: start, sentEnd: end, sentOffset: start,
 		})
-		ptf := map[string]int{}
-		for _, s := range sents[start:end] {
-			for _, lemma := range s.ContentLemmas() {
-				ptf[lemma]++
+		ptf := map[int32]int32{}
+		for _, ids := range sentTerms[start:end] {
+			for _, id := range ids {
+				ptf[id]++
 			}
 		}
-		for lemma, tf := range ptf {
-			ix.postings[lemma] = append(ix.postings[lemma], posting{pid, tf})
+		for id, tf := range ptf {
+			ix.postings[id] = append(ix.postings[id], posting{int32(pid), tf})
 		}
 		if end == len(sents) {
 			break
@@ -212,17 +248,30 @@ func (ix *Index) PassageCount() int {
 	return len(ix.passages)
 }
 
+// TermCount returns the number of distinct interned terms.
+func (ix *Index) TermCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.terms)
+}
+
 // DF returns the number of documents containing the lemma.
 func (ix *Index) DF(lemma string) int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return ix.docDF[lemma]
+	id, ok := ix.terms[lemma]
+	if !ok {
+		return 0
+	}
+	return len(ix.docPostings[id])
 }
 
 // QueryTerms analyses free text into content lemmas for retrieval —
 // stop-words are discarded, matching the paper's description of the IR
 // side ("IR usually receives just a set of keywords ... discarding
-// stop-words").
+// stop-words"). It is the single normalisation point of the query path:
+// terms come out lowercased and deduplicated, which is the form Search
+// and SearchDocuments expect.
 func QueryTerms(text string) []string {
 	var out []string
 	seen := map[string]bool{}
@@ -237,41 +286,43 @@ func QueryTerms(text string) []string {
 
 // Search returns the top-k passages for the query terms, ranked by the
 // IR-n style weight sum((1+log tf) * idf). Deterministic: ties break by
-// document then passage position. Scores accumulate in a dense slice
-// indexed by passage id and the ranking uses a bounded top-k heap:
-// O(passages) to allocate and sweep the accumulator plus O(postings +
-// matches·log k) to score and rank — the linear term trades for zero
-// per-candidate map overhead and is the right trade while queries match
-// a large fraction of the index (revisit if selective queries over very
-// large indexes become the workload).
+// document then passage position. Terms must be normalised (lowercase,
+// deduplicated) as QueryTerms and the QA question analysis produce them;
+// Search itself does no lowercasing or deduplication.
+//
+// Scores accumulate in a pooled epoch-stamped sparse accumulator: only
+// passages that actually match a term are touched, so a query costs
+// O(matched postings + matches·log k) with zero per-query allocation
+// proportional to the index — the property that keeps cold-path
+// retrieval sublinear in corpus size (see PERF.md "Sparse retrieval").
+// Ranking is byte-identical to the dense SearchReference oracle.
 func (ix *Index) Search(terms []string, k int) []Passage {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if len(ix.passages) == 0 || len(terms) == 0 || k <= 0 {
 		return nil
 	}
-	scores := make([]float64, len(ix.passages))
+	acc := getAcc(len(ix.passages))
+	defer putAcc(acc)
 	nPass := float64(len(ix.passages))
-	seen := map[string]bool{}
 	for _, term := range terms {
-		term = strings.ToLower(term)
-		if seen[term] {
+		id, ok := ix.terms[term]
+		if !ok {
 			continue
 		}
-		seen[term] = true
-		posts := ix.postings[term]
+		posts := ix.postings[id]
 		if len(posts) == 0 {
 			continue
 		}
 		idf := math.Log(1 + nPass/float64(len(posts)))
 		for _, p := range posts {
-			scores[p.passage] += (1 + math.Log(float64(p.tf))) * idf
+			acc.add(p.id, (1+math.Log(float64(p.tf)))*idf)
 		}
 	}
-	ids := selectTopK(scores, k)
+	ids := acc.rank(k)
 	out := make([]Passage, 0, len(ids))
 	for _, id := range ids {
-		out = append(out, ix.materializeLocked(int(id), scores[id]))
+		out = append(out, ix.materializeLocked(int(id), acc.scores[id]))
 	}
 	return out
 }
@@ -296,39 +347,39 @@ func (ix *Index) materializeLocked(id int, score float64) Passage {
 
 // SearchDocuments is the classical-IR baseline: rank whole documents by
 // tf-idf and return them in full. The caller (a user, per the paper) "has
-// to further search for the requested information" inside them.
+// to further search for the requested information" inside them. Like
+// Search it expects normalised terms and scores sparsely over the
+// document posting lists; SearchDocumentsReference retains the dense
+// oracle.
 func (ix *Index) SearchDocuments(terms []string, k int) []DocResult {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if len(ix.docs) == 0 || len(terms) == 0 || k <= 0 {
 		return nil
 	}
+	acc := getAcc(len(ix.docs))
+	defer putAcc(acc)
 	nDocs := float64(len(ix.docs))
-	scores := make([]float64, len(ix.docs))
-	seen := map[string]bool{}
 	for _, term := range terms {
-		term = strings.ToLower(term)
-		if seen[term] {
+		id, ok := ix.terms[term]
+		if !ok {
 			continue
 		}
-		seen[term] = true
-		df := ix.docDF[term]
-		if df == 0 {
+		posts := ix.docPostings[id]
+		if len(posts) == 0 {
 			continue
 		}
-		idf := math.Log(1 + nDocs/float64(df))
-		for d, dtf := range ix.docTF {
-			if tf := dtf[term]; tf > 0 {
-				scores[d] += (1 + math.Log(float64(tf))) * idf
-			}
+		idf := math.Log(1 + nDocs/float64(len(posts)))
+		for _, p := range posts {
+			acc.add(p.id, (1+math.Log(float64(p.tf)))*idf)
 		}
 	}
-	ids := selectTopK(scores, k)
+	ids := acc.rank(k)
 	out := make([]DocResult, 0, len(ids))
 	for _, id := range ids {
 		out = append(out, DocResult{
 			URL: ix.docs[id].URL, DocIndex: int(id),
-			Score: scores[id], Text: ix.docs[id].Text,
+			Score: acc.scores[id], Text: ix.docs[id].Text,
 		})
 	}
 	return out

@@ -76,6 +76,45 @@ func TestQueryTerms(t *testing.T) {
 	}
 }
 
+// TestQueryTermsSoleNormalizer pins the unified normalisation contract:
+// QueryTerms is the only place query text is lowercased, deduplicated and
+// stopword-filtered — Search spends no map on it — so mixed-case and
+// duplicated input must come out normalised there, and feeding its output
+// to Search must match hand-normalised terms exactly.
+func TestQueryTermsSoleNormalizer(t *testing.T) {
+	terms := QueryTerms("TEMPERATURE Temperature the temperature in BARCELONA Barcelona")
+	want := []string{"temperature", "barcelona"}
+	if len(terms) != len(want) {
+		t.Fatalf("QueryTerms = %v, want %v", terms, want)
+	}
+	for i := range want {
+		if terms[i] != want[i] {
+			t.Fatalf("QueryTerms = %v, want %v", terms, want)
+		}
+	}
+
+	ix := newTestIndex(t)
+	got := ix.Search(terms, 5)
+	norm := ix.Search([]string{"temperature", "barcelona"}, 5)
+	if len(got) != len(norm) {
+		t.Fatalf("QueryTerms path found %d passages, normalised terms %d", len(got), len(norm))
+	}
+	for i := range got {
+		if got[i].DocURL != norm[i].DocURL || got[i].SentStart != norm[i].SentStart || got[i].Score != norm[i].Score {
+			t.Errorf("result %d diverges: %+v vs %+v", i, got[i], norm[i])
+		}
+	}
+
+	// Search itself no longer lowercases: un-normalised terms are the
+	// caller's bug, pinned here so the contract stays explicit.
+	if got := ix.Search([]string{"TEMPERATURE"}, 5); len(got) != 0 {
+		t.Errorf("Search lowercased a term: %d results for \"TEMPERATURE\"", len(got))
+	}
+	if got := ix.SearchDocuments([]string{"TEMPERATURE"}, 5); len(got) != 0 {
+		t.Errorf("SearchDocuments lowercased a term: %d results", len(got))
+	}
+}
+
 func TestSearchFindsWeatherPassage(t *testing.T) {
 	ix := newTestIndex(t)
 	got := ix.Search(QueryTerms("temperature january 2004 barcelona"), 3)

@@ -1,0 +1,81 @@
+package ir
+
+import "math"
+
+// This file retains the dense scoring engines Search and SearchDocuments
+// used before the sparse accumulators: a fresh []float64 accumulator of
+// length len(index) per query, swept in full by selectTopK. They are the
+// correctness oracle the equivalence suite ranks against (byte-identical
+// output is asserted for every query shape, mirroring how
+// dw.ExecuteReference anchors the compiled OLAP engine) and the baseline
+// the IR scaling benchmarks measure — their per-query cost is O(index)
+// by construction, which is exactly the behaviour the sparse engine
+// removes. Term lookup shares the interned dictionary, and the weight
+// expression is written identically so float accumulation matches the
+// sparse engine bit for bit.
+
+// SearchReference is the dense O(index)-per-query oracle for Search.
+// Same contract: normalised terms in, ranking score desc then id asc.
+func (ix *Index) SearchReference(terms []string, k int) []Passage {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(ix.passages) == 0 || len(terms) == 0 || k <= 0 {
+		return nil
+	}
+	scores := make([]float64, len(ix.passages))
+	nPass := float64(len(ix.passages))
+	for _, term := range terms {
+		id, ok := ix.terms[term]
+		if !ok {
+			continue
+		}
+		posts := ix.postings[id]
+		if len(posts) == 0 {
+			continue
+		}
+		idf := math.Log(1 + nPass/float64(len(posts)))
+		for _, p := range posts {
+			scores[p.id] += (1 + math.Log(float64(p.tf))) * idf
+		}
+	}
+	ids := selectTopK(scores, k)
+	out := make([]Passage, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, ix.materializeLocked(int(id), scores[id]))
+	}
+	return out
+}
+
+// SearchDocumentsReference is the dense oracle for SearchDocuments.
+func (ix *Index) SearchDocumentsReference(terms []string, k int) []DocResult {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(ix.docs) == 0 || len(terms) == 0 || k <= 0 {
+		return nil
+	}
+	scores := make([]float64, len(ix.docs))
+	nDocs := float64(len(ix.docs))
+	for _, term := range terms {
+		id, ok := ix.terms[term]
+		if !ok {
+			continue
+		}
+		posts := ix.docPostings[id]
+		if len(posts) == 0 {
+			continue
+		}
+		idf := math.Log(1 + nDocs/float64(len(posts)))
+		for _, p := range posts {
+			scores[p.id] += (1 + math.Log(float64(p.tf))) * idf
+		}
+	}
+	ids := selectTopK(scores, k)
+	out := make([]DocResult, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, DocResult{
+			URL: ix.docs[id].URL, DocIndex: int(id),
+			Score: scores[id], Text: ix.docs[id].Text,
+		})
+	}
+	return out
+}

@@ -33,6 +33,10 @@ type Analysis struct {
 	// ontology expansions.
 	Terms []string
 
+	// TermSet is the membership set over Terms, computed once per
+	// analysis so the extractors (Module 3) never rebuild it per passage.
+	TermSet map[string]bool
+
 	// Expansions records terms added through the shared ontology (e.g.
 	// "barcelona" added for the airport "El Prat").
 	Expansions []string
@@ -194,7 +198,24 @@ func (s *System) analyze(question string) (*Analysis, error) {
 		// Without the ontology only surface city names are recognised.
 		s.resolveSurfaceLocations(a)
 	}
+	// seen is exactly the membership set over a.Terms (addTerm keeps them
+	// in lockstep); publish it for the extractors.
+	a.TermSet = seen
 	return a, nil
+}
+
+// termSet returns the question-term membership set. Analyses produced by
+// analyze carry it precomputed; hand-built values (tests) fall back to
+// building one.
+func (a *Analysis) termSet() map[string]bool {
+	if a.TermSet != nil {
+		return a.TermSet
+	}
+	set := make(map[string]bool, len(a.Terms))
+	for _, t := range a.Terms {
+		set[t] = true
+	}
+	return set
 }
 
 // sameBlock compares blocks by their first token offset.

@@ -2,6 +2,7 @@ package qa
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -85,15 +86,14 @@ func (s *System) extract(a *Analysis, passages []ir.Passage) []Answer {
 }
 
 func sortAnswers(out []Answer) {
-	// Stable deterministic order: score desc, then URL, sentence, text.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	// Stable deterministic order: score desc, then URL, text. The
+	// comparator takes pointers — Answer is a large struct, and a harvest
+	// question carries hundreds of candidates, so by-value comparisons
+	// were a measurable slice of the cold path.
+	sort.SliceStable(out, func(i, j int) bool { return less(&out[i], &out[j]) })
 }
 
-func less(a, b Answer) bool {
+func less(a, b *Answer) bool {
 	if a.Score != b.Score {
 		return a.Score > b.Score
 	}
@@ -202,7 +202,7 @@ func (s *System) extractMeasures(a *Analysis, p ir.Passage, rankBonus float64) [
 		// the document's leading sentences (title and header).
 		passageLoc = s.documentLocation(p.DocIndex)
 	}
-	for _, sent := range p.Sentences {
+	for si, sent := range p.Sentences {
 		blocks := sbparser.Parse(sent)
 		dates := sbparser.ExtractDates(blocks)
 		sentDate := lastDate
@@ -210,7 +210,7 @@ func (s *System) extractMeasures(a *Analysis, p ir.Passage, rankBonus float64) [
 			sentDate = dates[0]
 			lastDate = dates[0]
 		}
-		sentLoc := s.sentenceLocation(sent)
+		sentLoc := s.passageSentenceLocation(p, si)
 		if sentLoc == "" {
 			sentLoc = passageLoc
 		}
@@ -445,10 +445,35 @@ func (s *System) sentenceLocation(sent nlp.Sentence) string {
 	return ""
 }
 
+// passageSentenceLocation is sentenceLocation memoized per corpus
+// sentence: i is the offset of the sentence inside the passage window,
+// so (DocIndex, SentStart+i) identifies it globally. The lookup walks
+// WordNet hypernym chains for every noun span, which dominated the cold
+// path when recomputed per question.
+func (s *System) passageSentenceLocation(p ir.Passage, i int) string {
+	key := [2]int{p.DocIndex, p.SentStart + i}
+	s.sentLocMu.Lock()
+	if loc, ok := s.sentLoc[key]; ok {
+		s.sentLocMu.Unlock()
+		return loc
+	}
+	s.sentLocMu.Unlock()
+
+	loc := s.sentenceLocation(p.Sentences[i])
+
+	s.sentLocMu.Lock()
+	if s.sentLoc == nil {
+		s.sentLoc = make(map[[2]int]string)
+	}
+	s.sentLoc[key] = loc
+	s.sentLocMu.Unlock()
+	return loc
+}
+
 // passageLocation returns the first city mentioned anywhere in a passage.
 func (s *System) passageLocation(p ir.Passage) string {
-	for _, sent := range p.Sentences {
-		if loc := s.sentenceLocation(sent); loc != "" {
+	for i := range p.Sentences {
+		if loc := s.passageSentenceLocation(p, i); loc != "" {
 			return loc
 		}
 	}
@@ -510,10 +535,7 @@ func (s *System) extractTyped(a *Analysis, p ir.Passage, rankBonus float64) []An
 			constraint = "entity"
 		}
 	}
-	questionTerms := map[string]bool{}
-	for _, t := range a.Terms {
-		questionTerms[t] = true
-	}
+	questionTerms := a.termSet()
 	wn := s.lexicon()
 	var out []Answer
 	for _, sent := range p.Sentences {
@@ -572,10 +594,7 @@ func termOverlap(sent nlp.Sentence, questionTerms map[string]bool) int {
 // extractTemporal answers when-style questions with the dates of the
 // best-overlapping sentences.
 func (s *System) extractTemporal(a *Analysis, p ir.Passage, rankBonus float64) []Answer {
-	questionTerms := map[string]bool{}
-	for _, t := range a.Terms {
-		questionTerms[t] = true
-	}
+	questionTerms := a.termSet()
 	var out []Answer
 	for _, sent := range p.Sentences {
 		overlap := termOverlap(sent, questionTerms)
@@ -603,10 +622,7 @@ func (s *System) extractTemporal(a *Analysis, p ir.Passage, rankBonus float64) [
 // extractNumeric answers quantity questions with numbers co-occurring
 // with the question terms.
 func (s *System) extractNumeric(a *Analysis, p ir.Passage, rankBonus float64) []Answer {
-	questionTerms := map[string]bool{}
-	for _, t := range a.Terms {
-		questionTerms[t] = true
-	}
+	questionTerms := a.termSet()
 	var out []Answer
 	for _, sent := range p.Sentences {
 		overlap := termOverlap(sent, questionTerms)
@@ -649,10 +665,7 @@ func (s *System) extractNumeric(a *Analysis, p ir.Passage, rankBonus float64) []
 // extractDefinition answers definition questions with the predicate of a
 // copular sentence about the entity ("Sirius is the brightest star...").
 func (s *System) extractDefinition(a *Analysis, p ir.Passage, rankBonus float64) []Answer {
-	questionTerms := map[string]bool{}
-	for _, t := range a.Terms {
-		questionTerms[t] = true
-	}
+	questionTerms := a.termSet()
 	var out []Answer
 	for _, sent := range p.Sentences {
 		overlap := termOverlap(sent, questionTerms)

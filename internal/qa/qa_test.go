@@ -443,3 +443,37 @@ func BenchmarkAnswerPaperQuery(b *testing.B) {
 		}
 	}
 }
+
+// TestAnalysisTermSet pins the hoisted question-term set: analyze
+// publishes it in lockstep with Terms, and hand-built analyses fall back
+// to deriving one.
+func TestAnalysisTermSet(t *testing.T) {
+	s, _ := buildSystem(t, DefaultConfig(), true)
+	a, err := s.analyze("What is the weather like in January of 2004 in Barcelona?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TermSet == nil {
+		t.Fatal("analyze left TermSet nil")
+	}
+	if len(a.TermSet) != len(a.Terms) {
+		t.Fatalf("TermSet has %d entries, Terms has %d", len(a.TermSet), len(a.Terms))
+	}
+	for _, term := range a.Terms {
+		if !a.TermSet[term] {
+			t.Errorf("TermSet missing term %q", term)
+		}
+	}
+
+	// Fallback for analyses built by hand (no precomputed set).
+	hand := &Analysis{Terms: []string{"alpha", "beta"}}
+	set := hand.termSet()
+	if !set["alpha"] || !set["beta"] || len(set) != 2 {
+		t.Errorf("fallback termSet = %v", set)
+	}
+	// A precomputed set is returned as-is.
+	hand.TermSet = map[string]bool{"gamma": true}
+	if !hand.termSet()["gamma"] {
+		t.Error("precomputed TermSet not returned")
+	}
+}

@@ -62,6 +62,14 @@ type System struct {
 
 	docLocMu sync.Mutex
 	docLoc   map[int]string // document index → first city in its header
+
+	// sentLoc memoizes sentenceLocation per corpus sentence (document
+	// index, sentence index): locations are a function of the corpus and
+	// the tuned lexicon, not the question, so the cold path computes each
+	// sentence's city once instead of once per question that retrieves
+	// its passage. Same lexicon-stability assumption as docLoc above.
+	sentLocMu sync.Mutex
+	sentLoc   map[[2]int]string
 }
 
 // NewSystem assembles a QA system. wn and index are required; dom may be
