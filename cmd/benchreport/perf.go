@@ -92,6 +92,27 @@ type askColdPerf struct {
 	AllocsPerOp     int64   `json:"allocs_per_op"`
 }
 
+// storeRestorePerf records the durability subsystem's headline property:
+// restoring the full engine state from a snapshot (bulk column/posting
+// load) versus the snapshotless cold boot (regenerate + re-extract +
+// re-index + re-load) and versus the conservative reindex baseline that
+// already holds extracted text and resolved batches.
+type storeRestorePerf struct {
+	Passages      int     `json:"passages"`
+	FactRows      int     `json:"fact_rows"`
+	Members       int     `json:"members"`
+	SnapshotBytes int     `json:"snapshot_bytes"`
+	Restore       float64 `json:"restore_ns_per_op"`
+	Refeed        float64 `json:"refeed_ns_per_op"`  // cold boot from sources
+	Reindex       float64 `json:"reindex_ns_per_op"` // text+batches in hand
+	Speedup       float64 `json:"speedup_vs_refeed"`
+	SpeedupMin    float64 `json:"speedup_vs_reindex"`
+
+	WALRecords       int     `json:"wal_records"`
+	WALReplay        float64 `json:"wal_replay_ns_per_op"`
+	WALRecordsPerSec float64 `json:"wal_records_per_sec"`
+}
+
 // perfReport is the schema of BENCH_PERF.json.
 type perfReport struct {
 	Schema         string               `json:"schema"`
@@ -103,6 +124,7 @@ type perfReport struct {
 	NL2OLAP        *nl2olapPerf         `json:"nl2olap_translate,omitempty"`
 	AskCold        *askColdPerf         `json:"ask_cold_path,omitempty"`
 	Harvest        *harvestComparison   `json:"harvest_batch_vs_sequential,omitempty"`
+	StoreRestore   *storeRestorePerf    `json:"store_snapshot_restore,omitempty"`
 }
 
 func measure(name string, rows int, fn func(b *testing.B)) (perfMeasurement, error) {
@@ -130,7 +152,7 @@ func runPerf(outDir string, seed int64) (*perfReport, error) {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return nil, err
 	}
-	rep := &perfReport{Schema: "dwqa-bench/v4"}
+	rep := &perfReport{Schema: "dwqa-bench/v5"}
 	for _, target := range []int{1_000, 10_000, 100_000} {
 		wh, q, err := core.PrepareScaledBenchmark(target, seed)
 		if err != nil {
@@ -193,6 +215,10 @@ func runPerf(outDir string, seed int64) (*perfReport, error) {
 	}
 
 	if err := runQAServingPerf(rep, seed); err != nil {
+		return nil, err
+	}
+
+	if err := runStorePerf(rep, seed); err != nil {
 		return nil, err
 	}
 
@@ -559,6 +585,86 @@ func runAnalyticPerf(rep *perfReport, p *core.Pipeline) error {
 	return nil
 }
 
+// runStorePerf benchmarks the durability subsystem at the 100k scale:
+// snapshot restore vs the two rebuild baselines (all three verified to
+// reproduce the same state before timing), plus WAL replay throughput.
+func runStorePerf(rep *perfReport, seed int64) error {
+	sb, err := core.PrepareStoreBenchmark(100_000, 100_000, seed)
+	if err != nil {
+		return err
+	}
+	restore, err := measure("SnapshotRestore100k/restore", sb.Passages, func(b *testing.B) {
+		b.ReportAllocs()
+		if err := core.RunSnapshotRestore(sb, b.N); err != nil {
+			b.Fatal(err)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	refeed, err := measure("SnapshotRestore100k/refeed", sb.Passages, func(b *testing.B) {
+		b.ReportAllocs()
+		if err := core.RunStoreRefeed(sb, b.N); err != nil {
+			b.Fatal(err)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	reindex, err := measure("SnapshotRestore100k/reindex", sb.Passages, func(b *testing.B) {
+		b.ReportAllocs()
+		if err := core.RunStoreReindex(sb, b.N); err != nil {
+			b.Fatal(err)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	rep.Measurements = append(rep.Measurements, restore, refeed, reindex)
+	sr := &storeRestorePerf{
+		Passages:      sb.Passages,
+		FactRows:      sb.Rows,
+		Members:       sb.MemberCount,
+		SnapshotBytes: len(sb.SnapBytes),
+		Restore:       restore.NsPerOp,
+		Refeed:        refeed.NsPerOp,
+		Reindex:       reindex.NsPerOp,
+	}
+	if restore.NsPerOp > 0 {
+		sr.Speedup = refeed.NsPerOp / restore.NsPerOp
+		sr.SpeedupMin = reindex.NsPerOp / restore.NsPerOp
+	}
+
+	walDir, err := os.MkdirTemp("", "dwqa-walbench-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(walDir)
+	runner, records, err := core.PrepareWALReplayBenchmark(walDir, 100_000, seed, 1000)
+	if err != nil {
+		return err
+	}
+	// rows carries the replayed fact-row count like every other
+	// measurement; the record count lives in store_snapshot_restore.
+	replay, err := measure("WALReplay100k", sb.Rows, func(b *testing.B) {
+		b.ReportAllocs()
+		if err := runner(b.N); err != nil {
+			b.Fatal(err)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	rep.Measurements = append(rep.Measurements, replay)
+	sr.WALRecords = records
+	sr.WALReplay = replay.NsPerOp
+	if replay.NsPerOp > 0 {
+		sr.WALRecordsPerSec = float64(records) / (replay.NsPerOp / 1e9)
+	}
+	rep.StoreRestore = sr
+	return nil
+}
+
 func printPerf(rep *perfReport) {
 	fmt.Println("== PERF: compiled OLAP engine vs row-at-a-time reference ==")
 	for _, c := range rep.OLAP {
@@ -601,5 +707,13 @@ func printPerf(rep *perfReport) {
 	if hc := rep.Harvest; hc != nil {
 		fmt.Printf("Step 5 feed (%d questions): sequential %.0f ms, batch engine %.0f ms, speedup %.2fx\n",
 			hc.Questions, hc.Sequential/1e6, hc.Engine/1e6, hc.Speedup)
+	}
+	if sr := rep.StoreRestore; sr != nil {
+		fmt.Println("== PERF: snapshot restore vs rebuild (durability) ==")
+		fmt.Printf("%d passages / %d fact rows (%d byte snapshot): restore %.0f ms, cold refeed %.0f ms (%.1fx), reindex-only %.0f ms (%.1fx)\n",
+			sr.Passages, sr.FactRows, sr.SnapshotBytes,
+			sr.Restore/1e6, sr.Refeed/1e6, sr.Speedup, sr.Reindex/1e6, sr.SpeedupMin)
+		fmt.Printf("WAL replay: %d records in %.0f ms (%.0f records/sec)\n",
+			sr.WALRecords, sr.WALReplay/1e6, sr.WALRecordsPerSec)
 	}
 }

@@ -8,7 +8,15 @@
 // Usage:
 //
 //	dwqa [-seed N] [-no-ontology] [-no-irfilter] [-table-aware] [-q QUESTION]
-//	dwqa serve [-addr :8080] [-workers 8] [-cache 1024] [-no-feed] [shared flags]
+//	dwqa serve [-addr :8080] [-workers 8] [-cache 1024] [-no-feed]
+//	           [-data-dir DIR] [-snapshot-every DUR] [shared flags]
+//
+// With -data-dir the server is durable: on boot it recovers the
+// warehouse, passage index and ontology from the newest snapshot plus the
+// write-ahead log (restart-in-seconds instead of a cold re-feed), every
+// feed is journaled, and on SIGTERM/SIGINT it drains in-flight requests
+// and publishes a final snapshot before exiting. -snapshot-every adds
+// periodic background snapshots that never block /ask.
 //
 // The serve API:
 //
@@ -21,10 +29,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"dwqa"
 )
@@ -111,7 +123,8 @@ func runTrace(args []string) {
 	fmt.Println(rep.Format())
 }
 
-// runServe integrates once, then serves the QA side over HTTP.
+// runServe integrates (or recovers) once, then serves the QA side over
+// HTTP until SIGINT/SIGTERM, draining in-flight requests on the way out.
 func runServe(args []string) {
 	fs := flag.NewFlagSet("dwqa serve", flag.ExitOnError)
 	sf := registerShared(fs)
@@ -119,32 +132,63 @@ func runServe(args []string) {
 	workers := fs.Int("workers", 0, "concurrent questions per batch (0 = engine default)")
 	cache := fs.Int("cache", 0, "answer-cache entries (0 = engine default, negative disables)")
 	noFeed := fs.Bool("no-feed", false, "skip the initial Step 5 feed (serve over the unfed warehouse)")
+	dataDir := fs.String("data-dir", "", "durable data directory (snapshots + write-ahead log); empty serves in-memory")
+	snapEvery := fs.Duration("snapshot-every", 0, "background snapshot interval with -data-dir (0 disables)")
+	drain := fs.Duration("drain", 10*time.Second, "in-flight request drain budget at shutdown")
 	_ = fs.Parse(args)
 
 	cfg := sf.config()
 	cfg.Engine.Workers = *workers
 	cfg.Engine.CacheSize = *cache
 
-	p, err := dwqa.New(cfg)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Println("dwqa serve: running the five-step integration (paper §3)...")
-	if *noFeed {
-		if err := p.Step1DeriveOntology(); err != nil {
+	var p *dwqa.Pipeline
+	durable := *dataDir != ""
+	if durable {
+		opened, info, err := dwqa.Open(cfg, *dataDir)
+		if err != nil {
 			fatal(err)
 		}
-		if err := p.Step2FeedOntology(); err != nil {
+		p = opened
+		if info.Recovered {
+			members, rows := p.StateCounts()
+			fmt.Printf("dwqa serve: recovered %s (%d members, %d fact rows, %d WAL records replayed)\n",
+				info.SnapshotPath, members, rows, info.WALReplayed)
+		} else {
+			fmt.Println("dwqa serve: fresh data dir, integrated and published the initial snapshot")
+		}
+		// The feed runs on recovered boots too: a crash mid-harvest leaves
+		// a partial warehouse, and re-feeding converges on the complete
+		// one — the restored dedup state skips every record that
+		// survived, so a fully-fed recovery costs one no-op pass.
+		if !*noFeed {
+			fmt.Println("dwqa serve: running the Step 5 feed (journaled; recovered records are skipped)...")
+			if _, err := p.Step5FeedWarehouse(p.WeatherQuestions()); err != nil {
+				fatal(err)
+			}
+		}
+	} else {
+		fresh, err := dwqa.New(cfg)
+		if err != nil {
 			fatal(err)
 		}
-		if err := p.Step3MergeUpperOntology(); err != nil {
+		p = fresh
+		fmt.Println("dwqa serve: running the five-step integration (paper §3)...")
+		if *noFeed {
+			if err := p.Step1DeriveOntology(); err != nil {
+				fatal(err)
+			}
+			if err := p.Step2FeedOntology(); err != nil {
+				fatal(err)
+			}
+			if err := p.Step3MergeUpperOntology(); err != nil {
+				fatal(err)
+			}
+			if err := p.Step4TuneQA(); err != nil {
+				fatal(err)
+			}
+		} else if err := p.RunAll(); err != nil {
 			fatal(err)
 		}
-		if err := p.Step4TuneQA(); err != nil {
-			fatal(err)
-		}
-	} else if err := p.RunAll(); err != nil {
-		fatal(err)
 	}
 	fmt.Print(p.Summary())
 
@@ -152,11 +196,51 @@ func runServe(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	stopSnapshots := func() {}
+	if durable && *snapEvery > 0 {
+		stopSnapshots = eng.SnapshotEvery(*snapEvery, func(err error) {
+			fmt.Fprintln(os.Stderr, "dwqa serve: background snapshot:", err)
+		})
+		defer stopSnapshots() // idempotent; safety net for the error path
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: dwqa.NewServer(eng)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	st := eng.Stats()
 	fmt.Printf("dwqa serve: listening on %s (%d workers, %d passages indexed)\n",
 		*addr, eng.Workers(), st.Passages)
-	if err := http.ListenAndServe(*addr, dwqa.NewServer(eng)); err != nil {
+
+	select {
+	case err := <-errc:
 		fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills hard
+		fmt.Println("dwqa serve: shutting down, draining in-flight requests...")
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "dwqa serve: drain:", err)
+		}
+		if durable {
+			// The background snapshotter must be fully stopped (waiting
+			// out any in-flight tick) before the final snapshot and the
+			// store close behind it.
+			stopSnapshots()
+			info, err := eng.SnapshotTo()
+			if err != nil {
+				fatal(fmt.Errorf("final snapshot: %w", err))
+			}
+			fmt.Printf("dwqa serve: final snapshot %s (%d bytes, WAL seq %d)\n",
+				info.Path, info.Bytes, info.WALSeq)
+			if err := p.Store().Close(); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Println("dwqa serve: bye")
 	}
 }
 

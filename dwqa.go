@@ -40,6 +40,7 @@ import (
 	"dwqa/internal/engine"
 	"dwqa/internal/nl2olap"
 	"dwqa/internal/qa"
+	"dwqa/internal/store"
 )
 
 // Config parameterises a pipeline: seed, covered period, QA ablation
@@ -106,6 +107,23 @@ type HarvestResult = engine.HarvestResult
 // schema, a populated warehouse, the synthetic web corpus and the passage
 // index. No integration step has run yet.
 func New(cfg Config) (*Pipeline, error) { return core.NewPipeline(cfg) }
+
+// RecoveryInfo summarises what Open recovered from a data directory:
+// which snapshot won, how many write-ahead-log records were replayed on
+// top of it, and whether a torn log tail was repaired.
+type RecoveryInfo = store.RecoveryInfo
+
+// Open boots a durable pipeline from a data directory (see DESIGN.md §7):
+// with a usable snapshot present the warehouse, passage index and merged
+// ontology are restored by bulk load and the WAL tail replayed — no
+// re-indexing, no re-harvesting; otherwise the scenario is integrated
+// fresh (steps 1-4) and published as the initial snapshot. Either way the
+// returned pipeline journals every subsequent feed, and its Engine
+// supports SnapshotTo/SnapshotEvery. Close the pipeline's Store when
+// done, ideally after a final snapshot.
+func Open(cfg Config, dataDir string) (*Pipeline, *RecoveryInfo, error) {
+	return core.OpenPipeline(cfg, dataDir)
+}
 
 // DefaultConfig is the paper's evaluated configuration (ontology on, IR
 // filter on, seed 42, January-March 2004).

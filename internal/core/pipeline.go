@@ -16,6 +16,7 @@ import (
 	"dwqa/internal/nl2olap"
 	"dwqa/internal/ontology"
 	"dwqa/internal/qa"
+	"dwqa/internal/store"
 	"dwqa/internal/uml2onto"
 	"dwqa/internal/webcorpus"
 	"dwqa/internal/wordnet"
@@ -99,21 +100,16 @@ type Pipeline struct {
 	eng       *engine.Engine      // lazily built by Engine()
 	trans     *nl2olap.Translator // lazily built by Translator()
 	transOnto *ontology.Ontology  // the lexicon trans was built over
+
+	st       *store.Store        // durable store (durable.go); nil in-memory
+	recovery *store.RecoveryInfo // what OpenPipeline recovered; nil in-memory
 }
 
 // NewPipeline builds the scenario environment: the Figure 1 schema, the
 // populated warehouse, the web corpus and the passage index (the
 // indexation phase of Figure 3). No integration step has run yet.
 func NewPipeline(cfg Config) (*Pipeline, error) {
-	if cfg.Year == 0 {
-		cfg.Year = 2004
-	}
-	if len(cfg.Months) == 0 {
-		cfg.Months = []int{1, 2, 3}
-	}
-	if cfg.HarvestPassages <= 0 {
-		cfg.HarvestPassages = 40
-	}
+	cfg = normalizeConfig(cfg)
 	schema := Figure1Schema()
 	wh, err := dw.New(schema)
 	if err != nil {
@@ -122,14 +118,7 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	if err := PopulateScenarioScaled(wh, cfg.Year, cfg.Months, cfg.Seed, cfg.ScaleFactor); err != nil {
 		return nil, fmt.Errorf("core: populating scenario: %w", err)
 	}
-	ccfg := webcorpus.DefaultConfig()
-	ccfg.Year = cfg.Year
-	ccfg.Months = cfg.Months
-	ccfg.Seed = cfg.Seed
-	if cfg.Corpus != nil {
-		ccfg = *cfg.Corpus
-	}
-	corpus := webcorpus.Build(ccfg)
+	corpus := webcorpus.Build(corpusConfig(cfg))
 	var opts []ir.Option
 	if cfg.PassageSize > 0 {
 		opts = append(opts, ir.WithPassageSize(cfg.PassageSize))
@@ -146,6 +135,36 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 		Index:     index,
 		Lexicon:   wordnet.Seed(),
 	}, nil
+}
+
+// corpusConfig derives the web-corpus configuration from a pipeline
+// config — shared by NewPipeline and the recovery path (durable.go), so
+// a recovered boot rebuilds exactly the corpus metadata the index was
+// built over.
+func corpusConfig(cfg Config) webcorpus.Config {
+	ccfg := webcorpus.DefaultConfig()
+	ccfg.Year = cfg.Year
+	ccfg.Months = cfg.Months
+	ccfg.Seed = cfg.Seed
+	if cfg.Corpus != nil {
+		ccfg = *cfg.Corpus
+	}
+	return ccfg
+}
+
+// normalizeConfig fills the config defaults NewPipeline and the recovery
+// path both rely on.
+func normalizeConfig(cfg Config) Config {
+	if cfg.Year == 0 {
+		cfg.Year = 2004
+	}
+	if len(cfg.Months) == 0 {
+		cfg.Months = []int{1, 2, 3}
+	}
+	if cfg.HarvestPassages <= 0 {
+		cfg.HarvestPassages = 40
+	}
+	return cfg
 }
 
 func (p *Pipeline) require(step int) error {
@@ -366,6 +385,11 @@ func (p *Pipeline) Engine() (*engine.Engine, error) {
 		return nil, err
 	}
 	eng.SetTranslator(trans)
+	// Durable pipelines wire the engine into the store so SnapshotTo and
+	// background snapshots work, and /healthz reports recovery stats.
+	if p.st != nil {
+		eng.SetDurability(p, p.st, p.recovery)
+	}
 	p.eng = eng
 	return eng, nil
 }

@@ -1,0 +1,443 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+
+	"dwqa/internal/dw"
+	"dwqa/internal/ir"
+	"dwqa/internal/ontology"
+	"dwqa/internal/store"
+	"dwqa/internal/uml2onto"
+)
+
+// The restore-vs-refeed benchmark harness behind BenchmarkSnapshotRestore
+// and cmd/benchreport's store_snapshot_restore block. The claim under
+// measurement is the tentpole durability property: bringing the system
+// back from a snapshot (decode + bulk column/posting load) must beat
+// rebuilding the same state through the feed path (re-tokenise, re-tag,
+// re-lemmatise, re-intern, re-window the corpus; re-resolve every fact
+// row) by an order of magnitude at the 100k scale.
+
+// StoreBench holds one prepared scale: the encoded snapshot the restore
+// arm decodes, and the inputs of the two rebuild baselines —
+//
+//   - refeed: the product's actual snapshotless cold boot, which must
+//     regenerate the corpus pages, re-extract their text, re-analyse and
+//     re-index every document and regenerate the warehouse (what
+//     OpenPipeline does on a fresh directory);
+//   - reindex: a deliberately conservative baseline that is handed the
+//     already-extracted document text and the already-resolved member/
+//     fact batches, paying only re-analysis, re-indexing and re-loading.
+type StoreBench struct {
+	SnapBytes []byte // encoded store.State (warehouse + index + ontology)
+
+	// Cold-boot regeneration parameters (the refeed arm).
+	TargetPassages int
+	TargetRows     int
+	Seed           int64
+
+	// Reindex inputs, reconstructed from the same state.
+	Docs      []ir.Document
+	Members   []dw.MemberSpec         // parents before children
+	FactRows  map[string][]dw.FactRow // fact → rows in insertion order
+	FactOrder []string                // deterministic fact iteration order
+
+	Passages    int
+	Rows        int
+	MemberCount int
+}
+
+// PrepareStoreBenchmark builds the scaled state (a BuildScaledCorpus
+// index and a BuildScaledWarehouse warehouse plus the derived ontology),
+// encodes its snapshot, derives the refeed inputs, and verifies both arms
+// reproduce the state exactly before anything is timed.
+func PrepareStoreBenchmark(targetPassages, targetRows int, seed int64) (*StoreBench, error) {
+	sc, err := BuildScaledCorpus(targetPassages, seed)
+	if err != nil {
+		return nil, err
+	}
+	wh, err := BuildScaledWarehouse(targetRows, seed)
+	if err != nil {
+		return nil, err
+	}
+	onto, err := uml2onto.Transform(Figure1Schema())
+	if err != nil {
+		return nil, err
+	}
+
+	state := &store.State{DW: wh.Export(), IR: sc.Index.Export(), Onto: onto.Export()}
+	b := &StoreBench{
+		SnapBytes:      store.EncodeState(state),
+		TargetPassages: targetPassages,
+		TargetRows:     targetRows,
+		Seed:           seed,
+		Passages:       sc.Index.PassageCount(),
+	}
+	b.MemberCount, b.Rows = wh.Counts()
+
+	// Refeed inputs come from the snapshot itself, so both arms rebuild
+	// exactly the same state.
+	b.Docs = append([]ir.Document(nil), state.IR.Docs...)
+	b.Members, err = memberSpecsFromSnapshot(state.DW)
+	if err != nil {
+		return nil, err
+	}
+	b.FactRows, b.FactOrder, err = factRowsFromSnapshot(state.DW)
+	if err != nil {
+		return nil, err
+	}
+
+	// Equivalence gate: one restore, one cold refeed and one reindex must
+	// all reproduce the exported state byte-for-byte.
+	rwh, rix, ronto, err := restoreOnce(b.SnapBytes)
+	if err != nil {
+		return nil, fmt.Errorf("core: store bench restore arm: %w", err)
+	}
+	if err := statesEqual(exportAll(rwh, rix, ronto), state); err != nil {
+		return nil, fmt.Errorf("core: store bench restore arm diverges: %w", err)
+	}
+	// The cold refeed regenerates the scenario, whose member insertion
+	// order (hence surrogate keys) is not stable across runs — names and
+	// aggregates are. Gate it on the index bytes plus warehouse counts
+	// and query results rather than raw keys.
+	cwh, cix, conto, err := refeedOnce(b)
+	if err != nil {
+		return nil, fmt.Errorf("core: store bench refeed arm: %w", err)
+	}
+	if !reflect.DeepEqual(cix.Export(), state.IR) {
+		return nil, fmt.Errorf("core: store bench refeed arm diverges: index state")
+	}
+	if !reflect.DeepEqual(conto.Export(), state.Onto) {
+		return nil, fmt.Errorf("core: store bench refeed arm diverges: ontology state")
+	}
+	if m, r := cwh.Counts(); m != b.MemberCount || r != b.Rows {
+		return nil, fmt.Errorf("core: store bench refeed arm diverges: %d/%d members/rows, want %d/%d",
+			m, r, b.MemberCount, b.Rows)
+	}
+	q := ScaledOLAPQuery()
+	wantRes, err := rwh.Execute(q)
+	if err != nil {
+		return nil, err
+	}
+	gotRes, err := cwh.Execute(q)
+	if err != nil {
+		return nil, err
+	}
+	if err := ResultsAlmostEqual(gotRes, wantRes); err != nil {
+		return nil, fmt.Errorf("core: store bench refeed arm diverges: %w", err)
+	}
+	fwh, fix, fonto, err := reindexOnce(b)
+	if err != nil {
+		return nil, fmt.Errorf("core: store bench reindex arm: %w", err)
+	}
+	if err := statesEqual(exportAll(fwh, fix, fonto), state); err != nil {
+		return nil, fmt.Errorf("core: store bench reindex arm diverges: %w", err)
+	}
+	return b, nil
+}
+
+// exportAll re-exports live structures for the equivalence gate.
+func exportAll(wh *dw.Warehouse, ix *ir.Index, onto *ontology.Ontology) *store.State {
+	return &store.State{DW: wh.Export(), IR: ix.Export(), Onto: onto.Export()}
+}
+
+// memberSpecsFromSnapshot converts level tables back to insertion specs,
+// ordering levels so parents exist before their children (hierarchy tops
+// first). Within a level, members come in surrogate-key order, so the
+// refeed assigns identical keys.
+func memberSpecsFromSnapshot(snap *dw.Snapshot) ([]dw.MemberSpec, error) {
+	var specs []dw.MemberSpec
+	schema := Figure1Schema()
+	for _, ds := range snap.Dims {
+		dc := schema.Dimension(ds.Dim)
+		if dc == nil {
+			return nil, fmt.Errorf("core: snapshot dimension %q not in schema", ds.Dim)
+		}
+		byName := map[string]dw.LevelSnapshot{}
+		for _, ls := range ds.Levels {
+			byName[ls.Level] = ls
+		}
+		// Topological order: emit a level only after its RollsUpTo level.
+		emitted := map[string]bool{}
+		var order []string
+		var emit func(level string) error
+		emit = func(level string) error {
+			if emitted[level] {
+				return nil
+			}
+			lvl := dc.Level(level)
+			if lvl == nil {
+				return fmt.Errorf("core: snapshot level %q not in dimension %q", level, ds.Dim)
+			}
+			if lvl.RollsUpTo != "" {
+				if err := emit(lvl.RollsUpTo); err != nil {
+					return err
+				}
+			}
+			emitted[level] = true
+			order = append(order, level)
+			return nil
+		}
+		for _, ls := range ds.Levels {
+			if err := emit(ls.Level); err != nil {
+				return nil, err
+			}
+		}
+		for _, level := range order {
+			ls := byName[level]
+			lvl := dc.Level(level)
+			parentTable := dw.LevelSnapshot{}
+			if lvl.RollsUpTo != "" {
+				parentTable = byName[lvl.RollsUpTo]
+			}
+			for _, m := range ls.Members {
+				spec := dw.MemberSpec{Dim: ds.Dim, Level: level, Name: m.Name, Attrs: m.Attrs}
+				if m.Parent >= 0 && lvl.RollsUpTo != "" {
+					if m.Parent >= len(parentTable.Members) {
+						return nil, fmt.Errorf("core: member %s.%s/%s parent key %d out of range", ds.Dim, level, m.Name, m.Parent)
+					}
+					spec.Parent = parentTable.Members[m.Parent].Name
+				}
+				specs = append(specs, spec)
+			}
+		}
+	}
+	return specs, nil
+}
+
+// factRowsFromSnapshot converts columnar fact data back into named rows.
+func factRowsFromSnapshot(snap *dw.Snapshot) (map[string][]dw.FactRow, []string, error) {
+	schema := Figure1Schema()
+	levelMembers := map[string][]dw.Member{} // "dim/level" → members
+	for _, ds := range snap.Dims {
+		for _, ls := range ds.Levels {
+			levelMembers[ds.Dim+"/"+ls.Level] = ls.Members
+		}
+	}
+	out := map[string][]dw.FactRow{}
+	var order []string
+	for _, fs := range snap.Facts {
+		fc := schema.Fact(fs.Fact)
+		if fc == nil {
+			return nil, nil, fmt.Errorf("core: snapshot fact %q not in schema", fs.Fact)
+		}
+		prov := map[int]string{}
+		for i, r := range fs.ProvRows {
+			prov[int(r)] = fs.ProvVals[i]
+		}
+		baseMembers := make([][]dw.Member, len(fc.Dimensions))
+		for i, ref := range fc.Dimensions {
+			dc := schema.Dimension(ref.Dimension)
+			baseMembers[i] = levelMembers[ref.Dimension+"/"+dc.Base().Name]
+		}
+		rows := make([]dw.FactRow, fs.Rows)
+		for r := 0; r < fs.Rows; r++ {
+			coords := make(map[string]string, len(fc.Dimensions))
+			for i, ref := range fc.Dimensions {
+				key := int(fs.Coords[i][r])
+				if key < 0 || key >= len(baseMembers[i]) {
+					return nil, nil, fmt.Errorf("core: fact %q row %d key %d out of range", fs.Fact, r, key)
+				}
+				coords[ref.Role] = baseMembers[i][key].Name
+			}
+			measures := make(map[string]float64, len(fc.Measures))
+			for i, m := range fc.Measures {
+				measures[m.Name] = fs.Measures[i][r]
+			}
+			rows[r] = dw.FactRow{Coords: coords, Measures: measures, Provenance: prov[r]}
+		}
+		out[fs.Fact] = rows
+		order = append(order, fs.Fact)
+	}
+	return out, order, nil
+}
+
+// restoreOnce is one restore-arm iteration: decode the snapshot and bulk
+// load warehouse, index and ontology.
+func restoreOnce(snapBytes []byte) (*dw.Warehouse, *ir.Index, *ontology.Ontology, error) {
+	state, err := store.DecodeState(snapBytes)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	wh, err := dw.New(Figure1Schema())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := wh.Import(state.DW); err != nil {
+		return nil, nil, nil, err
+	}
+	ix := ir.NewIndex()
+	if err := ix.Import(state.IR); err != nil {
+		return nil, nil, nil, err
+	}
+	onto, err := ontology.FromSnapshot(state.Onto)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return wh, ix, onto, nil
+}
+
+// refeedOnce is one cold-refeed iteration: the boot a snapshotless
+// system pays at this scale — regenerate the corpus pages, re-extract
+// their text, re-analyse and re-index every document, regenerate and
+// re-load the warehouse, re-derive the ontology. This is exactly the
+// fresh-directory path of OpenPipeline, at benchmark scale.
+func refeedOnce(b *StoreBench) (*dw.Warehouse, *ir.Index, *ontology.Ontology, error) {
+	sc, err := BuildScaledCorpus(b.TargetPassages, b.Seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	wh, err := BuildScaledWarehouse(b.TargetRows, b.Seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	onto, err := uml2onto.Transform(Figure1Schema())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return wh, sc.Index, onto, nil
+}
+
+// reindexOnce is one reindex-arm iteration: the conservative rebuild
+// baseline that already holds the extracted text and resolved batches.
+func reindexOnce(b *StoreBench) (*dw.Warehouse, *ir.Index, *ontology.Ontology, error) {
+	wh, err := dw.New(Figure1Schema())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := wh.AddMembers(b.Members); err != nil {
+		return nil, nil, nil, err
+	}
+	for _, fact := range b.FactOrder {
+		if err := wh.AddFactRows(fact, b.FactRows[fact]); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	ix := ir.NewIndex()
+	if err := ix.AddAll(b.Docs); err != nil {
+		return nil, nil, nil, err
+	}
+	onto, err := uml2onto.Transform(Figure1Schema())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return wh, ix, onto, nil
+}
+
+func statesEqual(got, want *store.State) error {
+	if !reflect.DeepEqual(got.DW, want.DW) {
+		return fmt.Errorf("warehouse state diverges")
+	}
+	if !reflect.DeepEqual(got.IR, want.IR) {
+		return fmt.Errorf("index state diverges")
+	}
+	if !reflect.DeepEqual(got.Onto, want.Onto) {
+		return fmt.Errorf("ontology state diverges")
+	}
+	return nil
+}
+
+// RunSnapshotRestore runs n restore-arm iterations — the timed loop body
+// of BenchmarkSnapshotRestore.
+func RunSnapshotRestore(b *StoreBench, n int) error {
+	for i := 0; i < n; i++ {
+		if _, _, _, err := restoreOnce(b.SnapBytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunStoreRefeed runs n cold-refeed iterations — the headline baseline
+// the restore speedup is measured against.
+func RunStoreRefeed(b *StoreBench, n int) error {
+	for i := 0; i < n; i++ {
+		if _, _, _, err := refeedOnce(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunStoreReindex runs n reindex-arm iterations — the conservative
+// secondary baseline (extracted text and resolved batches in hand).
+func RunStoreReindex(b *StoreBench, n int) error {
+	for i := 0; i < n; i++ {
+		if _, _, _, err := reindexOnce(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrepareWALReplayBenchmark encodes the scaled warehouse's fact rows as
+// WAL-sized batches in a real store directory and returns a replay
+// runner plus the record count. dir must be empty and writable.
+func PrepareWALReplayBenchmark(dir string, targetRows int, seed int64, batchSize int) (runner func(n int) error, records int, err error) {
+	wh, err := BuildScaledWarehouse(targetRows, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	snap := wh.Export()
+	members, err := memberSpecsFromSnapshot(snap)
+	if err != nil {
+		return nil, 0, err
+	}
+	factRows, factOrder, err := factRowsFromSnapshot(snap)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := st.LogMembers(members); err != nil {
+		return nil, 0, err
+	}
+	records = 1
+	for _, fact := range factOrder {
+		rows := factRows[fact]
+		for start := 0; start < len(rows); start += batchSize {
+			end := min(start+batchSize, len(rows))
+			if err := st.LogFactRows(fact, rows[start:end]); err != nil {
+				return nil, 0, err
+			}
+			records++
+		}
+	}
+	if err := st.Close(); err != nil {
+		return nil, 0, err
+	}
+	wantMembers, wantRows := wh.Counts()
+
+	runner = func(n int) error {
+		for i := 0; i < n; i++ {
+			st, err := store.Open(dir)
+			if err != nil {
+				return err
+			}
+			fresh, err := dw.New(Figure1Schema())
+			if err != nil {
+				st.Close()
+				return err
+			}
+			applied, err := st.Replay(0, store.ReplayHandlers{
+				Members:  fresh.AddMembers,
+				FactRows: func(fact string, rows []dw.FactRow) error { return fresh.AddFactRows(fact, rows) },
+			})
+			st.Close()
+			if err != nil {
+				return err
+			}
+			if applied != records {
+				return fmt.Errorf("replayed %d of %d records", applied, records)
+			}
+			if m, r := fresh.Counts(); m != wantMembers || r != wantRows {
+				return fmt.Errorf("replay rebuilt %d/%d members/rows, want %d/%d", m, r, wantMembers, wantRows)
+			}
+		}
+		return nil
+	}
+	return runner, records, nil
+}

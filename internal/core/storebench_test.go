@@ -1,0 +1,77 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrepareStoreBenchmark pins the benchmark harness itself at a small
+// scale: the three arms must build, pass their internal equivalence
+// gates (restore == refeed == reindex == exported state) and run.
+func TestPrepareStoreBenchmark(t *testing.T) {
+	sb, err := PrepareStoreBenchmark(300, 300, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.Passages < 300 || sb.Rows < 300 || sb.MemberCount == 0 {
+		t.Fatalf("undersized bench state: %d passages, %d rows, %d members", sb.Passages, sb.Rows, sb.MemberCount)
+	}
+	if len(sb.SnapBytes) == 0 || len(sb.Docs) == 0 || len(sb.Members) == 0 || len(sb.FactOrder) == 0 {
+		t.Fatal("bench inputs missing")
+	}
+	if err := RunSnapshotRestore(sb, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunStoreRefeed(sb, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunStoreReindex(sb, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrepareWALReplayBenchmark pins the WAL replay harness: the encoded
+// batches must replay into a warehouse with the original counts, and the
+// runner must notice a tampered log.
+func TestPrepareWALReplayBenchmark(t *testing.T) {
+	runner, records, err := PrepareWALReplayBenchmark(t.TempDir(), 500, 42, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if records < 3 {
+		t.Fatalf("expected several WAL records, got %d", records)
+	}
+	if err := runner(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMemberSpecsFromSnapshotOrdering pins the parents-before-children
+// invariant the reindex arm relies on.
+func TestMemberSpecsFromSnapshotOrdering(t *testing.T) {
+	wh, err := BuildScaledWarehouse(300, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := memberSpecsFromSnapshot(wh.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if s.Parent != "" {
+			// The parent lives one level up; it must have been emitted
+			// already (any level, same dimension).
+			if !seen[s.Dim+"|"+s.Parent] {
+				t.Fatalf("spec %s.%s/%s references parent %q before it was emitted", s.Dim, s.Level, s.Name, s.Parent)
+			}
+		}
+		seen[s.Dim+"|"+s.Name] = true
+	}
+	// And a corrupted snapshot is rejected, not mis-ordered.
+	snap := wh.Export()
+	snap.Dims[0].Levels[0].Level = "Nope"
+	if _, err := memberSpecsFromSnapshot(snap); err == nil || !strings.Contains(err.Error(), "Nope") {
+		t.Fatalf("unknown level accepted: %v", err)
+	}
+}

@@ -52,8 +52,35 @@ type Warehouse struct {
 	dims   map[string]*dimensionData
 	facts  map[string]*factData
 
+	// journal, when set, receives every committed write batch while the
+	// write lock is still held, so the log preserves commit order. See
+	// SetJournal for the durability contract.
+	journal Journal
+
 	memoMu  sync.Mutex
 	rollups map[rollupMemoKey][]int32
+}
+
+// Journal receives the warehouse's committed write batches — the redo log
+// of the durability subsystem (internal/store). Implementations append
+// the batch to stable storage and return any I/O error.
+type Journal interface {
+	LogMembers(specs []MemberSpec) error
+	LogFactRows(fact string, rows []FactRow) error
+}
+
+// SetJournal installs (or, with nil, removes) the redo journal. Every
+// subsequent successful AddMember/AddMembers call and every validated
+// AddFact/AddFactRows batch is logged under the write lock, in commit
+// order. Because the warehouse itself is volatile, logging inside the
+// commit (after validation, before the caller is acked) gives write-ahead
+// semantics: a batch is recoverable if and only if its caller saw
+// success. Recovery must attach the journal only after WAL replay, or
+// replayed batches would be re-logged.
+func (w *Warehouse) SetJournal(j Journal) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.journal = j
 }
 
 // New builds an empty warehouse for a validated schema.
@@ -90,7 +117,17 @@ func (w *Warehouse) Schema() *mdm.Schema { return w.schema }
 func (w *Warehouse) AddMember(dim, level, name string, attrs map[string]string, parentName string) (int, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.addMemberLocked(dim, level, name, attrs, parentName)
+	key, err := w.addMemberLocked(dim, level, name, attrs, parentName)
+	if err != nil {
+		return 0, err
+	}
+	if w.journal != nil {
+		spec := MemberSpec{Dim: dim, Level: level, Name: name, Parent: parentName, Attrs: attrs}
+		if jerr := w.journal.LogMembers([]MemberSpec{spec}); jerr != nil {
+			return 0, fmt.Errorf("dw: journal: %w", jerr)
+		}
+	}
+	return key, nil
 }
 
 func (w *Warehouse) addMemberLocked(dim, level, name string, attrs map[string]string, parentName string) (int, error) {
@@ -163,6 +200,14 @@ func (w *Warehouse) AddMembers(specs []MemberSpec) error {
 	for _, s := range specs {
 		if _, err := w.addMemberLocked(s.Dim, s.Level, s.Name, s.Attrs, s.Parent); err != nil {
 			return err
+		}
+	}
+	// Journalled only when the whole batch applied: a failing spec aborts
+	// with nothing logged, so recovery drops the (unacked) applied prefix
+	// rather than replaying a batch that would fail again.
+	if w.journal != nil && len(specs) > 0 {
+		if err := w.journal.LogMembers(specs); err != nil {
+			return fmt.Errorf("dw: journal: %w", err)
 		}
 	}
 	return nil
@@ -280,6 +325,14 @@ func (w *Warehouse) AddFactProvenance(fact string, coords map[string]string, mea
 	if err != nil {
 		return err
 	}
+	// Write-ahead: the row is fully validated, so log-then-append cannot
+	// leave the journal claiming a row the warehouse rejected.
+	if w.journal != nil {
+		row := FactRow{Coords: coords, Measures: measures, Provenance: provenance}
+		if jerr := w.journal.LogFactRows(fact, []FactRow{row}); jerr != nil {
+			return fmt.Errorf("dw: journal: %w", jerr)
+		}
+	}
 	fd.appendRow(keys, vals, provenance)
 	return nil
 }
@@ -313,6 +366,13 @@ func (w *Warehouse) AddFactRows(fact string, rows []FactRow) error {
 			return fmt.Errorf("dw: batch row %d: %w", r, err)
 		}
 		keys[r], vals[r] = k, v
+	}
+	// Write-ahead: every row resolved and validated above, so the batch
+	// cannot fail past this point; log it before the first append.
+	if w.journal != nil {
+		if err := w.journal.LogFactRows(fact, rows); err != nil {
+			return fmt.Errorf("dw: journal: %w", err)
+		}
 	}
 	for r := range rows {
 		fd.appendRow(keys[r], vals[r], rows[r].Provenance)

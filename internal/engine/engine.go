@@ -33,11 +33,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dwqa/internal/etl"
 	"dwqa/internal/ir"
 	"dwqa/internal/nl2olap"
 	"dwqa/internal/qa"
+	"dwqa/internal/store"
 )
 
 // Default sizing of the serving layer.
@@ -75,6 +77,18 @@ type Engine struct {
 
 	mu             sync.Mutex
 	defaultHarvest []string
+
+	// commitMu serialises warehouse feed commits against snapshot
+	// exports (persist.go). Ask paths never take it.
+	commitMu sync.Mutex
+
+	// Durability wiring (persist.go): where snapshots come from and go
+	// to, what boot recovery replayed, and when the last snapshot was
+	// published (unix nanos; 0 = never).
+	snapSource   SnapshotSource
+	store        *store.Store
+	recovery     *store.RecoveryInfo
+	lastSnapshot atomic.Int64
 
 	// trans, when set, classifies every asked question: analytic
 	// questions compile to OLAP plans against the warehouse instead of
@@ -329,7 +343,12 @@ func (e *Engine) HarvestAll(questions []string) ([]HarvestResult, *etl.Report, e
 			batches[i] = items[i].Answers
 		}
 	}
+	// The commit is the only engine path that mutates the warehouse;
+	// commitMu keeps it atomic with respect to snapshot exports
+	// (persist.go) without touching the ask paths.
+	e.commitMu.Lock()
 	reports, total, err := e.loader.LoadAll(batches)
+	e.commitMu.Unlock()
 	if err != nil {
 		return items, nil, err
 	}
@@ -342,8 +361,10 @@ func (e *Engine) HarvestAll(questions []string) ([]HarvestResult, *etl.Report, e
 	return items, total, nil
 }
 
-// Stats is the /healthz payload: engine sizing, cache effectiveness and
-// the warehouse-feed generation.
+// Stats is the /healthz payload: engine sizing, cache effectiveness, the
+// warehouse-feed generation, the served corpus and warehouse sizes, and
+// — when a durable store is wired — the recovery and snapshot
+// observability fields the ops side watches after a restart.
 type Stats struct {
 	Workers      int    `json:"workers"`
 	CacheEntries int    `json:"cache_entries"`
@@ -352,6 +373,17 @@ type Stats struct {
 	Generation   uint64 `json:"generation"`
 	Documents    int    `json:"documents"`
 	Passages     int    `json:"passages"`
+
+	// Warehouse sizing (present when a SnapshotSource is wired).
+	Members  int `json:"members,omitempty"`
+	FactRows int `json:"fact_rows,omitempty"`
+
+	// Durability observability (present when a store is wired).
+	Durable      bool   `json:"durable,omitempty"`
+	WALSeq       uint64 `json:"wal_seq,omitempty"`
+	WALReplayed  int    `json:"wal_replayed,omitempty"`  // records replayed at boot
+	Recovered    bool   `json:"recovered,omitempty"`     // boot loaded a snapshot
+	LastSnapshot string `json:"last_snapshot,omitempty"` // RFC 3339; "" = none this run
 }
 
 // Stats snapshots the engine's serving statistics.
@@ -367,6 +399,21 @@ func (e *Engine) Stats() Stats {
 	if e.index != nil {
 		st.Documents = e.index.DocCount()
 		st.Passages = e.index.PassageCount()
+	}
+	src, durable, recovery := e.durability()
+	if src != nil {
+		st.Members, st.FactRows = src.StateCounts()
+	}
+	if durable != nil {
+		st.Durable = true
+		st.WALSeq = durable.Seq()
+	}
+	if recovery != nil {
+		st.Recovered = recovery.Recovered
+		st.WALReplayed = recovery.WALReplayed
+	}
+	if ns := e.lastSnapshot.Load(); ns != 0 {
+		st.LastSnapshot = time.Unix(0, ns).UTC().Format(time.RFC3339)
 	}
 	return st
 }

@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dwqa/internal/store"
+)
+
+// The durability side of the serving engine: snapshotting the live stack
+// through internal/store without stalling the ask path.
+//
+// Consistency discipline: every warehouse feed commits under commitMu
+// (see HarvestAll), and SnapshotTo exports the full state under the same
+// mutex — so a snapshot never observes half a feed, and its WALSeq stamp
+// (read under the lock) is exactly the log position the exported state
+// corresponds to. Ask/AskAll never take commitMu: queries proceed under
+// the structures' own read locks while a snapshot exports, so background
+// snapshotting does not block serving. The only path a snapshot can stall
+// is a concurrent feed commit, and only for the in-memory export — the
+// disk write happens after commitMu is released.
+
+// SnapshotSource exports the full persistent state of the stack the
+// engine serves. core.Pipeline implements it.
+type SnapshotSource interface {
+	// ExportState copies the warehouse, index and ontology state. The
+	// engine calls it with feeds quiesced (under commitMu) and stamps the
+	// returned State with the current WAL sequence.
+	ExportState() (*store.State, error)
+	// StateCounts returns the warehouse sizing (dimension members, fact
+	// rows) for the serving stats.
+	StateCounts() (members, factRows int)
+}
+
+// SetDurability wires the persistence layer into the engine: src exports
+// state for SnapshotTo, st is the store snapshots go to, and recovery
+// (may be nil) is surfaced through Stats so operators can see what boot
+// replayed.
+func (e *Engine) SetDurability(src SnapshotSource, st *store.Store, recovery *store.RecoveryInfo) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.snapSource = src
+	e.store = st
+	e.recovery = recovery
+}
+
+// durability returns the wired persistence handles.
+func (e *Engine) durability() (SnapshotSource, *store.Store, *store.RecoveryInfo) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.snapSource, e.store, e.recovery
+}
+
+// SnapshotTo exports the engine's full state and publishes it as a
+// snapshot, pruning old ones and resetting the WAL when the snapshot
+// covers it. Feeds are quiesced only for the in-memory export; the disk
+// write runs unlocked and Ask is never blocked at all.
+func (e *Engine) SnapshotTo() (store.SnapshotInfo, error) {
+	src, st, _ := e.durability()
+	if src == nil || st == nil {
+		return store.SnapshotInfo{}, fmt.Errorf("engine: no durability configured (SetDurability)")
+	}
+	e.commitMu.Lock()
+	state, err := src.ExportState()
+	if err == nil {
+		state.WALSeq = st.Seq()
+	}
+	e.commitMu.Unlock()
+	if err != nil {
+		return store.SnapshotInfo{}, fmt.Errorf("engine: exporting state: %w", err)
+	}
+	info, err := st.WriteSnapshot(state)
+	if err != nil {
+		return store.SnapshotInfo{}, err
+	}
+	e.lastSnapshot.Store(time.Now().UnixNano())
+	return info, nil
+}
+
+// SnapshotEvery snapshots in the background at the given interval until
+// the returned stop function is called (stop is idempotent and waits for
+// an in-flight snapshot to finish). Errors go to onErr (may be nil).
+func (e *Engine) SnapshotEvery(interval time.Duration, onErr func(error)) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if _, err := e.SnapshotTo(); err != nil && onErr != nil {
+					onErr(err)
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		wg.Wait()
+	}
+}

@@ -1,0 +1,139 @@
+package engine_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dwqa/internal/core"
+	"dwqa/internal/engine"
+)
+
+// newDurableServer boots a durable pipeline in a temp directory, feeds
+// it, restarts it (so recovery fields are populated) and serves it.
+func newDurableServer(t *testing.T) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Months = []int{1}
+	dir := t.TempDir()
+	p, _, err := core.OpenPipeline(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Step5FeedWarehouse(p.WeatherQuestions()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Store().Close(); err != nil {
+		t.Fatal(err)
+	}
+	p, info, err := core.OpenPipeline(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Store().Close() })
+	if !info.Recovered || info.WALReplayed == 0 {
+		t.Fatalf("expected snapshot+WAL recovery, got %+v", info)
+	}
+	eng, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(engine.NewServer(eng))
+	t.Cleanup(srv.Close)
+	return srv, eng
+}
+
+// TestHealthzDurability checks the recovery observability surface: a
+// restarted server reports warehouse sizing, boot replay counts and —
+// after a snapshot — the last-snapshot timestamp.
+func TestHealthzDurability(t *testing.T) {
+	srv, eng := newDurableServer(t)
+
+	getHealthz := func() map[string]any {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		var payload map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+			t.Fatal(err)
+		}
+		return payload
+	}
+
+	payload := getHealthz()
+	if payload["status"] != "ok" {
+		t.Fatalf("status = %v", payload["status"])
+	}
+	if payload["durable"] != true || payload["recovered"] != true {
+		t.Fatalf("durability flags missing: %+v", payload)
+	}
+	for _, field := range []string{"members", "fact_rows", "passages", "documents", "wal_replayed"} {
+		n, ok := payload[field].(float64)
+		if !ok || n <= 0 {
+			t.Fatalf("healthz %s = %v, want a positive count (payload %+v)", field, payload[field], payload)
+		}
+	}
+	if _, present := payload["last_snapshot"]; present {
+		t.Fatalf("last_snapshot present before any snapshot this run: %v", payload["last_snapshot"])
+	}
+
+	// After a snapshot the timestamp appears (and parses).
+	if _, err := eng.SnapshotTo(); err != nil {
+		t.Fatal(err)
+	}
+	payload = getHealthz()
+	ts, ok := payload["last_snapshot"].(string)
+	if !ok {
+		t.Fatalf("last_snapshot missing after SnapshotTo: %+v", payload)
+	}
+	if _, err := time.Parse(time.RFC3339, ts); err != nil {
+		t.Fatalf("last_snapshot %q is not RFC 3339: %v", ts, err)
+	}
+}
+
+// TestSnapshotToWithoutDurability pins the error path for in-memory
+// engines.
+func TestSnapshotToWithoutDurability(t *testing.T) {
+	p := newPipeline(t)
+	eng, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.SnapshotTo(); err == nil {
+		t.Fatal("SnapshotTo succeeded without a store")
+	}
+}
+
+// TestSnapshotEvery checks the background snapshot loop publishes and
+// stops cleanly.
+func TestSnapshotEvery(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Months = []int{1}
+	p, _, err := core.OpenPipeline(cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Store().Close()
+	eng, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := eng.SnapshotEvery(5*time.Millisecond, func(err error) { t.Errorf("background snapshot: %v", err) })
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.Stats().LastSnapshot == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("background snapshot never ran")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+}

@@ -120,6 +120,31 @@ func NewLoader(dom *ontology.Ontology, wh *dw.Warehouse, fact, cityDim, dateDim 
 	}, nil
 }
 
+// RestoreDedup rebuilds the loader's dedup state from the warehouse
+// itself: every existing fact row's (city, day, source-page) key is
+// marked loaded, exactly as if this Loader had loaded it. Recovery calls
+// it after restoring a snapshot, so a re-run of the same harvest skips
+// every record that survived the crash instead of duplicating it — the
+// property that makes "recover, then re-feed" converge on the
+// uninterrupted run's state. It returns the number of keys restored.
+func (l *Loader) RestoreDedup() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	restored := 0
+	err := l.wh.ScanFact(l.fact, []string{"City", "Date"}, func(row int, names []string, prov string) error {
+		key := strings.ToLower(names[0]) + "|" + names[1] + "|" + prov
+		if !l.loaded[key] {
+			l.loaded[key] = true
+			restored++
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("etl: restoring dedup state: %w", err)
+	}
+	return restored, nil
+}
+
 // Normalize converts one QA answer into a weather record, applying the
 // ontology's conversion and range axioms. It returns a reason string when
 // the answer must be rejected.

@@ -59,11 +59,13 @@ type DocResult struct {
 	Text     string
 }
 
-// posting records one passage (or document, in the document-level lists)
-// containing a term.
-type posting struct {
-	id int32 // passage id, or document index in docPostings
-	tf int32
+// Posting records one passage (or document, in the document-level lists)
+// containing a term, with its term frequency. It is exported because the
+// durability snapshot (snapshot.go, internal/store) stores posting lists
+// verbatim: Export and Import move them as whole slices.
+type Posting struct {
+	ID int32 // passage id, or document index in docPostings
+	TF int32
 }
 
 // passageEntry is the stored form of a passage.
@@ -89,8 +91,12 @@ type Index struct {
 	// Ids are append-only — assigned in first-occurrence order and never
 	// reused — so the per-term slices below stay valid forever.
 	terms       map[string]int32
-	postings    [][]posting // term id → passages containing it, ascending
-	docPostings [][]posting // term id → documents containing it, ascending
+	postings    [][]Posting // term id → passages containing it, ascending
+	docPostings [][]Posting // term id → documents containing it, ascending
+
+	// journal, when set, receives every indexed document while the write
+	// lock is still held (see SetJournal in snapshot.go).
+	journal Journal
 }
 
 // Option configures an Index.
@@ -191,7 +197,7 @@ func (ix *Index) Add(doc Document) error {
 	for id, tf := range dtf {
 		// Documents are indexed one at a time, so each per-term list
 		// receives ascending document indexes regardless of map order.
-		ix.docPostings[id] = append(ix.docPostings[id], posting{int32(docIdx), tf})
+		ix.docPostings[id] = append(ix.docPostings[id], Posting{int32(docIdx), tf})
 	}
 
 	// Passage windows.
@@ -211,10 +217,15 @@ func (ix *Index) Add(doc Document) error {
 			}
 		}
 		for id, tf := range ptf {
-			ix.postings[id] = append(ix.postings[id], posting{int32(pid), tf})
+			ix.postings[id] = append(ix.postings[id], Posting{int32(pid), tf})
 		}
 		if end == len(sents) {
 			break
+		}
+	}
+	if ix.journal != nil {
+		if err := ix.journal.LogDocument(doc); err != nil {
+			return fmt.Errorf("ir: journal: %w", err)
 		}
 	}
 	return nil
@@ -316,7 +327,7 @@ func (ix *Index) Search(terms []string, k int) []Passage {
 		}
 		idf := math.Log(1 + nPass/float64(len(posts)))
 		for _, p := range posts {
-			acc.add(p.id, (1+math.Log(float64(p.tf)))*idf)
+			acc.add(p.ID, (1+math.Log(float64(p.TF)))*idf)
 		}
 	}
 	ids := acc.rank(k)
@@ -371,7 +382,7 @@ func (ix *Index) SearchDocuments(terms []string, k int) []DocResult {
 		}
 		idf := math.Log(1 + nDocs/float64(len(posts)))
 		for _, p := range posts {
-			acc.add(p.id, (1+math.Log(float64(p.tf)))*idf)
+			acc.add(p.ID, (1+math.Log(float64(p.TF)))*idf)
 		}
 	}
 	ids := acc.rank(k)

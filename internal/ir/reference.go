@@ -35,7 +35,7 @@ func (ix *Index) SearchReference(terms []string, k int) []Passage {
 		}
 		idf := math.Log(1 + nPass/float64(len(posts)))
 		for _, p := range posts {
-			scores[p.id] += (1 + math.Log(float64(p.tf))) * idf
+			scores[p.ID] += (1 + math.Log(float64(p.TF))) * idf
 		}
 	}
 	ids := selectTopK(scores, k)
@@ -66,7 +66,7 @@ func (ix *Index) SearchDocumentsReference(terms []string, k int) []DocResult {
 		}
 		idf := math.Log(1 + nDocs/float64(len(posts)))
 		for _, p := range posts {
-			scores[p.id] += (1 + math.Log(float64(p.tf))) * idf
+			scores[p.ID] += (1 + math.Log(float64(p.TF))) * idf
 		}
 	}
 	ids := selectTopK(scores, k)

@@ -1,0 +1,178 @@
+package ir
+
+import (
+	"fmt"
+
+	"dwqa/internal/nlp"
+)
+
+// This file is the retrieval half of the durability subsystem
+// (internal/store): bulk export and import of the inverted index —
+// documents, analysed sentences, passage windows, the interned term
+// dictionary and both posting stores — plus the redo-journal hook that
+// records indexed documents.
+
+// PassageRef is the exported form of one passage window.
+type PassageRef struct {
+	Doc       int32
+	SentStart int32
+	SentEnd   int32
+}
+
+// Snapshot is a point-in-time copy of the index. Terms[i] is the lemma
+// interned as term id i — the append-only id invariant means a snapshot
+// restored and then grown by replayed Adds assigns exactly the ids the
+// uninterrupted run would have. Produced by Export, consumed by Import;
+// internal/store gives it a binary encoding.
+type Snapshot struct {
+	PassageSize int
+	Stride      int
+	Docs        []Document
+	DocSents    [][]nlp.Sentence
+	Passages    []PassageRef
+	Terms       []string    // term id → lemma
+	Postings    [][]Posting // term id → passage postings, ascending ids
+	DocPostings [][]Posting // term id → document postings, ascending ids
+}
+
+// Export copies the full index state under the read lock. The outer
+// slices are fresh; sentence and token values are shared (they are
+// immutable once indexed).
+func (ix *Index) Export() *Snapshot {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	snap := &Snapshot{
+		PassageSize: ix.passageSize,
+		Stride:      ix.stride,
+		Docs:        append([]Document(nil), ix.docs...),
+		DocSents:    make([][]nlp.Sentence, len(ix.docSents)),
+		Passages:    make([]PassageRef, len(ix.passages)),
+		Terms:       make([]string, len(ix.terms)),
+		Postings:    make([][]Posting, len(ix.postings)),
+		DocPostings: make([][]Posting, len(ix.docPostings)),
+	}
+	for i, sents := range ix.docSents {
+		snap.DocSents[i] = append([]nlp.Sentence(nil), sents...)
+	}
+	for i, pe := range ix.passages {
+		snap.Passages[i] = PassageRef{Doc: int32(pe.doc), SentStart: int32(pe.sentStart), SentEnd: int32(pe.sentEnd)}
+	}
+	for lemma, id := range ix.terms {
+		snap.Terms[id] = lemma
+	}
+	copyPostings := func(dst, src [][]Posting) {
+		for i, posts := range src {
+			if len(posts) == 0 {
+				continue
+			}
+			dst[i] = append([]Posting(nil), posts...) // flat structs: one memmove
+		}
+	}
+	copyPostings(snap.Postings, ix.postings)
+	copyPostings(snap.DocPostings, ix.docPostings)
+	return snap
+}
+
+// Import restores a snapshot into an empty index as a bulk load: posting
+// lists, passage windows and analysed sentences are installed wholesale —
+// no re-tokenisation, re-interning or window rebuilding (contrast Add,
+// which does all three per document). The term dictionary map is rebuilt
+// in a single pass over Terms. Window geometry (passage size, stride) is
+// taken from the snapshot, overriding any NewIndex options, because it
+// describes the windows already built. Shape mismatches fail loudly
+// before anything is installed.
+func (ix *Index) Import(snap *Snapshot) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if len(ix.docs) != 0 || len(ix.terms) != 0 {
+		return fmt.Errorf("ir: import into a non-empty index")
+	}
+	if snap.PassageSize < 1 || snap.Stride < 1 || snap.Stride > snap.PassageSize {
+		return fmt.Errorf("ir: import: invalid window geometry (size %d, stride %d)", snap.PassageSize, snap.Stride)
+	}
+	if len(snap.DocSents) != len(snap.Docs) {
+		return fmt.Errorf("ir: import: %d documents but %d sentence sets", len(snap.Docs), len(snap.DocSents))
+	}
+	if len(snap.Postings) != len(snap.Terms) || len(snap.DocPostings) != len(snap.Terms) {
+		return fmt.Errorf("ir: import: %d terms but %d/%d posting lists",
+			len(snap.Terms), len(snap.Postings), len(snap.DocPostings))
+	}
+	for i, pe := range snap.Passages {
+		if int(pe.Doc) < 0 || int(pe.Doc) >= len(snap.Docs) {
+			return fmt.Errorf("ir: import: passage %d references document %d of %d", i, pe.Doc, len(snap.Docs))
+		}
+		sents := snap.DocSents[pe.Doc]
+		if pe.SentStart < 0 || pe.SentEnd <= pe.SentStart || int(pe.SentEnd) > len(sents) {
+			return fmt.Errorf("ir: import: passage %d window [%d:%d) out of range (document %d has %d sentences)",
+				i, pe.SentStart, pe.SentEnd, pe.Doc, len(sents))
+		}
+	}
+	terms := make(map[string]int32, len(snap.Terms))
+	for id, lemma := range snap.Terms {
+		if _, dup := terms[lemma]; dup {
+			return fmt.Errorf("ir: import: duplicate term %q in dictionary", lemma)
+		}
+		terms[lemma] = int32(id)
+	}
+	checkPostings := func(kind string, lists [][]Posting, limit int) error {
+		for id, posts := range lists {
+			prev := int32(-1)
+			for _, p := range posts {
+				if p.ID <= prev || int(p.ID) >= limit {
+					return fmt.Errorf("ir: import: term %d has out-of-order or out-of-range %s posting %d", id, kind, p.ID)
+				}
+				if p.TF < 1 {
+					return fmt.Errorf("ir: import: term %d %s posting %d has tf %d", id, kind, p.ID, p.TF)
+				}
+				prev = p.ID
+			}
+		}
+		return nil
+	}
+	if err := checkPostings("passage", snap.Postings, len(snap.Passages)); err != nil {
+		return err
+	}
+	if err := checkPostings("document", snap.DocPostings, len(snap.Docs)); err != nil {
+		return err
+	}
+
+	ix.passageSize = snap.PassageSize
+	ix.stride = snap.Stride
+	ix.docs = append([]Document(nil), snap.Docs...)
+	ix.docSents = make([][]nlp.Sentence, len(snap.DocSents))
+	for i, sents := range snap.DocSents {
+		ix.docSents[i] = append([]nlp.Sentence(nil), sents...)
+	}
+	ix.passages = make([]passageEntry, len(snap.Passages))
+	for i, pe := range snap.Passages {
+		ix.passages[i] = passageEntry{
+			doc: int(pe.Doc), sentStart: int(pe.SentStart), sentEnd: int(pe.SentEnd), sentOffset: int(pe.SentStart),
+		}
+	}
+	ix.terms = terms
+	// Posting lists are adopted by copy of the outer slices only: the
+	// validated inner lists are installed as-is (the caller's snapshot
+	// must not be mutated afterwards; recovery decodes a fresh one).
+	ix.postings = append([][]Posting(nil), snap.Postings...)
+	ix.docPostings = append([][]Posting(nil), snap.DocPostings...)
+	return nil
+}
+
+// Journal receives every successfully indexed document — the redo log of
+// the durability subsystem (internal/store). Replaying the documents in
+// log order on top of a restored snapshot reproduces the exact index
+// state, including term ids (the dictionary is append-only in
+// first-occurrence order).
+type Journal interface {
+	LogDocument(doc Document) error
+}
+
+// SetJournal installs (or, with nil, removes) the redo journal. Each Add
+// logs its document under the write lock after the document is fully
+// indexed, so the log preserves indexing order and only acked documents
+// appear in it. Recovery must attach the journal only after WAL replay.
+func (ix *Index) SetJournal(j Journal) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.journal = j
+}

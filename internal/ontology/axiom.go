@@ -36,6 +36,9 @@ type Axiom struct {
 }
 
 // AddAxiom attaches an axiom to its owning concept (created if absent).
+// Re-adding an axiom that is already present is a no-op, so the Step 4
+// tuning can run again over a recovered ontology without duplicating
+// knowledge.
 func (o *Ontology) AddAxiom(a Axiom) error {
 	if a.Concept == "" {
 		return fmt.Errorf("ontology: axiom without concept")
@@ -62,8 +65,30 @@ func (o *Ontology) AddAxiom(a Axiom) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	c := o.addConceptLocked(a.Concept)
+	for _, existing := range c.Axioms {
+		if axiomsEqual(existing, a) {
+			return nil
+		}
+	}
 	c.Axioms = append(c.Axioms, a)
 	return nil
+}
+
+// axiomsEqual reports whether two axioms carry identical knowledge.
+func axiomsEqual(a, b Axiom) bool {
+	if a.Concept != b.Concept || a.Kind != b.Kind ||
+		a.Unit != b.Unit || a.Min != b.Min || a.Max != b.Max ||
+		a.FromUnit != b.FromUnit || a.ToUnit != b.ToUnit ||
+		a.Scale != b.Scale || a.Offset != b.Offset ||
+		len(a.Units) != len(b.Units) {
+		return false
+	}
+	for i := range a.Units {
+		if a.Units[i] != b.Units[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // AxiomsFor returns the axioms of the given kind on a concept.

@@ -1,0 +1,131 @@
+package ontology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the ontology part of the durability subsystem
+// (internal/store): export and import of the full concept graph — the
+// merged domain ontology of Steps 1-3 plus the Step 4 axioms — so a
+// recovered pipeline reasons over exactly the knowledge it had before the
+// crash.
+
+// InstanceSnapshot is the exported form of one instance: properties
+// flattened into sorted key/value pairs so the same state always exports
+// identically.
+type InstanceSnapshot struct {
+	Name     string
+	Aliases  []string
+	PropKeys []string
+	PropVals []string
+}
+
+// ConceptSnapshot is the exported form of one concept.
+type ConceptSnapshot struct {
+	Name       string
+	Parents    []string
+	Attributes []Attribute
+	Relations  []Relation
+	Instances  []InstanceSnapshot // sorted by normalised name
+	Axioms     []Axiom
+}
+
+// Snapshot is a point-in-time copy of an ontology, with concepts sorted
+// by normalised name. Produced by Export, consumed by FromSnapshot;
+// internal/store gives it a binary encoding.
+type Snapshot struct {
+	Name     string
+	Concepts []ConceptSnapshot
+}
+
+// Export copies the ontology under the read lock, in deterministic order.
+func (o *Ontology) Export() *Snapshot {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	keys := make([]string, 0, len(o.concepts))
+	for k := range o.concepts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	snap := &Snapshot{Name: o.Name, Concepts: make([]ConceptSnapshot, 0, len(keys))}
+	for _, k := range keys {
+		c := o.concepts[k]
+		cs := ConceptSnapshot{
+			Name:       c.Name,
+			Parents:    append([]string(nil), c.Parents...),
+			Attributes: append([]Attribute(nil), c.Attributes...),
+			Relations:  append([]Relation(nil), c.Relations...),
+		}
+		for _, a := range c.Axioms {
+			cp := a
+			cp.Units = append([]string(nil), a.Units...)
+			cs.Axioms = append(cs.Axioms, cp)
+		}
+		ikeys := make([]string, 0, len(c.Instances))
+		for ik := range c.Instances {
+			ikeys = append(ikeys, ik)
+		}
+		sort.Strings(ikeys)
+		for _, ik := range ikeys {
+			inst := c.Instances[ik]
+			is := InstanceSnapshot{
+				Name:    inst.Name,
+				Aliases: append([]string(nil), inst.Aliases...),
+			}
+			pkeys := make([]string, 0, len(inst.Properties))
+			for pk := range inst.Properties {
+				pkeys = append(pkeys, pk)
+			}
+			sort.Strings(pkeys)
+			for _, pk := range pkeys {
+				is.PropKeys = append(is.PropKeys, pk)
+				is.PropVals = append(is.PropVals, inst.Properties[pk])
+			}
+			cs.Instances = append(cs.Instances, is)
+		}
+		snap.Concepts = append(snap.Concepts, cs)
+	}
+	return snap
+}
+
+// FromSnapshot rebuilds an ontology from a snapshot and validates its
+// structural invariants, so a corrupt or hand-edited snapshot fails
+// loudly instead of half-loading.
+func FromSnapshot(snap *Snapshot) (*Ontology, error) {
+	o := New(snap.Name)
+	seen := make(map[string]bool, len(snap.Concepts))
+	for _, cs := range snap.Concepts {
+		if cs.Name == "" {
+			return nil, fmt.Errorf("ontology: snapshot concept with empty name")
+		}
+		if seen[Normalize(cs.Name)] {
+			return nil, fmt.Errorf("ontology: snapshot declares concept %q twice", cs.Name)
+		}
+		seen[Normalize(cs.Name)] = true
+		c := o.AddConcept(cs.Name)
+		c.Parents = append([]string(nil), cs.Parents...)
+		c.Attributes = append([]Attribute(nil), cs.Attributes...)
+		c.Relations = append([]Relation(nil), cs.Relations...)
+		for _, a := range cs.Axioms {
+			cp := a
+			cp.Units = append([]string(nil), a.Units...)
+			c.Axioms = append(c.Axioms, cp)
+		}
+		for _, is := range cs.Instances {
+			if len(is.PropKeys) != len(is.PropVals) {
+				return nil, fmt.Errorf("ontology: snapshot instance %q has %d property keys but %d values",
+					is.Name, len(is.PropKeys), len(is.PropVals))
+			}
+			inst := Instance{Name: is.Name, Aliases: is.Aliases, Properties: map[string]string{}}
+			for i, pk := range is.PropKeys {
+				inst.Properties[pk] = is.PropVals[i]
+			}
+			o.AddInstance(cs.Name, inst)
+		}
+	}
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("ontology: snapshot: %w", err)
+	}
+	return o, nil
+}

@@ -1,0 +1,118 @@
+package ontology
+
+import (
+	"reflect"
+	"testing"
+)
+
+// buildSnapshotFixture assembles an ontology touching every exported
+// surface: hierarchy, attributes, relations, instances with aliases and
+// properties, axioms of all three kinds.
+func buildSnapshotFixture(t *testing.T) *Ontology {
+	t.Helper()
+	o := New("fixture")
+	o.Subclass("Airport", "Location")
+	o.Subclass("City", "Location")
+	o.AddAttribute("Airport", Attribute{Name: "Name", Kind: KindDescriptor, Type: "String"})
+	o.AddAttribute("Airport", Attribute{Name: "IATA", Kind: KindAttribute, Type: "String"})
+	o.AddRelation("Airport", Relation{Name: "locatedIn", Target: "City"})
+	o.AddInstance("Airport", Instance{
+		Name: "El Prat", Aliases: []string{"BCN", "Barcelona-El Prat"},
+		Properties: map[string]string{"locatedIn": "Barcelona"},
+	})
+	o.AddInstance("City", Instance{Name: "Barcelona"})
+	for _, a := range []Axiom{
+		{Concept: "Temperature", Kind: AxiomValueFormat, Units: []string{"ºC", "F"}},
+		{Concept: "Temperature", Kind: AxiomValueRange, Unit: "C", Min: -90, Max: 60},
+		{Concept: "Temperature", Kind: AxiomUnitConversion, FromUnit: "C", ToUnit: "F", Scale: 1.8, Offset: 32},
+	} {
+		if err := o.AddAxiom(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o
+}
+
+func TestOntologySnapshotRoundTrip(t *testing.T) {
+	src := buildSnapshotFixture(t)
+	snap := src.Export()
+	dst, err := FromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dst.Export(), snap) {
+		t.Fatal("re-export after FromSnapshot diverges")
+	}
+	// Semantic checks: lookups, hierarchy and axioms all survive.
+	if concept, inst := dst.FindInstance("BCN"); concept != "Airport" || inst == nil || inst.Name != "El Prat" {
+		t.Fatalf("alias lookup lost: %q %+v", concept, inst)
+	}
+	if !dst.IsA("Airport", "Location") {
+		t.Fatal("subclass edge lost")
+	}
+	if f, err := dst.Convert("Temperature", 0, "C", "F"); err != nil || f != 32 {
+		t.Fatalf("conversion axiom lost: %v %v", f, err)
+	}
+	if ok, _ := dst.InRange("Temperature", 100, "C"); ok {
+		t.Fatal("range axiom lost")
+	}
+	// Export determinism: same state, same snapshot.
+	if !reflect.DeepEqual(src.Export(), snap) {
+		t.Fatal("Export is not deterministic")
+	}
+}
+
+func TestFromSnapshotRejectsCorruptSnapshots(t *testing.T) {
+	src := buildSnapshotFixture(t)
+	cases := []struct {
+		name   string
+		mutate func(s *Snapshot)
+	}{
+		{"empty concept name", func(s *Snapshot) { s.Concepts[0].Name = "" }},
+		{"duplicate concept", func(s *Snapshot) { s.Concepts[1].Name = s.Concepts[0].Name }},
+		{"unknown parent", func(s *Snapshot) { s.Concepts[0].Parents = []string{"Nowhere"} }},
+		{"unknown relation target", func(s *Snapshot) {
+			s.Concepts[0].Relations = []Relation{{Name: "x", Target: "Nowhere"}}
+		}},
+		{"property keys/vals mismatch", func(s *Snapshot) {
+			for i := range s.Concepts {
+				if len(s.Concepts[i].Instances) > 0 && len(s.Concepts[i].Instances[0].PropKeys) > 0 {
+					s.Concepts[i].Instances[0].PropVals = nil
+					return
+				}
+			}
+			panic("fixture has no instance with properties")
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			snap := src.Export()
+			tc.mutate(snap)
+			if _, err := FromSnapshot(snap); err == nil {
+				t.Fatal("corrupt snapshot accepted")
+			}
+		})
+	}
+}
+
+func TestAddAxiomIdempotent(t *testing.T) {
+	o := New("axioms")
+	a := Axiom{Concept: "Temperature", Kind: AxiomValueRange, Unit: "C", Min: -90, Max: 60}
+	for i := 0; i < 3; i++ {
+		if err := o.AddAxiom(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(o.AxiomsFor("Temperature", AxiomValueRange)); n != 1 {
+		t.Fatalf("re-adding an identical axiom duplicated it: %d copies", n)
+	}
+	// A genuinely different axiom still lands.
+	b := a
+	b.Max = 70
+	if err := o.AddAxiom(b); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(o.AxiomsFor("Temperature", AxiomValueRange)); n != 2 {
+		t.Fatalf("distinct axiom rejected: %d copies", n)
+	}
+}

@@ -1,0 +1,663 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dwqa/internal/dw"
+	"dwqa/internal/ir"
+	"dwqa/internal/nlp"
+	"dwqa/internal/ontology"
+)
+
+// Snapshot file layout (self-describing, versioned, checksummed):
+//
+//	magic    "DWQASNAP"            8 bytes
+//	version  uvarint               currently 1; readers reject newer
+//	walSeq   uvarint               last WAL record the snapshot covers
+//	dw       section               warehouse members + fact columns
+//	ir       section               docs, sentences, passages, dictionary,
+//	                               postings
+//	onto     section               merged ontology incl. axioms
+//	crc32c   4 bytes LE            Castagnoli checksum of all prior bytes
+//
+// Files are written to a temp name and renamed into place, so a crash
+// mid-write never leaves a live snapshot truncated — and if it somehow
+// did, the checksum catches it and recovery falls back to the previous
+// snapshot.
+
+const (
+	snapshotMagic = "DWQASNAP"
+	// SchemaVersion is the snapshot format version this build writes and
+	// the newest it can read.
+	SchemaVersion = 1
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// State is the full persistent state of the engine stack: the warehouse
+// contents, the passage index and the merged ontology, stamped with the
+// WAL sequence they cover. Recovery = load State + replay WAL records
+// with seq > WALSeq. Fingerprint is an opaque caller-owned string (the
+// pipeline stores its scenario parameters there) checked at recovery so
+// state from one configuration is never silently grafted onto another.
+type State struct {
+	WALSeq      uint64
+	Fingerprint string
+	DW          *dw.Snapshot
+	IR          *ir.Snapshot
+	Onto        *ontology.Snapshot
+}
+
+// EncodeState renders a State into the snapshot file format.
+func EncodeState(st *State) []byte {
+	w := &writer{buf: make([]byte, 0, 1<<20)}
+	w.buf = append(w.buf, snapshotMagic...)
+	w.uvarint(SchemaVersion)
+	w.uvarint(st.WALSeq)
+	w.str(st.Fingerprint)
+	encodeDW(w, st.DW)
+	encodeIR(w, st.IR)
+	encodeOnto(w, st.Onto)
+	w.buf = appendCRC(w.buf)
+	return w.buf
+}
+
+func appendCRC(buf []byte) []byte {
+	sum := crc32.Checksum(buf, crcTable)
+	return append(buf, byte(sum), byte(sum>>8), byte(sum>>16), byte(sum>>24))
+}
+
+// DecodeState parses and validates a snapshot file image: magic, version
+// gate, checksum, then the three sections. Every failure is loud and
+// names what broke.
+func DecodeState(buf []byte) (*State, error) {
+	if len(buf) < len(snapshotMagic)+4 {
+		return nil, fmt.Errorf("store: snapshot too short (%d bytes)", len(buf))
+	}
+	if string(buf[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("store: bad snapshot magic %q", buf[:len(snapshotMagic)])
+	}
+	body, tail := buf[:len(buf)-4], buf[len(buf)-4:]
+	want := uint32(tail[0]) | uint32(tail[1])<<8 | uint32(tail[2])<<16 | uint32(tail[3])<<24
+	if got := crc32.Checksum(body, crcTable); got != want {
+		return nil, fmt.Errorf("store: snapshot checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	r := &reader{buf: body, off: len(snapshotMagic)}
+	version := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if version > SchemaVersion {
+		return nil, fmt.Errorf("store: snapshot schema v%d is newer than supported v%d (upgrade dwqa to read it)",
+			version, SchemaVersion)
+	}
+	if version == 0 {
+		return nil, fmt.Errorf("store: snapshot schema v0 is invalid")
+	}
+	st := &State{WALSeq: r.uvarint(), Fingerprint: r.str()}
+	st.DW = decodeDW(r)
+	st.IR = decodeIR(r)
+	st.Onto = decodeOnto(r)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("store: %d trailing bytes after snapshot body", r.remaining())
+	}
+	return st, nil
+}
+
+// writeSnapshotFile writes an encoded snapshot atomically: temp file in
+// the same directory, fsync, rename, directory fsync.
+func writeSnapshotFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-snap-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("store: publishing snapshot: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync() // best-effort directory durability
+		_ = d.Close()
+	}
+	return nil
+}
+
+// --- warehouse section ---
+
+func encodeDW(w *writer, snap *dw.Snapshot) {
+	w.uvarint(uint64(len(snap.Dims)))
+	for _, ds := range snap.Dims {
+		w.str(ds.Dim)
+		w.uvarint(uint64(len(ds.Levels)))
+		for _, ls := range ds.Levels {
+			w.str(ls.Level)
+			w.uvarint(uint64(len(ls.Members)))
+			for _, m := range ls.Members {
+				w.str(m.Name)
+				w.varint(int64(m.Parent))
+				encodeStringMap(w, m.Attrs)
+			}
+		}
+	}
+	w.uvarint(uint64(len(snap.Facts)))
+	for _, fs := range snap.Facts {
+		w.str(fs.Fact)
+		w.uvarint(uint64(fs.Rows))
+		w.uvarint(uint64(len(fs.Coords)))
+		for _, col := range fs.Coords {
+			w.i32s(col)
+		}
+		w.uvarint(uint64(len(fs.Measures)))
+		for _, col := range fs.Measures {
+			w.f64s(col)
+		}
+		w.i32s(fs.ProvRows)
+		w.strs(fs.ProvVals)
+	}
+}
+
+func decodeDW(r *reader) *dw.Snapshot {
+	snap := &dw.Snapshot{}
+	nDims := r.count(2)
+	for d := 0; d < nDims && r.err == nil; d++ {
+		ds := dw.DimensionSnapshot{Dim: r.str()}
+		nLevels := r.count(2)
+		for l := 0; l < nLevels && r.err == nil; l++ {
+			ls := dw.LevelSnapshot{Level: r.str()}
+			nMembers := r.count(2)
+			if r.err == nil && nMembers > 0 {
+				ls.Members = make([]dw.Member, nMembers)
+				for i := range ls.Members {
+					ls.Members[i] = dw.Member{
+						Key:    i,
+						Name:   r.str(),
+						Parent: int(r.varint()),
+						Attrs:  decodeStringMap(r),
+					}
+				}
+			}
+			ds.Levels = append(ds.Levels, ls)
+		}
+		snap.Dims = append(snap.Dims, ds)
+	}
+	nFacts := r.count(2)
+	for f := 0; f < nFacts && r.err == nil; f++ {
+		fs := dw.FactSnapshot{Fact: r.str(), Rows: int(r.uvarint())}
+		nCoords := r.count(1)
+		fs.Coords = make([][]int32, 0, nCoords)
+		for c := 0; c < nCoords && r.err == nil; c++ {
+			fs.Coords = append(fs.Coords, r.i32s())
+		}
+		nMeasures := r.count(1)
+		fs.Measures = make([][]float64, 0, nMeasures)
+		for c := 0; c < nMeasures && r.err == nil; c++ {
+			fs.Measures = append(fs.Measures, r.f64s())
+		}
+		fs.ProvRows = r.i32s()
+		fs.ProvVals = r.strs()
+		snap.Facts = append(snap.Facts, fs)
+	}
+	return snap
+}
+
+func encodeStringMap(w *writer, m map[string]string) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.str(k)
+		w.str(m[k])
+	}
+}
+
+func decodeStringMap(r *reader) map[string]string {
+	n := r.count(2)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	m := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := r.str()
+		m[k] = r.str()
+	}
+	return m
+}
+
+// --- IR section ---
+//
+// The expensive parts of indexing a document — tokenisation, tagging,
+// lemmatisation, window construction, posting accumulation — are all
+// stored, so restore is a bulk load. Token text is NOT stored: a token's
+// surface form is exactly doc.Text[start:end), so the decoder slices it
+// back out of the document (zero copies beyond the document text itself).
+// Tags and lemmas are interned into per-snapshot tables and referenced by
+// index. Each document's token stream is framed with its byte length, so
+// the decoder fans the streams out across cores — restore wall-clock is
+// the bottleneck crash recovery exists to shrink.
+
+func encodeIR(w *writer, snap *ir.Snapshot) {
+	w.uvarint(uint64(snap.PassageSize))
+	w.uvarint(uint64(snap.Stride))
+
+	// Intern tables for tags and lemmas.
+	tagIdx := map[nlp.Tag]uint64{}
+	var tags []string
+	lemmaIdx := map[string]uint64{}
+	var lemmas []string
+	for _, sents := range snap.DocSents {
+		for _, s := range sents {
+			for _, t := range s.Tokens {
+				if _, ok := tagIdx[t.Tag]; !ok {
+					tagIdx[t.Tag] = uint64(len(tags))
+					tags = append(tags, string(t.Tag))
+				}
+				if _, ok := lemmaIdx[t.Lemma]; !ok {
+					lemmaIdx[t.Lemma] = uint64(len(lemmas))
+					lemmas = append(lemmas, t.Lemma)
+				}
+			}
+		}
+	}
+	w.strs(tags)
+	w.strs(lemmas)
+
+	w.uvarint(uint64(len(snap.Docs)))
+	var block writer // reused per-document token-stream buffer
+	for i, doc := range snap.Docs {
+		w.str(doc.URL)
+		w.str(doc.Text)
+		sents := snap.DocSents[i]
+		block.buf = block.buf[:0]
+		tokens := 0
+		prev := int64(0)
+		for _, s := range sents {
+			block.uvarint(uint64(len(s.Tokens)))
+			tokens += len(s.Tokens)
+			for _, t := range s.Tokens {
+				block.varint(int64(t.Start) - prev)
+				block.uvarint(uint64(t.End - t.Start))
+				block.uvarint(tagIdx[t.Tag])
+				block.uvarint(lemmaIdx[t.Lemma])
+				prev = int64(t.End)
+			}
+		}
+		w.uvarint(uint64(len(sents)))
+		w.uvarint(uint64(tokens))
+		w.uvarint(uint64(len(block.buf)))
+		w.buf = append(w.buf, block.buf...)
+	}
+
+	w.uvarint(uint64(len(snap.Passages)))
+	for _, p := range snap.Passages {
+		w.uvarint(uint64(p.Doc))
+		w.uvarint(uint64(p.SentStart))
+		w.uvarint(uint64(p.SentEnd - p.SentStart))
+	}
+
+	w.strs(snap.Terms)
+	encodePostings(w, snap.Postings)
+	encodePostings(w, snap.DocPostings)
+}
+
+// Posting lists are stored as fixed-width little-endian (id, tf) pairs
+// rather than varints: at the 100k-passage scale the lists hold millions
+// of entries, and a restore must load them at memory speed — the ~2×
+// size cost on this section buys a branch-free decode loop.
+func encodePostings(w *writer, lists [][]ir.Posting) {
+	w.uvarint(uint64(len(lists)))
+	for _, posts := range lists {
+		w.uvarint(uint64(len(posts)))
+		for _, p := range posts {
+			w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(p.ID))
+			w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(p.TF))
+		}
+	}
+}
+
+// docBlock is one document's framed token stream, handed to the parallel
+// decode phase.
+type docBlock struct {
+	nSents int
+	tokens int
+	data   []byte
+}
+
+func decodeIR(r *reader) *ir.Snapshot {
+	snap := &ir.Snapshot{
+		PassageSize: int(r.uvarint()),
+		Stride:      int(r.uvarint()),
+	}
+	tags := r.strs()
+	lemmas := r.strs()
+
+	// Phase 1 (sequential): document headers; token blocks are sliced,
+	// not decoded.
+	nDocs := r.count(2)
+	blocks := make([]docBlock, 0, nDocs)
+	for d := 0; d < nDocs && r.err == nil; d++ {
+		doc := ir.Document{URL: r.str(), Text: r.str()}
+		snap.Docs = append(snap.Docs, doc)
+		b := docBlock{nSents: r.count(1), tokens: r.count(3)}
+		blockLen := r.count(1)
+		if r.err != nil {
+			break
+		}
+		if r.off+blockLen > len(r.buf) {
+			r.fail("store: truncated token block for document %q", doc.URL)
+			break
+		}
+		b.data = r.buf[r.off : r.off+blockLen]
+		r.off += blockLen
+		blocks = append(blocks, b)
+	}
+
+	// Phase 2 (parallel): decode the independent token streams across
+	// cores — they are the bulk of the snapshot, and this fan-out is what
+	// keeps 100k-scale restore an order of magnitude under a re-feed.
+	if r.err == nil {
+		snap.DocSents = make([][]nlp.Sentence, len(blocks))
+		var firstErr atomic.Pointer[error]
+		var wg sync.WaitGroup
+		next := atomic.Int64{}
+		workers := min(runtime.GOMAXPROCS(0), len(blocks))
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					d := int(next.Add(1)) - 1
+					if d >= len(blocks) {
+						return
+					}
+					sents, err := decodeDocSents(blocks[d], snap.Docs[d], tags, lemmas)
+					if err != nil {
+						firstErr.CompareAndSwap(nil, &err)
+						return
+					}
+					snap.DocSents[d] = sents
+				}
+			}()
+		}
+		wg.Wait()
+		if ep := firstErr.Load(); ep != nil {
+			r.fail("%s", (*ep).Error())
+		}
+	}
+
+	nPassages := r.count(3)
+	if r.err == nil && nPassages > 0 {
+		snap.Passages = make([]ir.PassageRef, nPassages)
+		for i := range snap.Passages {
+			doc := r.uvarint()
+			start := r.uvarint()
+			span := r.uvarint()
+			snap.Passages[i] = ir.PassageRef{
+				Doc: int32(doc), SentStart: int32(start), SentEnd: int32(start + span),
+			}
+		}
+	}
+
+	snap.Terms = r.strs()
+	snap.Postings = decodePostings(r)
+	snap.DocPostings = decodePostings(r)
+	return snap
+}
+
+// uvFast decodes an unsigned varint with a fast path for the one-byte
+// values that dominate token streams. Returns newPos -1 on truncation.
+func uvFast(data []byte, pos int) (uint64, int) {
+	if pos < len(data) {
+		if b := data[pos]; b < 0x80 {
+			return uint64(b), pos + 1
+		}
+	}
+	v, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return 0, -1
+	}
+	return v, pos + n
+}
+
+// vFast is uvFast for zigzag-signed varints.
+func vFast(data []byte, pos int) (int64, int) {
+	u, next := uvFast(data, pos)
+	if next < 0 {
+		return 0, -1
+	}
+	v := int64(u >> 1)
+	if u&1 != 0 {
+		v = ^v
+	}
+	return v, next
+}
+
+// decodeDocSents decodes one document's token stream. Tokens land in a
+// single per-document arena (one allocation), with sentences as
+// subslices; token text is sliced straight out of the document. This is
+// the hottest loop of a restore (millions of tokens at the 100k-passage
+// scale), hence the hand-rolled varint reads over the raw block.
+func decodeDocSents(b docBlock, doc ir.Document, tags, lemmas []string) ([]nlp.Sentence, error) {
+	data := b.data
+	pos := 0
+	arena := make([]nlp.Token, b.tokens)
+	ti := 0
+	bounds := make([]int32, b.nSents+1)
+	prev := 0
+	textLen := len(doc.Text)
+	truncated := func() error {
+		return fmt.Errorf("store: truncated token block in document %q", doc.URL)
+	}
+	for s := 0; s < b.nSents; s++ {
+		nToks, next := uvFast(data, pos)
+		if next < 0 {
+			return nil, truncated()
+		}
+		pos = next
+		if nToks == 0 {
+			return nil, fmt.Errorf("store: empty sentence in document %q", doc.URL)
+		}
+		bounds[s] = int32(ti)
+		for t := uint64(0); t < nToks; t++ {
+			if ti >= len(arena) {
+				return nil, fmt.Errorf("store: document %q holds more tokens than the declared %d", doc.URL, b.tokens)
+			}
+			delta, next := vFast(data, pos)
+			if next < 0 {
+				return nil, truncated()
+			}
+			length, next2 := uvFast(data, next)
+			if next2 < 0 {
+				return nil, truncated()
+			}
+			tagIdx, next3 := uvFast(data, next2)
+			if next3 < 0 {
+				return nil, truncated()
+			}
+			lemmaIdx, next4 := uvFast(data, next3)
+			if next4 < 0 {
+				return nil, truncated()
+			}
+			pos = next4
+			start := prev + int(delta)
+			end := start + int(length)
+			if start < 0 || end < start || end > textLen {
+				return nil, fmt.Errorf("store: token span [%d:%d) outside document %q (%d bytes)", start, end, doc.URL, textLen)
+			}
+			if tagIdx >= uint64(len(tags)) {
+				return nil, fmt.Errorf("store: tag index %d out of range (%d entries)", tagIdx, len(tags))
+			}
+			if lemmaIdx >= uint64(len(lemmas)) {
+				return nil, fmt.Errorf("store: lemma index %d out of range (%d entries)", lemmaIdx, len(lemmas))
+			}
+			arena[ti] = nlp.Token{
+				Text:  doc.Text[start:end],
+				Lemma: lemmas[lemmaIdx],
+				Tag:   nlp.Tag(tags[tagIdx]),
+				Start: start,
+				End:   end,
+			}
+			ti++
+			prev = end
+		}
+	}
+	if ti != b.tokens {
+		return nil, fmt.Errorf("store: document %q declared %d tokens, stream holds %d", doc.URL, b.tokens, ti)
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("store: %d trailing bytes in token block of document %q", len(data)-pos, doc.URL)
+	}
+	bounds[b.nSents] = int32(ti)
+	sents := make([]nlp.Sentence, b.nSents)
+	for s := 0; s < b.nSents; s++ {
+		toks := arena[bounds[s]:bounds[s+1]:bounds[s+1]]
+		sents[s] = nlp.Sentence{Tokens: toks, Start: toks[0].Start, End: toks[len(toks)-1].End}
+	}
+	return sents, nil
+}
+
+func decodePostings(r *reader) [][]ir.Posting {
+	n := r.count(1)
+	if r.err != nil {
+		return nil
+	}
+	lists := make([][]ir.Posting, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		m := r.count(8)
+		if r.err != nil || m == 0 {
+			continue
+		}
+		if r.off+8*m > len(r.buf) {
+			r.fail("store: truncated posting list at offset %d", r.off)
+			return lists
+		}
+		posts := make([]ir.Posting, m)
+		buf := r.buf[r.off:]
+		for j := range posts {
+			posts[j] = ir.Posting{
+				ID: int32(binary.LittleEndian.Uint32(buf[8*j:])),
+				TF: int32(binary.LittleEndian.Uint32(buf[8*j+4:])),
+			}
+		}
+		r.off += 8 * m
+		lists[i] = posts
+	}
+	return lists
+}
+
+// --- ontology section ---
+
+func encodeOnto(w *writer, snap *ontology.Snapshot) {
+	w.str(snap.Name)
+	w.uvarint(uint64(len(snap.Concepts)))
+	for _, c := range snap.Concepts {
+		w.str(c.Name)
+		w.strs(c.Parents)
+		w.uvarint(uint64(len(c.Attributes)))
+		for _, a := range c.Attributes {
+			w.str(a.Name)
+			w.str(string(a.Kind))
+			w.str(a.Type)
+		}
+		w.uvarint(uint64(len(c.Relations)))
+		for _, rel := range c.Relations {
+			w.str(rel.Name)
+			w.str(rel.Target)
+		}
+		w.uvarint(uint64(len(c.Instances)))
+		for _, inst := range c.Instances {
+			w.str(inst.Name)
+			w.strs(inst.Aliases)
+			w.strs(inst.PropKeys)
+			w.strs(inst.PropVals)
+		}
+		w.uvarint(uint64(len(c.Axioms)))
+		for _, a := range c.Axioms {
+			encodeAxiom(w, a)
+		}
+	}
+}
+
+func encodeAxiom(w *writer, a ontology.Axiom) {
+	w.str(a.Concept)
+	w.str(string(a.Kind))
+	w.strs(a.Units)
+	w.str(a.Unit)
+	w.f64(a.Min)
+	w.f64(a.Max)
+	w.str(a.FromUnit)
+	w.str(a.ToUnit)
+	w.f64(a.Scale)
+	w.f64(a.Offset)
+}
+
+func decodeOnto(r *reader) *ontology.Snapshot {
+	snap := &ontology.Snapshot{Name: r.str()}
+	nConcepts := r.count(2)
+	for i := 0; i < nConcepts && r.err == nil; i++ {
+		c := ontology.ConceptSnapshot{Name: r.str(), Parents: r.strs()}
+		nAttrs := r.count(3)
+		for a := 0; a < nAttrs && r.err == nil; a++ {
+			c.Attributes = append(c.Attributes, ontology.Attribute{
+				Name: r.str(), Kind: ontology.AttrKind(r.str()), Type: r.str(),
+			})
+		}
+		nRels := r.count(2)
+		for x := 0; x < nRels && r.err == nil; x++ {
+			c.Relations = append(c.Relations, ontology.Relation{Name: r.str(), Target: r.str()})
+		}
+		nInsts := r.count(2)
+		for x := 0; x < nInsts && r.err == nil; x++ {
+			c.Instances = append(c.Instances, ontology.InstanceSnapshot{
+				Name: r.str(), Aliases: r.strs(), PropKeys: r.strs(), PropVals: r.strs(),
+			})
+		}
+		nAxioms := r.count(2)
+		for x := 0; x < nAxioms && r.err == nil; x++ {
+			c.Axioms = append(c.Axioms, decodeAxiom(r))
+		}
+		snap.Concepts = append(snap.Concepts, c)
+	}
+	return snap
+}
+
+func decodeAxiom(r *reader) ontology.Axiom {
+	return ontology.Axiom{
+		Concept:  r.str(),
+		Kind:     ontology.AxiomKind(r.str()),
+		Units:    r.strs(),
+		Unit:     r.str(),
+		Min:      r.f64(),
+		Max:      r.f64(),
+		FromUnit: r.str(),
+		ToUnit:   r.str(),
+		Scale:    r.f64(),
+		Offset:   r.f64(),
+	}
+}

@@ -1,0 +1,374 @@
+// Package store is the durability subsystem of the reproduction: it
+// persists the engine stack's state — the columnar warehouse, the
+// interned passage index and the merged ontology — across restarts, so
+// everything Step 5 ever harvested survives the process (DESIGN.md §7).
+//
+// Two cooperating mechanisms:
+//
+//   - Snapshots: point-in-time copies of the full State, written
+//     atomically (temp file + rename), checksummed and versioned
+//     (snapshot.go). The newest valid snapshot wins; a corrupt one is
+//     skipped in favour of its predecessor.
+//   - Write-ahead log: every committed feed batch (dw member/fact-row
+//     batches, indexed IR documents) is appended as a checksummed record
+//     with a strictly increasing sequence number (wal.go). The store
+//     implements dw.Journal and ir.Journal, so attaching it to a
+//     warehouse and an index journals every commit automatically.
+//
+// Recovery = load newest valid snapshot + Replay the WAL tail: records
+// with seq ≤ the snapshot's WALSeq are skipped (they are already inside
+// the snapshot), which makes re-applying the log idempotent by
+// construction — a crash between "snapshot published" and "WAL reset"
+// double-applies nothing. A torn or corrupt record ends the log: replay
+// truncates there and the system resumes from the repaired tail.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dwqa/internal/dw"
+	"dwqa/internal/ir"
+)
+
+const (
+	walName        = "wal.log"
+	snapshotPrefix = "snap-"
+	snapshotSuffix = ".dwqa"
+	// snapshotsKept is how many published snapshots survive pruning: the
+	// newest plus one fallback should the newest turn out unreadable.
+	snapshotsKept = 2
+)
+
+// Store manages one data directory: published snapshots plus the live
+// WAL. Safe for concurrent use; appends and snapshot writes serialise on
+// an internal mutex, reads of Seq are cheap.
+type Store struct {
+	dir string
+
+	mu          sync.Mutex
+	wal         *wal
+	walRepaired int64 // bytes dropped repairing a torn tail at Open
+	closed      bool
+}
+
+// Open opens (creating if needed) a data directory, repairs the WAL tail
+// if the last run tore it, and removes leftover temp files from
+// interrupted snapshot writes.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty data directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if tmps, err := filepath.Glob(filepath.Join(dir, ".tmp-snap-*")); err == nil {
+		for _, t := range tmps {
+			_ = os.Remove(t)
+		}
+	}
+	w, dropped, err := openWAL(filepath.Join(dir, walName))
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, wal: w, walRepaired: dropped}
+	// The WAL's scan only knows sequence numbers that are still in the
+	// log; a log reset by a snapshot restarts empty, so pick up the
+	// sequence floor from the published snapshots. The floor comes from
+	// the filenames (WriteSnapshot names each file by the WALSeq it
+	// covers) — decoding a multi-megabyte snapshot just to read its
+	// header would double every boot's restore cost.
+	for _, p := range s.snapshotPaths() {
+		if seq, ok := snapshotSeqFromPath(p); ok {
+			if seq > w.seq {
+				w.seq = seq
+			}
+			break // paths are sorted newest first
+		}
+	}
+	return s, nil
+}
+
+// snapshotSeqFromPath parses the WAL sequence a snapshot file name
+// declares (snap-<seq>.dwqa).
+func snapshotSeqFromPath(path string) (uint64, bool) {
+	name := filepath.Base(path)
+	name = strings.TrimPrefix(name, snapshotPrefix)
+	name = strings.TrimSuffix(name, snapshotSuffix)
+	seq, err := strconv.ParseUint(name, 10, 64)
+	return seq, err == nil
+}
+
+// Dir returns the data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Seq returns the sequence number of the last WAL record (0 when none
+// was ever written).
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.seq
+}
+
+// WALRepaired returns the number of torn-tail bytes Open dropped (0 for
+// a clean shutdown).
+func (s *Store) WALRepaired() int64 { return s.walRepaired }
+
+// Close releases the WAL file handle. The store must not be used after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return s.wal.close()
+}
+
+// --- journal (the write path) ---
+
+// LogMembers implements dw.Journal: one WAL record per committed member
+// batch.
+func (s *Store) LogMembers(specs []dw.MemberSpec) error {
+	return s.appendRecord(recMembers, encodeMemberSpecs(specs))
+}
+
+// LogFactRows implements dw.Journal: one WAL record per validated fact
+// batch.
+func (s *Store) LogFactRows(fact string, rows []dw.FactRow) error {
+	return s.appendRecord(recFactRows, encodeFactRows(fact, rows))
+}
+
+// LogDocument implements ir.Journal: one WAL record per indexed document.
+func (s *Store) LogDocument(doc ir.Document) error {
+	return s.appendRecord(recDocument, encodeDocument(doc))
+}
+
+func (s *Store) appendRecord(kind byte, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	return s.wal.append(kind, payload)
+}
+
+// --- snapshots ---
+
+// SnapshotInfo describes one published snapshot.
+type SnapshotInfo struct {
+	Path     string
+	Bytes    int64
+	WALSeq   uint64
+	WALReset bool // the WAL was emptied because the snapshot covers it all
+}
+
+// WriteSnapshot publishes a snapshot of state atomically and prunes old
+// snapshots. If no WAL record was appended since state was exported
+// (state.WALSeq still current), the WAL is reset — every record is inside
+// the snapshot. Otherwise the WAL is left alone: recovery's sequence
+// gating skips the covered prefix anyway, so correctness never depends on
+// the reset.
+func (s *Store) WriteSnapshot(state *State) (SnapshotInfo, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return SnapshotInfo{}, fmt.Errorf("store: closed")
+	}
+	s.mu.Unlock()
+	data := EncodeState(state)
+	path := filepath.Join(s.dir, fmt.Sprintf("%s%020d%s", snapshotPrefix, state.WALSeq, snapshotSuffix))
+	if err := writeSnapshotFile(path, data); err != nil {
+		return SnapshotInfo{}, err
+	}
+	info := SnapshotInfo{Path: path, Bytes: int64(len(data)), WALSeq: state.WALSeq}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed && s.wal.seq == state.WALSeq {
+		if err := s.wal.reset(); err != nil {
+			return info, err
+		}
+		info.WALReset = true
+	}
+	s.pruneLocked()
+	return info, nil
+}
+
+// snapshotPaths returns the published snapshot files, newest first.
+func (s *Store) snapshotPaths() []string {
+	paths, _ := filepath.Glob(filepath.Join(s.dir, snapshotPrefix+"*"+snapshotSuffix))
+	sort.Sort(sort.Reverse(sort.StringSlice(paths)))
+	return paths
+}
+
+func (s *Store) pruneLocked() {
+	paths := s.snapshotPaths()
+	for _, p := range paths[min(len(paths), snapshotsKept):] {
+		_ = os.Remove(p)
+	}
+}
+
+// LoadSnapshot returns the newest valid snapshot, or (nil, "", nil) when
+// the directory holds none. Corrupt snapshots are skipped in favour of
+// older ones — but only when the WAL still covers every record between
+// the fallback and the newest snapshot's sequence, because publishing a
+// snapshot may have reset the log. A fallback that would silently drop
+// acked feed batches is a loud error instead, as is a directory whose
+// snapshots are all unreadable — recovery must never quietly lose data
+// or start empty on a damaged directory.
+func (s *Store) LoadSnapshot() (*State, string, error) {
+	path, state, err := s.loadNewestSnapshot()
+	return state, path, err
+}
+
+func (s *Store) loadNewestSnapshot() (string, *State, error) {
+	paths := s.snapshotPaths()
+	if len(paths) == 0 {
+		return "", nil, nil
+	}
+	var failures []string
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", filepath.Base(p), err))
+			continue
+		}
+		state, err := DecodeState(data)
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", filepath.Base(p), err))
+			continue
+		}
+		if len(failures) > 0 {
+			// A newer snapshot was skipped: records up to its sequence
+			// were acked, and publishing it may have reset the WAL. Only
+			// fall back when the log still holds the whole gap.
+			if newestSeq, ok := snapshotSeqFromPath(paths[0]); ok && newestSeq > state.WALSeq {
+				if err := s.walCovers(state.WALSeq, newestSeq); err != nil {
+					return "", nil, fmt.Errorf(
+						"store: newest snapshot is unreadable (%s) and falling back to %s would lose acked feed batches %d..%d: %w",
+						strings.Join(failures, "; "), filepath.Base(p), state.WALSeq+1, newestSeq, err)
+				}
+			}
+		}
+		return p, state, nil
+	}
+	return "", nil, fmt.Errorf("store: no readable snapshot in %s: %s", s.dir, strings.Join(failures, "; "))
+}
+
+// walCovers reports whether the log still holds every record in
+// (afterSeq, throughSeq] — sequence numbers are assigned consecutively
+// and the log only ever empties wholesale, so the retained records form
+// one contiguous range.
+func (s *Store) walCovers(afterSeq, throughSeq uint64) error {
+	data, err := os.ReadFile(s.wal.path)
+	if err != nil {
+		return fmt.Errorf("reading WAL: %w", err)
+	}
+	_, _, records := scanWAL(data, 0)
+	if len(records) == 0 {
+		return fmt.Errorf("the WAL is empty (reset by the unreadable snapshot)")
+	}
+	first, last := records[0].seq, records[len(records)-1].seq
+	if first > afterSeq+1 || last < throughSeq {
+		return fmt.Errorf("the WAL holds records %d..%d", first, last)
+	}
+	return nil
+}
+
+// --- replay (the recovery path) ---
+
+// ReplayHandlers applies decoded WAL records to live structures during
+// recovery. Each handler mirrors the call that produced the record.
+type ReplayHandlers struct {
+	Members  func(specs []dw.MemberSpec) error
+	FactRows func(fact string, rows []dw.FactRow) error
+	Document func(doc ir.Document) error
+}
+
+// Replay applies every WAL record with seq > afterSeq, in order, and
+// returns how many were applied. Structural corruption (bad checksum,
+// torn tail, sequence regression) ends the log: the file is truncated at
+// the last good record and replay finishes cleanly — those bytes were
+// never acked as durable beyond them. A handler error, by contrast,
+// aborts recovery loudly: the log is intact but the state refuses it,
+// which a fresh boot must surface, not paper over.
+//
+// Journals must be attached to the warehouse and index only after Replay,
+// or every replayed batch would be logged again.
+func (s *Store) Replay(afterSeq uint64, h ReplayHandlers) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := os.ReadFile(s.wal.path)
+	if err != nil {
+		return 0, fmt.Errorf("store: reading WAL: %w", err)
+	}
+	valid, lastSeq, records := scanWAL(data, 0)
+	if valid < len(data) && s.wal.f != nil {
+		if err := s.wal.f.Truncate(int64(valid)); err != nil {
+			return 0, fmt.Errorf("store: truncating corrupt WAL tail: %w", err)
+		}
+		if _, err := s.wal.f.Seek(int64(valid), 0); err != nil {
+			return 0, fmt.Errorf("store: seeking WAL: %w", err)
+		}
+	}
+	if lastSeq > s.wal.seq {
+		s.wal.seq = lastSeq
+	}
+	applied := 0
+	for _, rec := range records {
+		if rec.seq <= afterSeq {
+			continue // already inside the snapshot — idempotent skip
+		}
+		switch rec.kind {
+		case recMembers:
+			specs, err := decodeMemberSpecs(rec.payload)
+			if err != nil {
+				return applied, fmt.Errorf("store: WAL record %d: %w", rec.seq, err)
+			}
+			if h.Members == nil {
+				return applied, fmt.Errorf("store: WAL record %d: no member handler", rec.seq)
+			}
+			if err := h.Members(specs); err != nil {
+				return applied, fmt.Errorf("store: replaying member batch (record %d): %w", rec.seq, err)
+			}
+		case recFactRows:
+			fact, rows, err := decodeFactRows(rec.payload)
+			if err != nil {
+				return applied, fmt.Errorf("store: WAL record %d: %w", rec.seq, err)
+			}
+			if h.FactRows == nil {
+				return applied, fmt.Errorf("store: WAL record %d: no fact-row handler", rec.seq)
+			}
+			if err := h.FactRows(fact, rows); err != nil {
+				return applied, fmt.Errorf("store: replaying fact batch (record %d): %w", rec.seq, err)
+			}
+		case recDocument:
+			doc, err := decodeDocument(rec.payload)
+			if err != nil {
+				return applied, fmt.Errorf("store: WAL record %d: %w", rec.seq, err)
+			}
+			if h.Document == nil {
+				return applied, fmt.Errorf("store: WAL record %d: no document handler", rec.seq)
+			}
+			if err := h.Document(doc); err != nil {
+				return applied, fmt.Errorf("store: replaying document (record %d): %w", rec.seq, err)
+			}
+		default:
+			return applied, fmt.Errorf("store: WAL record %d has unknown type %d", rec.seq, rec.kind)
+		}
+		applied++
+	}
+	return applied, nil
+}
+
+// RecoveryInfo summarises one recovery for logs and the serving stats.
+type RecoveryInfo struct {
+	Recovered    bool   // a snapshot was found and loaded
+	SnapshotPath string // which snapshot won
+	SnapshotSeq  uint64 // the WAL sequence the snapshot covered
+	WALReplayed  int    // records applied on top of it
+	WALRepaired  int64  // torn-tail bytes dropped at Open
+}

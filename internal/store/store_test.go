@@ -1,0 +1,340 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dwqa/internal/dw"
+	"dwqa/internal/ir"
+	"dwqa/internal/mdm"
+	"dwqa/internal/ontology"
+)
+
+// testSchema builds a small star schema for the store tests.
+func testSchema() *mdm.Schema {
+	city := &mdm.DimensionClass{
+		Name: "City",
+		Levels: []*mdm.Level{
+			{Name: "City", Descriptor: "Name", RollsUpTo: "Country"},
+			{Name: "Country", Descriptor: "Name"},
+		},
+	}
+	date := &mdm.DimensionClass{
+		Name: "Date",
+		Levels: []*mdm.Level{
+			{Name: "Day", Descriptor: "Date", RollsUpTo: "Month"},
+			{Name: "Month", Descriptor: "Name"},
+		},
+	}
+	weather := &mdm.FactClass{
+		Name:     "Weather",
+		Measures: []mdm.Measure{{Name: "TempC", Type: mdm.TypeFloat}},
+		Dimensions: []mdm.DimensionRef{
+			{Role: "City", Dimension: "City"},
+			{Role: "Date", Dimension: "Date"},
+		},
+	}
+	return mdm.NewSchema("store-test").AddDimension(city).AddDimension(date).AddFact(weather)
+}
+
+// buildTestState assembles a populated State: warehouse rows with
+// provenance and attributes, an index over real prose, an ontology with
+// instances and axioms.
+func buildTestState(t *testing.T) *State {
+	t.Helper()
+	wh, err := dw.New(testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wh.AddMembers([]dw.MemberSpec{
+		{Dim: "City", Level: "Country", Name: "Spain"},
+		{Dim: "City", Level: "City", Name: "Barcelona", Parent: "Spain", Attrs: map[string]string{"IATA": "BCN"}},
+		{Dim: "Date", Level: "Month", Name: "2004-01"},
+		{Dim: "Date", Level: "Day", Name: "2004-01-01", Parent: "2004-01"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wh.AddFactRows("Weather", []dw.FactRow{
+		{Coords: map[string]string{"City": "Barcelona", "Date": "2004-01-01"},
+			Measures: map[string]float64{"TempC": 13.5}, Provenance: "http://w/bcn"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ix := ir.NewIndex(ir.WithPassageSize(3), ir.WithStride(1))
+	if err := ix.AddAll([]ir.Document{
+		{URL: "http://w/bcn", Text: "Barcelona is mild in January. Temperatures reach 13 degrees. Rain is rare. The beach stays open."},
+		{URL: "http://w/mad", Text: "Madrid is cold in January. Temperatures drop to 2 degrees. Snow falls on the sierra."},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	onto := ontology.New("store-test")
+	onto.Subclass("Airport", "Location")
+	onto.AddAttribute("Airport", ontology.Attribute{Name: "Name", Kind: ontology.KindDescriptor, Type: "String"})
+	onto.AddRelation("Airport", ontology.Relation{Name: "locatedIn", Target: "City"})
+	onto.AddInstance("Airport", ontology.Instance{
+		Name: "El Prat", Aliases: []string{"BCN"}, Properties: map[string]string{"locatedIn": "Barcelona"},
+	})
+	if err := onto.AddAxiom(ontology.Axiom{
+		Concept: "Temperature", Kind: ontology.AxiomUnitConversion,
+		FromUnit: "C", ToUnit: "F", Scale: 1.8, Offset: 32,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	return &State{WALSeq: 7, DW: wh.Export(), IR: ix.Export(), Onto: onto.Export()}
+}
+
+func TestStateCodecRoundTrip(t *testing.T) {
+	state := buildTestState(t)
+	data := EncodeState(state)
+	got, err := DecodeState(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WALSeq != state.WALSeq {
+		t.Fatalf("WALSeq %d, want %d", got.WALSeq, state.WALSeq)
+	}
+	if !reflect.DeepEqual(got.DW, state.DW) {
+		t.Fatal("warehouse snapshot diverges after codec round-trip")
+	}
+	if !reflect.DeepEqual(got.IR, state.IR) {
+		t.Fatal("index snapshot diverges after codec round-trip")
+	}
+	if !reflect.DeepEqual(got.Onto, state.Onto) {
+		t.Fatal("ontology snapshot diverges after codec round-trip")
+	}
+	// Determinism: encoding the same state twice yields identical bytes.
+	if !reflect.DeepEqual(data, EncodeState(state)) {
+		t.Fatal("snapshot encoding is not deterministic")
+	}
+	// The decoded snapshots import into live structures.
+	wh, err := dw.New(testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wh.Import(got.DW); err != nil {
+		t.Fatal(err)
+	}
+	ix := ir.NewIndex()
+	if err := ix.Import(got.IR); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ontology.FromSnapshot(got.Onto); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotFileRoundTripAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Empty dir: no snapshot, no error.
+	if state, _, err := s.LoadSnapshot(); err != nil || state != nil {
+		t.Fatalf("empty dir: state=%v err=%v", state, err)
+	}
+
+	for seq := uint64(1); seq <= 3; seq++ {
+		state := buildTestState(t)
+		state.WALSeq = seq
+		if _, err := s.WriteSnapshot(state); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state, path, err := s.LoadSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.WALSeq != 3 {
+		t.Fatalf("loaded snapshot covers seq %d, want newest (3)", state.WALSeq)
+	}
+	if filepath.Base(path) != "snap-00000000000000000003.dwqa" {
+		t.Fatalf("unexpected snapshot path %s", path)
+	}
+	// Pruned to the newest two.
+	if paths := s.snapshotPaths(); len(paths) != 2 {
+		t.Fatalf("%d snapshots kept, want 2: %v", len(paths), paths)
+	}
+}
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	members := []dw.MemberSpec{
+		{Dim: "City", Level: "Country", Name: "Spain"},
+		{Dim: "City", Level: "City", Name: "Barcelona", Parent: "Spain", Attrs: map[string]string{"IATA": "BCN"}},
+	}
+	rows := []dw.FactRow{
+		{Coords: map[string]string{"City": "Barcelona", "Date": "2004-01-01"},
+			Measures: map[string]float64{"TempC": 13.5}, Provenance: "http://w/bcn"},
+	}
+	doc := ir.Document{URL: "http://w/bcn", Text: "Barcelona is mild."}
+
+	if err := s.LogMembers(members); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LogFactRows("Weather", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LogDocument(doc); err != nil {
+		t.Fatal(err)
+	}
+	if s.Seq() != 3 {
+		t.Fatalf("seq %d after 3 appends", s.Seq())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen (as recovery would) and replay everything.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Seq() != 3 {
+		t.Fatalf("reopened seq %d, want 3", s2.Seq())
+	}
+	var gotMembers []dw.MemberSpec
+	var gotFact string
+	var gotRows []dw.FactRow
+	var gotDocs []ir.Document
+	n, err := s2.Replay(0, ReplayHandlers{
+		Members:  func(specs []dw.MemberSpec) error { gotMembers = specs; return nil },
+		FactRows: func(fact string, rs []dw.FactRow) error { gotFact, gotRows = fact, rs; return nil },
+		Document: func(d ir.Document) error { gotDocs = append(gotDocs, d); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("replayed %d records, want 3", n)
+	}
+	if !reflect.DeepEqual(gotMembers, members) {
+		t.Fatalf("member batch diverges:\n got %+v\nwant %+v", gotMembers, members)
+	}
+	if gotFact != "Weather" || !reflect.DeepEqual(gotRows, rows) {
+		t.Fatalf("fact batch diverges:\n got %s %+v\nwant Weather %+v", gotFact, gotRows, rows)
+	}
+	if !reflect.DeepEqual(gotDocs, []ir.Document{doc}) {
+		t.Fatalf("documents diverge: %+v", gotDocs)
+	}
+
+	// Sequence gating: replaying after seq 2 applies only the tail.
+	n, err = s2.Replay(2, ReplayHandlers{
+		Members:  func([]dw.MemberSpec) error { t.Fatal("members re-applied"); return nil },
+		FactRows: func(string, []dw.FactRow) error { t.Fatal("rows re-applied"); return nil },
+		Document: func(ir.Document) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("gated replay applied %d records, want 1", n)
+	}
+	// Gating at the current head applies nothing.
+	if n, err := s2.Replay(3, ReplayHandlers{}); err != nil || n != 0 {
+		t.Fatalf("replay past head: n=%d err=%v", n, err)
+	}
+}
+
+func TestSnapshotResetsWALOnlyWhenCovered(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.LogDocument(ir.Document{URL: "u1", Text: "One sentence."}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot covering the whole log: WAL resets, sequence continues.
+	state := buildTestState(t)
+	state.WALSeq = s.Seq()
+	info, err := s.WriteSnapshot(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.WALReset {
+		t.Fatal("covering snapshot did not reset the WAL")
+	}
+	if data, _ := os.ReadFile(filepath.Join(dir, walName)); len(data) != 0 {
+		t.Fatalf("WAL not empty after reset: %d bytes", len(data))
+	}
+	if err := s.LogDocument(ir.Document{URL: "u2", Text: "Two sentences. Here now."}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Seq() != 2 {
+		t.Fatalf("sequence restarted after WAL reset: %d", s.Seq())
+	}
+
+	// Snapshot exported before the latest record: WAL must survive.
+	stale := buildTestState(t)
+	stale.WALSeq = 1
+	info, err = s.WriteSnapshot(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.WALReset {
+		t.Fatal("stale snapshot reset a WAL holding newer records")
+	}
+	n, err := s.Replay(1, ReplayHandlers{Document: func(ir.Document) error { return nil }})
+	if err != nil || n != 1 {
+		t.Fatalf("tail record lost: n=%d err=%v", n, err)
+	}
+}
+
+// TestSeqFloorSurvivesWALReset pins the crash window after a covering
+// snapshot: the WAL is empty, so the sequence floor must come from the
+// snapshot (its filename carries the covered WALSeq) — otherwise a
+// reopened store would reissue already-covered sequence numbers and the
+// gate would skip fresh records.
+func TestSeqFloorSurvivesWALReset(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.LogDocument(ir.Document{URL: "u", Text: "Some text."}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state := buildTestState(t)
+	state.WALSeq = s.Seq()
+	if info, err := s.WriteSnapshot(state); err != nil || !info.WALReset {
+		t.Fatalf("covering snapshot: %+v err=%v", info, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Seq() != 3 {
+		t.Fatalf("reopened seq floor = %d, want 3 (from the snapshot filename)", s2.Seq())
+	}
+	// A record appended now must be strictly above the snapshot's gate.
+	if err := s2.LogDocument(ir.Document{URL: "u4", Text: "Fresh text."}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s2.Replay(3, ReplayHandlers{Document: func(ir.Document) error { return nil }})
+	if err != nil || n != 1 {
+		t.Fatalf("fresh record gated away: n=%d err=%v", n, err)
+	}
+}
