@@ -8,6 +8,7 @@
 package dwqa_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -239,7 +240,7 @@ func BenchmarkAskCold(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, r := range eng.AskAll(questions) {
+	for _, r := range eng.AskAll(context.Background(), questions) {
 		if r.Err != nil {
 			b.Fatal(r.Err)
 		}
@@ -250,7 +251,7 @@ func BenchmarkAskCold(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, r := range eng.AskAll(questions) {
+		for _, r := range eng.AskAll(context.Background(), questions) {
 			if r.Err != nil {
 				b.Fatal(r.Err)
 			}
@@ -370,7 +371,7 @@ func BenchmarkAskThroughput(b *testing.B) {
 	}
 
 	// Correctness gate: batch slots must match the sequential loop.
-	batch := eng.AskAll(workload)
+	batch := eng.AskAll(context.Background(), workload)
 	for i, q := range workload {
 		res, err := p.Ask(q)
 		if err != nil || batch[i].Err != nil {
@@ -399,7 +400,7 @@ func BenchmarkAskThroughput(b *testing.B) {
 	b.Run("engine8", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			for _, r := range eng.AskAll(workload) {
+			for _, r := range eng.AskAll(context.Background(), workload) {
 				if r.Err != nil {
 					b.Fatal(r.Err)
 				}
@@ -500,7 +501,7 @@ func BenchmarkAskThroughputMixed(b *testing.B) {
 	}
 
 	// Correctness gate: batch slots must match the sequential dispatch.
-	batch := eng.AskAll(workload)
+	batch := eng.AskAll(context.Background(), workload)
 	for i, q := range workload {
 		want, err := sequential(q)
 		if err != nil {
@@ -529,7 +530,7 @@ func BenchmarkAskThroughputMixed(b *testing.B) {
 	b.Run("engine8", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			for _, r := range eng.AskAll(workload) {
+			for _, r := range eng.AskAll(context.Background(), workload) {
 				if r.Err != nil {
 					b.Fatal(r.Err)
 				}
@@ -595,7 +596,7 @@ func BenchmarkHarvestBatch(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, _, err := eng.HarvestAll(questions); err != nil {
+			if _, _, err := eng.HarvestAll(context.Background(), questions); err != nil {
 				b.Fatal(err)
 			}
 		}

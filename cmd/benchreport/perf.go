@@ -1,12 +1,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"dwqa/internal/core"
 	"dwqa/internal/engine"
@@ -92,6 +94,19 @@ type askColdPerf struct {
 	AllocsPerOp     int64   `json:"allocs_per_op"`
 }
 
+// servingResiliencePerf records what the serving-layer resilience
+// plumbing costs: the cold workload with the limits on (default admission
+// gate + request deadline) versus off (library mode), and the shed fast
+// path — how cheaply a saturated engine turns work away. The overhead
+// fraction is the ≤5% cold-path budget PERF.md holds the gate to.
+type servingResiliencePerf struct {
+	GatedNsPerOp    float64 `json:"gated_cold_ns_per_op"`
+	UngatedNsPerOp  float64 `json:"ungated_cold_ns_per_op"`
+	OverheadFrac    float64 `json:"admission_overhead_frac"`
+	ShedNsPerOp     float64 `json:"shed_ns_per_op"`
+	ShedAllocsPerOp int64   `json:"shed_allocs_per_op"`
+}
+
 // storeRestorePerf records the durability subsystem's headline property:
 // restoring the full engine state from a snapshot (bulk column/posting
 // load) versus the snapshotless cold boot (regenerate + re-extract +
@@ -115,16 +130,17 @@ type storeRestorePerf struct {
 
 // perfReport is the schema of BENCH_PERF.json.
 type perfReport struct {
-	Schema         string               `json:"schema"`
-	Measurements   []perfMeasurement    `json:"measurements"`
-	OLAP           []perfComparison     `json:"olap_compiled_vs_reference"`
-	IRSparse       []irSparseComparison `json:"ir_search_sparse_vs_dense,omitempty"`
-	QAServing      *qaServingComparison `json:"qa_serving_engine_vs_sequential,omitempty"`
-	QAServingMixed *qaServingComparison `json:"qa_serving_mixed_vs_sequential,omitempty"`
-	NL2OLAP        *nl2olapPerf         `json:"nl2olap_translate,omitempty"`
-	AskCold        *askColdPerf         `json:"ask_cold_path,omitempty"`
-	Harvest        *harvestComparison   `json:"harvest_batch_vs_sequential,omitempty"`
-	StoreRestore   *storeRestorePerf    `json:"store_snapshot_restore,omitempty"`
+	Schema         string                 `json:"schema"`
+	Measurements   []perfMeasurement      `json:"measurements"`
+	OLAP           []perfComparison       `json:"olap_compiled_vs_reference"`
+	IRSparse       []irSparseComparison   `json:"ir_search_sparse_vs_dense,omitempty"`
+	QAServing      *qaServingComparison   `json:"qa_serving_engine_vs_sequential,omitempty"`
+	QAServingMixed *qaServingComparison   `json:"qa_serving_mixed_vs_sequential,omitempty"`
+	NL2OLAP        *nl2olapPerf           `json:"nl2olap_translate,omitempty"`
+	AskCold        *askColdPerf           `json:"ask_cold_path,omitempty"`
+	Resilience     *servingResiliencePerf `json:"serving_resilience,omitempty"`
+	Harvest        *harvestComparison     `json:"harvest_batch_vs_sequential,omitempty"`
+	StoreRestore   *storeRestorePerf      `json:"store_snapshot_restore,omitempty"`
 }
 
 func measure(name string, rows int, fn func(b *testing.B)) (perfMeasurement, error) {
@@ -313,7 +329,7 @@ func runQAServingPerf(rep *perfReport, seed int64) error {
 
 	// Correctness gate: the batch must be byte-identical to the
 	// sequential Ask order.
-	batch := eng.AskAll(workload)
+	batch := eng.AskAll(context.Background(), workload)
 	for i, q := range workload {
 		res, err := p.Ask(q)
 		if err != nil || batch[i].Err != nil {
@@ -340,7 +356,7 @@ func runQAServingPerf(rep *perfReport, seed int64) error {
 	engd, err := measure("AskThroughput/engine8", len(workload), func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			for _, r := range eng.AskAll(workload) {
+			for _, r := range eng.AskAll(context.Background(), workload) {
 				if r.Err != nil {
 					b.Fatal(r.Err)
 				}
@@ -372,11 +388,11 @@ func runQAServingPerf(rep *perfReport, seed int64) error {
 	// Cold path: a cache-disabled engine over the all-unique workload —
 	// what diverse (cache-missing) traffic pays per question.
 	coldQuestions := core.ColdQuestionWorkload(p)
-	coldEng, err := engine.New(engine.Config{CacheSize: -1}, p.QA, nil, nil, p.Index)
+	coldEng, err := engine.New(engine.Config{CacheSize: -1, MaxInflight: -1, AskTimeout: -1}, p.QA, nil, nil, p.Index)
 	if err != nil {
 		return err
 	}
-	for i, r := range coldEng.AskAll(coldQuestions) {
+	for i, r := range coldEng.AskAll(context.Background(), coldQuestions) {
 		if r.Err != nil {
 			return fmt.Errorf("benchreport: cold slot %d (%q): %v", i, coldQuestions[i], r.Err)
 		}
@@ -387,7 +403,7 @@ func runQAServingPerf(rep *perfReport, seed int64) error {
 	cold, err := measure("AskCold", len(coldQuestions), func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			for _, r := range coldEng.AskAll(coldQuestions) {
+			for _, r := range coldEng.AskAll(context.Background(), coldQuestions) {
 				if r.Err != nil {
 					b.Fatal(r.Err)
 				}
@@ -407,6 +423,108 @@ func runQAServingPerf(rep *perfReport, seed int64) error {
 		ac.QuestionsPerSec = float64(len(coldQuestions)) / (cold.NsPerOp / 1e9)
 	}
 	rep.AskCold = ac
+
+	// Resilience plumbing overhead: the same cold workload through an
+	// engine with the serving limits on (default gate + deadline) versus
+	// the library-mode engine above. The arms are interleaved and the
+	// per-arm minimum taken, so slow-window drift on a shared box cannot
+	// masquerade as admission overhead (the plumbing itself is ~1µs per
+	// batch — far below one run's noise).
+	gatedEng, err := engine.New(engine.Config{CacheSize: -1}, p.QA, nil, nil, p.Index)
+	if err != nil {
+		return err
+	}
+	coldWorkload := func(eng *engine.Engine) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, r := range eng.AskAll(context.Background(), coldQuestions) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		}
+	}
+	gated, err := measure("AskColdGated", len(coldQuestions), coldWorkload(gatedEng))
+	if err != nil {
+		return err
+	}
+	ungatedBest := cold.NsPerOp
+	for i := 0; i < 2; i++ {
+		u, err := measure("AskCold", len(coldQuestions), coldWorkload(coldEng))
+		if err != nil {
+			return err
+		}
+		if u.NsPerOp < ungatedBest {
+			ungatedBest = u.NsPerOp
+		}
+		g, err := measure("AskColdGated", len(coldQuestions), coldWorkload(gatedEng))
+		if err != nil {
+			return err
+		}
+		if g.NsPerOp < gated.NsPerOp {
+			gated = g
+		}
+	}
+	rep.Measurements = append(rep.Measurements, gated)
+
+	// The shed fast path: a single-slot, no-queue engine whose slot is
+	// held by one long batch; every probe must be rejected immediately.
+	// The occupying questions must be unique — request coalescing would
+	// collapse a repeated workload into one computation — and the single
+	// worker keeps the slot held for the whole measurement; the
+	// cancellable context aborts the occupier as soon as it is done.
+	shedEng, err := engine.New(engine.Config{
+		CacheSize: -1, MaxInflight: 1, MaxQueue: -1, AskTimeout: -1, Workers: 1,
+	}, p.QA, nil, nil, p.Index)
+	if err != nil {
+		return err
+	}
+	occupation := make([]string, 0, 60_000)
+	for i := 0; len(occupation) < cap(occupation); i++ {
+		for _, q := range coldQuestions {
+			occupation = append(occupation, fmt.Sprintf("%s (storm %d)", q, i))
+		}
+	}
+	occCtx, occCancel := context.WithCancel(context.Background())
+	occDone := make(chan struct{})
+	go func() {
+		shedEng.AskAll(occCtx, occupation)
+		close(occDone)
+	}()
+	for shedEng.Stats().Inflight == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	notShed := 0
+	shed, err := measure("AskShed", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		notShed = 0
+		for i := 0; i < b.N; i++ {
+			if r := shedEng.Ask(context.Background(), "overload probe"); !errors.Is(r.Err, engine.ErrShed) {
+				notShed++
+			}
+		}
+	})
+	occCancel()
+	<-occDone
+	if err != nil {
+		return err
+	}
+	if notShed > 0 {
+		return fmt.Errorf("benchreport: %d shed probes were admitted — the occupier did not hold the slot", notShed)
+	}
+	rep.Measurements = append(rep.Measurements, shed)
+	res := &servingResiliencePerf{
+		GatedNsPerOp:    gated.NsPerOp,
+		UngatedNsPerOp:  ungatedBest,
+		ShedNsPerOp:     shed.NsPerOp,
+		ShedAllocsPerOp: shed.AllocsPerOp,
+	}
+	if ungatedBest > 0 {
+		res.OverheadFrac = gated.NsPerOp/ungatedBest - 1
+	}
+	rep.Resilience = res
 
 	if err := runAnalyticPerf(rep, p); err != nil {
 		return err
@@ -448,11 +566,11 @@ func runQAServingPerf(rep *perfReport, seed int64) error {
 			if err != nil {
 				b.Fatal(err)
 			}
-			e, err := engine.New(engine.Config{}, p.QA, harvester, loader, p.Index)
+			e, err := engine.New(engine.Config{MaxInflight: -1, AskTimeout: -1, HarvestTimeout: -1}, p.QA, harvester, loader, p.Index)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, _, err := e.HarvestAll(unique); err != nil {
+			if _, _, err := e.HarvestAll(context.Background(), unique); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -531,7 +649,7 @@ func runAnalyticPerf(rep *perfReport, p *core.Pipeline) error {
 	}
 
 	// Correctness gate: every batch slot answers on the right path.
-	for i, r := range eng.AskAll(workload) {
+	for i, r := range eng.AskAll(context.Background(), workload) {
 		if r.Err != nil {
 			return fmt.Errorf("benchreport: mixed slot %d (%q): %v", i, workload[i], r.Err)
 		}
@@ -556,7 +674,7 @@ func runAnalyticPerf(rep *perfReport, p *core.Pipeline) error {
 	engd, err := measure("AskThroughputMixed/engine8", len(workload), func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			for _, r := range eng.AskAll(workload) {
+			for _, r := range eng.AskAll(context.Background(), workload) {
 				if r.Err != nil {
 					b.Fatal(r.Err)
 				}
@@ -693,6 +811,10 @@ func printPerf(rep *perfReport) {
 	if ac := rep.AskCold; ac != nil {
 		fmt.Printf("Cold path (cache-disabled engine, %d unique questions): %.0f q/s, %d allocs/workload\n",
 			ac.UniqueQuestions, ac.QuestionsPerSec, ac.AllocsPerOp)
+	}
+	if res := rep.Resilience; res != nil {
+		fmt.Printf("Resilience: admission gate + deadline cost %+.1f%% on the cold path; shed path %.0f ns/op (%d allocs)\n",
+			res.OverheadFrac*100, res.ShedNsPerOp, res.ShedAllocsPerOp)
 	}
 	if np := rep.NL2OLAP; np != nil {
 		fmt.Printf("NL→OLAP translation (%d questions): %.0f q/s, %d allocs/workload\n",

@@ -135,11 +135,23 @@ func runServe(args []string) {
 	dataDir := fs.String("data-dir", "", "durable data directory (snapshots + write-ahead log); empty serves in-memory")
 	snapEvery := fs.Duration("snapshot-every", 0, "background snapshot interval with -data-dir (0 disables)")
 	drain := fs.Duration("drain", 10*time.Second, "in-flight request drain budget at shutdown")
+	maxInflight := fs.Int("max-inflight", dwqa.DefaultMaxInflight, "concurrently admitted requests (negative disables admission control)")
+	maxQueue := fs.Int("max-queue", dwqa.DefaultMaxQueue, "requests allowed to wait for a slot before shedding with 429 (negative disables queueing)")
+	askTimeout := fs.Duration("ask-timeout", dwqa.DefaultAskTimeout, "per-request deadline for /ask paths (negative disables)")
+	harvestTimeout := fs.Duration("harvest-timeout", dwqa.DefaultHarvestTimeout, "per-request deadline for /harvest (negative disables)")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
+	writeTimeout := fs.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout")
+	idleTimeout := fs.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout for keep-alive connections")
 	_ = fs.Parse(args)
 
 	cfg := sf.config()
 	cfg.Engine.Workers = *workers
 	cfg.Engine.CacheSize = *cache
+	cfg.Engine.MaxInflight = *maxInflight
+	cfg.Engine.MaxQueue = *maxQueue
+	cfg.Engine.AskTimeout = *askTimeout
+	cfg.Engine.HarvestTimeout = *harvestTimeout
 
 	var p *dwqa.Pipeline
 	durable := *dataDir != ""
@@ -204,7 +216,17 @@ func runServe(args []string) {
 		defer stopSnapshots() // idempotent; safety net for the error path
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: dwqa.NewServer(eng)}
+	// Transport-level timeouts: without them a slow or stalled client
+	// holds a connection (and its kernel buffers) forever; the engine's
+	// own deadlines only start once a request is fully read.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           dwqa.NewServer(eng),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

@@ -103,6 +103,24 @@ var ErrFactoid = nl2olap.ErrFactoid
 // HarvestResult is one question's outcome of a batched Step 5 harvest.
 type HarvestResult = engine.HarvestResult
 
+// Serving resilience defaults (engine package, DESIGN.md §8): the
+// admission-gate sizing and per-request deadlines `dwqa serve` applies
+// unless overridden by flag.
+const (
+	DefaultMaxInflight    = engine.DefaultMaxInflight
+	DefaultMaxQueue       = engine.DefaultMaxQueue
+	DefaultAskTimeout     = engine.DefaultAskTimeout
+	DefaultHarvestTimeout = engine.DefaultHarvestTimeout
+)
+
+// ErrShed reports a request rejected by the admission gate (HTTP 429);
+// ErrDegraded a feed refused because the engine latched degraded
+// read-only mode after a WAL failure (HTTP 503). Test with errors.Is.
+var (
+	ErrShed     = engine.ErrShed
+	ErrDegraded = engine.ErrDegraded
+)
+
 // New builds a pipeline over the Last Minute Sales scenario: the Figure 1
 // schema, a populated warehouse, the synthetic web corpus and the passage
 // index. No integration step has run yet.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"dwqa/internal/dw"
 	"dwqa/internal/nl2olap"
 	"dwqa/internal/ontology"
@@ -116,5 +118,5 @@ func (p *Pipeline) AskOLAP(question string) (*nl2olap.Answer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return eng.AskOLAP(question)
+	return eng.AskOLAP(context.Background(), question)
 }

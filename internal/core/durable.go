@@ -43,7 +43,14 @@ import (
 // The caller owns the store lifecycle: close the pipeline's Store (see
 // Pipeline.Store) when done, ideally after a final Engine().SnapshotTo().
 func OpenPipeline(cfg Config, dataDir string) (*Pipeline, *store.RecoveryInfo, error) {
-	st, err := store.Open(dataDir)
+	return OpenPipelineFS(cfg, dataDir, store.OS())
+}
+
+// OpenPipelineFS is OpenPipeline over an explicit filesystem — the seam
+// the chaos tests use to boot a durable pipeline on a fault-injecting
+// store.FaultFS and drive it through scheduled disk failures.
+func OpenPipelineFS(cfg Config, dataDir string, fsys store.FS) (*Pipeline, *store.RecoveryInfo, error) {
+	st, err := store.OpenFS(dataDir, fsys)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -55,8 +56,13 @@ type Config struct {
 	PassageSize int
 
 	// Engine sizes the concurrent serving layer returned by
-	// Pipeline.Engine (worker count, answer-cache capacity). The zero
-	// value selects the engine defaults.
+	// Pipeline.Engine (worker count, answer-cache capacity, admission
+	// and deadline limits). The zero value selects the engine sizing
+	// defaults but DISABLES admission control and default deadlines:
+	// the pipeline is the library surface, where batches are as large
+	// as the caller wants, and serving limits are the serving command's
+	// decision (cmd/dwqa serve sets them from flags). Set the fields
+	// explicitly to opt limits in.
 	Engine engine.Config
 }
 
@@ -327,7 +333,7 @@ func (p *Pipeline) Step5FeedWarehouse(questions []string) ([]StepResult, error) 
 		p.step.Store(5)
 		return nil, nil
 	}
-	items, total, err := eng.HarvestAll(questions)
+	items, total, err := eng.HarvestAll(context.Background(), questions)
 	if err != nil {
 		return nil, err
 	}
@@ -372,7 +378,20 @@ func (p *Pipeline) Engine() (*engine.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := engine.New(p.Config.Engine, p.QA, harvester, p.Loader, p.Index)
+	// Library mode: unset limits stay off (see Config.Engine) so bulk
+	// callers — evaluation sweeps, corpus benchmarks — are never shed
+	// or timed out by serving defaults they did not choose.
+	cfg := p.Config.Engine
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = -1
+	}
+	if cfg.AskTimeout == 0 {
+		cfg.AskTimeout = -1
+	}
+	if cfg.HarvestTimeout == 0 {
+		cfg.HarvestTimeout = -1
+	}
+	eng, err := engine.New(cfg, p.QA, harvester, p.Loader, p.Index)
 	if err != nil {
 		return nil, err
 	}
@@ -421,7 +440,7 @@ func (p *Pipeline) AskAll(questions []string) ([]engine.AskResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return eng.AskAll(questions), nil
+	return eng.AskAll(context.Background(), questions), nil
 }
 
 // qaOntology returns the ontology handed to QA systems: nil when the

@@ -1,0 +1,80 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"dwqa/internal/engine"
+	"dwqa/internal/qa"
+)
+
+// BenchmarkAskShedding measures the rejection fast path: the single
+// inflight slot is held by a blocked request, there is no wait queue, and
+// every Ask must be turned away immediately with ErrShed. ns/op is the
+// cost of saying no under overload — the latency floor of the HTTP 429
+// path, which must stay trivially cheap so an overloaded engine spends
+// its cycles on admitted work, not on rejections.
+func BenchmarkAskShedding(b *testing.B) {
+	p := newPipeline(b)
+	eng, err := engine.New(engine.Config{
+		MaxInflight: 1, MaxQueue: -1, AskTimeout: -1, CacheSize: -1,
+	}, p.QA, nil, nil, p.Index)
+	if err != nil {
+		b.Fatal(err)
+	}
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	eng.SetAnswerFnForTest(blockingAnswer(started, release))
+	done := make(chan struct{})
+	go func() {
+		eng.Ask(context.Background(), "occupier")
+		close(done)
+	}()
+	<-started
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := eng.Ask(context.Background(), "overload probe"); !errors.Is(r.Err, engine.ErrShed) {
+			b.Fatalf("want ErrShed while saturated, got %v", r.Err)
+		}
+	}
+	b.StopTimer()
+	close(release)
+	<-done
+}
+
+// BenchmarkAskAdmission isolates the per-request cost of the resilience
+// plumbing — gate acquire/release, deadline context construction, expiry
+// bookkeeping — by running the same trivial answer function with the
+// serving limits on (defaults) and off (library mode). The delta between
+// the two arms is the admission overhead PERF.md's ≤5% cold-path budget
+// refers to; on the cold path that delta is buried under milliseconds of
+// question analysis and retrieval.
+func BenchmarkAskAdmission(b *testing.B) {
+	p := newPipeline(b)
+	instant := func(string) (*qa.Result, error) { return &qa.Result{}, nil }
+	for _, bm := range []struct {
+		name string
+		cfg  engine.Config
+	}{
+		{"limits-on", engine.Config{CacheSize: -1}},
+		{"limits-off", engine.Config{CacheSize: -1, MaxInflight: -1, AskTimeout: -1}},
+	} {
+		b.Run(bm.name, func(b *testing.B) {
+			eng, err := engine.New(bm.cfg, p.QA, nil, nil, p.Index)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.SetAnswerFnForTest(instant)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if r := eng.Ask(context.Background(), "probe"); r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		})
+	}
+}

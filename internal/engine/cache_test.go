@@ -1,7 +1,10 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"dwqa/internal/qa"
@@ -99,6 +102,82 @@ func TestAnswerCacheStalePutDropped(t *testing.T) {
 	c.put("q", res(2), epoch)
 	if _, ok, _ := c.get("q"); !ok {
 		t.Fatal("current-epoch put should be stored")
+	}
+}
+
+// TestCacheFlushRaceNeverServesStaleAnswer drives the full engine ask
+// path (cache get → compute → epoch-checked put) against concurrent
+// feed-flushes under the race detector. The invariant is the epoch
+// guard's reason to exist: once a flush for warehouse state S has
+// completed, no Ask may ever serve an answer computed against state
+// older than S — a stale answer computed before the feed must not be
+// resurrected by a late cache insert after it.
+func TestCacheFlushRaceNeverServesStaleAnswer(t *testing.T) {
+	// A bare engine: the answer function reads a counter standing in for
+	// the warehouse state, so staleness is observable in the answer.
+	var state atomic.Int64
+	e := &Engine{
+		cache:      newAnswerCache(64),
+		workers:    4,
+		gate:       newGate(-1, 0),
+		askTimeout: -1,
+	}
+	e.answerFn = func(string) (*qa.Result, error) {
+		return &qa.Result{Candidates: []qa.Answer{{Score: float64(state.Load())}}}, nil
+	}
+
+	// lastFlushed is the newest state any completed flush covered:
+	// ordered state bump → flush → publish, exactly HarvestAll's commit
+	// → InvalidateCache sequence.
+	var lastFlushed atomic.Int64
+	const feeds = 200
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < feeds; i++ {
+			v := state.Add(1)
+			e.InvalidateCache()
+			lastFlushed.Store(v)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			questions := []string{"alpha?", "beta?", "gamma?", "delta?"}
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				floor := lastFlushed.Load()
+				r := e.Ask(context.Background(), questions[i%len(questions)])
+				if r.Err != nil {
+					t.Errorf("ask: %v", r.Err)
+					return
+				}
+				if got := int64(r.Result.Candidates[0].Score); got < floor {
+					t.Errorf("served state %d after a flush for state %d — pre-feed answer resurrected", got, floor)
+					return
+				}
+			}
+		}(w)
+	}
+	<-done
+	wg.Wait()
+
+	// Quiescent check: the final flush has propagated, a fresh ask must
+	// see the final state and the cache must serve it consistently.
+	r := e.Ask(context.Background(), "omega?")
+	if got := int64(r.Result.Candidates[0].Score); got != feeds {
+		t.Errorf("post-storm answer = state %d, want %d", got, feeds)
+	}
+	if r2 := e.Ask(context.Background(), "omega?"); !r2.Cached || int64(r2.Result.Candidates[0].Score) != feeds {
+		t.Errorf("cached post-storm answer = (%v, cached=%v), want state %d from cache",
+			r2.Result.Candidates[0].Score, r2.Cached, feeds)
 	}
 }
 

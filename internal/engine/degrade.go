@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"errors"
+)
+
+// Degraded read-only mode (DESIGN.md §8): when a warehouse feed fails at
+// the WAL — the store refused to ack the append, so memory and log would
+// diverge on the next crash — the engine flips into an explicit degraded
+// state rather than limping on with durability silently broken.
+//
+// Degraded is one-way for the process lifetime by default: asks keep
+// serving (reads only touch state whose durability is unaffected), feeds
+// are refused with ErrDegraded (503 over HTTP), and /healthz reports
+// state "degraded" with the triggering error so operators and load
+// balancers can see it. Recovery is a restart: boot replays the WAL up
+// to the last acked record, re-feeds converge via the loader's dedup.
+// ClearDegraded exists for operators who have verified the disk is
+// healthy again and accept the re-feed.
+
+// ErrDegraded reports that the engine is in degraded read-only mode:
+// a previous feed failed to reach the WAL, so further feeds are refused
+// until the operator intervenes. The HTTP layer maps it to 503.
+var ErrDegraded = errors.New("engine: degraded (read-only): feeds disabled after a WAL failure")
+
+// degradedState carries the reason the engine degraded.
+type degradedState struct {
+	reason string
+}
+
+// enterDegraded flips the engine into degraded read-only mode (idempotent;
+// the first reason wins so /healthz shows the original trigger).
+func (e *Engine) enterDegraded(reason string) {
+	e.degraded.CompareAndSwap(nil, &degradedState{reason: reason})
+}
+
+// Degraded reports whether the engine is in degraded read-only mode and,
+// when it is, the triggering error text.
+func (e *Engine) Degraded() (bool, string) {
+	if st := e.degraded.Load(); st != nil {
+		return true, st.reason
+	}
+	return false, ""
+}
+
+// ClearDegraded re-enables feeds after an operator has verified the
+// store is healthy (e.g. disk space recovered and a snapshot succeeded).
+// It reports whether the engine was degraded.
+func (e *Engine) ClearDegraded() bool {
+	return e.degraded.Swap(nil) != nil
+}

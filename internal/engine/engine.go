@@ -29,6 +29,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -48,6 +49,14 @@ const (
 	DefaultCacheSize = 1024
 )
 
+// Default per-request deadlines, applied when the caller's context has
+// none. Interactive asks get a tight budget; harvests run a full
+// retrieve-extract-load cycle per question and get a generous one.
+const (
+	DefaultAskTimeout     = 2 * time.Second
+	DefaultHarvestTimeout = 30 * time.Second
+)
+
 // Config sizes an Engine.
 type Config struct {
 	// Workers is the number of questions processed in parallel per batch.
@@ -56,7 +65,29 @@ type Config struct {
 	// CacheSize is the LRU answer-cache capacity in entries. Zero selects
 	// DefaultCacheSize; a negative value disables caching.
 	CacheSize int
+	// MaxInflight bounds concurrently admitted requests (ask and harvest
+	// batches each count as one). Zero selects DefaultMaxInflight; a
+	// negative value disables admission control.
+	MaxInflight int
+	// MaxQueue bounds how many requests may wait for an inflight slot
+	// before new arrivals are shed with ErrShed. Zero selects
+	// DefaultMaxQueue; a negative value disables queueing (immediate
+	// shed once MaxInflight requests are running).
+	MaxQueue int
+	// AskTimeout is the deadline applied to Ask/AskAll/AskOLAP/Trace
+	// requests whose context carries none. Zero selects
+	// DefaultAskTimeout; a negative value disables the default deadline.
+	AskTimeout time.Duration
+	// HarvestTimeout is the same for HarvestAll. Zero selects
+	// DefaultHarvestTimeout; negative disables.
+	HarvestTimeout time.Duration
 }
+
+// ErrPanic reports that a question's processing panicked. The panic was
+// recovered at the worker boundary and confined to the slots that asked
+// that question; the process and the rest of the batch are unaffected.
+// The HTTP layer maps it to 500 on the affected request only.
+var ErrPanic = errors.New("engine: internal error")
 
 // Engine is the serving layer over one pipeline's QA side. It is safe for
 // concurrent use: AskAll, Ask, HarvestAll and the HTTP handlers may all
@@ -69,6 +100,21 @@ type Engine struct {
 	index     *ir.Index
 	cache     *answerCache
 	workers   int
+
+	// Resilience plumbing (gate.go, degrade.go): admission control,
+	// per-request deadlines, and the degraded read-only latch.
+	gate           *gate
+	askTimeout     time.Duration
+	harvestTimeout time.Duration
+	degraded       atomic.Pointer[degradedState]
+	timeoutTotal   atomic.Uint64
+	panicTotal     atomic.Uint64
+
+	// answerFn/harvestFn are the per-question work functions; they default
+	// to the wrapped qa.Systems and exist as seams so tests can inject
+	// panicking or stateful implementations (export_test.go).
+	answerFn  func(question string) (*qa.Result, error)
+	harvestFn func(question string) ([]qa.Answer, *qa.Result, error)
 
 	// generation counts warehouse feeds; it bumps (and the answer cache
 	// flushes) every time HarvestAll commits, so clients can detect that
@@ -116,14 +162,39 @@ func New(cfg Config, ask, harvester *qa.System, loader *etl.Loader, index *ir.In
 	if cacheSize == 0 {
 		cacheSize = DefaultCacheSize
 	}
+	askTimeout := cfg.AskTimeout
+	if askTimeout == 0 {
+		askTimeout = DefaultAskTimeout
+	}
+	harvestTimeout := cfg.HarvestTimeout
+	if harvestTimeout == 0 {
+		harvestTimeout = DefaultHarvestTimeout
+	}
 	return &Engine{
-		ask:       ask,
-		harvester: harvester,
-		loader:    loader,
-		index:     index,
-		cache:     newAnswerCache(cacheSize),
-		workers:   workers,
+		ask:            ask,
+		harvester:      harvester,
+		loader:         loader,
+		index:          index,
+		cache:          newAnswerCache(cacheSize),
+		workers:        workers,
+		gate:           newGate(cfg.MaxInflight, cfg.MaxQueue),
+		askTimeout:     askTimeout,
+		harvestTimeout: harvestTimeout,
+		answerFn:       ask.Answer,
+		harvestFn:      harvester.Harvest,
 	}, nil
+}
+
+// withDeadline applies the engine's default deadline d when ctx carries
+// none (d <= 0 leaves ctx untouched).
+func withDeadline(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
 }
 
 // SetDefaultHarvest installs the harvest workload used when HarvestAll or
@@ -179,8 +250,8 @@ type AskResult struct {
 }
 
 // Ask answers a single question through the cache.
-func (e *Engine) Ask(question string) AskResult {
-	return e.AskAll([]string{question})[0]
+func (e *Engine) Ask(ctx context.Context, question string) AskResult {
+	return e.AskAll(ctx, []string{question})[0]
 }
 
 // AskAll answers a batch of questions on the worker pool. Results are in
@@ -193,8 +264,37 @@ func (e *Engine) Ask(question string) AskResult {
 // are served from the LRU until the next warehouse feed invalidates it.
 // Per-question failures (e.g. no pattern matches) land in the
 // corresponding slot's Err — one bad question never poisons the batch.
-func (e *Engine) AskAll(questions []string) []AskResult {
+//
+// The batch is one admission unit: a saturated engine rejects it whole
+// (every slot's Err is ErrShed). The context deadline — the caller's, or
+// Config.AskTimeout when the caller set none — is checked between
+// questions: answers computed before expiry are returned, the remaining
+// slots carry context.DeadlineExceeded, so a timed-out batch is partial,
+// never silently empty. A panicking extraction is confined to its own
+// slot(s); the rest of the batch completes normally.
+func (e *Engine) AskAll(ctx context.Context, questions []string) []AskResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]AskResult, len(questions))
+	for i, q := range questions {
+		out[i].Question = q
+	}
+	if len(questions) == 0 {
+		return out
+	}
+	ctx, cancel := withDeadline(ctx, e.askTimeout)
+	defer cancel()
+	if err := e.gate.acquire(ctx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			e.timeoutTotal.Add(1)
+		}
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	defer e.gate.release()
 
 	// Coalesce identical questions: one task answers every index that
 	// asked it.
@@ -206,7 +306,6 @@ func (e *Engine) AskAll(questions []string) []AskResult {
 	byKey := map[string]int{}
 	var tasks []task
 	for i, q := range questions {
-		out[i].Question = q
 		key := NormalizeQuestion(q)
 		if ti, ok := byKey[key]; ok {
 			tasks[ti].indices = append(tasks[ti].indices, i)
@@ -218,6 +317,26 @@ func (e *Engine) AskAll(questions []string) []AskResult {
 
 	e.forEach(len(tasks), func(ti int) {
 		t := &tasks[ti]
+		// Panic isolation: a module blowing up on one question fails that
+		// question's slots, not the process and not the batch.
+		defer func() {
+			if r := recover(); r != nil {
+				e.panicTotal.Add(1)
+				err := fmt.Errorf("%w answering %q: panic: %v", ErrPanic, t.text, r)
+				for _, i := range t.indices {
+					out[i] = AskResult{Question: out[i].Question, Err: err}
+				}
+			}
+		}()
+		// Deadline check per task: answer modules are CPU-bound and not
+		// individually cancellable, so expiry is observed between
+		// questions — in-flight answers finish, queued ones are marked.
+		if err := ctx.Err(); err != nil {
+			for _, i := range t.indices {
+				out[i].Err = err
+			}
+			return
+		}
 		cached, ok, epoch := e.cache.get(t.key)
 		if ok {
 			for _, i := range t.indices {
@@ -248,7 +367,7 @@ func (e *Engine) AskAll(questions []string) []AskResult {
 				return
 			}
 		}
-		res, err := e.ask.Answer(t.text)
+		res, err := e.answerFn(t.text)
 		if err == nil {
 			// epoch-checked: a feed committed mid-computation drops the
 			// insert instead of resurrecting a pre-feed answer.
@@ -261,6 +380,9 @@ func (e *Engine) AskAll(questions []string) []AskResult {
 			out[i].Cached = n > 0
 		}
 	})
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		e.timeoutTotal.Add(1)
+	}
 	return out
 }
 
@@ -269,7 +391,7 @@ func (e *Engine) AskAll(questions []string) []AskResult {
 // rejected by the translator's cheap classification (an error wrapping
 // nl2olap.ErrFactoid) before the expensive factoid modules ever run, so
 // the rejection path costs microseconds and never pollutes the cache.
-func (e *Engine) AskOLAP(question string) (*nl2olap.Answer, error) {
+func (e *Engine) AskOLAP(ctx context.Context, question string) (*nl2olap.Answer, error) {
 	trans := e.trans.Load()
 	if trans == nil {
 		return nil, fmt.Errorf("engine: no NL→OLAP translator configured")
@@ -280,7 +402,7 @@ func (e *Engine) AskOLAP(question string) (*nl2olap.Answer, error) {
 		}
 		return nil, err
 	}
-	r := e.Ask(question) // classified analytic: serve via the cache
+	r := e.Ask(ctx, question) // classified analytic: serve via the cache
 	if r.Err != nil {
 		return nil, r.Err
 	}
@@ -294,8 +416,8 @@ func (e *Engine) AskOLAP(question string) (*nl2olap.Answer, error) {
 
 // Trace answers a question and renders the paper's Table 1 trace for it.
 // Analytic questions have no factoid trace; they are reported as such.
-func (e *Engine) Trace(question string) (qa.Trace, error) {
-	r := e.Ask(question)
+func (e *Engine) Trace(ctx context.Context, question string) (qa.Trace, error) {
+	r := e.Ask(ctx, question)
 	if r.Err != nil {
 		return qa.Trace{}, r.Err
 	}
@@ -322,17 +444,61 @@ type HarvestResult struct {
 // After a commit the answer cache is flushed and the feed generation
 // bumps. Extraction failures are per-question (Err in the slot); the
 // batch still loads the questions that succeeded.
-func (e *Engine) HarvestAll(questions []string) ([]HarvestResult, *etl.Report, error) {
+//
+// Resilience semantics: a degraded engine refuses the feed outright with
+// ErrDegraded. The deadline (the caller's, or Config.HarvestTimeout) is
+// checked between extractions, and a batch that runs out of time is NOT
+// committed — the per-item results (partial: finished extractions plus
+// deadline-marked slots) come back with the context error, and nothing
+// reached the warehouse, so the client can simply retry the whole batch.
+// A feed whose commit fails at the WAL flips the engine into degraded
+// read-only mode (degrade.go). A panicking extraction fails only its
+// own slot.
+func (e *Engine) HarvestAll(ctx context.Context, questions []string) ([]HarvestResult, *etl.Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if degraded, reason := e.Degraded(); degraded {
+		return nil, nil, fmt.Errorf("%w (cause: %s)", ErrDegraded, reason)
+	}
+	ctx, cancel := withDeadline(ctx, e.harvestTimeout)
+	defer cancel()
+	if err := e.gate.acquire(ctx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			e.timeoutTotal.Add(1)
+		}
+		return nil, nil, err
+	}
+	defer e.gate.release()
+
 	if len(questions) == 0 {
 		questions = e.DefaultHarvest()
 	}
 	items := make([]HarvestResult, len(questions))
 	e.forEach(len(questions), func(i int) {
 		items[i].Question = questions[i]
-		answers, _, err := e.harvester.Harvest(questions[i])
+		defer func() {
+			if r := recover(); r != nil {
+				e.panicTotal.Add(1)
+				items[i].Answers = nil
+				items[i].Err = fmt.Errorf("%w harvesting %q: panic: %v", ErrPanic, questions[i], r)
+			}
+		}()
+		if err := ctx.Err(); err != nil {
+			items[i].Err = err
+			return
+		}
+		answers, _, err := e.harvestFn(questions[i])
 		items[i].Answers = answers
 		items[i].Err = err
 	})
+	if err := ctx.Err(); err != nil {
+		// Out of time: report what was extracted but commit nothing — a
+		// client that saw a 504 must be able to retry without wondering
+		// whether half its batch already landed.
+		e.timeoutTotal.Add(1)
+		return items, nil, err
+	}
 
 	if e.loader == nil {
 		return items, nil, fmt.Errorf("engine: no loader configured, cannot feed the warehouse")
@@ -350,6 +516,13 @@ func (e *Engine) HarvestAll(questions []string) ([]HarvestResult, *etl.Report, e
 	reports, total, err := e.loader.LoadAll(batches)
 	e.commitMu.Unlock()
 	if err != nil {
+		if errors.Is(err, store.ErrWAL) {
+			// The store refused to ack a journal append: memory and log
+			// can no longer be trusted to agree after a crash. Latch
+			// read-only; asks keep serving, further feeds get 503.
+			e.enterDegraded(err.Error())
+			err = fmt.Errorf("%w (cause: %w)", ErrDegraded, err)
+		}
 		return items, nil, err
 	}
 	for i := range items {
@@ -374,6 +547,16 @@ type Stats struct {
 	Documents    int    `json:"documents"`
 	Passages     int    `json:"passages"`
 
+	// Resilience observability (gate.go, degrade.go): the serving state
+	// ("ready" or "degraded"), current admitted requests, and the
+	// lifetime shed / deadline-expiry / recovered-panic counts.
+	State          string `json:"state"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	Inflight       int64  `json:"inflight"`
+	ShedTotal      uint64 `json:"shed_total"`
+	TimeoutTotal   uint64 `json:"timeout_total"`
+	PanicTotal     uint64 `json:"panic_total"`
+
 	// Warehouse sizing (present when a SnapshotSource is wired).
 	Members  int `json:"members,omitempty"`
 	FactRows int `json:"fact_rows,omitempty"`
@@ -381,6 +564,7 @@ type Stats struct {
 	// Durability observability (present when a store is wired).
 	Durable      bool   `json:"durable,omitempty"`
 	WALSeq       uint64 `json:"wal_seq,omitempty"`
+	WALErrors    uint64 `json:"wal_errors,omitempty"`    // journal appends refused by the store
 	WALReplayed  int    `json:"wal_replayed,omitempty"`  // records replayed at boot
 	Recovered    bool   `json:"recovered,omitempty"`     // boot loaded a snapshot
 	LastSnapshot string `json:"last_snapshot,omitempty"` // RFC 3339; "" = none this run
@@ -395,6 +579,15 @@ func (e *Engine) Stats() Stats {
 		CacheHits:    hits,
 		CacheMisses:  misses,
 		Generation:   e.generation.Load(),
+		State:        "ready",
+		Inflight:     e.gate.Inflight(),
+		ShedTotal:    e.gate.Shed(),
+		TimeoutTotal: e.timeoutTotal.Load(),
+		PanicTotal:   e.panicTotal.Load(),
+	}
+	if degraded, reason := e.Degraded(); degraded {
+		st.State = "degraded"
+		st.DegradedReason = reason
 	}
 	if e.index != nil {
 		st.Documents = e.index.DocCount()
@@ -407,6 +600,7 @@ func (e *Engine) Stats() Stats {
 	if durable != nil {
 		st.Durable = true
 		st.WALSeq = durable.Seq()
+		st.WALErrors = durable.WALErrors()
 	}
 	if recovery != nil {
 		st.Recovered = recovery.Recovered

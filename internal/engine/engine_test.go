@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -101,7 +102,7 @@ func TestAskAllCoalescesDuplicates(t *testing.T) {
 	}
 	q := "What is the weather like in January of 2004 in El Prat?"
 	batch := []string{q, q, q + "  ", q}
-	results := eng.AskAll(batch)
+	results := eng.AskAll(context.Background(), batch)
 	computed := 0
 	for _, r := range results {
 		if r.Err != nil {
@@ -133,7 +134,7 @@ func TestNormalizedVariantsShareAnswer(t *testing.T) {
 	}
 	canonical := "What is the weather like in January of 2004 in El Prat?"
 	variant := "What is   the weather like in January of 2004 in El Prat"
-	results := eng.AskAll([]string{canonical, variant})
+	results := eng.AskAll(context.Background(), []string{canonical, variant})
 	if results[0].Err != nil || results[1].Err != nil {
 		t.Fatal(results[0].Err, results[1].Err)
 	}
@@ -145,7 +146,7 @@ func TestNormalizedVariantsShareAnswer(t *testing.T) {
 	}
 
 	lower := "what is the weather like in january of 2004 in el prat?"
-	lr := eng.Ask(lower)
+	lr := eng.Ask(context.Background(), lower)
 	if lr.Err == nil && lr.Cached {
 		t.Error("case-variant question must not share the cache entry")
 	}
@@ -210,20 +211,20 @@ func TestHarvestInvalidatesCacheAndBumpsGeneration(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := "What is the weather like in January of 2004 in El Prat?"
-	if r := eng.Ask(q); r.Err != nil {
+	if r := eng.Ask(context.Background(), q); r.Err != nil {
 		t.Fatal(r.Err)
 	}
-	if r := eng.Ask(q); !r.Cached {
+	if r := eng.Ask(context.Background(), q); !r.Cached {
 		t.Fatal("second ask should hit the cache")
 	}
 	gen := eng.Generation()
-	if _, _, err := eng.HarvestAll(nil); err != nil { // nil = default workload
+	if _, _, err := eng.HarvestAll(context.Background(), nil); err != nil { // nil = default workload
 		t.Fatal(err)
 	}
 	if eng.Generation() != gen+1 {
 		t.Errorf("generation = %d, want %d", eng.Generation(), gen+1)
 	}
-	if r := eng.Ask(q); r.Cached {
+	if r := eng.Ask(context.Background(), q); r.Cached {
 		t.Error("cache must be invalidated by a warehouse feed")
 	}
 }
@@ -234,7 +235,7 @@ func TestHarvestAllIdempotent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, first, err := eng.HarvestAll(nil)
+	_, first, err := eng.HarvestAll(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestHarvestAllIdempotent(t *testing.T) {
 		t.Fatal("first feed loaded nothing")
 	}
 	rows := p.Warehouse.FactCount("Weather")
-	_, second, err := eng.HarvestAll(nil)
+	_, second, err := eng.HarvestAll(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +325,7 @@ func TestEngineWithoutLoaderRefusesHarvest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := eng.HarvestAll([]string{"What is the weather like in January of 2004 in El Prat?"}); err == nil {
+	if _, _, err := eng.HarvestAll(context.Background(), []string{"What is the weather like in January of 2004 in El Prat?"}); err == nil {
 		t.Fatal("expected an error from a loader-less engine")
 	}
 }

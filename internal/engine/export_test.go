@@ -1,0 +1,33 @@
+package engine
+
+import (
+	"time"
+
+	"dwqa/internal/qa"
+)
+
+// Test seams for the external engine_test package. The engine has no
+// pluggable extraction in its public API (the qa.Systems are the real
+// modules); these setters let resilience tests inject panicking, slow or
+// stateful work functions without widening the production surface.
+
+// SetAnswerFnForTest replaces the per-question factoid answer function.
+func (e *Engine) SetAnswerFnForTest(fn func(string) (*qa.Result, error)) {
+	e.answerFn = fn
+}
+
+// SetHarvestFnForTest replaces the per-question harvest function.
+func (e *Engine) SetHarvestFnForTest(fn func(string) ([]qa.Answer, *qa.Result, error)) {
+	e.harvestFn = fn
+}
+
+// EnterDegradedForTest latches degraded read-only mode directly.
+func (e *Engine) EnterDegradedForTest(reason string) { e.enterDegraded(reason) }
+
+// SetSnapshotRetryForTest tightens the snapshot publish retry schedule
+// and returns a restore function.
+func SetSnapshotRetryForTest(retries int, backoff time.Duration) (restore func()) {
+	oldR, oldB := snapshotRetries, snapshotBackoff
+	snapshotRetries, snapshotBackoff = retries, backoff
+	return func() { snapshotRetries, snapshotBackoff = oldR, oldB }
+}

@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -137,7 +138,7 @@ func TestAnalyticAnswersInvalidatedByFeed(t *testing.T) {
 	}
 	const q = "count of weather observations by city"
 
-	before := eng.Ask(q)
+	before := eng.Ask(context.Background(), q)
 	if before.Err != nil {
 		t.Fatal(before.Err)
 	}
@@ -148,11 +149,11 @@ func TestAnalyticAnswersInvalidatedByFeed(t *testing.T) {
 		t.Fatalf("unfed Weather fact has %d rows", len(before.OLAP.Result.Rows))
 	}
 
-	if _, _, err := eng.HarvestAll(nil); err != nil { // default workload feed
+	if _, _, err := eng.HarvestAll(context.Background(), nil); err != nil { // default workload feed
 		t.Fatal(err)
 	}
 
-	after := eng.Ask(q)
+	after := eng.Ask(context.Background(), q)
 	if after.Err != nil {
 		t.Fatal(after.Err)
 	}
@@ -185,7 +186,7 @@ func TestAskOLAPEndpointSemantics(t *testing.T) {
 	// Factoid questions are rejected by classification alone: the
 	// expensive factoid pipeline never runs and nothing enters the cache.
 	entriesBefore := eng.Stats().CacheEntries
-	if _, err := eng.AskOLAP("What is the weather like in January of 2004 in El Prat?"); !errors.Is(err, nl2olap.ErrFactoid) {
+	if _, err := eng.AskOLAP(context.Background(), "What is the weather like in January of 2004 in El Prat?"); !errors.Is(err, nl2olap.ErrFactoid) {
 		t.Errorf("factoid question through AskOLAP = %v, want ErrFactoid", err)
 	}
 	if got := eng.Stats().CacheEntries; got != entriesBefore {
@@ -196,11 +197,11 @@ func TestAskOLAPEndpointSemantics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := bare.AskOLAP("Total revenue"); err == nil {
+	if _, err := bare.AskOLAP(context.Background(), "Total revenue"); err == nil {
 		t.Error("translator-less engine should refuse AskOLAP")
 	}
 	// Trace reports analytic questions instead of panicking on them.
-	if _, err := eng.Trace("Total revenue by month"); err == nil {
+	if _, err := eng.Trace(context.Background(), "Total revenue by month"); err == nil {
 		t.Error("Trace of an analytic question should explain the OLAP routing")
 	}
 }

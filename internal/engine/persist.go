@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -52,10 +53,25 @@ func (e *Engine) durability() (SnapshotSource, *store.Store, *store.RecoveryInfo
 	return e.snapSource, e.store, e.recovery
 }
 
+// Snapshot publish retry policy: the write is all-or-nothing (temp file
+// + rename), so a failed attempt leaves nothing behind and retrying is
+// always safe. Transient disk conditions (a slow fsync, a momentary
+// ENOSPC) get snapshotRetries attempts with exponential backoff and
+// full jitter; a persistently failing disk still surfaces the error to
+// the caller (and SnapshotEvery's onErr) after the last attempt.
+// Variables, not constants, so the fault-injection tests can tighten
+// the schedule.
+var (
+	snapshotRetries = 3
+	snapshotBackoff = 25 * time.Millisecond
+)
+
 // SnapshotTo exports the engine's full state and publishes it as a
 // snapshot, pruning old ones and resetting the WAL when the snapshot
 // covers it. Feeds are quiesced only for the in-memory export; the disk
-// write runs unlocked and Ask is never blocked at all.
+// write runs unlocked and Ask is never blocked at all. Publish failures
+// are retried with backoff (see above); the state is exported once and
+// every attempt writes the same bytes.
 func (e *Engine) SnapshotTo() (store.SnapshotInfo, error) {
 	src, st, _ := e.durability()
 	if src == nil || st == nil {
@@ -70,9 +86,20 @@ func (e *Engine) SnapshotTo() (store.SnapshotInfo, error) {
 	if err != nil {
 		return store.SnapshotInfo{}, fmt.Errorf("engine: exporting state: %w", err)
 	}
-	info, err := st.WriteSnapshot(state)
-	if err != nil {
-		return store.SnapshotInfo{}, err
+	var info store.SnapshotInfo
+	backoff := snapshotBackoff
+	for attempt := 1; ; attempt++ {
+		info, err = st.WriteSnapshot(state)
+		if err == nil {
+			break
+		}
+		if attempt >= snapshotRetries {
+			return store.SnapshotInfo{}, fmt.Errorf("engine: snapshot publish failed after %d attempts: %w", attempt, err)
+		}
+		// Full jitter: sleep a uniform slice of the doubling window so
+		// concurrent retriers (multiple engines on one disk) decorrelate.
+		time.Sleep(time.Duration(rand.Int63n(int64(backoff)) + 1))
+		backoff *= 2
 	}
 	e.lastSnapshot.Store(time.Now().UnixNano())
 	return info, nil

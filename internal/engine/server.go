@@ -1,23 +1,30 @@
 package engine
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 
+	"dwqa/internal/etl"
 	"dwqa/internal/nl2olap"
 	"dwqa/internal/qa"
 	"dwqa/internal/sbparser"
+	"dwqa/internal/store"
 )
 
-// Serving limits: requests beyond them are rejected with 400 rather than
-// ballooning memory.
+// Serving limits: oversized bodies are cut off at 413, oversized batches
+// rejected at 422, rather than ballooning memory.
 const (
 	maxRequestBody = 1 << 20 // 1 MiB of JSON per request
 	maxBatchSize   = 10_000  // questions per /ask/batch or /harvest call
 )
+
+// retryAfterSeconds is the Retry-After hint on 429 responses: shed load
+// is bursty, so clients are told to back off briefly and try again.
+const retryAfterSeconds = "1"
 
 // NewServer returns the HTTP JSON API over an engine:
 //
@@ -33,9 +40,19 @@ const (
 //	GET  /healthz                               → serving statistics
 //
 // QA-level failures (a question no pattern matches) are reported per item
-// in the JSON payload; transport-level failures (bad JSON, oversized
-// batches, wrong method) use HTTP status codes. /ask/olap answers 422
-// when the question is factoid or cannot be grounded.
+// in the JSON payload; transport and resilience failures use status
+// codes (DESIGN.md §8):
+//
+//	413  request body over 1 MiB
+//	422  batch over the question limit; /ask/olap non-analytic question
+//	429  engine saturated, request shed (Retry-After tells when to retry)
+//	503  engine degraded read-only (feeds only; asks keep serving)
+//	504  deadline expired — batch responses still carry the answers that
+//	     finished in time, expired slots marked per item
+//	500  a panic, recovered and confined to this request
+//
+// Every handler runs under the request's context, so client disconnects
+// and server-side deadlines propagate into the engine.
 func NewServer(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ask", func(w http.ResponseWriter, r *http.Request) {
@@ -49,7 +66,8 @@ func NewServer(e *Engine) http.Handler {
 			httpError(w, http.StatusBadRequest, "missing question")
 			return
 		}
-		writeJSON(w, askJSON(e.Ask(req.Question)))
+		res := e.Ask(r.Context(), req.Question)
+		writeJSONStatus(w, askStatus([]AskResult{res}), askJSON(res))
 	})
 	mux.HandleFunc("POST /ask/batch", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -63,17 +81,19 @@ func NewServer(e *Engine) http.Handler {
 			return
 		}
 		if len(req.Questions) > maxBatchSize {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d exceeds the %d-question limit", len(req.Questions), maxBatchSize))
+			httpError(w, http.StatusUnprocessableEntity, fmt.Sprintf("batch of %d exceeds the %d-question limit", len(req.Questions), maxBatchSize))
 			return
 		}
-		results := e.AskAll(req.Questions)
+		results := e.AskAll(r.Context(), req.Questions)
 		out := struct {
 			Results []askResponse `json:"results"`
 		}{Results: make([]askResponse, len(results))}
 		for i, res := range results {
 			out.Results[i] = askJSON(res)
 		}
-		writeJSON(w, out)
+		// A 504 or 500 batch still carries every completed answer; the
+		// status tells the client the batch as a whole was cut short.
+		writeJSONStatus(w, askStatus(results), out)
 	})
 	mux.HandleFunc("POST /ask/olap", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -86,9 +106,12 @@ func NewServer(e *Engine) http.Handler {
 			httpError(w, http.StatusBadRequest, "missing question")
 			return
 		}
-		ans, err := e.AskOLAP(req.Question)
+		ans, err := e.AskOLAP(r.Context(), req.Question)
 		if err != nil {
-			code := http.StatusUnprocessableEntity
+			code := errStatus(err)
+			if code == 0 || code == http.StatusOK {
+				code = http.StatusUnprocessableEntity
+			}
 			if errors.Is(err, nl2olap.ErrFactoid) {
 				// Still 422, but spell out where the question belongs.
 				err = fmt.Errorf("%w; POST /ask serves factoid questions", err)
@@ -107,34 +130,28 @@ func NewServer(e *Engine) http.Handler {
 			return
 		}
 		if len(req.Questions) > maxBatchSize {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d exceeds the %d-question limit", len(req.Questions), maxBatchSize))
+			httpError(w, http.StatusUnprocessableEntity, fmt.Sprintf("batch of %d exceeds the %d-question limit", len(req.Questions), maxBatchSize))
 			return
 		}
-		items, total, err := e.HarvestAll(req.Questions)
+		items, total, err := e.HarvestAll(r.Context(), req.Questions)
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err.Error())
+			code := errStatus(err)
+			if code == 0 || code == http.StatusOK {
+				code = http.StatusInternalServerError
+			}
+			if code == http.StatusGatewayTimeout && len(items) > 0 {
+				// The deadline expired mid-harvest: nothing was committed
+				// (the engine refuses partial feeds), but report how far
+				// extraction got, per item, alongside the timeout.
+				out := harvestJSON(e, items, nil)
+				out.Error = err.Error()
+				writeJSONStatus(w, code, out)
+				return
+			}
+			httpError(w, code, err.Error())
 			return
 		}
-		out := harvestResponse{
-			Normalized: total.Normalized,
-			Loaded:     total.Loaded,
-			Skipped:    total.Skipped,
-			Rejected:   len(total.Rejections),
-			Generation: e.Generation(),
-			Results:    make([]harvestItemJSON, len(items)),
-		}
-		for i, it := range items {
-			out.Results[i] = harvestItemJSON{
-				Question: it.Question,
-				Answers:  len(it.Answers),
-				Loaded:   it.Loaded,
-				Skipped:  it.Skipped,
-			}
-			if it.Err != nil {
-				out.Results[i].Error = it.Err.Error()
-			}
-		}
-		writeJSON(w, out)
+		writeJSON(w, harvestJSON(e, items, total))
 	})
 	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, r *http.Request) {
 		question := r.URL.Query().Get("q")
@@ -142,21 +159,90 @@ func NewServer(e *Engine) http.Handler {
 			// The paper's own Table 1 query.
 			question = "What is the weather like in January of 2004 in El Prat?"
 		}
-		tr, err := e.Trace(question)
+		tr, err := e.Trace(r.Context(), question)
 		if err != nil {
-			httpError(w, http.StatusUnprocessableEntity, err.Error())
+			code := errStatus(err)
+			if code == 0 || code == http.StatusOK {
+				code = http.StatusUnprocessableEntity
+			}
+			httpError(w, code, err.Error())
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, tr.Format())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := e.Stats()
+		status := "ok"
+		if st.State != "ready" {
+			status = st.State
+		}
 		writeJSON(w, struct {
 			Status string `json:"status"`
 			Stats
-		}{Status: "ok", Stats: e.Stats()})
+		}{Status: status, Stats: st})
 	})
-	return mux
+	return recoverMiddleware(e, mux)
+}
+
+// recoverMiddleware is the request-boundary panic net: anything that
+// escapes the engine's own worker-level recovery (handler bugs, encoding
+// panics) fails this one request with a 500 instead of killing the
+// process. The response may be partially written by then; WriteHeader on
+// a written response is a no-op and the client sees a truncated body —
+// still strictly better than losing every other in-flight request.
+func recoverMiddleware(e *Engine, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				e.panicTotal.Add(1)
+				httpError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: panic: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// errStatus maps an engine error to its transport status. 0 means the
+// error is a per-item QA failure with no dedicated status (the handler
+// picks its default).
+func errStatus(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, ErrShed):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrDegraded), errors.Is(err, store.ErrWAL):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrPanic):
+		return http.StatusInternalServerError
+	}
+	return 0
+}
+
+// askStatus folds a batch's per-item errors into one response status:
+// shed and degraded outrank timeout (the request never ran), timeout
+// outranks panic (the batch as a whole was cut short), panic outranks
+// OK. Per-item QA failures leave the status 200 — they are answers.
+func askStatus(results []AskResult) int {
+	status := http.StatusOK
+	for _, r := range results {
+		switch errStatus(r.Err) {
+		case http.StatusTooManyRequests:
+			return http.StatusTooManyRequests
+		case http.StatusServiceUnavailable:
+			return http.StatusServiceUnavailable
+		case http.StatusGatewayTimeout:
+			status = http.StatusGatewayTimeout
+		case http.StatusInternalServerError:
+			if status == http.StatusOK {
+				status = http.StatusInternalServerError
+			}
+		}
+	}
+	return status
 }
 
 // answerJSON is the wire form of one extracted answer.
@@ -228,7 +314,35 @@ type harvestResponse struct {
 	Skipped    int               `json:"skipped"`
 	Rejected   int               `json:"rejected"`
 	Generation uint64            `json:"generation"`
+	Error      string            `json:"error,omitempty"` // batch-level (e.g. deadline)
 	Results    []harvestItemJSON `json:"results"`
+}
+
+// harvestJSON renders a harvest batch; total may be nil (nothing was
+// committed).
+func harvestJSON(e *Engine, items []HarvestResult, total *etl.Report) harvestResponse {
+	out := harvestResponse{
+		Generation: e.Generation(),
+		Results:    make([]harvestItemJSON, len(items)),
+	}
+	if total != nil {
+		out.Normalized = total.Normalized
+		out.Loaded = total.Loaded
+		out.Skipped = total.Skipped
+		out.Rejected = len(total.Rejections)
+	}
+	for i, it := range items {
+		out.Results[i] = harvestItemJSON{
+			Question: it.Question,
+			Answers:  len(it.Answers),
+			Loaded:   it.Loaded,
+			Skipped:  it.Skipped,
+		}
+		if it.Err != nil {
+			out.Results[i].Error = it.Err.Error()
+		}
+	}
+	return out
 }
 
 func askJSON(r AskResult) askResponse {
@@ -282,7 +396,7 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		httpError(w, decodeStatus(err), "bad request body: "+err.Error())
 		return false
 	}
 	return true
@@ -294,14 +408,35 @@ func decodeJSONOptional(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil && err != io.EOF {
-		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		httpError(w, decodeStatus(err), "bad request body: "+err.Error())
 		return false
 	}
 	return true
 }
 
+// decodeStatus distinguishes an oversized body (413 — the client must
+// shrink the request, retrying as-is cannot succeed) from malformed
+// JSON (400).
+func decodeStatus(err error) int {
+	var maxErr *http.MaxBytesError
+	if errors.As(err, &maxErr) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
+	if code != http.StatusOK {
+		w.WriteHeader(code)
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
@@ -309,6 +444,9 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 func httpError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }

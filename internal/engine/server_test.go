@@ -7,8 +7,10 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"dwqa/internal/engine"
+	"dwqa/internal/qa"
 )
 
 // newServer builds a fed pipeline and its HTTP API.
@@ -53,9 +55,13 @@ func TestServerHealthz(t *testing.T) {
 	}
 	var payload struct {
 		Status     string `json:"status"`
+		State      string `json:"state"`
 		Workers    int    `json:"workers"`
 		Passages   int    `json:"passages"`
 		Generation uint64 `json:"generation"`
+		Inflight   *int64 `json:"inflight"`
+		Shed       *int64 `json:"shed_total"`
+		Timeouts   *int64 `json:"timeout_total"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
 		t.Fatal(err)
@@ -65,6 +71,216 @@ func TestServerHealthz(t *testing.T) {
 	}
 	if payload.Generation != 1 {
 		t.Errorf("generation = %d, want 1 (one Step 5 feed)", payload.Generation)
+	}
+	if payload.State != "ready" {
+		t.Errorf("state = %q, want ready", payload.State)
+	}
+	// The resilience counters are always present (not omitempty): an
+	// operator must be able to tell "zero sheds" from "no gate".
+	if payload.Inflight == nil || payload.Shed == nil || payload.Timeouts == nil {
+		t.Errorf("missing resilience counters in %+v", payload)
+	}
+	if payload.Shed != nil && *payload.Shed != 0 {
+		t.Errorf("shed_total = %d on an idle server", *payload.Shed)
+	}
+}
+
+// TestServerSheds: a saturated engine answers 429 with a Retry-After
+// hint, and /healthz counts the shed.
+func TestServerSheds(t *testing.T) {
+	p := newPipeline(t)
+	eng, err := engine.New(engine.Config{MaxInflight: 1, MaxQueue: -1, AskTimeout: -1, CacheSize: -1},
+		p.QA, nil, nil, p.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	eng.SetAnswerFnForTest(func(string) (*qa.Result, error) {
+		started <- struct{}{}
+		<-release
+		return &qa.Result{}, nil
+	})
+	srv := httptest.NewServer(engine.NewServer(eng))
+	t.Cleanup(srv.Close)
+
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/ask", "application/json",
+			strings.NewReader(`{"question": "occupier"}`))
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	<-started // slot held
+
+	resp, body := postJSON(t, srv.URL+"/ask", `{"question": "shed me"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (%s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 must carry Retry-After")
+	}
+	close(release)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+
+	hz, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hz.Body.Close()
+	var st struct {
+		Shed uint64 `json:"shed_total"`
+	}
+	if err := json.NewDecoder(hz.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shed != 1 {
+		t.Errorf("shed_total = %d, want 1", st.Shed)
+	}
+}
+
+// TestServerDeadline504: a batch outrunning its deadline answers 504 and
+// still carries the per-item results — finished answers plus expired
+// slots marked with the deadline error.
+func TestServerDeadline504(t *testing.T) {
+	p := newPipeline(t)
+	eng, err := engine.New(engine.Config{Workers: 1, AskTimeout: 40 * time.Millisecond, CacheSize: -1},
+		p.QA, nil, nil, p.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetAnswerFnForTest(func(string) (*qa.Result, error) {
+		time.Sleep(25 * time.Millisecond)
+		return &qa.Result{}, nil
+	})
+	srv := httptest.NewServer(engine.NewServer(eng))
+	t.Cleanup(srv.Close)
+
+	resp, raw := postJSON(t, srv.URL+"/ask/batch",
+		`{"questions": ["one?", "two?", "three?", "four?"]}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (%s)", resp.StatusCode, raw)
+	}
+	var payload struct {
+		Results []struct {
+			Error string `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &payload); err != nil {
+		t.Fatalf("%v in %s", err, raw)
+	}
+	if len(payload.Results) != 4 {
+		t.Fatalf("%d results, want 4 (partial batch must keep its shape)", len(payload.Results))
+	}
+	var done, expired int
+	for _, r := range payload.Results {
+		if r.Error == "" {
+			done++
+		} else if strings.Contains(r.Error, "deadline") {
+			expired++
+		}
+	}
+	if done == 0 || expired == 0 {
+		t.Errorf("done=%d expired=%d; want a partial batch with both", done, expired)
+	}
+}
+
+// TestServerPanic500: a panicking question answers 500 on that request
+// only; the server keeps serving.
+func TestServerPanic500(t *testing.T) {
+	p := newPipeline(t)
+	eng, err := engine.New(engine.Config{AskTimeout: -1}, p.QA, nil, nil, p.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := p.QA.Answer
+	eng.SetAnswerFnForTest(func(q string) (*qa.Result, error) {
+		if strings.Contains(q, "BOOM") {
+			panic("injected")
+		}
+		return real(q)
+	})
+	srv := httptest.NewServer(engine.NewServer(eng))
+	t.Cleanup(srv.Close)
+
+	resp, body := postJSON(t, srv.URL+"/ask", `{"question": "BOOM"}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500 (%s)", resp.StatusCode, body)
+	}
+	// The next request is unaffected.
+	resp, body = postJSON(t, srv.URL+"/ask",
+		`{"question": "What is the weather like in January of 2004 in El Prat?"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after panic = %d (%s)", resp.StatusCode, body)
+	}
+}
+
+// TestServerDegraded503: a degraded engine refuses feeds with 503 and
+// reports itself on /healthz, while /ask keeps answering 200.
+func TestServerDegraded503(t *testing.T) {
+	srv, eng := newServer(t)
+	eng.EnterDegradedForTest("injected: WAL append failed")
+
+	resp, body := postJSON(t, srv.URL+"/harvest", "")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("harvest while degraded = %d, want 503 (%s)", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, srv.URL+"/ask",
+		`{"question": "What is the weather like in January of 2004 in El Prat?"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ask while degraded = %d, want 200 (%s)", resp.StatusCode, body)
+	}
+
+	hz, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hz.Body.Close()
+	var st struct {
+		Status string `json:"status"`
+		State  string `json:"state"`
+		Reason string `json:"degraded_reason"`
+	}
+	if err := json.NewDecoder(hz.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "degraded" || st.State != "degraded" || st.Reason == "" {
+		t.Errorf("healthz while degraded = %+v", st)
+	}
+}
+
+// TestServerBodyLimits: an oversized body is 413, an oversized batch 422.
+func TestServerBodyLimits(t *testing.T) {
+	srv, _ := newServer(t)
+
+	// >1 MiB of padding in an otherwise valid request.
+	huge := `{"question": "` + strings.Repeat("x", 1<<20+64) + `"}`
+	resp, _ := postJSON(t, srv.URL+"/ask", huge)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body = %d, want 413", resp.StatusCode)
+	}
+
+	// 10_001 tiny questions: fits the byte budget, breaks the count one.
+	var sb strings.Builder
+	sb.WriteString(`{"questions": [`)
+	for i := 0; i < 10_001; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`"q"`)
+	}
+	sb.WriteString(`]}`)
+	resp, _ = postJSON(t, srv.URL+"/ask/batch", sb.String())
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("oversized batch = %d, want 422", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL+"/harvest", sb.String())
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("oversized harvest batch = %d, want 422", resp.StatusCode)
 	}
 }
 

@@ -1,0 +1,299 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+)
+
+// FaultFS wraps an FS with a deterministic fault schedule, so the
+// durability layer can be exercised against the failures a real disk
+// exhibits — failed fsync, short write, refused rename, slow I/O, a full
+// disk — at exact, reproducible points in the operation stream. Every
+// operation of each class is counted across the FaultFS's lifetime;
+// a Fault fires when its class counter reaches its Nth occurrence.
+//
+// A FaultFS starts disarmed: operations pass straight through until Arm
+// is called, so a pipeline can boot cleanly over it and only then face
+// the schedule (the chaos tests do exactly that).
+
+// ErrInjected is the error injected by a Fault whose Err field is nil.
+// Test assertions match it with errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// FaultOp classifies filesystem operations for fault scheduling.
+type FaultOp uint8
+
+const (
+	// OpOpen covers OpenFile and CreateTemp.
+	OpOpen FaultOp = iota
+	// OpWrite covers File.Write (supports short writes).
+	OpWrite
+	// OpSync covers File.Sync and SyncDir (the fsync failure mode).
+	OpSync
+	// OpRename covers Rename (snapshot publish).
+	OpRename
+	// OpRemove covers Remove (snapshot pruning).
+	OpRemove
+	// OpRead covers ReadFile (snapshot/WAL loads).
+	OpRead
+	// OpTruncate covers File.Truncate (WAL rollback and reset).
+	OpTruncate
+	numFaultOps
+)
+
+// String names the operation class for error messages.
+func (op FaultOp) String() string {
+	switch op {
+	case OpOpen:
+		return "open"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpRead:
+		return "read"
+	case OpTruncate:
+		return "truncate"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Fault schedules one misbehaviour: when the Nth operation of class Op
+// runs, sleep Delay (a slow disk), then — unless the fault is delay-only
+// — fail with Err. A Fault with Short > 0 on OpWrite writes only Short
+// bytes before failing, the torn-write shape a crash or full disk leaves.
+type Fault struct {
+	Op    FaultOp
+	Nth   int           // 1-based occurrence of Op that triggers the fault
+	Err   error         // error to inject; nil with Delay > 0 = slow op only
+	Short int           // OpWrite: bytes actually written before the error
+	Delay time.Duration // sleep before the operation proceeds or fails
+}
+
+// delayOnly reports whether the fault slows the op without failing it.
+func (f Fault) delayOnly() bool { return f.Err == nil && f.Delay > 0 && f.Short == 0 }
+
+// FaultFS implements FS over an inner FS with an armed fault schedule.
+// Safe for concurrent use.
+type FaultFS struct {
+	inner FS
+
+	mu     sync.Mutex
+	armed  bool
+	counts [numFaultOps]int
+	faults []Fault
+	fired  int
+}
+
+// NewFaultFS wraps inner (disarmed — call Arm to install a schedule).
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner}
+}
+
+// Arm installs a fault schedule and starts counting operations from zero.
+// Arming replaces any previous schedule.
+func (ffs *FaultFS) Arm(faults ...Fault) {
+	ffs.mu.Lock()
+	defer ffs.mu.Unlock()
+	ffs.armed = true
+	ffs.faults = append([]Fault(nil), faults...)
+	ffs.counts = [numFaultOps]int{}
+	ffs.fired = 0
+}
+
+// Disarm stops injecting faults; operations pass through untouched.
+func (ffs *FaultFS) Disarm() {
+	ffs.mu.Lock()
+	defer ffs.mu.Unlock()
+	ffs.armed = false
+}
+
+// Fired returns how many faults have triggered since the last Arm.
+func (ffs *FaultFS) Fired() int {
+	ffs.mu.Lock()
+	defer ffs.mu.Unlock()
+	return ffs.fired
+}
+
+// OpCount returns how many operations of a class have run since Arm.
+func (ffs *FaultFS) OpCount(op FaultOp) int {
+	ffs.mu.Lock()
+	defer ffs.mu.Unlock()
+	return ffs.counts[op]
+}
+
+// RandomSchedule derives a deterministic fault schedule from a seed:
+// across the next horizon operations of each mutating class (write,
+// sync, rename), each occurrence fails independently with probability p.
+// The same seed always yields the same schedule, which is what makes a
+// failing chaos run replayable.
+func RandomSchedule(seed int64, horizon int, p float64) []Fault {
+	rng := rand.New(rand.NewSource(seed))
+	var faults []Fault
+	for _, op := range []FaultOp{OpWrite, OpSync, OpRename} {
+		for n := 1; n <= horizon; n++ {
+			if rng.Float64() >= p {
+				continue
+			}
+			f := Fault{Op: op, Nth: n}
+			// A third of write faults are short writes; a sprinkle of
+			// delay makes schedules exercise the slow-disk path too.
+			if op == OpWrite && rng.Intn(3) == 0 {
+				f.Short = rng.Intn(8)
+			}
+			if rng.Intn(4) == 0 {
+				f.Delay = time.Duration(rng.Intn(3)) * time.Millisecond
+			}
+			faults = append(faults, f)
+		}
+	}
+	return faults
+}
+
+// check counts one operation and returns the fault scheduled for it, if
+// any (delay is slept here; the caller applies the failure).
+func (ffs *FaultFS) check(op FaultOp) (Fault, bool) {
+	ffs.mu.Lock()
+	if !ffs.armed {
+		ffs.mu.Unlock()
+		return Fault{}, false
+	}
+	ffs.counts[op]++
+	n := ffs.counts[op]
+	for _, f := range ffs.faults {
+		if f.Op == op && f.Nth == n {
+			ffs.fired++
+			ffs.mu.Unlock()
+			if f.Delay > 0 {
+				time.Sleep(f.Delay)
+			}
+			return f, !f.delayOnly()
+		}
+	}
+	ffs.mu.Unlock()
+	return Fault{}, false
+}
+
+// injected renders the scheduled error for a fault.
+func injected(f Fault) error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return fmt.Errorf("%w: %s #%d", ErrInjected, f.Op, f.Nth)
+}
+
+func (ffs *FaultFS) MkdirAll(dir string, perm os.FileMode) error {
+	return ffs.inner.MkdirAll(dir, perm)
+}
+
+func (ffs *FaultFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	if f, fail := ffs.check(OpOpen); fail {
+		return nil, injected(f)
+	}
+	inner, err := ffs.inner.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: ffs, inner: inner}, nil
+}
+
+func (ffs *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if f, fail := ffs.check(OpOpen); fail {
+		return nil, injected(f)
+	}
+	inner, err := ffs.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: ffs, inner: inner}, nil
+}
+
+func (ffs *FaultFS) ReadFile(path string) ([]byte, error) {
+	if f, fail := ffs.check(OpRead); fail {
+		return nil, injected(f)
+	}
+	return ffs.inner.ReadFile(path)
+}
+
+func (ffs *FaultFS) Rename(oldpath, newpath string) error {
+	if f, fail := ffs.check(OpRename); fail {
+		return injected(f)
+	}
+	return ffs.inner.Rename(oldpath, newpath)
+}
+
+func (ffs *FaultFS) Remove(path string) error {
+	if f, fail := ffs.check(OpRemove); fail {
+		return injected(f)
+	}
+	return ffs.inner.Remove(path)
+}
+
+func (ffs *FaultFS) Glob(pattern string) ([]string, error) {
+	return ffs.inner.Glob(pattern)
+}
+
+func (ffs *FaultFS) SyncDir(dir string) error {
+	if f, fail := ffs.check(OpSync); fail {
+		return injected(f)
+	}
+	return ffs.inner.SyncDir(dir)
+}
+
+// faultFile routes a file handle's mutating calls through its FaultFS's
+// schedule.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (f *faultFile) Read(p []byte) (int, error) { return f.inner.Read(p) }
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if fl, fail := f.fs.check(OpWrite); fail {
+		// A short write puts the first Short bytes on disk and then
+		// fails — the torn shape a crash mid-write or a full disk leaves
+		// behind, which the WAL's rollback and tail repair must absorb.
+		n := fl.Short
+		if n > len(p) {
+			n = len(p)
+		}
+		if n > 0 {
+			if wrote, err := f.inner.Write(p[:n]); err != nil {
+				return wrote, err
+			}
+		}
+		return n, injected(fl)
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Seek(offset int64, whence int) (int64, error) {
+	return f.inner.Seek(offset, whence)
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if fl, fail := f.fs.check(OpTruncate); fail {
+		return injected(fl)
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *faultFile) Sync() error {
+	if fl, fail := f.fs.check(OpSync); fail {
+		return injected(fl)
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error { return f.inner.Close() }
+
+func (f *faultFile) Name() string { return f.inner.Name() }

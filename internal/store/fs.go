@@ -1,0 +1,84 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem surface the durability layer writes through: the
+// WAL's open/write/sync/truncate cycle and the snapshot publish protocol
+// (temp file, fsync, rename, directory sync). Production uses OS(); the
+// fault-injection tests substitute a FaultFS wrapping it, so every
+// failure mode a real disk exhibits — failed fsync, short write, rename
+// refused, slow I/O — can be scheduled deterministically against the
+// exact code paths that run in production.
+type FS interface {
+	// MkdirAll creates a directory (and parents) like os.MkdirAll.
+	MkdirAll(dir string, perm os.FileMode) error
+	// OpenFile opens the named file like os.OpenFile.
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	// CreateTemp creates a new temporary file like os.CreateTemp.
+	CreateTemp(dir, pattern string) (File, error)
+	// ReadFile reads the whole file like os.ReadFile.
+	ReadFile(path string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath like os.Rename.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file like os.Remove.
+	Remove(path string) error
+	// Glob lists files matching pattern like filepath.Glob.
+	Glob(pattern string) ([]string, error)
+	// SyncDir fsyncs a directory so a just-renamed entry is durable.
+	SyncDir(dir string) error
+}
+
+// File is the handle surface the WAL and snapshot writers need from an
+// open file. *os.File satisfies it.
+type File interface {
+	Read(p []byte) (int, error)
+	Write(p []byte) (int, error)
+	Seek(offset int64, whence int) (int64, error)
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (osFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) Glob(pattern string) ([]string, error) { return filepath.Glob(pattern) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

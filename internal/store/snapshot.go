@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
@@ -117,14 +116,14 @@ func DecodeState(buf []byte) (*State, error) {
 
 // writeSnapshotFile writes an encoded snapshot atomically: temp file in
 // the same directory, fsync, rename, directory fsync.
-func writeSnapshotFile(path string, data []byte) error {
+func writeSnapshotFile(fsys FS, path string, data []byte) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".tmp-snap-*")
+	tmp, err := fsys.CreateTemp(dir, ".tmp-snap-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	tmpName := tmp.Name()
-	defer os.Remove(tmpName) // no-op after a successful rename
+	defer fsys.Remove(tmpName) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: writing snapshot: %w", err)
@@ -136,13 +135,10 @@ func writeSnapshotFile(path string, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: closing snapshot: %w", err)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
+	if err := fsys.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("store: publishing snapshot: %w", err)
 	}
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync() // best-effort directory durability
-		_ = d.Close()
-	}
+	_ = fsys.SyncDir(dir) // best-effort directory durability
 	return nil
 }
 

@@ -24,17 +24,25 @@
 package store
 
 import (
+	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"dwqa/internal/dw"
 	"dwqa/internal/ir"
 )
+
+// ErrWAL marks a write-ahead-log append failure: the feed batch that
+// triggered it was NOT committed (the warehouse logs before it applies),
+// but the log can no longer be trusted to ack further feeds. The serving
+// engine tests for it with errors.Is and flips into degraded read-only
+// mode rather than silently serving non-durable writes.
+var ErrWAL = errors.New("store: WAL append failed")
 
 const (
 	walName        = "wal.log"
@@ -50,6 +58,9 @@ const (
 // an internal mutex, reads of Seq are cheap.
 type Store struct {
 	dir string
+	fs  FS
+
+	walErrors atomic.Uint64 // failed WAL appends over the store's lifetime
 
 	mu          sync.Mutex
 	wal         *wal
@@ -57,26 +68,34 @@ type Store struct {
 	closed      bool
 }
 
-// Open opens (creating if needed) a data directory, repairs the WAL tail
-// if the last run tore it, and removes leftover temp files from
-// interrupted snapshot writes.
-func Open(dir string) (*Store, error) {
+// Open opens (creating if needed) a data directory on the real
+// filesystem, repairs the WAL tail if the last run tore it, and removes
+// leftover temp files from interrupted snapshot writes.
+func Open(dir string) (*Store, error) { return OpenFS(dir, OS()) }
+
+// OpenFS is Open over an explicit filesystem — the seam the
+// fault-injection tests use to schedule disk failures against the
+// production write paths.
+func OpenFS(dir string, fsys FS) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty data directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		fsys = OS()
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	if tmps, err := filepath.Glob(filepath.Join(dir, ".tmp-snap-*")); err == nil {
+	if tmps, err := fsys.Glob(filepath.Join(dir, ".tmp-snap-*")); err == nil {
 		for _, t := range tmps {
-			_ = os.Remove(t)
+			_ = fsys.Remove(t)
 		}
 	}
-	w, dropped, err := openWAL(filepath.Join(dir, walName))
+	w, dropped, err := openWAL(fsys, filepath.Join(dir, walName))
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, wal: w, walRepaired: dropped}
+	s := &Store{dir: dir, fs: fsys, wal: w, walRepaired: dropped}
 	// The WAL's scan only knows sequence numbers that are still in the
 	// log; a log reset by a snapshot restarts empty, so pick up the
 	// sequence floor from the published snapshots. The floor comes from
@@ -119,6 +138,10 @@ func (s *Store) Seq() uint64 {
 // a clean shutdown).
 func (s *Store) WALRepaired() int64 { return s.walRepaired }
 
+// WALErrors returns how many WAL appends have failed over the store's
+// lifetime — the /healthz wal_errors counter.
+func (s *Store) WALErrors() uint64 { return s.walErrors.Load() }
+
 // Close releases the WAL file handle. The store must not be used after.
 func (s *Store) Close() error {
 	s.mu.Lock()
@@ -152,7 +175,11 @@ func (s *Store) appendRecord(kind byte, payload []byte) error {
 	if s.closed {
 		return fmt.Errorf("store: closed")
 	}
-	return s.wal.append(kind, payload)
+	if err := s.wal.append(kind, payload); err != nil {
+		s.walErrors.Add(1)
+		return fmt.Errorf("%w: %w", ErrWAL, err)
+	}
+	return nil
 }
 
 // --- snapshots ---
@@ -180,7 +207,7 @@ func (s *Store) WriteSnapshot(state *State) (SnapshotInfo, error) {
 	s.mu.Unlock()
 	data := EncodeState(state)
 	path := filepath.Join(s.dir, fmt.Sprintf("%s%020d%s", snapshotPrefix, state.WALSeq, snapshotSuffix))
-	if err := writeSnapshotFile(path, data); err != nil {
+	if err := writeSnapshotFile(s.fs, path, data); err != nil {
 		return SnapshotInfo{}, err
 	}
 	info := SnapshotInfo{Path: path, Bytes: int64(len(data)), WALSeq: state.WALSeq}
@@ -199,7 +226,7 @@ func (s *Store) WriteSnapshot(state *State) (SnapshotInfo, error) {
 
 // snapshotPaths returns the published snapshot files, newest first.
 func (s *Store) snapshotPaths() []string {
-	paths, _ := filepath.Glob(filepath.Join(s.dir, snapshotPrefix+"*"+snapshotSuffix))
+	paths, _ := s.fs.Glob(filepath.Join(s.dir, snapshotPrefix+"*"+snapshotSuffix))
 	sort.Sort(sort.Reverse(sort.StringSlice(paths)))
 	return paths
 }
@@ -207,7 +234,7 @@ func (s *Store) snapshotPaths() []string {
 func (s *Store) pruneLocked() {
 	paths := s.snapshotPaths()
 	for _, p := range paths[min(len(paths), snapshotsKept):] {
-		_ = os.Remove(p)
+		_ = s.fs.Remove(p)
 	}
 }
 
@@ -231,7 +258,7 @@ func (s *Store) loadNewestSnapshot() (string, *State, error) {
 	}
 	var failures []string
 	for _, p := range paths {
-		data, err := os.ReadFile(p)
+		data, err := s.fs.ReadFile(p)
 		if err != nil {
 			failures = append(failures, fmt.Sprintf("%s: %v", filepath.Base(p), err))
 			continue
@@ -263,7 +290,7 @@ func (s *Store) loadNewestSnapshot() (string, *State, error) {
 // and the log only ever empties wholesale, so the retained records form
 // one contiguous range.
 func (s *Store) walCovers(afterSeq, throughSeq uint64) error {
-	data, err := os.ReadFile(s.wal.path)
+	data, err := s.fs.ReadFile(s.wal.path)
 	if err != nil {
 		return fmt.Errorf("reading WAL: %w", err)
 	}
@@ -301,7 +328,7 @@ type ReplayHandlers struct {
 func (s *Store) Replay(afterSeq uint64, h ReplayHandlers) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	data, err := os.ReadFile(s.wal.path)
+	data, err := s.fs.ReadFile(s.wal.path)
 	if err != nil {
 		return 0, fmt.Errorf("store: reading WAL: %w", err)
 	}

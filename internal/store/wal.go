@@ -40,15 +40,16 @@ type walRecord struct {
 // wal is the append side of the log. Store serialises access.
 type wal struct {
 	path string
-	f    *os.File
+	f    File
 	seq  uint64 // last appended (or scanned) sequence number
 }
 
-// openWAL opens (creating if needed) the log, validates every record,
-// truncates a torn or corrupt tail, and positions for append. It returns
-// the number of bytes dropped by the repair (0 for a clean log).
-func openWAL(path string) (*wal, int64, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+// openWAL opens (creating if needed) the log through the store's
+// filesystem, validates every record, truncates a torn or corrupt tail,
+// and positions for append. It returns the number of bytes dropped by
+// the repair (0 for a clean log).
+func openWAL(fsys FS, path string) (*wal, int64, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, 0, fmt.Errorf("store: opening WAL: %w", err)
 	}

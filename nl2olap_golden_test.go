@@ -1,6 +1,7 @@
 package dwqa_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -215,7 +216,7 @@ func TestNL2OLAPGolden(t *testing.T) {
 
 	var b strings.Builder
 	for _, c := range goldenAnalytic {
-		r := eng.Ask(c.question)
+		r := eng.Ask(context.Background(), c.question)
 		if r.Err != nil {
 			t.Errorf("Ask(%q): %v", c.question, r.Err)
 			continue
