@@ -128,6 +128,22 @@ type storeRestorePerf struct {
 	WALRecordsPerSec float64 `json:"wal_records_per_sec"`
 }
 
+// cacheInvalidationPerf compares the serving cache's feed-time
+// strategies under mixed feed/ask traffic: selective tag-based
+// invalidation (evict only entries whose dimension members or facts the
+// feed touched; the default) against the legacy flush-everything
+// baseline (engine.Config.FullFlushOnFeed). One op asks the full mixed
+// pool once and then feeds one harvest question. Hit rates are computed
+// over each arm's whole benchmark traffic.
+type cacheInvalidationPerf struct {
+	PoolQuestions    int     `json:"pool_questions"`
+	SelectiveNsPerOp float64 `json:"selective_ns_per_op"`
+	FullFlushNsPerOp float64 `json:"full_flush_ns_per_op"`
+	SelectiveHitRate float64 `json:"selective_hit_rate"`
+	FullFlushHitRate float64 `json:"full_flush_hit_rate"`
+	Speedup          float64 `json:"speedup"`
+}
+
 // perfReport is the schema of BENCH_PERF.json.
 type perfReport struct {
 	Schema         string                 `json:"schema"`
@@ -141,6 +157,7 @@ type perfReport struct {
 	Resilience     *servingResiliencePerf `json:"serving_resilience,omitempty"`
 	Harvest        *harvestComparison     `json:"harvest_batch_vs_sequential,omitempty"`
 	StoreRestore   *storeRestorePerf      `json:"store_snapshot_restore,omitempty"`
+	CacheFeed      *cacheInvalidationPerf `json:"cache_feed_invalidation,omitempty"`
 }
 
 func measure(name string, rows int, fn func(b *testing.B)) (perfMeasurement, error) {
@@ -168,7 +185,7 @@ func runPerf(outDir string, seed int64) (*perfReport, error) {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return nil, err
 	}
-	rep := &perfReport{Schema: "dwqa-bench/v5"}
+	rep := &perfReport{Schema: "dwqa-bench/v6"}
 	for _, target := range []int{1_000, 10_000, 100_000} {
 		wh, q, err := core.PrepareScaledBenchmark(target, seed)
 		if err != nil {
@@ -235,6 +252,10 @@ func runPerf(outDir string, seed int64) (*perfReport, error) {
 	}
 
 	if err := runStorePerf(rep, seed); err != nil {
+		return nil, err
+	}
+
+	if err := runCacheInvalidationPerf(rep, seed); err != nil {
 		return nil, err
 	}
 
@@ -703,6 +724,92 @@ func runAnalyticPerf(rep *perfReport, p *core.Pipeline) error {
 	return nil
 }
 
+// runCacheInvalidationPerf measures what the tag-based cache
+// invalidation buys under mixed feed/ask traffic. Each arm gets its own
+// pipeline (feeds mutate the warehouse) differing only in
+// engine.Config.FullFlushOnFeed; one op = AskAll over the full mixed
+// factoid+analytic pool, then one single-question harvest feed. Under
+// full flush every feed zeroes the cache, so the whole next pool
+// recomputes; under selective invalidation factoid entries survive
+// outright and analytic entries die only when the feed touched their
+// plan's dimension members.
+func runCacheInvalidationPerf(rep *perfReport, seed int64) error {
+	type armResult struct {
+		m       perfMeasurement
+		hitRate float64
+	}
+	arm := func(name string, fullFlush bool) (armResult, error) {
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed
+		cfg.Engine.FullFlushOnFeed = fullFlush
+		p, err := core.NewPipeline(cfg)
+		if err != nil {
+			return armResult{}, err
+		}
+		for _, step := range []func() error{
+			p.Step1DeriveOntology, p.Step2FeedOntology,
+			p.Step3MergeUpperOntology, p.Step4TuneQA,
+		} {
+			if err := step(); err != nil {
+				return armResult{}, err
+			}
+		}
+		eng, err := p.Engine()
+		if err != nil {
+			return armResult{}, err
+		}
+		pool := append(p.WeatherQuestions(), core.AnalyticQuestions()...)
+		harvest := eng.DefaultHarvest()
+		feeds := 0
+		m, err := measure("CacheFeedInvalidation/"+name, len(pool), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, r := range eng.AskAll(context.Background(), pool) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+				batch := harvest[feeds%len(harvest) : feeds%len(harvest)+1]
+				if _, _, err := eng.HarvestAll(context.Background(), batch); err != nil {
+					b.Fatal(err)
+				}
+				feeds++
+			}
+		})
+		if err != nil {
+			return armResult{}, err
+		}
+		st := eng.Stats()
+		res := armResult{m: m}
+		if total := st.CacheHits + st.CacheMisses; total > 0 {
+			res.hitRate = float64(st.CacheHits) / float64(total)
+		}
+		return res, nil
+	}
+
+	sel, err := arm("selective", false)
+	if err != nil {
+		return err
+	}
+	flush, err := arm("full-flush", true)
+	if err != nil {
+		return err
+	}
+	rep.Measurements = append(rep.Measurements, sel.m, flush.m)
+	ci := &cacheInvalidationPerf{
+		PoolQuestions:    sel.m.Rows,
+		SelectiveNsPerOp: sel.m.NsPerOp,
+		FullFlushNsPerOp: flush.m.NsPerOp,
+		SelectiveHitRate: sel.hitRate,
+		FullFlushHitRate: flush.hitRate,
+	}
+	if sel.m.NsPerOp > 0 {
+		ci.Speedup = flush.m.NsPerOp / sel.m.NsPerOp
+	}
+	rep.CacheFeed = ci
+	return nil
+}
+
 // runStorePerf benchmarks the durability subsystem at the 100k scale:
 // snapshot restore vs the two rebuild baselines (all three verified to
 // reproduce the same state before timing), plus WAL replay throughput.
@@ -829,6 +936,12 @@ func printPerf(rep *perfReport) {
 	if hc := rep.Harvest; hc != nil {
 		fmt.Printf("Step 5 feed (%d questions): sequential %.0f ms, batch engine %.0f ms, speedup %.2fx\n",
 			hc.Questions, hc.Sequential/1e6, hc.Engine/1e6, hc.Speedup)
+	}
+	if ci := rep.CacheFeed; ci != nil {
+		fmt.Println("== PERF: selective cache invalidation vs full flush on feed ==")
+		fmt.Printf("%d-question pool + 1 feed/op: selective %.0f ms/op (%.0f%% hits), full flush %.0f ms/op (%.0f%% hits), speedup %.2fx\n",
+			ci.PoolQuestions, ci.SelectiveNsPerOp/1e6, ci.SelectiveHitRate*100,
+			ci.FullFlushNsPerOp/1e6, ci.FullFlushHitRate*100, ci.Speedup)
 	}
 	if sr := rep.StoreRestore; sr != nil {
 		fmt.Println("== PERF: snapshot restore vs rebuild (durability) ==")

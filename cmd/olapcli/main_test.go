@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMainSmoke drives the CLI end to end on the scenario warehouse:
+// flag parsing, the Role:Level group/filter grammar, integration feed,
+// query execution and formatting. The OLAP engine itself is pinned in
+// internal/dw; this guards the flag wiring.
+func TestMainSmoke(t *testing.T) {
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = []string{
+		"olapcli",
+		"-fact", "LastMinuteSales",
+		"-measure", "Price",
+		"-agg", "sum",
+		"-group", "Destination:City",
+		"-group", "Date:Month",
+		"-filter", "Destination:Country=Spain",
+	}
+	main()
+}
+
+func TestSplitRoleLevel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		role string
+		lvl  string
+		ok   bool
+	}{
+		{"Destination:City", "Destination", "City", true},
+		{"Date:Month", "Date", "Month", true},
+		{"NoColon", "", "", false},
+		{":City", "", "", false},
+		{"Role:", "", "", false},
+	} {
+		role, lvl, ok := splitRoleLevel(tc.in)
+		if role != tc.role || lvl != tc.lvl || ok != tc.ok {
+			t.Errorf("splitRoleLevel(%q) = %q, %q, %v; want %q, %q, %v",
+				tc.in, role, lvl, ok, tc.role, tc.lvl, tc.ok)
+		}
+	}
+}

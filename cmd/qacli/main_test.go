@@ -1,0 +1,21 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMainSmoke drives the CLI end to end: flag parsing, pipeline boot,
+// the Step 1–5 integration, one factoid Ask with candidate printout.
+// The QA system itself is pinned in internal/qa; this guards the flag
+// wiring and output path.
+func TestMainSmoke(t *testing.T) {
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = []string{
+		"qacli",
+		"-candidates", "2",
+		"What is the weather like in January of 2004 in El Prat?",
+	}
+	main()
+}

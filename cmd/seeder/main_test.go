@@ -1,0 +1,32 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMainSmoke drives the CLI entrypoint end to end on a tiny
+// generated ingestion: flag parsing, config assembly, a real seed.Run
+// over a temp data directory, and the summary line. The streaming and
+// resume semantics themselves are pinned in internal/seed; this guards
+// the flag wiring.
+func TestMainSmoke(t *testing.T) {
+	dir := t.TempDir()
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = []string{
+		"seeder",
+		"-data", filepath.Join(dir, "data"),
+		"-pages", "32",
+		"-batch", "16",
+		"-snapshot-every", "-1",
+		"-seed", "7",
+		"-progress-every", "1",
+	}
+	main()
+
+	if _, err := os.Stat(filepath.Join(dir, "data", "seeder.ckpt")); err != nil {
+		t.Fatalf("CLI run left no checkpoint: %v", err)
+	}
+}

@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// TestMainSmoke runs the paper's narrated end-to-end example: the five
+// integration steps plus the closing analysis queries. The example is
+// the repo's front door, so it must keep executing as the API evolves.
+func TestMainSmoke(t *testing.T) {
+	main()
+}

@@ -48,6 +48,19 @@ type ScaledCorpus struct {
 // scaledCorpusBaseYear anchors the scaled corpus timeline.
 const scaledCorpusBaseYear = 1998
 
+// ScaledPage returns page i of the scaled corpus's deterministic
+// (year, city, month) page grid — the same enumeration order
+// BuildScaledCorpus walks, exposed positionally so a streaming ingester
+// (cmd/seeder) can generate any window of the corpus without holding
+// the rest: resuming from a checkpoint is just restarting the counter.
+func ScaledPage(i int, seed int64) webcorpus.Page {
+	perYear := len(scaledCityPool) * 12
+	year := scaledCorpusBaseYear + i/perYear
+	city := scaledCityPool[(i%perYear)/12]
+	month := i%12 + 1
+	return webcorpus.ProsePage(webcorpus.WeatherSeries(city, year, month, seed))
+}
+
 // BuildScaledCorpus returns an indexed corpus of at least targetPassages
 // passages, mirroring BuildScaledWarehouse: deterministic given the seed,
 // grown incrementally until the target is met. Pages are Figure 4 prose

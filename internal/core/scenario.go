@@ -9,12 +9,26 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"dwqa/internal/dw"
 	"dwqa/internal/ir"
 	"dwqa/internal/mdm"
 	"dwqa/internal/webcorpus"
 )
+
+// sortedKeys returns a map's keys in sorted order. Member creation
+// must iterate deterministically: member ids follow insertion order and
+// the durable snapshots encode them, so map-order iteration would make
+// byte-level state convergence across processes impossible.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // Airport describes one airport of the scenario.
 type Airport struct {
@@ -149,14 +163,20 @@ func PopulateScenarioScaled(wh *dw.Warehouse, year int, months []int, seed int64
 	if scale < 1 {
 		scale = 1
 	}
-	// Dimension members.
-	countries := map[string]bool{}
+	// Dimension members. Insertion order must be deterministic — member
+	// ids follow it, and the durable snapshots encode those ids, so two
+	// pipelines built from the same config must create members in the
+	// same order to export byte-identical state (the seeder's
+	// kill-and-resume convergence check compares exactly that).
 	cities := map[string]string{} // city → country
 	for _, a := range ScenarioAirports {
-		countries[a.Country] = true
 		cities[a.City] = a.Country
 	}
-	for c := range countries {
+	countryNames := map[string]bool{}
+	for _, country := range cities {
+		countryNames[country] = true
+	}
+	for _, c := range sortedKeys(countryNames) {
 		if _, err := wh.AddMember("Airport", "Country", c, nil, ""); err != nil {
 			return err
 		}
@@ -164,7 +184,8 @@ func PopulateScenarioScaled(wh *dw.Warehouse, year int, months []int, seed int64
 			return err
 		}
 	}
-	for city, country := range cities {
+	for _, city := range sortedKeys(cities) {
+		country := cities[city]
 		if _, err := wh.AddMember("Airport", "City", city, nil, country); err != nil {
 			return err
 		}

@@ -243,6 +243,7 @@ func TestScanFact(t *testing.T) {
 type journalRecorder struct {
 	members  [][]MemberSpec
 	factRows []int
+	batches  [][2]int // (specs, rows) sizes of each LogBatch call
 	fail     bool
 }
 
@@ -259,6 +260,14 @@ func (j *journalRecorder) LogFactRows(fact string, rows []FactRow) error {
 		return fmt.Errorf("journal down")
 	}
 	j.factRows = append(j.factRows, len(rows))
+	return nil
+}
+
+func (j *journalRecorder) LogBatch(specs []MemberSpec, fact string, rows []FactRow) error {
+	if j.fail {
+		return fmt.Errorf("journal down")
+	}
+	j.batches = append(j.batches, [2]int{len(specs), len(rows)})
 	return nil
 }
 

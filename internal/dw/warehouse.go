@@ -67,6 +67,10 @@ type Warehouse struct {
 type Journal interface {
 	LogMembers(specs []MemberSpec) error
 	LogFactRows(fact string, rows []FactRow) error
+	// LogBatch records one combined member+fact-row commit (AddBatch) as a
+	// single log record, so a crash can never replay the members without
+	// their rows.
+	LogBatch(specs []MemberSpec, fact string, rows []FactRow) error
 }
 
 // SetJournal installs (or, with nil, removes) the redo journal. Every
@@ -376,6 +380,114 @@ func (w *Warehouse) AddFactRows(fact string, rows []FactRow) error {
 	}
 	for r := range rows {
 		fd.appendRow(keys[r], vals[r], rows[r].Provenance)
+	}
+	return nil
+}
+
+// AddBatch commits a member batch and a fact-row batch as one atomic
+// warehouse transaction: either every member and every row lands, or
+// nothing does. Everything is validated first against the live tables
+// plus a pending overlay (so specs may parent each other and rows may
+// reference members introduced earlier in the same batch), then the
+// whole transaction is journalled as a single combined WAL record, then
+// applied — the apply step cannot fail after validation, so the caller
+// never observes members committed without their rows (the failure mode
+// a loop of AddMembers-then-AddFactRows has). Specs are applied in
+// order; parents must precede their children or already exist. An empty
+// batch is a no-op and journals nothing; rows may be empty when only
+// members are loaded (fact must still name a known fact when rows are
+// present).
+func (w *Warehouse) AddBatch(specs []MemberSpec, fact string, rows []FactRow) error {
+	if len(specs) == 0 && len(rows) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	// Validate the member specs without mutating: pending tracks names
+	// this batch will introduce, keyed (dim, level).
+	pending := map[[2]string]map[string]bool{}
+	for i, s := range specs {
+		dd, ok := w.dims[s.Dim]
+		if !ok {
+			return fmt.Errorf("dw: batch spec %d: unknown dimension %q", i, s.Dim)
+		}
+		if _, ok := dd.levels[s.Level]; !ok {
+			return fmt.Errorf("dw: batch spec %d: unknown level %q of dimension %q", i, s.Level, s.Dim)
+		}
+		if s.Name == "" {
+			return fmt.Errorf("dw: batch spec %d: empty member name for %s.%s", i, s.Dim, s.Level)
+		}
+		lvl := dd.class.Level(s.Level)
+		if s.Parent != "" {
+			if lvl.RollsUpTo == "" {
+				return fmt.Errorf("dw: batch spec %d: level %q of %q is the hierarchy top, cannot have parent %q",
+					i, s.Level, s.Dim, s.Parent)
+			}
+			pkey := [2]string{s.Dim, lvl.RollsUpTo}
+			if _, ok := dd.levels[lvl.RollsUpTo].byName[s.Parent]; !ok && !pending[pkey][s.Parent] {
+				return fmt.Errorf("dw: batch spec %d: parent %q not found at level %q of %q",
+					i, s.Parent, lvl.RollsUpTo, s.Dim)
+			}
+		}
+		key := [2]string{s.Dim, s.Level}
+		if pending[key] == nil {
+			pending[key] = map[string]bool{}
+		}
+		pending[key][s.Name] = true
+	}
+
+	// Validate the rows, allowing base-level coordinates the spec batch
+	// introduces.
+	var fd *factData
+	if len(rows) > 0 {
+		var ok bool
+		fd, ok = w.facts[fact]
+		if !ok {
+			return fmt.Errorf("dw: unknown fact %q", fact)
+		}
+		for r, row := range rows {
+			for _, ref := range fd.class.Dimensions {
+				name, ok := row.Coords[ref.Role]
+				if !ok {
+					return fmt.Errorf("dw: batch row %d: fact %q row missing role %q", r, fact, ref.Role)
+				}
+				dd := w.dims[ref.Dimension]
+				base := dd.class.Base()
+				if _, ok := dd.levels[base.Name].byName[name]; !ok && !pending[[2]string{ref.Dimension, base.Name}][name] {
+					return fmt.Errorf("dw: batch row %d: fact %q role %q: member %q not found at base level %q of %q",
+						r, fact, ref.Role, name, base.Name, ref.Dimension)
+				}
+			}
+			for name := range row.Measures {
+				if _, ok := fd.measureIdx[name]; !ok {
+					return fmt.Errorf("dw: batch row %d: fact %q has no measure %q", r, fact, name)
+				}
+			}
+		}
+	}
+
+	// Write-ahead: one combined record for the whole transaction. The
+	// apply below mirrors the validation exactly, so it cannot fail past
+	// this point.
+	if w.journal != nil {
+		if err := w.journal.LogBatch(specs, fact, rows); err != nil {
+			return fmt.Errorf("dw: journal: %w", err)
+		}
+	}
+	for _, s := range specs {
+		if _, err := w.addMemberLocked(s.Dim, s.Level, s.Name, s.Attrs, s.Parent); err != nil {
+			// Unreachable while the validation above mirrors
+			// addMemberLocked; surfaced loudly rather than swallowed.
+			return fmt.Errorf("dw: applying validated batch spec: %w", err)
+		}
+	}
+	for r, row := range rows {
+		keys, vals, err := w.resolveRowLocked(fd, fact, row.Coords, row.Measures)
+		if err != nil {
+			return fmt.Errorf("dw: applying validated batch row %d: %w", r, err)
+		}
+		fd.appendRow(keys, vals, row.Provenance)
 	}
 	return nil
 }

@@ -45,6 +45,62 @@ func BenchmarkAskShedding(b *testing.B) {
 	<-done
 }
 
+// BenchmarkCacheFeedInvalidation measures what the tag-based cache
+// invalidation buys a serving engine under mixed feed/ask traffic: the
+// same workload (seven asks, then one single-question harvest feed,
+// repeated) runs against selective invalidation and against the legacy
+// flush-everything-on-feed strategy. The reported hit-rate metric is
+// the headline number — a feed under full flush zeroes the cache, so
+// every pool entry is recomputed afterwards, while selective eviction
+// drops only the entries whose dimension members the feed actually
+// touched (factoid entries survive outright). ns/op follows the hit
+// rate: a hit is a map lookup, a miss replays question analysis,
+// retrieval and extraction.
+func BenchmarkCacheFeedInvalidation(b *testing.B) {
+	for _, bm := range []struct {
+		name      string
+		fullFlush bool
+	}{
+		{"selective", false},
+		{"full-flush", true},
+	} {
+		b.Run(bm.name, func(b *testing.B) {
+			eng := newFlushConfiguredEngine(b, bm.fullFlush)
+			ctx := context.Background()
+			harvest := eng.DefaultHarvest()
+			pool := []string{
+				"What is the weather like in January of 2004 in El Prat?",
+				"What is the weather like in February of 2004 in Barajas?",
+				"What is the average temperature in Barcelona by month?",
+				"How many tickets were sold to Barcelona in January of 2004?",
+				"count of weather observations by city",
+			}
+			feeds := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%8 == 7 {
+					batch := harvest[feeds%len(harvest) : feeds%len(harvest)+1]
+					if _, _, err := eng.HarvestAll(ctx, batch); err != nil {
+						b.Fatal(err)
+					}
+					feeds++
+					continue
+				}
+				if r := eng.Ask(ctx, pool[i%len(pool)]); r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+			b.StopTimer()
+			st := eng.Stats()
+			if total := st.CacheHits + st.CacheMisses; total > 0 {
+				b.ReportMetric(float64(st.CacheHits)/float64(total), "hit-rate")
+			}
+			b.ReportMetric(float64(st.CacheEvicted), "evictions")
+		})
+	}
+}
+
 // BenchmarkAskAdmission isolates the per-request cost of the resilience
 // plumbing — gate acquire/release, deadline context construction, expiry
 // bookkeeping — by running the same trivial answer function with the

@@ -30,27 +30,36 @@ type cachedAnswer struct {
 }
 
 // answerCache is a mutex-guarded LRU of question results — factoid and
-// analytic alike, so a warehouse feed invalidates both kinds at once. The
-// engine flushes the cache whenever Step 5 feeds the warehouse (see
-// Engine.InvalidateCache).
+// analytic alike. Entries carry dependency tags naming the warehouse
+// state they were computed from; a Step 5 feed evicts only the entries
+// whose tags intersect what the feed touched (invalidate), while index
+// or corpus mutations still flush everything (flush). Factoid entries
+// carry no tags — they depend on the IR index, which feeds never mutate
+// — so they survive warehouse feeds.
 type answerCache struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List               // front = most recently used
 	items map[string]*list.Element // key → element holding *cacheEntry
-	// epoch counts flushes. put carries the epoch observed before the
-	// answer was computed; a flush in between makes the insert a no-op,
-	// so a result computed against the pre-feed warehouse can never be
-	// re-inserted after the feed invalidated the cache.
+	// byTag indexes live entries by dependency tag so a feed evicts
+	// intersecting entries in time proportional to what it touched,
+	// not to the cache size.
+	byTag map[string]map[*list.Element]struct{}
+	// epoch counts invalidations (selective or full). put carries the
+	// epoch observed before the answer was computed; an invalidation in
+	// between makes the insert a no-op, so a result computed against the
+	// pre-feed warehouse can never be re-inserted after the feed.
 	epoch uint64
 
-	hits   uint64
-	misses uint64
+	hits    uint64
+	misses  uint64
+	evicted uint64 // entries removed by selective invalidation
 }
 
 type cacheEntry struct {
-	key string
-	res cachedAnswer
+	key  string
+	res  cachedAnswer
+	tags []string
 }
 
 // newAnswerCache builds an LRU holding up to capacity entries. A capacity
@@ -60,13 +69,21 @@ func newAnswerCache(capacity int) *answerCache {
 		cap:   capacity,
 		ll:    list.New(),
 		items: make(map[string]*list.Element),
+		byTag: make(map[string]map[*list.Element]struct{}),
 	}
 }
 
+// enabled reports whether the cache stores anything at all.
+func (c *answerCache) enabled() bool { return c.cap > 0 }
+
 // get returns the cached result for key (if any) plus the current epoch,
-// which the caller passes back to put so flushes in between drop the
-// insert.
+// which the caller passes back to put so invalidations in between drop
+// the insert. A disabled cache reports a miss without counting it — the
+// hit/miss counters describe a cache that exists.
 func (c *answerCache) get(key string) (cachedAnswer, bool, uint64) {
+	if c.cap <= 0 {
+		return cachedAnswer{}, false, 0
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -79,10 +96,12 @@ func (c *answerCache) get(key string) (cachedAnswer, bool, uint64) {
 	return el.Value.(*cacheEntry).res, true, c.epoch
 }
 
-// put inserts a result computed while the cache was at the given epoch.
-// If a flush happened since (a warehouse feed invalidated everything),
-// the insert is dropped — the result may describe pre-feed state.
-func (c *answerCache) put(key string, res cachedAnswer, epoch uint64) {
+// put inserts a result computed while the cache was at the given epoch,
+// tagged with the warehouse dependencies the answer was derived from
+// (nil tags = depends on nothing a feed can touch). If an invalidation
+// happened since, the insert is dropped — the result may describe
+// pre-feed state.
+func (c *answerCache) put(key string, res cachedAnswer, epoch uint64, tags []string) {
 	if c.cap <= 0 {
 		return
 	}
@@ -92,16 +111,49 @@ func (c *answerCache) put(key string, res cachedAnswer, epoch uint64) {
 		return
 	}
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).res = res
+		ent := el.Value.(*cacheEntry)
+		c.untagLocked(el, ent)
+		ent.res = res
+		ent.tags = tags
+		c.tagLocked(el, ent)
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	el := c.ll.PushFront(&cacheEntry{key: key, res: res, tags: tags})
+	c.items[key] = el
+	c.tagLocked(el, el.Value.(*cacheEntry))
 	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.removeLocked(c.ll.Back())
 	}
+}
+
+// invalidate starts a new epoch and evicts every entry carrying at least
+// one of the given tags. Entries with disjoint tags (and untagged
+// entries) survive. The epoch bump means in-flight answers computed
+// before the feed cannot be inserted afterwards, even if their tags
+// would not have intersected — conservative, but it keeps the "no entry
+// may outlive the state it was computed from" invariant simple.
+func (c *answerCache) invalidate(tags []string) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch++
+	var doomed []*list.Element
+	seen := map[*list.Element]struct{}{}
+	for _, tag := range tags {
+		for el := range c.byTag[tag] {
+			if _, dup := seen[el]; !dup {
+				seen[el] = struct{}{}
+				doomed = append(doomed, el)
+			}
+		}
+	}
+	for _, el := range doomed {
+		c.removeLocked(el)
+	}
+	c.evicted += uint64(len(doomed))
 }
 
 // flush empties the cache and starts a new epoch (hit/miss counters
@@ -111,7 +163,39 @@ func (c *answerCache) flush() {
 	defer c.mu.Unlock()
 	c.ll.Init()
 	c.items = make(map[string]*list.Element)
+	c.byTag = make(map[string]map[*list.Element]struct{})
 	c.epoch++
+}
+
+// removeLocked drops one element from the list, the key map and the tag
+// index. Caller holds c.mu.
+func (c *answerCache) removeLocked(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, ent.key)
+	c.untagLocked(el, ent)
+}
+
+func (c *answerCache) tagLocked(el *list.Element, ent *cacheEntry) {
+	for _, tag := range ent.tags {
+		set := c.byTag[tag]
+		if set == nil {
+			set = make(map[*list.Element]struct{})
+			c.byTag[tag] = set
+		}
+		set[el] = struct{}{}
+	}
+}
+
+func (c *answerCache) untagLocked(el *list.Element, ent *cacheEntry) {
+	for _, tag := range ent.tags {
+		if set := c.byTag[tag]; set != nil {
+			delete(set, el)
+			if len(set) == 0 {
+				delete(c.byTag, tag)
+			}
+		}
+	}
 }
 
 func (c *answerCache) len() int {
@@ -120,8 +204,8 @@ func (c *answerCache) len() int {
 	return len(c.items)
 }
 
-func (c *answerCache) counters() (hits, misses uint64) {
+func (c *answerCache) counters() (hits, misses, evicted uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits, c.misses, c.evicted
 }

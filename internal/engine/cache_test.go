@@ -33,13 +33,13 @@ func res(i int) cachedAnswer {
 
 func TestAnswerCacheLRU(t *testing.T) {
 	c := newAnswerCache(2)
-	c.put("a", res(1), 0)
-	c.put("b", res(2), 0)
+	c.put("a", res(1), 0, nil)
+	c.put("b", res(2), 0, nil)
 	if _, ok, _ := c.get("a"); !ok {
 		t.Fatal("a should be cached")
 	}
 	// "b" is now least recently used; inserting "c" evicts it.
-	c.put("c", res(3), 0)
+	c.put("c", res(3), 0, nil)
 	if _, ok, _ := c.get("b"); ok {
 		t.Fatal("b should have been evicted")
 	}
@@ -52,7 +52,7 @@ func TestAnswerCacheLRU(t *testing.T) {
 	if n := c.len(); n != 2 {
 		t.Fatalf("len = %d, want 2", n)
 	}
-	hits, misses := c.counters()
+	hits, misses, _ := c.counters()
 	if hits != 3 || misses != 1 {
 		t.Errorf("counters = (%d hits, %d misses), want (3, 1)", hits, misses)
 	}
@@ -60,10 +60,10 @@ func TestAnswerCacheLRU(t *testing.T) {
 
 func TestAnswerCachePutExistingMovesToFront(t *testing.T) {
 	c := newAnswerCache(2)
-	c.put("a", res(1), 0)
-	c.put("b", res(2), 0)
-	c.put("a", res(10), 0) // refresh value and recency
-	c.put("c", res(3), 0)  // evicts b, not a
+	c.put("a", res(1), 0, nil)
+	c.put("b", res(2), 0, nil)
+	c.put("a", res(10), 0, nil) // refresh value and recency
+	c.put("c", res(3), 0, nil)  // evicts b, not a
 	if got, ok, _ := c.get("a"); !ok || got.qa.Candidates[0].Score != 10 {
 		t.Fatalf("a = %+v (ok=%v), want refreshed entry", got, ok)
 	}
@@ -75,7 +75,7 @@ func TestAnswerCachePutExistingMovesToFront(t *testing.T) {
 func TestAnswerCacheFlush(t *testing.T) {
 	c := newAnswerCache(8)
 	for i := 0; i < 5; i++ {
-		c.put(fmt.Sprintf("q%d", i), res(i), 0)
+		c.put(fmt.Sprintf("q%d", i), res(i), 0, nil)
 	}
 	c.flush()
 	if n := c.len(); n != 0 {
@@ -93,13 +93,13 @@ func TestAnswerCacheStalePutDropped(t *testing.T) {
 	c := newAnswerCache(8)
 	_, _, epoch := c.get("q") // miss; observe the pre-feed epoch
 	c.flush()                 // a warehouse feed commits meanwhile
-	c.put("q", res(1), epoch) // late insert of the pre-feed answer
+	c.put("q", res(1), epoch, nil) // late insert of the pre-feed answer
 	if _, ok, _ := c.get("q"); ok {
 		t.Fatal("stale pre-flush result must not enter the cache")
 	}
 	// A put at the current epoch works again.
 	_, _, epoch = c.get("q")
-	c.put("q", res(2), epoch)
+	c.put("q", res(2), epoch, nil)
 	if _, ok, _ := c.get("q"); !ok {
 		t.Fatal("current-epoch put should be stored")
 	}
@@ -183,11 +183,20 @@ func TestCacheFlushRaceNeverServesStaleAnswer(t *testing.T) {
 
 func TestAnswerCacheDisabled(t *testing.T) {
 	c := newAnswerCache(-1)
-	c.put("a", res(1), 0)
+	c.put("a", res(1), 0, nil)
 	if _, ok, _ := c.get("a"); ok {
 		t.Fatal("disabled cache must never hit")
 	}
 	if n := c.len(); n != 0 {
 		t.Fatalf("len = %d, want 0", n)
+	}
+	// A disabled cache reports no traffic at all — a get is not a "miss"
+	// when there is nothing to hit, so /healthz can distinguish "cache
+	// off" from "cache cold" instead of showing a perpetual 0% hit rate.
+	if hits, misses, _ := c.counters(); hits != 0 || misses != 0 {
+		t.Fatalf("disabled cache counted traffic: %d hits, %d misses", hits, misses)
+	}
+	if c.enabled() {
+		t.Fatal("cap <= 0 must report disabled")
 	}
 }

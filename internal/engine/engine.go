@@ -13,8 +13,10 @@
 //   - request coalescing: identical questions inside one batch are
 //     analysed once and fanned out, the serving analogue of the
 //     singleflight pattern;
-//   - an LRU answer cache keyed on the normalised question text,
-//     invalidated whenever Step 5 feeds the warehouse;
+//   - an LRU answer cache keyed on the normalised question text, with
+//     tag-based selective invalidation: entries record the warehouse
+//     members and facts their answer depends on, and a Step 5 feed
+//     evicts only the intersecting entries (cache.go, tags.go);
 //   - a parallelised Step 5: answers are extracted concurrently per
 //     question and committed to the Weather fact in batch instead of
 //     row-at-a-time;
@@ -81,6 +83,12 @@ type Config struct {
 	// HarvestTimeout is the same for HarvestAll. Zero selects
 	// DefaultHarvestTimeout; negative disables.
 	HarvestTimeout time.Duration
+	// FullFlushOnFeed restores the pre-selective behaviour: every
+	// committed feed flushes the whole answer cache instead of evicting
+	// only the entries whose dependency tags the feed touched. Kept as
+	// an opt-back knob and as the oracle/baseline the equivalence tests
+	// and benchmarks compare selective invalidation against.
+	FullFlushOnFeed bool
 }
 
 // ErrPanic reports that a question's processing panicked. The panic was
@@ -100,6 +108,7 @@ type Engine struct {
 	index     *ir.Index
 	cache     *answerCache
 	workers   int
+	fullFlush bool // Config.FullFlushOnFeed
 
 	// Resilience plumbing (gate.go, degrade.go): admission control,
 	// per-request deadlines, and the degraded read-only latch.
@@ -116,9 +125,10 @@ type Engine struct {
 	answerFn  func(question string) (*qa.Result, error)
 	harvestFn func(question string) ([]qa.Answer, *qa.Result, error)
 
-	// generation counts warehouse feeds; it bumps (and the answer cache
-	// flushes) every time HarvestAll commits, so clients can detect that
-	// answers may reflect a fresher warehouse.
+	// generation counts warehouse feeds; it bumps every time HarvestAll
+	// commits, so clients can detect that answers may reflect a fresher
+	// warehouse. Cache invalidation is separate and selective: a commit
+	// evicts only the entries whose tags it touched (cache.go).
 	generation atomic.Uint64
 
 	mu             sync.Mutex
@@ -177,6 +187,7 @@ func New(cfg Config, ask, harvester *qa.System, loader *etl.Loader, index *ir.In
 		index:          index,
 		cache:          newAnswerCache(cacheSize),
 		workers:        workers,
+		fullFlush:      cfg.FullFlushOnFeed,
 		gate:           newGate(cfg.MaxInflight, cfg.MaxQueue),
 		askTimeout:     askTimeout,
 		harvestTimeout: harvestTimeout,
@@ -230,9 +241,12 @@ func (e *Engine) Workers() int { return e.workers }
 // committed.
 func (e *Engine) Generation() uint64 { return e.generation.Load() }
 
-// InvalidateCache flushes the answer cache. HarvestAll calls it after
-// every committed feed; callers that mutate the warehouse or corpus
-// through other paths should call it themselves.
+// InvalidateCache flushes the whole answer cache. Callers that mutate
+// the warehouse, index or corpus through paths the engine cannot see
+// must call it themselves: index mutations shift the global idf weights
+// every factoid and retrieval score depends on, so nothing finer than a
+// full flush is safe there. HarvestAll's own feeds no longer need it —
+// they evict selectively by dependency tag.
 func (e *Engine) InvalidateCache() { e.cache.flush() }
 
 // AskResult is one slot of an AskAll batch. For factoid questions Result
@@ -354,7 +368,9 @@ func (e *Engine) AskAll(ctx context.Context, questions []string) []AskResult {
 			ans, err := trans.Answer(t.text)
 			switch {
 			case err == nil:
-				e.cache.put(t.key, cachedAnswer{olap: ans}, epoch)
+				// Tagged with the warehouse members/facts the plan reads,
+				// so feeds evict it only when they touch those.
+				e.cache.put(t.key, cachedAnswer{olap: ans}, epoch, olapEntryTags(trans.Schema(), ans))
 				for n, i := range t.indices {
 					out[i].OLAP = ans
 					out[i].Cached = n > 0
@@ -370,8 +386,10 @@ func (e *Engine) AskAll(ctx context.Context, questions []string) []AskResult {
 		res, err := e.answerFn(t.text)
 		if err == nil {
 			// epoch-checked: a feed committed mid-computation drops the
-			// insert instead of resurrecting a pre-feed answer.
-			e.cache.put(t.key, cachedAnswer{qa: res}, epoch)
+			// insert instead of resurrecting a pre-feed answer. Factoid
+			// answers carry no tags — they read the IR index, which feeds
+			// never mutate — so they survive selective invalidation.
+			e.cache.put(t.key, cachedAnswer{qa: res}, epoch, nil)
 		}
 		for n, i := range t.indices {
 			out[i].Result = res
@@ -441,9 +459,10 @@ type HarvestResult struct {
 // committed to the warehouse in one batch load, in question order — so
 // loaded/skipped counts match a sequential harvest-and-load loop exactly.
 // An empty batch falls back to the engine's default harvest workload.
-// After a commit the answer cache is flushed and the feed generation
-// bumps. Extraction failures are per-question (Err in the slot); the
-// batch still loads the questions that succeeded.
+// After a commit the feed generation bumps and the answer cache evicts
+// the entries whose dependency tags the feed touched (everything, with
+// Config.FullFlushOnFeed). Extraction failures are per-question (Err in
+// the slot); the batch still loads the questions that succeeded.
 //
 // Resilience semantics: a degraded engine refuses the feed outright with
 // ErrDegraded. The deadline (the caller's, or Config.HarvestTimeout) is
@@ -513,7 +532,7 @@ func (e *Engine) HarvestAll(ctx context.Context, questions []string) ([]HarvestR
 	// commitMu keeps it atomic with respect to snapshot exports
 	// (persist.go) without touching the ask paths.
 	e.commitMu.Lock()
-	reports, total, err := e.loader.LoadAll(batches)
+	reports, total, touched, err := e.loader.LoadAll(batches)
 	e.commitMu.Unlock()
 	if err != nil {
 		if errors.Is(err, store.ErrWAL) {
@@ -529,8 +548,16 @@ func (e *Engine) HarvestAll(ctx context.Context, questions []string) ([]HarvestR
 		items[i].Loaded = reports[i].Loaded
 		items[i].Skipped = reports[i].Skipped
 	}
+	// The generation counts committed feeds (observability); the cache
+	// reacts only to what the feed actually touched. A feed whose every
+	// record deduplicated away changed nothing a cached answer could
+	// depend on, so nothing is evicted and the epoch stands.
 	e.generation.Add(1)
-	e.cache.flush()
+	if e.fullFlush {
+		e.cache.flush()
+	} else if tags := feedTags(touched); len(tags) > 0 {
+		e.cache.invalidate(tags)
+	}
 	return items, total, nil
 }
 
@@ -539,10 +566,18 @@ func (e *Engine) HarvestAll(ctx context.Context, questions []string) ([]HarvestR
 // — when a durable store is wired — the recovery and snapshot
 // observability fields the ops side watches after a restart.
 type Stats struct {
-	Workers      int    `json:"workers"`
+	Workers int `json:"workers"`
+	// CacheEnabled distinguishes a disabled cache (capacity <= 0) from a
+	// cold one: a disabled cache reports zero hits AND zero misses, so
+	// the ops side never reads a perpetual 0% hit rate off a cache that
+	// does not exist.
+	CacheEnabled bool   `json:"cache_enabled"`
 	CacheEntries int    `json:"cache_entries"`
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheMisses  uint64 `json:"cache_misses"`
+	// CacheEvicted counts entries removed by selective feed invalidation
+	// (full flushes reset the table wholesale and are not counted here).
+	CacheEvicted uint64 `json:"cache_evicted"`
 	Generation   uint64 `json:"generation"`
 	Documents    int    `json:"documents"`
 	Passages     int    `json:"passages"`
@@ -572,12 +607,14 @@ type Stats struct {
 
 // Stats snapshots the engine's serving statistics.
 func (e *Engine) Stats() Stats {
-	hits, misses := e.cache.counters()
+	hits, misses, evicted := e.cache.counters()
 	st := Stats{
 		Workers:      e.workers,
+		CacheEnabled: e.cache.enabled(),
 		CacheEntries: e.cache.len(),
 		CacheHits:    hits,
 		CacheMisses:  misses,
+		CacheEvicted: evicted,
 		Generation:   e.generation.Load(),
 		State:        "ready",
 		Inflight:     e.gate.Inflight(),

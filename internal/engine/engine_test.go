@@ -204,7 +204,7 @@ func TestHarvestAllMatchesSequentialLoop(t *testing.T) {
 	}
 }
 
-func TestHarvestInvalidatesCacheAndBumpsGeneration(t *testing.T) {
+func TestHarvestBumpsGenerationAndSparesFactoidEntries(t *testing.T) {
 	p := newPipeline(t)
 	eng, err := p.Engine()
 	if err != nil {
@@ -224,8 +224,18 @@ func TestHarvestInvalidatesCacheAndBumpsGeneration(t *testing.T) {
 	if eng.Generation() != gen+1 {
 		t.Errorf("generation = %d, want %d", eng.Generation(), gen+1)
 	}
+	// Selective invalidation: a warehouse feed does not touch the IR
+	// index, so the cached factoid answer (which reads only the index)
+	// survives the feed. This is the hit-rate win over the old
+	// flush-everything behaviour; analytic entries over the fed fact DO
+	// die (TestAnalyticAnswersInvalidatedByFeed).
+	if r := eng.Ask(context.Background(), q); !r.Cached {
+		t.Error("factoid entry should survive a warehouse feed (index untouched)")
+	}
+	// The explicit full flush still clears everything.
+	eng.InvalidateCache()
 	if r := eng.Ask(context.Background(), q); r.Cached {
-		t.Error("cache must be invalidated by a warehouse feed")
+		t.Error("InvalidateCache must drop factoid entries")
 	}
 }
 

@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"dwqa/internal/etl"
+	"dwqa/internal/mdm"
+	"dwqa/internal/nl2olap"
+)
+
+// Dependency tags tie cached answers to the warehouse state they were
+// computed from, so a Step 5 feed can evict exactly the answers it may
+// have changed instead of flushing the cache. Three tag kinds:
+//
+//	m:<dim>/<level>/<member> — the answer read this member's rows
+//	d:<dim>/<level>          — the answer depends on the level's whole
+//	                           member population (a dynamic filter like
+//	                           a year-less "in January" enumerated it)
+//	f:<fact>                 — the answer reads the whole fact table
+//	                           (unfiltered, or a filter the schema
+//	                           cannot map to a dimension)
+//
+// An entry is evicted when ANY of its tags appears in the feed's touch
+// set. The contract is one-sided: tagging too coarsely costs spurious
+// evictions (correct, slower); tagging too narrowly would serve stale
+// answers (wrong). Every fallback below therefore widens.
+
+// olapEntryTags derives the dependency tags for one compiled analytic
+// answer. Filter values map to member tags via the plan's role →
+// dimension binding; dynamically-enumerated filters add their level
+// tag; anything the schema cannot map collapses to the whole-fact tag.
+func olapEntryTags(schema *mdm.Schema, ans *nl2olap.Answer) []string {
+	q := ans.Query
+	wholeFact := []string{"f:" + q.Fact}
+	if schema == nil || len(q.Filters) == 0 {
+		return wholeFact
+	}
+	fc := schema.Fact(q.Fact)
+	if fc == nil {
+		return wholeFact
+	}
+	var tags []string
+	for _, f := range q.Filters {
+		ref := fc.Ref(f.Role)
+		if ref == nil {
+			return wholeFact
+		}
+		for _, v := range f.Values {
+			tags = append(tags, "m:"+ref.Dimension+"/"+f.Level+"/"+v)
+		}
+	}
+	for _, dyn := range ans.DynamicFilters {
+		ref := fc.Ref(dyn.Role)
+		if ref == nil {
+			return wholeFact
+		}
+		tags = append(tags, "d:"+ref.Dimension+"/"+dyn.Level)
+	}
+	return tags
+}
+
+// feedTags turns a committed load's write footprint into the tag set to
+// invalidate: each touched member (ancestors included — etl built the
+// closure), the population tag of every touched level (new members
+// change what dynamic filters enumerate even before any rows land), and
+// each fact that gained rows.
+func feedTags(touched *etl.Touched) []string {
+	if touched.Empty() {
+		return nil
+	}
+	var tags []string
+	seen := map[string]bool{}
+	add := func(t string) {
+		if !seen[t] {
+			seen[t] = true
+			tags = append(tags, t)
+		}
+	}
+	for _, m := range touched.Members {
+		add("m:" + m.Dim + "/" + m.Level + "/" + m.Name)
+		add("d:" + m.Dim + "/" + m.Level)
+	}
+	for _, f := range touched.Facts {
+		add("f:" + f)
+	}
+	return tags
+}

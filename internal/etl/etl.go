@@ -13,11 +13,32 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"unicode"
+	"unicode/utf8"
 
 	"dwqa/internal/dw"
 	"dwqa/internal/ontology"
 	"dwqa/internal/qa"
 )
+
+// CanonicalCity returns the canonical member-name form of a city
+// mention: whitespace-normalised, with each word's first rune
+// upper-cased ("el  prat" → "El Prat"). Normalize, LoadAll, LoadRecords
+// and RestoreDedup all key on this one form, so "Barcelona" and
+// "barcelona" harvested from different pages are the same dedup key AND
+// the same City member — the pre-fix code lowercased the dedup key but
+// created members from the raw surface form, letting arrival order mint
+// case-variant members for records it had already deduplicated.
+func CanonicalCity(s string) string {
+	fields := strings.Fields(s)
+	for i, f := range fields {
+		r, size := utf8.DecodeRuneInString(f)
+		if unicode.IsLower(r) {
+			fields[i] = string(unicode.ToUpper(r)) + f[size:]
+		}
+	}
+	return strings.Join(fields, " ")
+}
 
 // WeatherRecord is a normalised (temperature – date – city – web page)
 // tuple ready for warehouse loading. TempC is always Celsius.
@@ -132,7 +153,11 @@ func (l *Loader) RestoreDedup() (int, error) {
 	defer l.mu.Unlock()
 	restored := 0
 	err := l.wh.ScanFact(l.fact, []string{"City", "Date"}, func(row int, names []string, prov string) error {
-		key := strings.ToLower(names[0]) + "|" + names[1] + "|" + prov
+		// Member names are canonical by construction (every load path
+		// goes through CanonicalCity), so the scanned name IS the dedup
+		// key's city form — no case folding, or the key would diverge
+		// from the member again.
+		key := names[0] + "|" + names[1] + "|" + prov
 		if !l.loaded[key] {
 			l.loaded[key] = true
 			restored++
@@ -172,7 +197,7 @@ func (l *Loader) Normalize(ans qa.Answer) (WeatherRecord, string) {
 		return WeatherRecord{}, fmt.Sprintf("out of range: %.1fC", tempC)
 	}
 	return WeatherRecord{
-		City: ans.Location,
+		City: CanonicalCity(ans.Location),
 		Year: ans.Date.Year, Month: ans.Date.Month, Day: ans.Date.Day,
 		TempC: tempC, SourceURL: ans.URL, Score: ans.Score,
 	}, ""
@@ -196,11 +221,39 @@ func (l *Loader) inRange(tempC float64) bool {
 	return tempC >= -90 && tempC <= 60
 }
 
+// TouchedMember names one dimension member a committed load wrote rows
+// under or aggregated into (ancestors included).
+type TouchedMember struct {
+	Dim   string
+	Level string
+	Name  string
+}
+
+// Touched is the write footprint of one committed load: every dimension
+// member a committed row's coordinates name — with the full ancestor
+// closure, so a query filtered at a coarser level (Country when rows
+// landed under a City) still intersects — plus the facts that gained
+// rows. The serving engine turns it into cache-invalidation tags: a
+// feed evicts only the cached answers whose dependencies intersect this
+// set, instead of flushing everything. Over-reporting is safe (spurious
+// evictions); under-reporting would serve stale answers, so the set is
+// built from the same member specs the warehouse transaction committed.
+type Touched struct {
+	Members []TouchedMember
+	Facts   []string // facts that gained rows
+}
+
+// Empty reports whether the load changed nothing a cached answer could
+// depend on (everything deduplicated or rejected).
+func (t *Touched) Empty() bool {
+	return t == nil || (len(t.Members) == 0 && len(t.Facts) == 0)
+}
+
 // Load normalises and loads a batch of QA answers, creating the needed
 // Date and City dimension members on the fly. Every loaded fact row
 // carries the source URL as provenance.
 func (l *Loader) Load(answers []qa.Answer) (*Report, error) {
-	reports, _, err := l.LoadAll([][]qa.Answer{answers})
+	reports, _, _, err := l.LoadAll([][]qa.Answer{answers})
 	if err != nil {
 		return nil, err
 	}
@@ -209,18 +262,95 @@ func (l *Loader) Load(answers []qa.Answer) (*Report, error) {
 
 // LoadAll normalises and loads a sequence of answer batches (one per
 // harvest question) in order, committing all dimension members and fact
-// rows in two warehouse write transactions instead of row-at-a-time.
-// Deduplication is identical to looping Load over the batches: within
-// the call and across the Loader's lifetime, only the first (city, day,
-// source) record loads; later duplicates count as skipped in their
-// batch's report. It returns one report per batch plus the combined
-// report. The fact append is atomic — a warehouse-level failure loads
-// nothing.
-func (l *Loader) LoadAll(batches [][]qa.Answer) ([]*Report, *Report, error) {
+// rows in ONE warehouse transaction (dw.AddBatch): either every member
+// and every row lands — journalled as a single combined WAL record — or
+// nothing does, so a failed feed can no longer strand members without
+// their rows or abandon dedup keys. Deduplication is identical to
+// looping Load over the batches: within the call and across the
+// Loader's lifetime, only the first (city, day, source) record loads;
+// later duplicates count as skipped in their batch's report. It returns
+// one report per batch, the combined report, and the commit's write
+// footprint (nil Touched members/facts when nothing new landed).
+func (l *Loader) LoadAll(batches [][]qa.Answer) ([]*Report, *Report, *Touched, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 
 	reports := make([]*Report, len(batches))
+	recBatches := make([][]WeatherRecord, len(batches))
+	for bi, answers := range batches {
+		rep := &Report{}
+		reports[bi] = rep
+		for _, ans := range answers {
+			rec, reason := l.Normalize(ans)
+			if reason != "" {
+				rep.Rejections = append(rep.Rejections, Rejection{ans, reason})
+				continue
+			}
+			rep.Normalized++
+			recBatches[bi] = append(recBatches[bi], rec)
+		}
+	}
+	touched, err := l.commitLocked(recBatches, reports)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	total := &Report{}
+	for _, rep := range reports {
+		total.Normalized += rep.Normalized
+		total.Loaded += rep.Loaded
+		total.Skipped += rep.Skipped
+		total.Rejections = append(total.Rejections, rep.Rejections...)
+	}
+	return reports, total, touched, nil
+}
+
+// LoadRecords loads a batch of already-normalised records in one atomic
+// warehouse transaction — the streaming seeder's commit unit. City names
+// are canonicalised (CanonicalCity) so the dedup key and the member name
+// agree with every other load path; records with no city are rejected.
+// It returns the batch report and the commit's write footprint.
+func (l *Loader) LoadRecords(recs []WeatherRecord) (*Report, *Touched, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rep := &Report{}
+	batch := make([]WeatherRecord, 0, len(recs))
+	for _, rec := range recs {
+		rec.City = CanonicalCity(rec.City)
+		if rec.City == "" {
+			rep.Rejections = append(rep.Rejections, Rejection{Reason: "no location"})
+			continue
+		}
+		rep.Normalized++
+		batch = append(batch, rec)
+	}
+	touched, err := l.commitLocked([][]WeatherRecord{batch}, []*Report{rep})
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, touched, nil
+}
+
+// LoadRecord loads one normalised record into the warehouse. It reports
+// whether the record was stored: records already loaded by this Loader
+// (same city, day and source page) are skipped, making repeated Step 5
+// runs idempotent.
+func (l *Loader) LoadRecord(rec WeatherRecord) (bool, error) {
+	rep, _, err := l.LoadRecords([]WeatherRecord{rec})
+	if err != nil {
+		return false, err
+	}
+	if len(rep.Rejections) > 0 {
+		return false, fmt.Errorf("etl: %s", rep.Rejections[0].Reason)
+	}
+	return rep.Loaded == 1, nil
+}
+
+// commitLocked deduplicates the record batches, commits the needed
+// members and fact rows as one warehouse transaction, marks the dedup
+// keys loaded and fills in the per-batch Loaded/Skipped counts. Caller
+// holds l.mu. Records are assumed canonicalised (Normalize or
+// LoadRecords did it).
+func (l *Loader) commitLocked(recBatches [][]WeatherRecord, reports []*Report) (*Touched, error) {
 	var memberSpecs []dw.MemberSpec
 	seenMember := map[string]bool{}
 	ensureMember := func(dim, level, name, parent string) {
@@ -238,17 +368,13 @@ func (l *Loader) LoadAll(batches [][]qa.Answer) ([]*Report, *Report, error) {
 	var pendings []pendingRow
 	inFlight := map[string]bool{}
 
-	for bi, answers := range batches {
-		rep := &Report{}
-		reports[bi] = rep
-		for _, ans := range answers {
-			rec, reason := l.Normalize(ans)
-			if reason != "" {
-				rep.Rejections = append(rep.Rejections, Rejection{ans, reason})
-				continue
-			}
-			rep.Normalized++
-			key := strings.ToLower(rec.City) + "|" + rec.DayKey() + "|" + rec.SourceURL
+	for bi, recs := range recBatches {
+		rep := reports[bi]
+		for _, rec := range recs {
+			// The dedup key's city form IS the member name — one
+			// canonical form end to end (CanonicalCity), never a
+			// case-folded variant of it.
+			key := rec.City + "|" + rec.DayKey() + "|" + rec.SourceURL
 			if l.loaded[key] || inFlight[key] {
 				rep.Skipped++
 				continue
@@ -269,59 +395,61 @@ func (l *Loader) LoadAll(batches [][]qa.Answer) ([]*Report, *Report, error) {
 		}
 	}
 
-	if err := l.wh.AddMembers(memberSpecs); err != nil {
-		return nil, nil, fmt.Errorf("etl: %w", err)
-	}
-	if err := l.wh.AddFactRows(l.fact, rows); err != nil {
-		return nil, nil, fmt.Errorf("etl: %w", err)
+	// One transaction: members and rows land together or not at all, and
+	// the dedup keys below are marked only after the commit is acked.
+	if err := l.wh.AddBatch(memberSpecs, l.fact, rows); err != nil {
+		return nil, fmt.Errorf("etl: %w", err)
 	}
 	for _, p := range pendings {
 		l.loaded[p.key] = true
 		reports[p.batch].Loaded++
 	}
-
-	total := &Report{}
-	for _, rep := range reports {
-		total.Normalized += rep.Normalized
-		total.Loaded += rep.Loaded
-		total.Skipped += rep.Skipped
-		total.Rejections = append(total.Rejections, rep.Rejections...)
-	}
-	return reports, total, nil
+	return l.touchedFrom(memberSpecs, len(rows)), nil
 }
 
-// LoadRecord loads one normalised record into the warehouse. It reports
-// whether the record was stored: records already loaded by this Loader
-// (same city, day and source page) are skipped, making repeated Step 5
-// runs idempotent.
-func (l *Loader) LoadRecord(rec WeatherRecord) (bool, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	key := strings.ToLower(rec.City) + "|" + rec.DayKey() + "|" + rec.SourceURL
-	if l.loaded[key] {
-		return false, nil
+// touchedFrom expands the committed member specs into the full touch
+// set: each spec'd member plus its ancestor chain up the dimension
+// hierarchy (the Date specs carry their own Year/Month parents; City
+// members need the walk to reach their Country, so Country-level
+// filters see the touch).
+func (l *Loader) touchedFrom(specs []dw.MemberSpec, rowsLoaded int) *Touched {
+	t := &Touched{}
+	if len(specs) == 0 && rowsLoaded == 0 {
+		return t
 	}
-	// Date hierarchy members (idempotent adds).
-	if _, err := l.wh.AddMember(l.dateDim, "Year", rec.YearKey(), nil, ""); err != nil {
-		return false, fmt.Errorf("etl: %w", err)
+	seen := map[TouchedMember]bool{}
+	add := func(m TouchedMember) bool {
+		if seen[m] {
+			return false
+		}
+		seen[m] = true
+		t.Members = append(t.Members, m)
+		return true
 	}
-	if _, err := l.wh.AddMember(l.dateDim, "Month", rec.MonthKey(), nil, rec.YearKey()); err != nil {
-		return false, fmt.Errorf("etl: %w", err)
+	for _, s := range specs {
+		add(TouchedMember{Dim: s.Dim, Level: s.Level, Name: s.Name})
+		dim := l.wh.Schema().Dimension(s.Dim)
+		if dim == nil {
+			continue
+		}
+		level, name := s.Level, s.Name
+		for {
+			lvl := dim.Level(level)
+			if lvl == nil || lvl.RollsUpTo == "" {
+				break
+			}
+			parent, err := l.wh.ParentName(s.Dim, level, name)
+			if err != nil || parent == "" {
+				break
+			}
+			level, name = lvl.RollsUpTo, parent
+			if !add(TouchedMember{Dim: s.Dim, Level: level, Name: name}) {
+				break // ancestors of a seen member are already in
+			}
+		}
 	}
-	if _, err := l.wh.AddMember(l.dateDim, "Day", rec.DayKey(), nil, rec.MonthKey()); err != nil {
-		return false, fmt.Errorf("etl: %w", err)
+	if rowsLoaded > 0 {
+		t.Facts = append(t.Facts, l.fact)
 	}
-	// City member: created when the DW did not know it yet.
-	if _, err := l.wh.AddMember(l.cityDim, "City", rec.City, nil, ""); err != nil {
-		return false, fmt.Errorf("etl: %w", err)
-	}
-	err := l.wh.AddFactProvenance(l.fact,
-		map[string]string{"City": rec.City, "Date": rec.DayKey()},
-		map[string]float64{"TempC": rec.TempC},
-		rec.SourceURL)
-	if err != nil {
-		return false, fmt.Errorf("etl: %w", err)
-	}
-	l.loaded[key] = true
-	return true, nil
+	return t
 }

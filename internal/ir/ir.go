@@ -86,6 +86,10 @@ type Index struct {
 	docs     []Document
 	docSents [][]nlp.Sentence
 	passages []passageEntry
+	// byURL maps a document URL to its first index in docs — the
+	// idempotency probe (HasURL) the streaming seeder uses to skip pages
+	// that already survived a crash.
+	byURL map[string]int
 
 	// terms is the interned term dictionary: lemma → dense term id.
 	// Ids are append-only — assigned in first-occurrence order and never
@@ -126,6 +130,7 @@ func NewIndex(opts ...Option) *Index {
 	ix := &Index{
 		passageSize: DefaultPassageSize,
 		terms:       make(map[string]int32),
+		byURL:       make(map[string]int),
 	}
 	for _, o := range opts {
 		o(ix)
@@ -156,23 +161,76 @@ func (ix *Index) intern(lemma string) int32 {
 	return id
 }
 
-// Add indexes a document: sentence split, lemmatisation, stopword removal,
-// passage windowing. Empty documents are rejected.
-func (ix *Index) Add(doc Document) error {
+// splitDoc validates and sentence-splits one document outside the lock.
+func splitDoc(doc Document) ([]nlp.Sentence, error) {
 	if strings.TrimSpace(doc.Text) == "" {
-		return fmt.Errorf("ir: empty document %q", doc.URL)
+		return nil, fmt.Errorf("ir: empty document %q", doc.URL)
 	}
 	sents := nlp.SplitSentences(doc.Text)
 	if len(sents) == 0 {
-		return fmt.Errorf("ir: no sentences in document %q", doc.URL)
+		return nil, fmt.Errorf("ir: no sentences in document %q", doc.URL)
+	}
+	return sents, nil
+}
+
+// Add indexes a document: sentence split, lemmatisation, stopword removal,
+// passage windowing. Empty documents are rejected.
+func (ix *Index) Add(doc Document) error {
+	sents, err := splitDoc(doc)
+	if err != nil {
+		return err
 	}
 
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 
+	ix.addLocked(doc, sents)
+	if ix.journal != nil {
+		if err := ix.journal.LogDocument(doc); err != nil {
+			return fmt.Errorf("ir: journal: %w", err)
+		}
+	}
+	return nil
+}
+
+// AddBatch indexes a batch of documents as one write-lock acquisition and
+// one journal record (Journal.LogDocuments — one fsync however large the
+// batch). Every document is validated and sentence-split before the first
+// one is installed, so a malformed document rejects the whole batch with
+// the index untouched; this is the streaming seeder's commit unit.
+func (ix *Index) AddBatch(docs []Document) error {
+	if len(docs) == 0 {
+		return nil
+	}
+	split := make([][]nlp.Sentence, len(docs))
+	for i, d := range docs {
+		sents, err := splitDoc(d)
+		if err != nil {
+			return fmt.Errorf("ir: batch document %d: %w", i, err)
+		}
+		split[i] = sents
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for i, d := range docs {
+		ix.addLocked(d, split[i])
+	}
+	if ix.journal != nil {
+		if err := ix.journal.LogDocuments(docs); err != nil {
+			return fmt.Errorf("ir: journal: %w", err)
+		}
+	}
+	return nil
+}
+
+// addLocked installs one pre-split document. Caller holds the write lock.
+func (ix *Index) addLocked(doc Document, sents []nlp.Sentence) {
 	docIdx := len(ix.docs)
 	ix.docs = append(ix.docs, doc)
 	ix.docSents = append(ix.docSents, sents)
+	if _, ok := ix.byURL[doc.URL]; !ok {
+		ix.byURL[doc.URL] = docIdx
+	}
 
 	// Intern each sentence's content lemmas once (in text order, so term
 	// ids are deterministic); the document stats and every overlapping
@@ -223,12 +281,16 @@ func (ix *Index) Add(doc Document) error {
 			break
 		}
 	}
-	if ix.journal != nil {
-		if err := ix.journal.LogDocument(doc); err != nil {
-			return fmt.Errorf("ir: journal: %w", err)
-		}
-	}
-	return nil
+}
+
+// HasURL reports whether a document with this URL is already indexed —
+// the seeder's resume probe: a page whose WAL record survived the crash
+// is skipped instead of re-indexed.
+func (ix *Index) HasURL(url string) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	_, ok := ix.byURL[url]
+	return ok
 }
 
 // AddAll indexes a batch of documents, collecting per-document errors.

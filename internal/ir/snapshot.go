@@ -139,6 +139,12 @@ func (ix *Index) Import(snap *Snapshot) error {
 	ix.passageSize = snap.PassageSize
 	ix.stride = snap.Stride
 	ix.docs = append([]Document(nil), snap.Docs...)
+	ix.byURL = make(map[string]int, len(snap.Docs))
+	for i, d := range snap.Docs {
+		if _, ok := ix.byURL[d.URL]; !ok {
+			ix.byURL[d.URL] = i
+		}
+	}
 	ix.docSents = make([][]nlp.Sentence, len(snap.DocSents))
 	for i, sents := range snap.DocSents {
 		ix.docSents[i] = append([]nlp.Sentence(nil), sents...)
@@ -165,6 +171,9 @@ func (ix *Index) Import(snap *Snapshot) error {
 // first-occurrence order).
 type Journal interface {
 	LogDocument(doc Document) error
+	// LogDocuments records one indexed batch (AddBatch) as a single log
+	// record — one fsync per batch instead of per document.
+	LogDocuments(docs []Document) error
 }
 
 // SetJournal installs (or, with nil, removes) the redo journal. Each Add

@@ -137,6 +137,14 @@ func (j *docJournal) LogDocument(doc Document) error {
 	return nil
 }
 
+func (j *docJournal) LogDocuments(docs []Document) error {
+	if j.fail {
+		return fmt.Errorf("journal down")
+	}
+	j.docs = append(j.docs, docs...)
+	return nil
+}
+
 func TestIndexJournalHook(t *testing.T) {
 	ix := NewIndex()
 	j := &docJournal{}

@@ -123,6 +123,13 @@ func New(wh *dw.Warehouse, onto *ontology.Ontology) (*Translator, error) {
 	return t, nil
 }
 
+// Schema returns the metadata schema the translator compiles against —
+// read-only; callers use it to map a plan's filter roles back to their
+// dimensions (the serving cache's invalidation tags need that mapping).
+func (t *Translator) Schema() *mdm.Schema {
+	return t.schema
+}
+
 // DetectTime finds the calendar dimension of a schema: the first dimension
 // carrying both a Month and a Year level (the scenario's Date dimension).
 // The zero TimeSpec disables date grounding.
@@ -193,6 +200,15 @@ type Translation struct {
 	Question string
 	Query    dw.Query
 	Notes    []string
+	// DynamicFilters names the (role, level) pairs whose filter values
+	// were enumerated from the warehouse's current member list rather
+	// than written literally in the question (a bare "in January" with
+	// no year selects every matching Month member that exists *now*).
+	// A cached answer for such a plan depends on the level's whole
+	// member population, not just the members it matched — the serving
+	// cache tags it accordingly so feeds that add members to the level
+	// evict it.
+	DynamicFilters []dw.LevelSel
 }
 
 // Answer is an executed translation: the plan and its result table.
@@ -646,9 +662,12 @@ func (t *Translator) dateFilters(toks []nlp.Token, used []bool, fc *mdm.FactClas
 	}
 	values := map[string][]string{} // level → member values
 	for _, d := range refs {
-		level, vals := t.dateMembers(d)
+		level, vals, dynamic := t.dateMembers(d)
 		if level == "" {
 			continue
+		}
+		if dynamic {
+			tr.DynamicFilters = append(tr.DynamicFilters, dw.LevelSel{Role: timeRole, Level: level})
 		}
 		values[level] = append(values[level], vals...)
 		tr.note("date %s → %s/%s in {%s}", dateRefString(d), timeRole, level, strings.Join(vals, ", "))
@@ -667,26 +686,27 @@ func (t *Translator) dateFilters(toks []nlp.Token, used []bool, fc *mdm.FactClas
 
 // dateMembers maps one (possibly partial) date reference to a level and
 // the member names it selects. A bare month ("in January") enumerates the
-// matching month members the warehouse actually holds, across years.
-func (t *Translator) dateMembers(d sbparser.DateRef) (string, []string) {
+// matching month members the warehouse actually holds, across years —
+// that branch reports dynamic=true because its value set tracks the
+// level's live member population.
+func (t *Translator) dateMembers(d sbparser.DateRef) (level string, vals []string, dynamic bool) {
 	switch {
 	case d.Year != 0 && d.Month != 0 && d.Day != 0 && t.time.Day != "":
-		return t.time.Day, []string{fmt.Sprintf("%04d-%02d-%02d", d.Year, d.Month, d.Day)}
+		return t.time.Day, []string{fmt.Sprintf("%04d-%02d-%02d", d.Year, d.Month, d.Day)}, false
 	case d.Year != 0 && d.Month != 0:
-		return t.time.Month, []string{fmt.Sprintf("%04d-%02d", d.Year, d.Month)}
+		return t.time.Month, []string{fmt.Sprintf("%04d-%02d", d.Year, d.Month)}, false
 	case d.Month != 0:
 		suffix := fmt.Sprintf("-%02d", d.Month)
-		var vals []string
 		for _, m := range t.wh.Members(t.time.Dimension, t.time.Month) {
 			if strings.HasSuffix(m, suffix) {
 				vals = append(vals, m)
 			}
 		}
-		return t.time.Month, vals
+		return t.time.Month, vals, true
 	case d.Year != 0:
-		return t.time.Year, []string{fmt.Sprintf("%04d", d.Year)}
+		return t.time.Year, []string{fmt.Sprintf("%04d", d.Year)}, false
 	}
-	return "", nil
+	return "", nil, false
 }
 
 func dateRefString(d sbparser.DateRef) string {

@@ -1,0 +1,19 @@
+package seed
+
+import "dwqa/internal/store"
+
+// Test hooks: the checkpoint codec is unexported (callers go through
+// Run), but its failure-atomicity contract — a failed write never
+// clobbers the previous checkpoint — is pinned directly with an
+// injected-fault filesystem.
+func WriteCheckpointForTest(fsys store.FS, dir string, fingerprint string, pages int, walSeq uint64) error {
+	return writeCheckpoint(fsys, dir, checkpoint{Fingerprint: fingerprint, Pages: pages, WALSeq: walSeq})
+}
+
+func ReadCheckpointForTest(fsys store.FS, dir string) (fingerprint string, pages int, walSeq uint64, ok bool, err error) {
+	cp, err := readCheckpoint(fsys, dir)
+	if err != nil || cp == nil {
+		return "", 0, 0, false, err
+	}
+	return cp.Fingerprint, cp.Pages, cp.WALSeq, true, nil
+}

@@ -1,0 +1,345 @@
+package seed_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dwqa/internal/core"
+	"dwqa/internal/seed"
+	"dwqa/internal/store"
+)
+
+// stateBytes boots the durable pipeline in dir and returns its exported
+// state encoded canonically — the byte string two convergent data
+// directories must agree on.
+func stateBytes(t *testing.T, dir string) []byte {
+	t.Helper()
+	p, _, err := core.OpenPipelineFS(core.Config{}, dir, store.OS())
+	if err != nil {
+		t.Fatalf("reopening %s: %v", dir, err)
+	}
+	defer p.Store().Close()
+	state, err := p.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store.EncodeState(state)
+}
+
+// TestSeederKillResume pins the tentpole invariant: a run killed in the
+// worst-case window (batch committed to the WAL, checkpoint not yet
+// written) and then resumed — twice — converges to the byte-identical
+// state of an uninterrupted run with the same flags.
+func TestSeederKillResume(t *testing.T) {
+	const passages = 1500
+	base := seed.Config{
+		Passages:      passages,
+		BatchPages:    16,
+		SnapshotEvery: 2, // exercise periodic snapshots + WAL-tail recovery
+		Seed:          42,
+	}
+
+	// Reference: one uninterrupted run.
+	clean := base
+	clean.DataDir = filepath.Join(t.TempDir(), "clean")
+	cleanSum, err := seed.Run(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleanSum.Passages < passages {
+		t.Fatalf("uninterrupted run stopped at %d passages, want >= %d", cleanSum.Passages, passages)
+	}
+
+	// The same ingestion killed after 2 batches, resumed, killed again,
+	// resumed to completion.
+	killed := base
+	killed.DataDir = filepath.Join(t.TempDir(), "killed")
+	killed.CrashAfterBatches = 2
+	if _, err := seed.Run(killed); !errors.Is(err, seed.ErrCrashed) {
+		t.Fatalf("first crash run: got %v, want ErrCrashed", err)
+	}
+	sum, err := seed.Run(killed) // crashes again 2 batches further in
+	if !errors.Is(err, seed.ErrCrashed) {
+		t.Fatalf("second crash run: got %v, want ErrCrashed", err)
+	}
+	if !sum.Resumed {
+		t.Fatal("second run did not resume from the checkpoint")
+	}
+	killed.CrashAfterBatches = 0
+	sum, err = seed.Run(killed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Resumed {
+		t.Fatal("final run did not resume from the checkpoint")
+	}
+	if sum.Passages != cleanSum.Passages || sum.WALSeq == 0 {
+		t.Fatalf("final run: %d passages (wal seq %d), uninterrupted had %d",
+			sum.Passages, sum.WALSeq, cleanSum.Passages)
+	}
+
+	if got, want := stateBytes(t, killed.DataDir), stateBytes(t, clean.DataDir); string(got) != string(want) {
+		t.Fatalf("kill-and-resume state diverged from uninterrupted run: %d vs %d encoded bytes", len(got), len(want))
+	}
+}
+
+// TestSeederCheckpointFingerprintMismatch pins the resume guard: a
+// checkpoint written under different stream geometry must not advance
+// the cursor — the run rescans from zero (idempotently) instead of
+// splicing two incompatible enumerations.
+func TestSeederCheckpointFingerprintMismatch(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	cfg := seed.Config{DataDir: dir, MaxPages: 32, BatchPages: 16, SnapshotEvery: -1, Seed: 42}
+	if _, err := seed.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.BatchPages = 8 // different batch geometry → different fingerprint
+	cfg.MaxPages = 16
+	sum, err := seed.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Resumed {
+		t.Fatal("run resumed from a checkpoint with a mismatched fingerprint")
+	}
+	// The rescan is idempotent: the 16 re-streamed pages are all already
+	// ingested.
+	if sum.DocsAdded != 0 || sum.Loaded != 0 {
+		t.Fatalf("rescan re-ingested data: %d docs, %d rows", sum.DocsAdded, sum.Loaded)
+	}
+}
+
+// TestSeederJSONL pins the file-corpus mode end to end: ingest, verify
+// counts, and re-run the same file — which must resume past the end and
+// ingest nothing.
+func TestSeederJSONL(t *testing.T) {
+	dir := t.TempDir()
+	corpus := filepath.Join(dir, "corpus.jsonl")
+	lines := ""
+	for i := 0; i < 5; i++ {
+		lines += fmt.Sprintf(`{"url":"http://corpus.test/p%d","text":"In Testville the temperature was %d degrees.","records":[{"city":"testville","year":2004,"month":1,"day":%d,"temp_c":%d}]}`+"\n",
+			i, 10+i, i+1, 10+i)
+	}
+	if err := os.WriteFile(corpus, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := seed.Config{DataDir: filepath.Join(dir, "data"), JSONL: corpus, BatchPages: 2, SnapshotEvery: -1}
+	sum, err := seed.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.DocsAdded != 5 || sum.Loaded != 5 || sum.Skipped != 0 {
+		t.Fatalf("first run: %d docs, %d rows, %d deduped; want 5, 5, 0", sum.DocsAdded, sum.Loaded, sum.Skipped)
+	}
+
+	sum, err = seed.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Resumed {
+		t.Fatal("second run over the same file did not resume")
+	}
+	if sum.PagesSeen != 0 || sum.DocsAdded != 0 || sum.Loaded != 0 {
+		t.Fatalf("second run re-ingested: %d pages, %d docs, %d rows", sum.PagesSeen, sum.DocsAdded, sum.Loaded)
+	}
+}
+
+// TestSeederMaxPagesCapsMidBatch pins the page budget: a cap that is
+// not a multiple of the batch size truncates the final batch instead of
+// overshooting.
+func TestSeederMaxPagesCapsMidBatch(t *testing.T) {
+	cfg := seed.Config{
+		DataDir: filepath.Join(t.TempDir(), "data"),
+		MaxPages: 20, BatchPages: 16, SnapshotEvery: -1, Seed: 42,
+		ProgressEvery: 1, Logf: t.Logf, // every batch logs a progress line
+	}
+	sum, err := seed.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.PagesSeen != 20 {
+		t.Fatalf("ingested %d pages, want exactly the 20-page cap", sum.PagesSeen)
+	}
+}
+
+// TestSeederDistrustsCheckpointAheadOfWAL pins the other resume guard:
+// a checkpoint claiming a WAL sequence recovery never replayed (a lost
+// WAL tail) must not advance the cursor.
+func TestSeederDistrustsCheckpointAheadOfWAL(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	cfg := seed.Config{DataDir: dir, MaxPages: 16, BatchPages: 16, SnapshotEvery: -1, Seed: 42}
+	if _, err := seed.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	fp, pages, _, ok, err := seed.ReadCheckpointForTest(store.OS(), dir)
+	if err != nil || !ok {
+		t.Fatalf("reading checkpoint back: ok=%v err=%v", ok, err)
+	}
+	if err := seed.WriteCheckpointForTest(store.OS(), dir, fp, pages, 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxPages = 8
+	cfg.BatchPages = 16 // same fingerprint geometry
+	sum, err := seed.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Resumed {
+		t.Fatal("run trusted a checkpoint ahead of the recovered WAL")
+	}
+	if sum.DocsAdded != 0 {
+		t.Fatalf("rescan re-ingested %d docs", sum.DocsAdded)
+	}
+}
+
+// TestCheckpointWriteFaults pins the checkpoint's failure atomicity: a
+// fault at any step of the temp-write-sync-rename-syncdir protocol
+// fails the write and leaves the previous checkpoint readable.
+func TestCheckpointWriteFaults(t *testing.T) {
+	for _, fault := range []store.Fault{
+		{Op: store.OpOpen, Nth: 1},   // CreateTemp refused
+		{Op: store.OpWrite, Nth: 1},  // payload write fails
+		{Op: store.OpSync, Nth: 1},   // temp-file fsync fails
+		{Op: store.OpRename, Nth: 1}, // publish rename fails
+		{Op: store.OpSync, Nth: 2},   // directory sync fails
+	} {
+		t.Run(fault.Op.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			ffs := store.NewFaultFS(store.OS())
+			if err := seed.WriteCheckpointForTest(ffs, dir, "stream", 64, 7); err != nil {
+				t.Fatalf("disarmed write failed: %v", err)
+			}
+
+			ffs.Arm(fault)
+			err := seed.WriteCheckpointForTest(ffs, dir, "stream", 128, 9)
+			if fault.Op == store.OpSync && fault.Nth == 2 {
+				// The rename already published; only the directory sync
+				// failed. The error must still surface.
+				if err == nil {
+					t.Fatal("directory-sync failure was swallowed")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("checkpoint write survived injected %s fault", fault.Op)
+			}
+			ffs.Disarm()
+			fp, pages, seq, ok, rerr := seed.ReadCheckpointForTest(ffs, dir)
+			if rerr != nil || !ok {
+				t.Fatalf("previous checkpoint unreadable after failed write: ok=%v err=%v", ok, rerr)
+			}
+			if fp != "stream" || pages != 64 || seq != 7 {
+				t.Fatalf("failed write clobbered the checkpoint: %q %d %d", fp, pages, seq)
+			}
+		})
+	}
+}
+
+// TestCheckpointCorruptionFallsBackToRescan pins readCheckpoint's
+// contract: garbage, invalid JSON or a negative cursor mean "no
+// checkpoint", never an error.
+func TestCheckpointCorruptionFallsBackToRescan(t *testing.T) {
+	for name, payload := range map[string]string{
+		"garbage":        "\x00\xff not json",
+		"negative-pages": `{"fingerprint":"s","pages":-4,"wal_seq":1}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, seed.CheckpointFile), []byte(payload), 0o600); err != nil {
+				t.Fatal(err)
+			}
+			_, _, _, ok, err := seed.ReadCheckpointForTest(store.OS(), dir)
+			if err != nil {
+				t.Fatalf("corruption surfaced as an error: %v", err)
+			}
+			if ok {
+				t.Fatal("corrupt checkpoint was accepted")
+			}
+		})
+	}
+	if _, _, _, ok, err := seed.ReadCheckpointForTest(store.OS(), t.TempDir()); err != nil || ok {
+		t.Fatalf("missing checkpoint: ok=%v err=%v, want absent and nil", ok, err)
+	}
+}
+
+// TestSeederJSONLErrors pins the file-mode failure paths: a missing
+// corpus file and a malformed line both fail loudly with the file and
+// line identified, never half-ingest silently.
+func TestSeederJSONLErrors(t *testing.T) {
+	dir := t.TempDir()
+	cfg := seed.Config{DataDir: filepath.Join(dir, "data"), JSONL: filepath.Join(dir, "missing.jsonl"), SnapshotEvery: -1}
+	if _, err := seed.Run(cfg); err == nil {
+		t.Fatal("run over a missing JSONL file succeeded")
+	}
+
+	corpus := filepath.Join(dir, "bad.jsonl")
+	content := `{"url":"http://corpus.test/ok","text":"Fine."}` + "\n" + `{"url": not-json` + "\n"
+	if err := os.WriteFile(corpus, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg.JSONL = corpus
+	cfg.DataDir = filepath.Join(dir, "data2")
+	_, err := seed.Run(cfg)
+	if err == nil {
+		t.Fatal("run over a malformed JSONL line succeeded")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error does not identify the bad line: %v", err)
+	}
+}
+
+// TestSeederGeneratedModeNeedsTarget pins the config guard: generated
+// mode with neither a passage target nor a page cap would stream
+// forever, so Run refuses it up front.
+func TestSeederGeneratedModeNeedsTarget(t *testing.T) {
+	if _, err := seed.Run(seed.Config{DataDir: t.TempDir()}); err == nil {
+		t.Fatal("generated mode without a stop condition was accepted")
+	}
+}
+
+// TestSeederKillResume50k is the CI smoke: a 50k-passage corpus killed
+// mid-ingestion and resumed must converge byte-identically to an
+// uninterrupted run. Gated behind SEEDER_SMOKE=1 — it moves ~3k pages
+// through the full durable path twice.
+func TestSeederKillResume50k(t *testing.T) {
+	if os.Getenv("SEEDER_SMOKE") != "1" {
+		t.Skip("set SEEDER_SMOKE=1 to run the 50k-passage seeder smoke")
+	}
+	const passages = 50_000
+	base := seed.Config{Passages: passages, Seed: 42, Logf: t.Logf, ProgressEvery: 10}
+
+	clean := base
+	clean.DataDir = filepath.Join(t.TempDir(), "clean")
+	cleanSum, err := seed.Run(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("uninterrupted: %d pages, %d passages, %v", cleanSum.PagesSeen, cleanSum.Passages, cleanSum.Elapsed)
+
+	killed := base
+	killed.DataDir = filepath.Join(t.TempDir(), "killed")
+	killed.CrashAfterBatches = 25 // roughly mid-run at the default batch size
+	if _, err := seed.Run(killed); !errors.Is(err, seed.ErrCrashed) {
+		t.Fatalf("crash run: got %v, want ErrCrashed", err)
+	}
+	killed.CrashAfterBatches = 0
+	sum, err := seed.Run(killed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Resumed {
+		t.Fatal("run after the kill did not resume")
+	}
+	t.Logf("resumed at page %d: %d more pages, %d passages, %v", sum.StartPages, sum.PagesSeen, sum.Passages, sum.Elapsed)
+
+	if got, want := stateBytes(t, killed.DataDir), stateBytes(t, clean.DataDir); string(got) != string(want) {
+		t.Fatalf("kill-and-resume state diverged from uninterrupted run: %d vs %d encoded bytes", len(got), len(want))
+	}
+}

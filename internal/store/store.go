@@ -164,9 +164,23 @@ func (s *Store) LogFactRows(fact string, rows []dw.FactRow) error {
 	return s.appendRecord(recFactRows, encodeFactRows(fact, rows))
 }
 
+// LogBatch implements dw.Journal: one WAL record per combined
+// member+fact-row transaction (dw.AddBatch), so replay re-applies the
+// members and their rows as the unit they were committed as.
+func (s *Store) LogBatch(specs []dw.MemberSpec, fact string, rows []dw.FactRow) error {
+	return s.appendRecord(recBatch, encodeBatch(specs, fact, rows))
+}
+
 // LogDocument implements ir.Journal: one WAL record per indexed document.
 func (s *Store) LogDocument(doc ir.Document) error {
 	return s.appendRecord(recDocument, encodeDocument(doc))
+}
+
+// LogDocuments implements ir.Journal: one WAL record (one fsync) per
+// indexed document batch — the record that makes streaming ingestion
+// feasible, where fsync-per-document would dominate the load.
+func (s *Store) LogDocuments(docs []ir.Document) error {
+	return s.appendRecord(recDocuments, encodeDocuments(docs))
 }
 
 func (s *Store) appendRecord(kind byte, payload []byte) error {
@@ -372,6 +386,31 @@ func (s *Store) Replay(afterSeq uint64, h ReplayHandlers) (int, error) {
 			if err := h.FactRows(fact, rows); err != nil {
 				return applied, fmt.Errorf("store: replaying fact batch (record %d): %w", rec.seq, err)
 			}
+		case recBatch:
+			specs, fact, rows, err := decodeBatch(rec.payload)
+			if err != nil {
+				return applied, fmt.Errorf("store: WAL record %d: %w", rec.seq, err)
+			}
+			// Replay through the members/fact-rows handlers in commit
+			// order. Replay is single-threaded and a handler error aborts
+			// recovery loudly, so the transaction's atomicity cannot be
+			// half-observed by a live reader.
+			if len(specs) > 0 {
+				if h.Members == nil {
+					return applied, fmt.Errorf("store: WAL record %d: no member handler", rec.seq)
+				}
+				if err := h.Members(specs); err != nil {
+					return applied, fmt.Errorf("store: replaying batch members (record %d): %w", rec.seq, err)
+				}
+			}
+			if len(rows) > 0 {
+				if h.FactRows == nil {
+					return applied, fmt.Errorf("store: WAL record %d: no fact-row handler", rec.seq)
+				}
+				if err := h.FactRows(fact, rows); err != nil {
+					return applied, fmt.Errorf("store: replaying batch rows (record %d): %w", rec.seq, err)
+				}
+			}
 		case recDocument:
 			doc, err := decodeDocument(rec.payload)
 			if err != nil {
@@ -382,6 +421,19 @@ func (s *Store) Replay(afterSeq uint64, h ReplayHandlers) (int, error) {
 			}
 			if err := h.Document(doc); err != nil {
 				return applied, fmt.Errorf("store: replaying document (record %d): %w", rec.seq, err)
+			}
+		case recDocuments:
+			docs, err := decodeDocuments(rec.payload)
+			if err != nil {
+				return applied, fmt.Errorf("store: WAL record %d: %w", rec.seq, err)
+			}
+			if h.Document == nil {
+				return applied, fmt.Errorf("store: WAL record %d: no document handler", rec.seq)
+			}
+			for _, doc := range docs {
+				if err := h.Document(doc); err != nil {
+					return applied, fmt.Errorf("store: replaying document batch (record %d): %w", rec.seq, err)
+				}
 			}
 		default:
 			return applied, fmt.Errorf("store: WAL record %d has unknown type %d", rec.seq, rec.kind)

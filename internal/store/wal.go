@@ -28,6 +28,15 @@ const (
 	recMembers  byte = 1
 	recFactRows byte = 2
 	recDocument byte = 3
+	// recBatch is one combined warehouse transaction (dw.AddBatch): a
+	// member batch plus the fact rows that depend on it, committed — and
+	// therefore replayed — as a unit, so a crash can never resurrect the
+	// members without their rows.
+	recBatch byte = 4
+	// recDocuments is a batch of indexed documents (ir.Index.AddBatch):
+	// one record, one fsync, however many pages the streaming seeder
+	// committed together.
+	recDocuments byte = 5
 )
 
 // walRecord is one decoded record.
@@ -265,6 +274,58 @@ func decodeFactRows(payload []byte) (string, []dw.FactRow, error) {
 		return "", nil, r.err
 	}
 	return fact, rows, nil
+}
+
+// encodeBatch frames one combined warehouse transaction: the member-spec
+// payload, length-prefixed so the decoder knows where the fact-row
+// payload begins (both sub-payloads are the existing encodings).
+func encodeBatch(specs []dw.MemberSpec, fact string, rows []dw.FactRow) []byte {
+	specsPayload := encodeMemberSpecs(specs)
+	w := &writer{buf: make([]byte, 0, len(specsPayload)+16)}
+	w.uvarint(uint64(len(specsPayload)))
+	w.buf = append(w.buf, specsPayload...)
+	w.buf = append(w.buf, encodeFactRows(fact, rows)...)
+	return w.buf
+}
+
+func decodeBatch(payload []byte) ([]dw.MemberSpec, string, []dw.FactRow, error) {
+	r := &reader{buf: payload}
+	n := r.count(1)
+	if r.err != nil || r.off+n > len(payload) {
+		return nil, "", nil, fmt.Errorf("store: batch record: bad member-spec framing")
+	}
+	specs, err := decodeMemberSpecs(payload[r.off : r.off+n])
+	if err != nil {
+		return nil, "", nil, err
+	}
+	fact, rows, err := decodeFactRows(payload[r.off+n:])
+	if err != nil {
+		return nil, "", nil, err
+	}
+	return specs, fact, rows, nil
+}
+
+func encodeDocuments(docs []ir.Document) []byte {
+	w := &writer{}
+	w.uvarint(uint64(len(docs)))
+	for _, d := range docs {
+		w.str(d.URL)
+		w.str(d.Text)
+	}
+	return w.buf
+}
+
+func decodeDocuments(payload []byte) ([]ir.Document, error) {
+	r := &reader{buf: payload}
+	n := r.count(2)
+	docs := make([]ir.Document, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		docs = append(docs, ir.Document{URL: r.str(), Text: r.str()})
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return docs, nil
 }
 
 func encodeDocument(doc ir.Document) []byte {
