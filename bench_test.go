@@ -10,6 +10,7 @@ package dwqa_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 
 	"dwqa"
@@ -258,6 +259,51 @@ func BenchmarkAskCold(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(questions))*float64(b.N)/b.Elapsed().Seconds(), "questions/sec")
+}
+
+// BenchmarkAskColdSharded is BenchmarkAskCold over a sharded cluster:
+// the same cache-disabled all-unique workload served scatter/gather
+// across 1, 2 and 4 shards. Each question's retrieval scans only its
+// shard's postings, so cold-path throughput should scale near-linearly
+// with the shard count (BENCH_PERF.json, sharded_cold_path); the
+// shards=1 arm isolates the federation overhead against BenchmarkAskCold.
+func BenchmarkAskColdSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := dwqa.DefaultConfig()
+			cfg.Engine.CacheSize = -1
+			sp, err := dwqa.NewSharded(cfg, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sp.Integrate(); err != nil {
+				b.Fatal(err)
+			}
+			questions := core.ColdQuestionWorkload(sp)
+			eng, err := sp.Engine()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range eng.AskAll(context.Background(), questions) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+				if r.Cached {
+					b.Fatal("cache-disabled engine served a cached answer")
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, r := range eng.AskAll(context.Background(), questions) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(questions))*float64(b.N)/b.Elapsed().Seconds(), "questions/sec")
+		})
+	}
 }
 
 // benchSnapshotRestore benchmarks crash recovery against the cold boot

@@ -144,6 +144,30 @@ type cacheInvalidationPerf struct {
 	Speedup          float64 `json:"speedup"`
 }
 
+// shardedColdArm is the cold-path cost of one shard count: the whole
+// cache-disabled workload scatter/gathered across the cluster, plus how
+// the passage index actually partitioned (the per-machine share in a
+// one-shard-per-machine deployment).
+type shardedColdArm struct {
+	Shards           int     `json:"shards"`
+	NsPerOp          float64 `json:"ns_per_op"`
+	QuestionsPerSec  float64 `json:"questions_per_sec"`
+	MaxShardPassages int     `json:"max_shard_passages"`
+}
+
+// shardedColdPerf records scatter/gather serving across 1/2/4 shards on
+// the cold path. On a single box the workload is CPU-work-bound, so the
+// scaling signal is twofold: the federation overhead of the shards=1 arm
+// against the single-node engine (must stay small), and a flat ns/op
+// curve across shard counts (scatter/gather conserves total work while
+// the per-shard postings share — each machine's scan in a distributed
+// deployment — shrinks ~1/N).
+type shardedColdPerf struct {
+	UniqueQuestions        int              `json:"unique_questions"`
+	Arms                   []shardedColdArm `json:"arms"`
+	FederationOverheadFrac float64          `json:"federation_overhead_frac"`
+}
+
 // perfReport is the schema of BENCH_PERF.json.
 type perfReport struct {
 	Schema         string                 `json:"schema"`
@@ -154,6 +178,7 @@ type perfReport struct {
 	QAServingMixed *qaServingComparison   `json:"qa_serving_mixed_vs_sequential,omitempty"`
 	NL2OLAP        *nl2olapPerf           `json:"nl2olap_translate,omitempty"`
 	AskCold        *askColdPerf           `json:"ask_cold_path,omitempty"`
+	ShardedCold    *shardedColdPerf       `json:"sharded_cold_path,omitempty"`
 	Resilience     *servingResiliencePerf `json:"serving_resilience,omitempty"`
 	Harvest        *harvestComparison     `json:"harvest_batch_vs_sequential,omitempty"`
 	StoreRestore   *storeRestorePerf      `json:"store_snapshot_restore,omitempty"`
@@ -185,7 +210,7 @@ func runPerf(outDir string, seed int64) (*perfReport, error) {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return nil, err
 	}
-	rep := &perfReport{Schema: "dwqa-bench/v6"}
+	rep := &perfReport{Schema: "dwqa-bench/v7"}
 	for _, target := range []int{1_000, 10_000, 100_000} {
 		wh, q, err := core.PrepareScaledBenchmark(target, seed)
 		if err != nil {
@@ -248,6 +273,10 @@ func runPerf(outDir string, seed int64) (*perfReport, error) {
 	}
 
 	if err := runQAServingPerf(rep, seed); err != nil {
+		return nil, err
+	}
+
+	if err := runShardedColdPerf(rep, seed); err != nil {
 		return nil, err
 	}
 
@@ -319,6 +348,83 @@ func runIRScalingPerf(rep *perfReport, seed int64) error {
 		}
 		rep.IRSparse = append(rep.IRSparse, cmp)
 	}
+	return nil
+}
+
+// runShardedColdPerf benchmarks the scatter/gather deployment on the
+// cold path: the cache-disabled all-unique workload over 1/2/4-shard
+// clusters. Every arm's answers are verified byte-identical to the
+// previous arm's before anything is timed — the equivalence contract the
+// sharded test suite pins, re-checked on the benchmark build.
+func runShardedColdPerf(rep *perfReport, seed int64) error {
+	sc := &shardedColdPerf{}
+	var refAnswers []string
+	for _, shards := range []int{1, 2, 4} {
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed
+		cfg.Engine.CacheSize = -1
+		sp, err := core.NewShardedPipeline(cfg, shards)
+		if err != nil {
+			return err
+		}
+		if err := sp.Integrate(); err != nil {
+			return err
+		}
+		questions := core.ColdQuestionWorkload(sp)
+		sc.UniqueQuestions = len(questions)
+		eng, err := sp.Engine()
+		if err != nil {
+			return err
+		}
+		answers := make([]string, len(questions))
+		for i, r := range eng.AskAll(context.Background(), questions) {
+			if r.Err != nil {
+				return fmt.Errorf("benchreport: %d shards, slot %d (%q): %v", shards, i, questions[i], r.Err)
+			}
+			if r.Cached {
+				return fmt.Errorf("benchreport: %d shards, slot %d: cache-disabled engine served a cached answer", shards, i)
+			}
+			answers[i] = r.Result.Trace().Format()
+		}
+		if refAnswers == nil {
+			refAnswers = answers
+		} else {
+			for i := range answers {
+				if answers[i] != refAnswers[i] {
+					return fmt.Errorf("benchreport: %d shards, slot %d (%q): answer diverges across shard counts", shards, i, questions[i])
+				}
+			}
+		}
+		m, err := measure(fmt.Sprintf("AskColdSharded/shards=%d", shards), len(questions), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, r := range eng.AskAll(context.Background(), questions) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+		rep.Measurements = append(rep.Measurements, m)
+		maxPassages := 0
+		for i := 0; i < shards; i++ {
+			if p := sp.Cluster.Node(i).IX.PassageCount(); p > maxPassages {
+				maxPassages = p
+			}
+		}
+		arm := shardedColdArm{Shards: shards, NsPerOp: m.NsPerOp, MaxShardPassages: maxPassages}
+		if m.NsPerOp > 0 {
+			arm.QuestionsPerSec = float64(len(questions)) / (m.NsPerOp / 1e9)
+		}
+		sc.Arms = append(sc.Arms, arm)
+	}
+	if ac := rep.AskCold; ac != nil && ac.NsPerOp > 0 && len(sc.Arms) > 0 {
+		sc.FederationOverheadFrac = sc.Arms[0].NsPerOp/ac.NsPerOp - 1
+	}
+	rep.ShardedCold = sc
 	return nil
 }
 
@@ -918,6 +1024,15 @@ func printPerf(rep *perfReport) {
 	if ac := rep.AskCold; ac != nil {
 		fmt.Printf("Cold path (cache-disabled engine, %d unique questions): %.0f q/s, %d allocs/workload\n",
 			ac.UniqueQuestions, ac.QuestionsPerSec, ac.AllocsPerOp)
+	}
+	if sc := rep.ShardedCold; sc != nil {
+		fmt.Println("== PERF: scatter/gather cold path across shard counts ==")
+		for _, a := range sc.Arms {
+			fmt.Printf("%d shard(s): %.0f q/s, largest shard holds %d passages\n",
+				a.Shards, a.QuestionsPerSec, a.MaxShardPassages)
+		}
+		fmt.Printf("federation overhead (1-shard cluster vs single node): %+.1f%%\n",
+			sc.FederationOverheadFrac*100)
 	}
 	if res := rep.Resilience; res != nil {
 		fmt.Printf("Resilience: admission gate + deadline cost %+.1f%% on the cold path; shed path %.0f ns/op (%d allocs)\n",

@@ -9,7 +9,8 @@
 //
 //	dwqa [-seed N] [-no-ontology] [-no-irfilter] [-table-aware] [-q QUESTION]
 //	dwqa serve [-addr :8080] [-workers 8] [-cache 1024] [-no-feed]
-//	           [-data-dir DIR] [-snapshot-every DUR] [shared flags]
+//	           [-data-dir DIR] [-snapshot-every DUR] [-shards N]
+//	           [-follow] [-poll DUR] [shared flags]
 //
 // With -data-dir the server is durable: on boot it recovers the
 // warehouse, passage index and ontology from the newest snapshot plus the
@@ -17,6 +18,14 @@
 // feed is journaled, and on SIGTERM/SIGINT it drains in-flight requests
 // and publishes a final snapshot before exiting. -snapshot-every adds
 // periodic background snapshots that never block /ask.
+//
+// With -shards N the warehouse fact columns and the passage index
+// partition across N shards by city hash (answers stay byte-identical
+// to single-node serving); with -data-dir each shard persists its own
+// snapshot/WAL store under the directory. -follow opens the same
+// directory as a read replica instead: it serves from the leader's
+// shipped snapshots, tails the per-shard WAL every -poll, and refuses
+// feeds; /healthz reports per-shard sequence and lag on both sides.
 //
 // The serve API:
 //
@@ -139,6 +148,9 @@ func runServe(args []string) {
 	maxQueue := fs.Int("max-queue", dwqa.DefaultMaxQueue, "requests allowed to wait for a slot before shedding with 429 (negative disables queueing)")
 	askTimeout := fs.Duration("ask-timeout", dwqa.DefaultAskTimeout, "per-request deadline for /ask paths (negative disables)")
 	harvestTimeout := fs.Duration("harvest-timeout", dwqa.DefaultHarvestTimeout, "per-request deadline for /harvest (negative disables)")
+	shards := fs.Int("shards", 1, "partition the warehouse and index across N shards (scatter/gather serving)")
+	follow := fs.Bool("follow", false, "serve as a read replica over -data-dir: ship the leader's snapshots, tail its WAL, refuse feeds")
+	poll := fs.Duration("poll", 2*time.Second, "replica WAL poll interval with -follow")
 	readHeaderTimeout := fs.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
 	readTimeout := fs.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
 	writeTimeout := fs.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout")
@@ -152,6 +164,46 @@ func runServe(args []string) {
 	cfg.Engine.MaxQueue = *maxQueue
 	cfg.Engine.AskTimeout = *askTimeout
 	cfg.Engine.HarvestTimeout = *harvestTimeout
+
+	opts := serveOptions{
+		addr:              *addr,
+		drain:             *drain,
+		readHeaderTimeout: *readHeaderTimeout,
+		readTimeout:       *readTimeout,
+		writeTimeout:      *writeTimeout,
+		idleTimeout:       *idleTimeout,
+	}
+	// A cluster directory already knows its shard count — detect it so
+	// reopening or following never requires restating -shards, and an
+	// explicit -shards that disagrees fails here with a clear message
+	// instead of a fingerprint mismatch deep in bootstrap.
+	shardsSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			shardsSet = true
+		}
+	})
+	shardedDir := false
+	if *dataDir != "" {
+		detected, err := dwqa.DetectShards(*dataDir)
+		if err != nil {
+			fatal(err)
+		}
+		if detected > 0 {
+			shardedDir = true
+			if shardsSet && *shards != detected {
+				fatal(fmt.Errorf("-shards %d disagrees with %s, which was created with %d shards", *shards, *dataDir, detected))
+			}
+			if !shardsSet {
+				*shards = detected
+				fmt.Printf("dwqa serve: detected %d-shard cluster in %s\n", detected, *dataDir)
+			}
+		}
+	}
+	if *follow || *shards != 1 || shardedDir {
+		runServeSharded(cfg, opts, *shards, *follow, *poll, *dataDir, *snapEvery, *noFeed)
+		return
+	}
 
 	var p *dwqa.Pipeline
 	durable := *dataDir != ""
@@ -216,37 +268,7 @@ func runServe(args []string) {
 		defer stopSnapshots() // idempotent; safety net for the error path
 	}
 
-	// Transport-level timeouts: without them a slow or stalled client
-	// holds a connection (and its kernel buffers) forever; the engine's
-	// own deadlines only start once a request is fully read.
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           dwqa.NewServer(eng),
-		ReadHeaderTimeout: *readHeaderTimeout,
-		ReadTimeout:       *readTimeout,
-		WriteTimeout:      *writeTimeout,
-		IdleTimeout:       *idleTimeout,
-	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	st := eng.Stats()
-	fmt.Printf("dwqa serve: listening on %s (%d workers, %d passages indexed)\n",
-		*addr, eng.Workers(), st.Passages)
-
-	select {
-	case err := <-errc:
-		fatal(err)
-	case <-ctx.Done():
-		stop() // restore default signal handling: a second signal kills hard
-		fmt.Println("dwqa serve: shutting down, draining in-flight requests...")
-		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
-		defer cancel()
-		if err := srv.Shutdown(drainCtx); err != nil {
-			fmt.Fprintln(os.Stderr, "dwqa serve: drain:", err)
-		}
+	opts.serve(eng, func() {
 		if durable {
 			// The background snapshotter must be fully stopped (waiting
 			// out any in-flight tick) before the final snapshot and the
@@ -261,6 +283,147 @@ func runServe(args []string) {
 			if err := p.Store().Close(); err != nil {
 				fatal(err)
 			}
+		}
+	})
+}
+
+// runServeSharded serves a sharded cluster: the scatter/gather writer
+// (-shards N, optionally durable under -data-dir) or a read replica
+// (-follow) over a leader's cluster directory.
+func runServeSharded(cfg dwqa.Config, opts serveOptions, shards int, follow bool, poll time.Duration, dataDir string, snapEvery time.Duration, noFeed bool) {
+	if shards < 1 {
+		fatal(fmt.Errorf("-shards must be at least 1, got %d", shards))
+	}
+	if follow && dataDir == "" {
+		fatal(fmt.Errorf("-follow requires -data-dir (the leader's cluster directory)"))
+	}
+
+	var sp *dwqa.Sharded
+	stopTail := func() {}
+	durable := !follow && dataDir != ""
+	switch {
+	case follow:
+		replica, err := dwqa.OpenFollower(cfg, dataDir, shards)
+		if err != nil {
+			fatal(err)
+		}
+		sp = replica
+		stopTail = sp.StartTailing(poll, func(err error) {
+			fmt.Fprintln(os.Stderr, "dwqa serve: replica tail:", err)
+		})
+		fmt.Printf("dwqa serve: following %s (%d shards, polling every %s, read-only)\n", dataDir, shards, poll)
+	case durable:
+		leader, info, err := dwqa.OpenSharded(cfg, dataDir, shards)
+		if err != nil {
+			fatal(err)
+		}
+		sp = leader
+		if info.Recovered {
+			fmt.Printf("dwqa serve: recovered %d shards from %s (%d WAL records replayed)\n",
+				shards, dataDir, info.WALReplayed)
+		} else {
+			fmt.Println("dwqa serve: fresh cluster directory, integrated and published the initial snapshots")
+		}
+		if !noFeed {
+			fmt.Println("dwqa serve: running the Step 5 feed (journaled; recovered records are skipped)...")
+			if _, err := sp.Feed(sp.WeatherQuestions()); err != nil {
+				fatal(err)
+			}
+		}
+	default:
+		fresh, err := dwqa.NewSharded(cfg, shards)
+		if err != nil {
+			fatal(err)
+		}
+		sp = fresh
+		fmt.Printf("dwqa serve: running the five-step integration over %d shards...\n", shards)
+		if err := sp.Integrate(); err != nil {
+			fatal(err)
+		}
+		if !noFeed {
+			if _, err := sp.Feed(sp.WeatherQuestions()); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	fmt.Print(sp.Summary())
+
+	eng, err := sp.Engine()
+	if err != nil {
+		fatal(err)
+	}
+	stopSnapshots := func() {}
+	if durable && snapEvery > 0 {
+		stopSnapshots = eng.SnapshotEvery(snapEvery, func(err error) {
+			fmt.Fprintln(os.Stderr, "dwqa serve: background snapshot:", err)
+		})
+		defer stopSnapshots() // idempotent; safety net for the error path
+	}
+
+	opts.serve(eng, func() {
+		stopTail() // a replica's tail loop must stop before the cluster is abandoned
+		if durable {
+			stopSnapshots()
+			info, err := eng.SnapshotTo()
+			if err != nil {
+				fatal(fmt.Errorf("final snapshot: %w", err))
+			}
+			fmt.Printf("dwqa serve: final snapshots under %s (%d bytes, WAL seq %d)\n",
+				info.Path, info.Bytes, info.WALSeq)
+			if err := sp.Durable().Close(); err != nil {
+				fatal(err)
+			}
+		}
+	})
+}
+
+// serveOptions carries the transport-level serving knobs shared by the
+// single-node and sharded serve paths.
+type serveOptions struct {
+	addr              string
+	drain             time.Duration
+	readHeaderTimeout time.Duration
+	readTimeout       time.Duration
+	writeTimeout      time.Duration
+	idleTimeout       time.Duration
+}
+
+// serve listens until SIGINT/SIGTERM, drains in-flight requests, then
+// runs shutdown (final snapshots, store closes, replica tail stops).
+// Transport-level timeouts guard the listener: without them a slow or
+// stalled client holds a connection (and its kernel buffers) forever;
+// the engine's own deadlines only start once a request is fully read.
+func (o serveOptions) serve(eng *dwqa.Engine, shutdown func()) {
+	srv := &http.Server{
+		Addr:              o.addr,
+		Handler:           dwqa.NewServer(eng),
+		ReadHeaderTimeout: o.readHeaderTimeout,
+		ReadTimeout:       o.readTimeout,
+		WriteTimeout:      o.writeTimeout,
+		IdleTimeout:       o.idleTimeout,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	st := eng.Stats()
+	fmt.Printf("dwqa serve: listening on %s (%d workers, %d passages indexed)\n",
+		o.addr, eng.Workers(), st.Passages)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills hard
+		fmt.Println("dwqa serve: shutting down, draining in-flight requests...")
+		drainCtx, cancel := context.WithTimeout(context.Background(), o.drain)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "dwqa serve: drain:", err)
+		}
+		if shutdown != nil {
+			shutdown()
 		}
 		fmt.Println("dwqa serve: bye")
 	}

@@ -40,6 +40,7 @@ import (
 	"dwqa/internal/engine"
 	"dwqa/internal/nl2olap"
 	"dwqa/internal/qa"
+	"dwqa/internal/shard"
 	"dwqa/internal/store"
 )
 
@@ -146,6 +147,40 @@ func Open(cfg Config, dataDir string) (*Pipeline, *RecoveryInfo, error) {
 // DefaultConfig is the paper's evaluated configuration (ontology on, IR
 // filter on, seed 42, January-March 2004).
 func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Sharded is the N-shard deployment of the pipeline (DESIGN.md §10):
+// fact columns and the passage index partition by city hash, dimensions
+// replicate, and scatter/gather serving answers byte-identically to a
+// single node.
+type Sharded = core.ShardedPipeline
+
+// NewSharded builds the scenario over n shards in memory; call
+// Integrate() before serving.
+func NewSharded(cfg Config, shards int) (*Sharded, error) {
+	return core.NewShardedPipeline(cfg, shards)
+}
+
+// OpenSharded boots a durable sharded writer from a cluster directory
+// (one snapshot/WAL store per shard under it), recovering each shard or
+// building the baseline fresh — the sharded Open.
+func OpenSharded(cfg Config, dataDir string, shards int) (*Sharded, *RecoveryInfo, error) {
+	return core.OpenShardedPipeline(cfg, dataDir, shards)
+}
+
+// OpenFollower opens a leader's cluster directory as a read replica: it
+// serves from the shipped snapshots and tails the per-shard WAL
+// (Sharded.StartTailing) while the leader keeps feeding. The replica's
+// engine refuses feeds and reports per-shard replication lag in /healthz.
+func OpenFollower(cfg Config, dataDir string, shards int) (*Sharded, error) {
+	return core.OpenShardedFollower(cfg, dataDir, shards)
+}
+
+// DetectShards reports how many shards a cluster directory was created
+// with (0 for a fresh path or a single-node store layout), so callers
+// can reopen or follow a cluster without restating the shard count.
+func DetectShards(dataDir string) (int, error) {
+	return shard.DetectShards(store.OS(), dataDir)
+}
 
 // AnalyzeSalesWeather runs the scenario's BI analysis on a pipeline whose
 // Step 5 has fed the Weather fact: it returns the temperature ranges that

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 
-	"dwqa/internal/dw"
 	"dwqa/internal/nl2olap"
 	"dwqa/internal/ontology"
 )
@@ -18,8 +17,9 @@ import (
 // business synonyms, the Destination-first role preference and the
 // from/to preposition bindings. The ontology may be nil (the E-ONTO
 // ablation); airport aliases then stop resolving, but plain member names
-// still ground through the dimension tables.
-func NewScenarioTranslator(wh *dw.Warehouse, onto *ontology.Ontology) (*nl2olap.Translator, error) {
+// still ground through the dimension tables. wh is any warehouse-shaped
+// query surface — a single *dw.Warehouse or a shard.Cluster.
+func NewScenarioTranslator(wh nl2olap.Warehouse, onto *ontology.Ontology) (*nl2olap.Translator, error) {
 	t, err := nl2olap.New(wh, onto)
 	if err != nil {
 		return nil, err

@@ -170,7 +170,7 @@ func RunIRSearchDense(ix *ir.Index, queries [][]string, k, n int) error {
 // from the pipeline's scenario questions — the cache-defeating traffic
 // shape of BenchmarkAskCold (diverse traffic from many users is
 // cache-miss traffic; the cold path is what it exercises).
-func ColdQuestionWorkload(p *Pipeline) []string {
+func ColdQuestionWorkload(p interface{ WeatherQuestions() []string }) []string {
 	unique := p.WeatherQuestions()
 	out := make([]string, 0, len(unique))
 	seen := map[string]bool{}

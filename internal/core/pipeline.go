@@ -200,13 +200,34 @@ func (p *Pipeline) Step2FeedOntology() error {
 	if err := p.require(1); err != nil {
 		return err
 	}
-	for _, name := range p.Warehouse.Members("Airport", "Airport") {
-		city, err := p.Warehouse.ParentName("Airport", "Airport", name)
+	if err := feedOntologyFromMembers(p.Ontology, p.Warehouse); err != nil {
+		return err
+	}
+	p.step.Store(2)
+	return nil
+}
+
+// memberSource is the dimension read surface Step 2 extracts instances
+// from — a single warehouse or a shard cluster (whose dimensions are
+// replicated, so either answers identically).
+type memberSource interface {
+	Members(dim, level string) []string
+	ParentName(dim, level, name string) (string, error)
+	MemberKey(dim, level, name string) (int, error)
+	Member(dim, level string, key int) (dw.Member, error)
+}
+
+// feedOntologyFromMembers performs the Step 2 extraction: every airport
+// member becomes an Airport instance (with its city and alias/IATA
+// names), every city a City instance, every country a Country instance.
+func feedOntologyFromMembers(o *ontology.Ontology, wh memberSource) error {
+	for _, name := range wh.Members("Airport", "Airport") {
+		city, err := wh.ParentName("Airport", "Airport", name)
 		if err != nil {
 			return fmt.Errorf("core: step 2: %w", err)
 		}
-		key, _ := p.Warehouse.MemberKey("Airport", "Airport", name)
-		m, _ := p.Warehouse.Member("Airport", "Airport", key)
+		key, _ := wh.MemberKey("Airport", "Airport", name)
+		m, _ := wh.Member("Airport", "Airport", key)
 		var aliases []string
 		if alias := m.Attrs["Alias"]; alias != "" {
 			aliases = append(aliases, alias)
@@ -214,26 +235,25 @@ func (p *Pipeline) Step2FeedOntology() error {
 		if iata := m.Attrs["IATA"]; iata != "" && iata != name {
 			aliases = append(aliases, iata)
 		}
-		p.Ontology.AddInstance("Airport", ontology.Instance{
+		o.AddInstance("Airport", ontology.Instance{
 			Name:       name,
 			Aliases:    aliases,
 			Properties: map[string]string{"locatedIn": city},
 		})
 	}
-	for _, city := range p.Warehouse.Members("Airport", "City") {
-		country, err := p.Warehouse.ParentName("Airport", "City", city)
+	for _, city := range wh.Members("Airport", "City") {
+		country, err := wh.ParentName("Airport", "City", city)
 		if err != nil {
 			return fmt.Errorf("core: step 2: %w", err)
 		}
-		p.Ontology.AddInstance("City", ontology.Instance{
+		o.AddInstance("City", ontology.Instance{
 			Name:       city,
 			Properties: map[string]string{"locatedIn": country},
 		})
 	}
-	for _, country := range p.Warehouse.Members("Airport", "Country") {
-		p.Ontology.AddInstance("Country", ontology.Instance{Name: country})
+	for _, country := range wh.Members("Airport", "Country") {
+		o.AddInstance("Country", ontology.Instance{Name: country})
 	}
-	p.step.Store(2)
 	return nil
 }
 

@@ -149,8 +149,18 @@ func milesBetween(a, b string) float64 {
 // discoverable (the paper's motivating analysis: "the range of
 // temperatures that lead to increase the last minute sales to that
 // city").
-func PopulateScenario(wh *dw.Warehouse, year int, months []int, seed int64) error {
+func PopulateScenario(wh ScenarioTarget, year int, months []int, seed int64) error {
 	return PopulateScenarioScaled(wh, year, months, seed, 1)
+}
+
+// ScenarioTarget is the write surface the scenario population drives —
+// a single *dw.Warehouse or a shard.Cluster, which replicates members
+// to every shard and routes fact rows by city hash. Both apply the same
+// calls in the same order, so member keys (and therefore exported
+// dimension state) are identical across topologies.
+type ScenarioTarget interface {
+	AddMember(dim, level, name string, attrs map[string]string, parentName string) (int, error)
+	AddFact(fact string, coords map[string]string, measures map[string]float64) error
 }
 
 // PopulateScenarioScaled is PopulateScenario with a demand multiplier: the
@@ -159,7 +169,7 @@ func PopulateScenario(wh *dw.Warehouse, year int, months []int, seed int64) erro
 // weather→sales relationship intact. scale 1 reproduces PopulateScenario
 // bit for bit; large scales emit 100k+ fact rows for the scaling
 // benchmarks.
-func PopulateScenarioScaled(wh *dw.Warehouse, year int, months []int, seed int64, scale int) error {
+func PopulateScenarioScaled(wh ScenarioTarget, year int, months []int, seed int64, scale int) error {
 	if scale < 1 {
 		scale = 1
 	}

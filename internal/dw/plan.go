@@ -342,6 +342,20 @@ func (p *plan) run() *partial {
 // materialize turns the aggregate table into a sorted Result, decoding each
 // composite key back into member names.
 func (p *plan) materialize(pt *partial) *Result {
+	cells := p.materializeCells(pt)
+	res := &Result{Query: p.q}
+	for i := range cells {
+		c := &cells[i]
+		res.Rows = append(res.Rows, Row{Groups: c.Groups, Value: finalValue(p.q.Agg, c), Count: c.Count})
+	}
+	return res
+}
+
+// materializeCells decodes the aggregate table into name-keyed raw cells
+// — sorted by group names and coalesced — without applying the final
+// aggregation. Execute finalises them directly; a sharded deployment
+// ships them to the scatter/gather coordinator instead (scatter.go).
+func (p *plan) materializeCells(pt *partial) []CellRow {
 	type named struct {
 		groups []string
 		c      planCell
@@ -393,7 +407,7 @@ func (p *plan) materialize(pt *partial) *Result {
 	// named "(unknown)" shares its label with the broken-chain sentinel
 	// slot, and the reference engine (keyed by name strings) merges the
 	// two; do the same.
-	res := &Result{Query: p.q}
+	out := make([]CellRow, 0, len(cells))
 	for i := 0; i < len(cells); {
 		c := cells[i].c
 		j := i + 1
@@ -401,21 +415,8 @@ func (p *plan) materialize(pt *partial) *Result {
 			c.merge(cells[j].c)
 			j++
 		}
-		var v float64
-		switch p.q.Agg {
-		case Sum:
-			v = c.sum
-		case Count:
-			v = float64(c.count)
-		case Avg:
-			v = c.sum / float64(c.count)
-		case Min:
-			v = c.min
-		case Max:
-			v = c.max
-		}
-		res.Rows = append(res.Rows, Row{Groups: cells[i].groups, Value: v, Count: c.count})
+		out = append(out, CellRow{Groups: cells[i].groups, Sum: c.sum, Count: c.count, Min: c.min, Max: c.max})
 		i = j
 	}
-	return res
+	return out
 }

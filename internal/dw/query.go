@@ -159,6 +159,19 @@ func (w *Warehouse) ExecuteReference(q Query) (*Result, error) {
 // ExecuteReference and Execute's key-space-overflow fallback. Callers must
 // hold w.mu and have validated the query.
 func (w *Warehouse) referenceScanLocked(q Query, fd *factData, roleDim map[string]string) *Result {
+	cells := w.referenceCellsLocked(q, fd, roleDim)
+	res := &Result{Query: q}
+	for i := range cells {
+		c := &cells[i]
+		res.Rows = append(res.Rows, Row{Groups: c.Groups, Value: finalValue(q.Agg, c), Count: c.Count})
+	}
+	return res
+}
+
+// referenceCellsLocked is referenceScanLocked minus the final aggregation:
+// the raw per-group cells, sorted by NUL-joined group names. It backs both
+// the single-warehouse reference result and ExecuteCells' overflow path.
+func (w *Warehouse) referenceCellsLocked(q Query, fd *factData, roleDim map[string]string) []CellRow {
 	type compiledFilter struct {
 		role, level string
 		allowed     map[int]bool
@@ -226,30 +239,17 @@ rows:
 		}
 	}
 
-	res := &Result{Query: q}
 	keys := make([]string, 0, len(cells))
 	for k := range cells {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	out := make([]CellRow, 0, len(keys))
 	for _, k := range keys {
 		c := cells[k]
-		var v float64
-		switch q.Agg {
-		case Sum:
-			v = c.sum
-		case Count:
-			v = float64(c.count)
-		case Avg:
-			v = c.sum / float64(c.count)
-		case Min:
-			v = c.min
-		case Max:
-			v = c.max
-		}
-		res.Rows = append(res.Rows, Row{Groups: c.groups, Value: v, Count: c.count})
+		out = append(out, CellRow{Groups: c.groups, Sum: c.sum, Count: c.count, Min: c.min, Max: c.max})
 	}
-	return res
+	return out
 }
 
 func (w *Warehouse) checkRoleLevelLocked(roleDim map[string]string, role, level, fact string) error {

@@ -91,8 +91,8 @@ func TestAnswerCacheFlush(t *testing.T) {
 // after it.
 func TestAnswerCacheStalePutDropped(t *testing.T) {
 	c := newAnswerCache(8)
-	_, _, epoch := c.get("q") // miss; observe the pre-feed epoch
-	c.flush()                 // a warehouse feed commits meanwhile
+	_, _, epoch := c.get("q")      // miss; observe the pre-feed epoch
+	c.flush()                      // a warehouse feed commits meanwhile
 	c.put("q", res(1), epoch, nil) // late insert of the pre-feed answer
 	if _, ok, _ := c.get("q"); ok {
 		t.Fatal("stale pre-flush result must not enter the cache")

@@ -23,6 +23,20 @@ import (
 // until the operator intervenes. The HTTP layer maps it to 503.
 var ErrDegraded = errors.New("engine: degraded (read-only): feeds disabled after a WAL failure")
 
+// ErrReadOnlyReplica reports that this engine serves a read replica:
+// feeds are refused by design, not by failure — clients must write to
+// the leader. Unlike ErrDegraded this is permanent and healthy, so the
+// HTTP layer maps it to 403 rather than 503 (a load balancer must not
+// pull a replica out of rotation for refusing a write).
+var ErrReadOnlyReplica = errors.New("engine: read-only replica: feeds must go to the leader")
+
+// SetReadOnlyReplica marks the engine as a read replica: HarvestAll
+// refuses with ErrReadOnlyReplica instead of the generic no-loader
+// error. Called once during follower wiring, before serving starts.
+func (e *Engine) SetReadOnlyReplica() {
+	e.readOnlyReplica.Store(true)
+}
+
 // degradedState carries the reason the engine degraded.
 type degradedState struct {
 	reason string

@@ -39,7 +39,6 @@ import (
 	"time"
 
 	"dwqa/internal/etl"
-	"dwqa/internal/ir"
 	"dwqa/internal/nl2olap"
 	"dwqa/internal/qa"
 	"dwqa/internal/store"
@@ -105,19 +104,20 @@ type Engine struct {
 	ask       *qa.System
 	harvester *qa.System
 	loader    *etl.Loader
-	index     *ir.Index
+	index     CorpusStats
 	cache     *answerCache
 	workers   int
 	fullFlush bool // Config.FullFlushOnFeed
 
 	// Resilience plumbing (gate.go, degrade.go): admission control,
 	// per-request deadlines, and the degraded read-only latch.
-	gate           *gate
-	askTimeout     time.Duration
-	harvestTimeout time.Duration
-	degraded       atomic.Pointer[degradedState]
-	timeoutTotal   atomic.Uint64
-	panicTotal     atomic.Uint64
+	gate            *gate
+	askTimeout      time.Duration
+	harvestTimeout  time.Duration
+	degraded        atomic.Pointer[degradedState]
+	readOnlyReplica atomic.Bool
+	timeoutTotal    atomic.Uint64
+	panicTotal      atomic.Uint64
 
 	// answerFn/harvestFn are the per-question work functions; they default
 	// to the wrapped qa.Systems and exist as seams so tests can inject
@@ -143,6 +143,7 @@ type Engine struct {
 	// published (unix nanos; 0 = never).
 	snapSource   SnapshotSource
 	store        *store.Store
+	snapshotter  Snapshotter // generalised persistence (SetSnapshotter)
 	recovery     *store.RecoveryInfo
 	lastSnapshot atomic.Int64
 
@@ -151,13 +152,47 @@ type Engine struct {
 	// running the factoid modules (DESIGN.md §6). Stored atomically so
 	// serving workers read it lock-free.
 	trans atomic.Pointer[nl2olap.Translator]
+
+	// shardStats, when set, reports per-shard replication positions for
+	// /healthz (a sharded leader reports per-shard WAL sequences; a
+	// follower adds its lag behind each). Stored atomically so Stats
+	// never races SetShardStats.
+	shardStats atomic.Pointer[func() []ShardStat]
+}
+
+// ShardStat is one shard's replication position in the /healthz payload.
+// On a leader Lag is always zero; on a follower it is the number of WAL
+// records the shard has observed on the leader but not yet applied
+// (negative values never occur).
+type ShardStat struct {
+	Shard int    `json:"shard"`
+	Seq   uint64 `json:"seq"`
+	Lag   int64  `json:"lag"`
+}
+
+// SetShardStats installs the per-shard replication reporter surfaced
+// through Stats and /healthz. fn is called on every Stats snapshot.
+func (e *Engine) SetShardStats(fn func() []ShardStat) {
+	if fn == nil {
+		e.shardStats.Store(nil)
+		return
+	}
+	e.shardStats.Store(&fn)
+}
+
+// CorpusStats reports the size of the served corpus for the /healthz
+// statistics. A single *ir.Index satisfies it; a sharded cluster reports
+// the totals across its shards.
+type CorpusStats interface {
+	DocCount() int
+	PassageCount() int
 }
 
 // New assembles an engine. ask is required; harvester defaults to ask when
 // nil (harvesting then runs with the interactive passage budget); loader
 // may be nil, in which case HarvestAll extracts but refuses to load; index
 // is optional and only feeds the /healthz statistics.
-func New(cfg Config, ask, harvester *qa.System, loader *etl.Loader, index *ir.Index) (*Engine, error) {
+func New(cfg Config, ask, harvester *qa.System, loader *etl.Loader, index CorpusStats) (*Engine, error) {
 	if ask == nil {
 		return nil, fmt.Errorf("engine: nil QA system")
 	}
@@ -520,6 +555,9 @@ func (e *Engine) HarvestAll(ctx context.Context, questions []string) ([]HarvestR
 	}
 
 	if e.loader == nil {
+		if e.readOnlyReplica.Load() {
+			return items, nil, ErrReadOnlyReplica
+		}
 		return items, nil, fmt.Errorf("engine: no loader configured, cannot feed the warehouse")
 	}
 	batches := make([][]qa.Answer, len(items))
@@ -603,6 +641,11 @@ type Stats struct {
 	WALReplayed  int    `json:"wal_replayed,omitempty"`  // records replayed at boot
 	Recovered    bool   `json:"recovered,omitempty"`     // boot loaded a snapshot
 	LastSnapshot string `json:"last_snapshot,omitempty"` // RFC 3339; "" = none this run
+
+	// Shards reports per-shard replication positions (present in sharded
+	// deployments; see SetShardStats). On a follower each entry carries
+	// the apply lag behind the leader's WAL.
+	Shards []ShardStat `json:"shards,omitempty"`
 }
 
 // Stats snapshots the engine's serving statistics.
@@ -639,6 +682,12 @@ func (e *Engine) Stats() Stats {
 		st.WALSeq = durable.Seq()
 		st.WALErrors = durable.WALErrors()
 	}
+	if snap := e.getSnapshotter(); snap != nil {
+		st.Members, st.FactRows = snap.StateCounts()
+		st.Durable = true
+		st.WALSeq = snap.Seq()
+		st.WALErrors = snap.WALErrors()
+	}
 	if recovery != nil {
 		st.Recovered = recovery.Recovered
 		st.WALReplayed = recovery.WALReplayed
@@ -646,7 +695,38 @@ func (e *Engine) Stats() Stats {
 	if ns := e.lastSnapshot.Load(); ns != 0 {
 		st.LastSnapshot = time.Unix(0, ns).UTC().Format(time.RFC3339)
 	}
+	if fn := e.shardStats.Load(); fn != nil {
+		st.Shards = (*fn)()
+	}
 	return st
+}
+
+// RetryAfterSeconds derives the Retry-After hint for shed (429)
+// responses from the current load instead of a fixed constant: a shed
+// request can expect a slot once the work ahead of it — everything
+// admitted plus everything queued — has drained, and the gate drains at
+// most MaxInflight requests per ask deadline. The result is clamped to
+// [1s, 60s]: never "retry immediately" while saturated, never a backoff
+// longer than any client should blindly honour.
+func (e *Engine) RetryAfterSeconds() int {
+	capacity := e.gate.Capacity()
+	if capacity <= 0 {
+		return 1 // admission control disabled; shedding cannot persist
+	}
+	ahead := e.gate.Inflight() + e.gate.Queued()
+	waves := (ahead + int64(capacity) - 1) / int64(capacity)
+	per := e.askTimeout
+	if per <= 0 {
+		per = DefaultAskTimeout
+	}
+	secs := int64(time.Duration(waves) * per / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return int(secs)
 }
 
 // forEach runs fn(0..n-1) on the worker pool and waits for completion.

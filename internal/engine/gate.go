@@ -110,5 +110,12 @@ func (g *gate) release() {
 // Inflight returns the number of currently admitted requests.
 func (g *gate) Inflight() int64 { return g.inflight.Load() }
 
+// Queued returns the number of requests currently waiting for a slot.
+func (g *gate) Queued() int64 { return g.queued.Load() }
+
+// Capacity returns the admission limit (0 when admission control is
+// disabled).
+func (g *gate) Capacity() int { return cap(g.slots) }
+
 // Shed returns how many requests have been rejected with ErrShed.
 func (g *gate) Shed() uint64 { return g.shed.Load() }

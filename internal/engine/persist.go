@@ -34,6 +34,29 @@ type SnapshotSource interface {
 	StateCounts() (members, factRows int)
 }
 
+// Snapshotter generalises the engine's persistence beyond the single
+// (SnapshotSource, *store.Store) pair: a sharded cluster persists N
+// per-shard stores and must export every shard's state under the same
+// feed quiescence, then write N snapshot files outside it. The split
+// into capture and publish mirrors SnapshotTo's own discipline: the
+// in-memory export happens under commitMu (feeds quiesced, asks never
+// blocked), the disk writes after it is released.
+type Snapshotter interface {
+	// ExportForSnapshot captures the full state — called with the
+	// engine's feed commits quiesced — and returns a publish closure
+	// that writes it out, called unlocked. For a multi-store
+	// implementation the returned SnapshotInfo aggregates (path = the
+	// root directory, bytes summed, WALSeq = the highest shard's).
+	ExportForSnapshot() (publish func() (store.SnapshotInfo, error), err error)
+	// Seq returns the highest WAL sequence across the stores.
+	Seq() uint64
+	// WALErrors returns the total journal appends refused by the stores.
+	WALErrors() uint64
+	// StateCounts returns the served warehouse sizing (members, fact
+	// rows) for the stats, like SnapshotSource.StateCounts.
+	StateCounts() (members, factRows int)
+}
+
 // SetDurability wires the persistence layer into the engine: src exports
 // state for SnapshotTo, st is the store snapshots go to, and recovery
 // (may be nil) is surfaced through Stats so operators can see what boot
@@ -44,6 +67,24 @@ func (e *Engine) SetDurability(src SnapshotSource, st *store.Store, recovery *st
 	e.snapSource = src
 	e.store = st
 	e.recovery = recovery
+}
+
+// SetSnapshotter wires a generalised persistence implementation (see
+// Snapshotter) in place of the SnapshotSource/store pair. recovery (may
+// be nil) is surfaced through Stats like SetDurability's.
+func (e *Engine) SetSnapshotter(s Snapshotter, recovery *store.RecoveryInfo) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.snapshotter = s
+	e.recovery = recovery
+}
+
+// getSnapshotter returns the wired Snapshotter (nil when the engine
+// uses the plain SnapshotSource/store pair or is not durable).
+func (e *Engine) getSnapshotter() Snapshotter {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.snapshotter
 }
 
 // durability returns the wired persistence handles.
@@ -73,23 +114,36 @@ var (
 // are retried with backoff (see above); the state is exported once and
 // every attempt writes the same bytes.
 func (e *Engine) SnapshotTo() (store.SnapshotInfo, error) {
-	src, st, _ := e.durability()
-	if src == nil || st == nil {
-		return store.SnapshotInfo{}, fmt.Errorf("engine: no durability configured (SetDurability)")
-	}
-	e.commitMu.Lock()
-	state, err := src.ExportState()
-	if err == nil {
-		state.WALSeq = st.Seq()
-	}
-	e.commitMu.Unlock()
-	if err != nil {
-		return store.SnapshotInfo{}, fmt.Errorf("engine: exporting state: %w", err)
+	var publish func() (store.SnapshotInfo, error)
+	if snap := e.getSnapshotter(); snap != nil {
+		e.commitMu.Lock()
+		p, err := snap.ExportForSnapshot()
+		e.commitMu.Unlock()
+		if err != nil {
+			return store.SnapshotInfo{}, fmt.Errorf("engine: exporting state: %w", err)
+		}
+		publish = p
+	} else {
+		src, st, _ := e.durability()
+		if src == nil || st == nil {
+			return store.SnapshotInfo{}, fmt.Errorf("engine: no durability configured (SetDurability)")
+		}
+		e.commitMu.Lock()
+		state, err := src.ExportState()
+		if err == nil {
+			state.WALSeq = st.Seq()
+		}
+		e.commitMu.Unlock()
+		if err != nil {
+			return store.SnapshotInfo{}, fmt.Errorf("engine: exporting state: %w", err)
+		}
+		publish = func() (store.SnapshotInfo, error) { return st.WriteSnapshot(state) }
 	}
 	var info store.SnapshotInfo
+	var err error
 	backoff := snapshotBackoff
 	for attempt := 1; ; attempt++ {
-		info, err = st.WriteSnapshot(state)
+		info, err = publish()
 		if err == nil {
 			break
 		}

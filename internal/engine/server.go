@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"dwqa/internal/etl"
 	"dwqa/internal/nl2olap"
@@ -22,9 +23,10 @@ const (
 	maxBatchSize   = 10_000  // questions per /ask/batch or /harvest call
 )
 
-// retryAfterSeconds is the Retry-After hint on 429 responses: shed load
-// is bursty, so clients are told to back off briefly and try again.
-const retryAfterSeconds = "1"
+// The Retry-After hint on 429 responses is derived from the engine's
+// current load (Engine.RetryAfterSeconds): a queue one deadline deep
+// tells clients to back off for one deadline, a deeper queue for
+// proportionally longer.
 
 // NewServer returns the HTTP JSON API over an engine:
 //
@@ -46,6 +48,7 @@ const retryAfterSeconds = "1"
 //	413  request body over 1 MiB
 //	422  batch over the question limit; /ask/olap non-analytic question
 //	429  engine saturated, request shed (Retry-After tells when to retry)
+//	403  read replica refused a feed (writes must go to the leader)
 //	503  engine degraded read-only (feeds only; asks keep serving)
 //	504  deadline expired — batch responses still carry the answers that
 //	     finished in time, expired slots marked per item
@@ -59,29 +62,29 @@ func NewServer(e *Engine) http.Handler {
 		var req struct {
 			Question string `json:"question"`
 		}
-		if !decodeJSON(w, r, &req) {
+		if !decodeJSON(e, w, r, &req) {
 			return
 		}
 		if req.Question == "" {
-			httpError(w, http.StatusBadRequest, "missing question")
+			httpError(e, w, http.StatusBadRequest, "missing question")
 			return
 		}
 		res := e.Ask(r.Context(), req.Question)
-		writeJSONStatus(w, askStatus([]AskResult{res}), askJSON(res))
+		writeJSONStatus(e, w, askStatus([]AskResult{res}), askJSON(res))
 	})
 	mux.HandleFunc("POST /ask/batch", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Questions []string `json:"questions"`
 		}
-		if !decodeJSON(w, r, &req) {
+		if !decodeJSON(e, w, r, &req) {
 			return
 		}
 		if len(req.Questions) == 0 {
-			httpError(w, http.StatusBadRequest, "missing questions")
+			httpError(e, w, http.StatusBadRequest, "missing questions")
 			return
 		}
 		if len(req.Questions) > maxBatchSize {
-			httpError(w, http.StatusUnprocessableEntity, fmt.Sprintf("batch of %d exceeds the %d-question limit", len(req.Questions), maxBatchSize))
+			httpError(e, w, http.StatusUnprocessableEntity, fmt.Sprintf("batch of %d exceeds the %d-question limit", len(req.Questions), maxBatchSize))
 			return
 		}
 		results := e.AskAll(r.Context(), req.Questions)
@@ -93,17 +96,17 @@ func NewServer(e *Engine) http.Handler {
 		}
 		// A 504 or 500 batch still carries every completed answer; the
 		// status tells the client the batch as a whole was cut short.
-		writeJSONStatus(w, askStatus(results), out)
+		writeJSONStatus(e, w, askStatus(results), out)
 	})
 	mux.HandleFunc("POST /ask/olap", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Question string `json:"question"`
 		}
-		if !decodeJSON(w, r, &req) {
+		if !decodeJSON(e, w, r, &req) {
 			return
 		}
 		if req.Question == "" {
-			httpError(w, http.StatusBadRequest, "missing question")
+			httpError(e, w, http.StatusBadRequest, "missing question")
 			return
 		}
 		ans, err := e.AskOLAP(r.Context(), req.Question)
@@ -116,7 +119,7 @@ func NewServer(e *Engine) http.Handler {
 				// Still 422, but spell out where the question belongs.
 				err = fmt.Errorf("%w; POST /ask serves factoid questions", err)
 			}
-			httpError(w, code, err.Error())
+			httpError(e, w, code, err.Error())
 			return
 		}
 		writeJSON(w, toOLAPJSON(ans))
@@ -126,11 +129,11 @@ func NewServer(e *Engine) http.Handler {
 			Questions []string `json:"questions"`
 		}
 		// An empty body selects the default harvest workload.
-		if !decodeJSONOptional(w, r, &req) {
+		if !decodeJSONOptional(e, w, r, &req) {
 			return
 		}
 		if len(req.Questions) > maxBatchSize {
-			httpError(w, http.StatusUnprocessableEntity, fmt.Sprintf("batch of %d exceeds the %d-question limit", len(req.Questions), maxBatchSize))
+			httpError(e, w, http.StatusUnprocessableEntity, fmt.Sprintf("batch of %d exceeds the %d-question limit", len(req.Questions), maxBatchSize))
 			return
 		}
 		items, total, err := e.HarvestAll(r.Context(), req.Questions)
@@ -145,10 +148,10 @@ func NewServer(e *Engine) http.Handler {
 				// extraction got, per item, alongside the timeout.
 				out := harvestJSON(e, items, nil)
 				out.Error = err.Error()
-				writeJSONStatus(w, code, out)
+				writeJSONStatus(e, w, code, out)
 				return
 			}
-			httpError(w, code, err.Error())
+			httpError(e, w, code, err.Error())
 			return
 		}
 		writeJSON(w, harvestJSON(e, items, total))
@@ -165,7 +168,7 @@ func NewServer(e *Engine) http.Handler {
 			if code == 0 || code == http.StatusOK {
 				code = http.StatusUnprocessableEntity
 			}
-			httpError(w, code, err.Error())
+			httpError(e, w, code, err.Error())
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -196,7 +199,7 @@ func recoverMiddleware(e *Engine, next http.Handler) http.Handler {
 		defer func() {
 			if rec := recover(); rec != nil {
 				e.panicTotal.Add(1)
-				httpError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: panic: %v", rec))
+				httpError(e, w, http.StatusInternalServerError, fmt.Sprintf("internal error: panic: %v", rec))
 			}
 		}()
 		next.ServeHTTP(w, r)
@@ -214,6 +217,8 @@ func errStatus(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrReadOnlyReplica):
+		return http.StatusForbidden
 	case errors.Is(err, ErrDegraded), errors.Is(err, store.ErrWAL):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrPanic):
@@ -392,11 +397,11 @@ func dateJSON(d sbparser.DateRef) string {
 	}
 }
 
-func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+func decodeJSON(e *Engine, w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		httpError(w, decodeStatus(err), "bad request body: "+err.Error())
+		httpError(e, w, decodeStatus(err), "bad request body: "+err.Error())
 		return false
 	}
 	return true
@@ -404,11 +409,11 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 
 // decodeJSONOptional is decodeJSON, but an entirely empty body is accepted
 // and leaves dst at its zero value.
-func decodeJSONOptional(w http.ResponseWriter, r *http.Request, dst any) bool {
+func decodeJSONOptional(e *Engine, w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil && err != io.EOF {
-		httpError(w, decodeStatus(err), "bad request body: "+err.Error())
+		httpError(e, w, decodeStatus(err), "bad request body: "+err.Error())
 		return false
 	}
 	return true
@@ -426,13 +431,23 @@ func decodeStatus(err error) int {
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
-	writeJSONStatus(w, http.StatusOK, v)
+	writeJSONStatus(nil, w, http.StatusOK, v)
 }
 
-func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+// setRetryAfter stamps the load-derived backoff hint on a 429. e may be
+// nil only on paths that cannot produce a 429 (writeJSON).
+func setRetryAfter(e *Engine, w http.ResponseWriter) {
+	secs := 1
+	if e != nil {
+		secs = e.RetryAfterSeconds()
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+func writeJSONStatus(e *Engine, w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if code == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", retryAfterSeconds)
+		setRetryAfter(e, w)
 	}
 	if code != http.StatusOK {
 		w.WriteHeader(code)
@@ -442,10 +457,10 @@ func writeJSONStatus(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func httpError(w http.ResponseWriter, code int, msg string) {
+func httpError(e *Engine, w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	if code == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", retryAfterSeconds)
+		setRetryAfter(e, w)
 	}
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})

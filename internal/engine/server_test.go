@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -143,6 +144,87 @@ func TestServerSheds(t *testing.T) {
 	}
 }
 
+// TestServerRetryAfterScalesWithQueueDepth pins the 429 backoff hint to
+// the load it is derived from: a shed against a bare saturated slot
+// hints one ask-deadline, a shed behind a full queue hints one deadline
+// per drain wave of the work ahead — the header must grow with queue
+// depth, not sit on a constant.
+func TestServerRetryAfterScalesWithQueueDepth(t *testing.T) {
+	p := newPipeline(t)
+	const askTimeout = 10 * time.Second // >> test runtime: no queued request expires mid-probe
+
+	// shedHint saturates an engine (1 slot busy, `queueDepth` requests
+	// waiting) and returns the Retry-After value of a shed request.
+	shedHint := func(maxQueue, queueDepth, wantSecs int) int {
+		t.Helper()
+		eng, err := engine.New(engine.Config{MaxInflight: 1, MaxQueue: maxQueue, AskTimeout: askTimeout, CacheSize: -1},
+			p.QA, nil, nil, p.Index)
+		if err != nil {
+			t.Fatal(err)
+		}
+		started := make(chan struct{}, 8)
+		release := make(chan struct{})
+		eng.SetAnswerFnForTest(func(string) (*qa.Result, error) {
+			started <- struct{}{}
+			<-release
+			return &qa.Result{}, nil
+		})
+		srv := httptest.NewServer(engine.NewServer(eng))
+		t.Cleanup(srv.Close)
+
+		done := make(chan error, 1+queueDepth)
+		post := func(q string) {
+			resp, err := http.Post(srv.URL+"/ask", "application/json",
+				strings.NewReader(`{"question": "`+q+`"}`))
+			if err == nil {
+				resp.Body.Close()
+			}
+			done <- err
+		}
+		go post("occupier")
+		<-started // the one slot is held
+		for i := 0; i < queueDepth; i++ {
+			go post("queued")
+		}
+		// The queued posts race the probe; wait until the hint reflects
+		// the full backlog before shedding against it.
+		deadline := time.Now().Add(5 * time.Second)
+		for eng.RetryAfterSeconds() != wantSecs {
+			if time.Now().After(deadline) {
+				t.Fatalf("hint never reached %ds (at %ds) — queue did not fill", wantSecs, eng.RetryAfterSeconds())
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		resp, body := postJSON(t, srv.URL+"/ask", `{"question": "shed me"}`)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("status = %d, want 429 (%s)", resp.StatusCode, body)
+		}
+		secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if err != nil {
+			t.Fatalf("Retry-After %q is not an integer: %v", resp.Header.Get("Retry-After"), err)
+		}
+		close(release)
+		for i := 0; i < 1+queueDepth; i++ {
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+		}
+		return secs
+	}
+
+	// One slot busy, no queue: the work ahead drains in one wave.
+	shallow := shedHint(-1, 0, int(askTimeout/time.Second))
+	// One slot busy, three queued: four waves of one-slot drains ahead.
+	deep := shedHint(3, 3, 4*int(askTimeout/time.Second))
+	if shallow != int(askTimeout/time.Second) {
+		t.Errorf("bare saturation hints %ds, want %ds (one ask deadline)", shallow, int(askTimeout/time.Second))
+	}
+	if deep != 4*shallow {
+		t.Errorf("full queue hints %ds, want %ds — Retry-After must scale with queue depth", deep, 4*shallow)
+	}
+}
+
 // TestServerDeadline504: a batch outrunning its deadline answers 504 and
 // still carries the per-item results — finished answers plus expired
 // slots marked with the deadline error.
@@ -250,6 +332,33 @@ func TestServerDegraded503(t *testing.T) {
 	}
 	if st.Status != "degraded" || st.State != "degraded" || st.Reason == "" {
 		t.Errorf("healthz while degraded = %+v", st)
+	}
+}
+
+// TestServerReadOnlyReplica403: a read replica refuses feeds with 403
+// (a deliberate, healthy refusal — not 503, which would make a load
+// balancer pull the replica) while /ask keeps answering 200.
+func TestServerReadOnlyReplica403(t *testing.T) {
+	p := newPipeline(t)
+	eng, err := engine.New(engine.Config{AskTimeout: -1}, p.QA, nil, nil, p.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetReadOnlyReplica()
+	srv := httptest.NewServer(engine.NewServer(eng))
+	t.Cleanup(srv.Close)
+
+	resp, body := postJSON(t, srv.URL+"/harvest", "")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("harvest on replica = %d, want 403 (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "read-only replica") {
+		t.Errorf("replica refusal body = %q, want it to say read-only replica", body)
+	}
+	resp, body = postJSON(t, srv.URL+"/ask",
+		`{"question": "What is the weather like in January of 2004 in El Prat?"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ask on replica = %d, want 200 (%s)", resp.StatusCode, body)
 	}
 }
 

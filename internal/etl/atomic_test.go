@@ -21,10 +21,17 @@ func TestCanonicalCity(t *testing.T) {
 		{"new york", "New York"},
 		{"  new   york  ", "New York"},
 		{"el prat", "El Prat"},
-		// Already-uppercase first letters are left alone (acronym-ish
-		// forms are not case-folded, only a lowercase first letter is
-		// raised).
-		{"BARCELONA", "BARCELONA"},
+		// Shouted words fold down to the member form the feed path
+		// mints — "BARCELONA" harvested from a headline and "barcelona"
+		// from running text are the same City member (and the NL→OLAP
+		// grounding resolves both to the same filter value).
+		{"BARCELONA", "Barcelona"},
+		{"NEW YORK", "New York"},
+		// Mixed-case words are not shouting: interior capitals survive.
+		{"McMurdo", "McMurdo"},
+		{"O'Hare", "O'Hare"},
+		// A single letter is not shouting either ("A Coruña").
+		{"A coruña", "A Coruña"},
 		{"", ""},
 		{"   ", ""},
 	}

@@ -17,27 +17,54 @@ import (
 	"unicode/utf8"
 
 	"dwqa/internal/dw"
+	"dwqa/internal/mdm"
 	"dwqa/internal/ontology"
 	"dwqa/internal/qa"
 )
 
 // CanonicalCity returns the canonical member-name form of a city
 // mention: whitespace-normalised, with each word's first rune
-// upper-cased ("el  prat" → "El Prat"). Normalize, LoadAll, LoadRecords
-// and RestoreDedup all key on this one form, so "Barcelona" and
-// "barcelona" harvested from different pages are the same dedup key AND
-// the same City member — the pre-fix code lowercased the dedup key but
-// created members from the raw surface form, letting arrival order mint
-// case-variant members for records it had already deduplicated.
+// upper-cased ("el  prat" → "El Prat") and shouted words folded down
+// ("BARCELONA" → "Barcelona"). Normalize, LoadAll, LoadRecords,
+// RestoreDedup and the NL→OLAP member grounding all key on this one
+// form, so "Barcelona", "barcelona" and "BARCELONA" are the same dedup
+// key, the same City member AND the same query filter value — the
+// pre-fix code lowercased the dedup key but created members from the
+// raw surface form, letting arrival order mint case-variant members for
+// records it had already deduplicated, and the grounding path had its
+// own title-casing that disagreed with this one on ALL-CAPS mentions.
+// Mixed-case words ("McMurdo", "O'Hare") pass through untouched: only a
+// fully upper-cased word (more than one letter) is treated as shouting.
 func CanonicalCity(s string) string {
 	fields := strings.Fields(s)
 	for i, f := range fields {
+		if allUpper(f) {
+			r, size := utf8.DecodeRuneInString(f)
+			fields[i] = string(r) + strings.ToLower(f[size:])
+			continue
+		}
 		r, size := utf8.DecodeRuneInString(f)
 		if unicode.IsLower(r) {
 			fields[i] = string(unicode.ToUpper(r)) + f[size:]
 		}
 	}
 	return strings.Join(fields, " ")
+}
+
+// allUpper reports whether the word consists of at least two letters,
+// all upper-case (ignoring non-letters, so "NEW-YORK" counts).
+func allUpper(s string) bool {
+	letters := 0
+	for _, r := range s {
+		if !unicode.IsLetter(r) {
+			continue
+		}
+		if !unicode.IsUpper(r) {
+			return false
+		}
+		letters++
+	}
+	return letters > 1
 }
 
 // WeatherRecord is a normalised (temperature – date – city – web page)
@@ -112,7 +139,7 @@ func (r *Report) RejectionReasons() []string {
 // Loader).
 type Loader struct {
 	dom     *ontology.Ontology // axioms; may be nil (built-in fallbacks)
-	wh      *dw.Warehouse
+	wh      Warehouse
 	fact    string // Weather fact name
 	cityDim string // dimension holding the City base level
 	dateDim string // dimension holding the Day base level
@@ -121,9 +148,22 @@ type Loader struct {
 	loaded map[string]bool // dedup key: city|day|source
 }
 
+// Warehouse is what the loader needs from its OLAP back end: schema
+// introspection, the atomic member+rows transaction, parent walks for
+// roll-up invalidation reporting, and the fact scan that rebuilds dedup
+// state after recovery. A single *dw.Warehouse satisfies it directly; a
+// sharded cluster satisfies it by routing rows to their owning shards
+// (internal/shard).
+type Warehouse interface {
+	Schema() *mdm.Schema
+	AddBatch(specs []dw.MemberSpec, fact string, rows []dw.FactRow) error
+	ParentName(dim, level, name string) (string, error)
+	ScanFact(fact string, roles []string, fn func(row int, names []string, provenance string) error) error
+}
+
 // NewLoader builds a loader for a warehouse whose schema contains the
 // weather fact with a City-based role and a Date role.
-func NewLoader(dom *ontology.Ontology, wh *dw.Warehouse, fact, cityDim, dateDim string) (*Loader, error) {
+func NewLoader(dom *ontology.Ontology, wh Warehouse, fact, cityDim, dateDim string) (*Loader, error) {
 	if wh == nil {
 		return nil, fmt.Errorf("etl: nil warehouse")
 	}

@@ -79,7 +79,7 @@ func TestSparseDenseEquivalence(t *testing.T) {
 			assertSameRanking(t, ix, terms, k)
 		}
 		// The shapes the tentpole calls out explicitly.
-		assertSameRanking(t, ix, []string{"the", "of", "in"}, 5)        // all-stopword
+		assertSameRanking(t, ix, []string{"the", "of", "in"}, 5)       // all-stopword
 		assertSameRanking(t, ix, []string{"zzzunknownterm"}, 5)        // no-match
 		assertSameRanking(t, ix, QueryTerms("storm harbor market"), 3) // normalised path
 	}

@@ -33,10 +33,17 @@ import (
 // DefaultPassageSize is the number of consecutive sentences per passage.
 const DefaultPassageSize = 8
 
-// Document is an indexable unit of text with provenance.
+// Document is an indexable unit of text with provenance. Ord is the
+// document's global ordinal in a sharded deployment: the position it held
+// in the corpus-wide ingest order before routing scattered documents
+// across per-shard indexes. Cross-shard result merging tie-breaks on it
+// to reproduce the single-index insertion order exactly. Single-index
+// deployments leave it zero (ties then fall back to local order, which
+// IS the global order).
 type Document struct {
 	URL  string
 	Text string
+	Ord  int64
 }
 
 // Passage is a retrieval result: a window of consecutive sentences from
@@ -44,8 +51,9 @@ type Document struct {
 type Passage struct {
 	DocURL    string
 	DocIndex  int
-	SentStart int // first sentence index in the document
-	SentEnd   int // one past the last sentence index
+	DocOrd    int64 // the document's global ordinal (Document.Ord)
+	SentStart int   // first sentence index in the document
+	SentEnd   int   // one past the last sentence index
 	Text      string
 	Score     float64
 	Sentences []nlp.Sentence // analysed sentences of the window
@@ -410,6 +418,7 @@ func (ix *Index) materializeLocked(id int, score float64) Passage {
 	return Passage{
 		DocURL:    doc.URL,
 		DocIndex:  pe.doc,
+		DocOrd:    doc.Ord,
 		SentStart: pe.sentStart,
 		SentEnd:   pe.sentEnd,
 		Text:      doc.Text[start:end],

@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"dwqa/internal/dw"
+	"dwqa/internal/etl"
 	"dwqa/internal/mdm"
 	"dwqa/internal/nlp"
 	"dwqa/internal/ontology"
@@ -66,7 +67,7 @@ type TimeSpec struct {
 // first, then serve (the pipeline wires it exactly that way).
 type Translator struct {
 	schema *mdm.Schema
-	wh     *dw.Warehouse
+	wh     Warehouse
 	onto   *ontology.Ontology // may be nil (the E-ONTO ablation)
 
 	aggWords map[string]dw.Agg
@@ -77,13 +78,25 @@ type Translator struct {
 	time     TimeSpec
 }
 
+// Warehouse is what the translator needs from its OLAP back end: the
+// schema to derive vocabulary from, member probes for grounding, and
+// validated execution. A single *dw.Warehouse satisfies it directly; a
+// sharded cluster satisfies it by scatter/gather (internal/shard).
+type Warehouse interface {
+	Schema() *mdm.Schema
+	Validate(q dw.Query) error
+	Execute(q dw.Query) (*dw.Result, error)
+	Members(dim, level string) []string
+	MemberKey(dim, level, name string) (int, error)
+}
+
 // New builds a translator over a warehouse. The vocabulary is derived from
 // the schema: every measure name, fact name (camel-case split, whole
 // phrase and final word) and the built-in aggregation keywords. Domain
 // synonyms ("revenue" → Price) are added with AddMeasureSynonym et al.
 // The ontology may be nil; member grounding then uses only the dimension
 // tables.
-func New(wh *dw.Warehouse, onto *ontology.Ontology) (*Translator, error) {
+func New(wh Warehouse, onto *ontology.Ontology) (*Translator, error) {
 	if wh == nil {
 		return nil, fmt.Errorf("nl2olap: nil warehouse")
 	}
@@ -819,12 +832,28 @@ func (t *Translator) groundOne(fc *mdm.FactClass, surface, prep string) (dw.Leve
 }
 
 // memberLookup finds a member by name across every (role, level) of the
-// fact, trying the surface form and its title-cased variant. Levels are
-// probed base-first, so "El Prat" grounds at Airport before City.
+// fact, trying the surface form, its title-cased variant, and the ETL
+// canonical form — the same etl.CanonicalCity the Step 5 feed path mints
+// members with, so "BARCELONA" and "el prat" ground to exactly the
+// members feeding created ("Barcelona", "El Prat") instead of depending
+// on a second, subtly different casing rule. Levels are probed
+// base-first, so "El Prat" grounds at Airport before City.
 func (t *Translator) memberLookup(fc *mdm.FactClass, surface, preferRole string) (dw.LevelSel, string, bool) {
 	names := []string{surface}
 	if tc := titleCase(surface); tc != surface {
 		names = append(names, tc)
+	}
+	if cc := etl.CanonicalCity(surface); cc != surface {
+		dup := false
+		for _, n := range names {
+			if n == cc {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			names = append(names, cc)
+		}
 	}
 	for _, name := range names {
 		var cands []dw.LevelSel

@@ -50,7 +50,7 @@ func DefaultConfig() Config {
 type System struct {
 	wn    *wordnet.WordNet
 	dom   *ontology.Ontology
-	index *ir.Index
+	index Retriever
 	cfg   Config
 
 	// patterns holds the active pattern set sorted by priority (highest
@@ -72,9 +72,22 @@ type System struct {
 	sentLoc   map[[2]int]string
 }
 
+// Retriever is the passage-retrieval substrate a System answers from. A
+// single *ir.Index satisfies it directly; a sharded cluster satisfies it
+// by scattering searches and gathering with globally-consistent term
+// weights (internal/shard), which is invisible to the QA layers above.
+type Retriever interface {
+	// Search returns the top-k passages for the analysed question terms.
+	Search(terms []string, k int) []ir.Passage
+	// AllPassages returns every passage (the no-IR-filter ablation path).
+	AllPassages() []ir.Passage
+	// Document resolves a Passage.DocIndex back to its document.
+	Document(i int) (ir.Document, error)
+}
+
 // NewSystem assembles a QA system. wn and index are required; dom may be
 // nil (the system then runs without Step 2/4 knowledge).
-func NewSystem(wn *wordnet.WordNet, dom *ontology.Ontology, index *ir.Index, cfg Config) (*System, error) {
+func NewSystem(wn *wordnet.WordNet, dom *ontology.Ontology, index Retriever, cfg Config) (*System, error) {
 	if wn == nil {
 		return nil, fmt.Errorf("qa: nil lexicon")
 	}

@@ -29,9 +29,12 @@ package seed
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -306,11 +309,42 @@ func (cfg Config) remaining(sum *Summary, batch int) int {
 	return batch
 }
 
+// sourceFingerprint identifies the page stream a checkpoint cursor is
+// valid against. For JSONL it must distrust an edited file, not just a
+// renamed one: a line rewritten in place changes neither the base name
+// nor (necessarily) the size, yet shifts every page after it — resuming
+// the old cursor over the new stream would silently skip or duplicate
+// pages. Folding the file size and a full content hash in makes any
+// in-place edit restart the scan, which idempotency turns into a safe
+// (merely slower) full re-skip.
 func (cfg Config) sourceFingerprint() string {
 	if cfg.JSONL != "" {
-		return fmt.Sprintf("jsonl file=%s batch=%d", filepath.Base(cfg.JSONL), cfg.BatchPages)
+		size, sum, err := hashFile(cfg.JSONL)
+		if err != nil {
+			// Unreadable source: poison the fingerprint so no stored
+			// checkpoint matches; newSource reports the real error.
+			return fmt.Sprintf("jsonl file=%s unreadable=%v", filepath.Base(cfg.JSONL), err)
+		}
+		return fmt.Sprintf("jsonl file=%s size=%d sha256=%s batch=%d",
+			filepath.Base(cfg.JSONL), size, sum, cfg.BatchPages)
 	}
 	return fmt.Sprintf("scaled seed=%d batch=%d", cfg.Seed, cfg.BatchPages)
+}
+
+// hashFile streams the file through SHA-256 without materialising it —
+// JSONL corpora can be far larger than memory.
+func hashFile(path string) (int64, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	size, err := io.Copy(h, f)
+	if err != nil {
+		return 0, "", err
+	}
+	return size, hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // snapshot publishes the current state (bounding future recovery work).

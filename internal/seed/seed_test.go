@@ -150,12 +150,73 @@ func TestSeederJSONL(t *testing.T) {
 	}
 }
 
+// TestSeederJSONLRewrittenSource pins the in-place-edit guard: rewriting
+// the JSONL source to the same byte length (so neither the base name nor
+// the size changes — only the content hash can catch it) must invalidate
+// the checkpoint and restart the scan from page zero, never resume a
+// cursor positioned in a stream that no longer exists.
+func TestSeederJSONLRewrittenSource(t *testing.T) {
+	dir := t.TempDir()
+	corpus := filepath.Join(dir, "corpus.jsonl")
+	page := func(i, temp int) string {
+		return fmt.Sprintf(`{"url":"http://corpus.test/p%d","text":"In Testville the temperature was %d degrees.","records":[{"city":"testville","year":2004,"month":1,"day":%d,"temp_c":%d}]}`+"\n",
+			i, temp, i+1, temp)
+	}
+	var lines string
+	for i := 0; i < 5; i++ {
+		lines += page(i, 10+i)
+	}
+	if err := os.WriteFile(corpus, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := seed.Config{DataDir: filepath.Join(dir, "data"), JSONL: corpus, BatchPages: 2, SnapshotEvery: -1}
+	if _, err := seed.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	fpBefore, _, _, ok, err := seed.ReadCheckpointForTest(store.OS(), cfg.DataDir)
+	if err != nil || !ok {
+		t.Fatalf("reading checkpoint back: ok=%v err=%v", ok, err)
+	}
+
+	// Rewrite every line in place: 20..24 replaces 10..14, byte-for-byte
+	// the same length, so the file's name and size are unchanged.
+	var edited string
+	for i := 0; i < 5; i++ {
+		edited += page(i, 20+i)
+	}
+	if len(edited) != len(lines) {
+		t.Fatalf("edited corpus is %d bytes, original %d — the test needs a same-size rewrite", len(edited), len(lines))
+	}
+	if err := os.WriteFile(corpus, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sum, err := seed.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Resumed {
+		t.Fatal("run resumed a checkpoint over a rewritten source")
+	}
+	if sum.StartPages != 0 || sum.PagesSeen != 5 {
+		t.Fatalf("rescan started at page %d and saw %d pages; want a full scan from 0 over 5", sum.StartPages, sum.PagesSeen)
+	}
+	fpAfter, _, _, ok, err := seed.ReadCheckpointForTest(store.OS(), cfg.DataDir)
+	if err != nil || !ok {
+		t.Fatalf("reading checkpoint back: ok=%v err=%v", ok, err)
+	}
+	if fpBefore == fpAfter {
+		t.Fatal("fingerprint unchanged by a same-size content rewrite — the hash is not in it")
+	}
+}
+
 // TestSeederMaxPagesCapsMidBatch pins the page budget: a cap that is
 // not a multiple of the batch size truncates the final batch instead of
 // overshooting.
 func TestSeederMaxPagesCapsMidBatch(t *testing.T) {
 	cfg := seed.Config{
-		DataDir: filepath.Join(t.TempDir(), "data"),
+		DataDir:  filepath.Join(t.TempDir(), "data"),
 		MaxPages: 20, BatchPages: 16, SnapshotEvery: -1, Seed: 42,
 		ProgressEvery: 1, Logf: t.Logf, // every batch logs a progress line
 	}

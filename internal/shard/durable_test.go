@@ -1,0 +1,50 @@
+package shard_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dwqa/internal/shard"
+	"dwqa/internal/store"
+)
+
+// TestDetectShards: a cluster directory reports the shard count it was
+// created with, a fresh or single-node directory reports 0, and a
+// hand-edited layout with a numbering gap is an error rather than a
+// count that would silently drop data.
+func TestDetectShards(t *testing.T) {
+	root := t.TempDir()
+
+	n, err := shard.DetectShards(store.OS(), root)
+	if err != nil || n != 0 {
+		t.Fatalf("empty dir: got %d, %v; want 0, nil", n, err)
+	}
+
+	for i := 0; i < 3; i++ {
+		if err := os.MkdirAll(shard.ShardDir(root, i), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err = shard.DetectShards(store.OS(), root)
+	if err != nil || n != 3 {
+		t.Fatalf("3-shard dir: got %d, %v; want 3, nil", n, err)
+	}
+
+	// Unrelated entries (a single-node snapshot, a stray file) are not
+	// shard directories.
+	if err := os.WriteFile(filepath.Join(root, "snapshot-000001.bin"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err = shard.DetectShards(store.OS(), root)
+	if err != nil || n != 3 {
+		t.Fatalf("3-shard dir with stray file: got %d, %v; want 3, nil", n, err)
+	}
+
+	if err := os.RemoveAll(shard.ShardDir(root, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard.DetectShards(store.OS(), root); err == nil {
+		t.Fatal("gap in shard numbering: want an error, got nil")
+	}
+}

@@ -1,0 +1,382 @@
+// Package shard partitions the warehouse/index stack across N shards by
+// city-dimension hash and serves scatter/gather queries over them with
+// answers byte-identical to a single-node deployment (DESIGN.md §10).
+//
+// Partitioning discipline: dimensions are replicated — every AddMember
+// goes to all shards in the same order, so member keys are identical
+// everywhere and any shard can validate or describe a query. Fact rows
+// are partitioned — each row hashes by the city its routing role rolls
+// up to (FNV-1a of the member name, mod N), so a city's rows, whatever
+// fact they belong to, land on one shard. Documents are partitioned the
+// same way by a caller-supplied routing key, with a cluster-wide ordinal
+// (ir.Document.Ord) assigned at ingest so federated ranking can break
+// ties exactly as one big index would.
+//
+// Reads scatter to all shards and merge deterministically: OLAP plans
+// through dw.ExecuteCells/MergeCells, IR searches through the
+// global-statistics protocol in ir/federate.go. Single-writer
+// discipline: one process feeds the cluster; replicas (follower.go)
+// open shipped snapshots and tail the WAL read-only.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"dwqa/internal/dw"
+	"dwqa/internal/ir"
+	"dwqa/internal/mdm"
+)
+
+// Node is one shard's stack: its slice of the fact columns and of the
+// passage index. Followers swap whole Nodes atomically on snapshot
+// reload, so everything derived from one shard's state hangs off the
+// struct a single pointer load returns.
+type Node struct {
+	WH *dw.Warehouse
+	IX *ir.Index
+}
+
+// Route names, per fact, the role whose coordinate places a row: the
+// row hashes by the member its Role coordinate rolls up to at Level.
+// The paper's schema routes Weather by City@City (the coordinate is the
+// city) and LastMinuteSales by Destination@City (the destination
+// airport's city), so a city's weather and its inbound sales co-locate.
+type Route struct {
+	Role  string
+	Level string
+}
+
+// Cluster is the scatter/gather coordinator over N shards. It satisfies
+// the warehouse surface the rest of the stack consumes (etl.Warehouse,
+// nl2olap.Warehouse, the scenario population) and the retrieval surface
+// (qa.Retriever, engine.CorpusStats), so a Pipeline-shaped stack runs
+// over it unchanged.
+type Cluster struct {
+	schema *mdm.Schema
+	routes map[string]Route
+	n      int
+	irOpts []ir.Option
+
+	// nodes are atomic so a follower's tail loop can swap a shard's
+	// whole state under readers when it falls behind a snapshot.
+	nodes []atomic.Pointer[Node]
+
+	// mu guards the ordinal map and counter. ordDoc resolves a global
+	// document ordinal to (shard, local index) — the read path's
+	// Document(ord) and the leader's ingest both go through it.
+	mu      sync.RWMutex
+	ordDoc  map[int64][2]int
+	nextOrd int64
+}
+
+// NewCluster builds an n-shard cluster over the schema. Every shard gets
+// its own warehouse and index; irOpts configure each shard's index
+// identically (passage size and stride must match the single-node
+// deployment for answers to be comparable).
+func NewCluster(schema *mdm.Schema, n int, routes map[string]Route, irOpts ...ir.Option) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: cluster needs at least 1 shard, got %d", n)
+	}
+	for fact, r := range routes {
+		fc := schema.Fact(fact)
+		if fc == nil {
+			return nil, fmt.Errorf("shard: route for unknown fact %q", fact)
+		}
+		ref := fc.Ref(r.Role)
+		if ref == nil {
+			return nil, fmt.Errorf("shard: fact %q has no role %q", fact, r.Role)
+		}
+		dim := schema.Dimension(ref.Dimension)
+		if dim == nil || dim.PathTo(r.Level) == nil {
+			return nil, fmt.Errorf("shard: dimension %q has no roll-up path to level %q", ref.Dimension, r.Level)
+		}
+	}
+	c := &Cluster{
+		schema: schema,
+		routes: routes,
+		n:      n,
+		irOpts: irOpts,
+		nodes:  make([]atomic.Pointer[Node], n),
+		ordDoc: make(map[int64][2]int),
+	}
+	for i := 0; i < n; i++ {
+		wh, err := dw.New(schema)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		c.nodes[i].Store(&Node{WH: wh, IX: ir.NewIndex(irOpts...)})
+	}
+	return c, nil
+}
+
+// Shards returns the shard count.
+func (c *Cluster) Shards() int { return c.n }
+
+// Node returns shard i's current stack. Callers must not hold the
+// returned pointer across feed boundaries on a follower — reloads swap
+// it.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i].Load() }
+
+// SetNode swaps shard i's stack — the follower's snapshot-reload path.
+// The caller must rebuild the shard's ordinal entries (ReindexShard)
+// after the swap.
+func (c *Cluster) SetNode(i int, n *Node) { c.nodes[i].Store(n) }
+
+// Schema returns the shared multidimensional schema.
+func (c *Cluster) Schema() *mdm.Schema { return c.schema }
+
+// hashShard places a routing key: FNV-1a 64 of the member name, mod N.
+// Stable across runs and processes, so a leader and its replicas (and a
+// re-seeded equivalence run) agree on placement.
+func (c *Cluster) hashShard(key string) int {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(c.n))
+}
+
+// RouteKey resolves the routing member for one fact row: the coordinate
+// of the routing role rolled up to the route level. overlay, when
+// non-nil, is a pending batch's member specs — rows arriving with the
+// members that ground them (AddBatch) must resolve parents that are not
+// committed anywhere yet.
+func (c *Cluster) RouteKey(fact string, coords map[string]string, overlay []dw.MemberSpec) (string, error) {
+	r, ok := c.routes[fact]
+	if !ok {
+		// Unrouted fact: derive a deterministic key from the full
+		// coordinate tuple so placement is still stable.
+		keys := make([]string, 0, len(coords))
+		for role, name := range coords {
+			keys = append(keys, role+"="+name)
+		}
+		sort.Strings(keys)
+		return fact + "\x00" + strings.Join(keys, "\x00"), nil
+	}
+	ref := c.schema.Fact(fact).Ref(r.Role)
+	path := c.schema.Dimension(ref.Dimension).PathTo(r.Level)
+	name, ok := coords[r.Role]
+	if !ok || name == "" {
+		return "", fmt.Errorf("shard: fact %q row missing routing coordinate %q", fact, r.Role)
+	}
+	// Walk the roll-up chain from the base level to the route level,
+	// consulting the pending overlay before the committed dimension.
+	for _, level := range path[:len(path)-1] {
+		parent := overlayParent(overlay, ref.Dimension, level, name)
+		if parent == "" {
+			p, err := c.Node(0).WH.ParentName(ref.Dimension, level, name)
+			if err != nil {
+				return "", fmt.Errorf("shard: routing %q row: %w", fact, err)
+			}
+			parent = p
+		}
+		if parent == "" {
+			return "", fmt.Errorf("shard: routing %q row: member %q at %s/%s has no parent", fact, name, ref.Dimension, level)
+		}
+		name = parent
+	}
+	return name, nil
+}
+
+// overlayParent looks up a member's parent in a pending batch's specs.
+func overlayParent(specs []dw.MemberSpec, dim, level, name string) string {
+	for i := range specs {
+		if specs[i].Dim == dim && specs[i].Level == level && specs[i].Name == name {
+			return specs[i].Parent
+		}
+	}
+	return ""
+}
+
+// --- Dimension writes: replicated to every shard in identical order ---
+
+// AddMember inserts a dimension member on every shard. Shards apply
+// members in the same sequence, so keys are identical everywhere; the
+// returned key is shard 0's (== every shard's).
+func (c *Cluster) AddMember(dim, level, name string, attrs map[string]string, parentName string) (int, error) {
+	key := -1
+	for i := 0; i < c.n; i++ {
+		k, err := c.Node(i).WH.AddMember(dim, level, name, attrs, parentName)
+		if err != nil {
+			return -1, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if i == 0 {
+			key = k
+		}
+	}
+	return key, nil
+}
+
+// AddMembers inserts a member batch on every shard.
+func (c *Cluster) AddMembers(specs []dw.MemberSpec) error {
+	for i := 0; i < c.n; i++ {
+		if err := c.Node(i).WH.AddMembers(specs); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// --- Fact writes: partitioned by routing key ---
+
+// AddFact appends one fact row to the shard its routing key hashes to.
+func (c *Cluster) AddFact(fact string, coords map[string]string, measures map[string]float64) error {
+	return c.AddFactProvenance(fact, coords, measures, "")
+}
+
+// AddFactProvenance is AddFact with a lineage tag.
+func (c *Cluster) AddFactProvenance(fact string, coords map[string]string, measures map[string]float64, provenance string) error {
+	key, err := c.RouteKey(fact, coords, nil)
+	if err != nil {
+		return err
+	}
+	return c.Node(c.hashShard(key)).WH.AddFactProvenance(fact, coords, measures, provenance)
+}
+
+// AddFactRows partitions a row batch by routing key and applies each
+// shard's slice as one atomic sub-batch. Atomicity is per shard: rows
+// are validated shard-locally before any are stored, but a failure on
+// shard k leaves shards < k committed — the single writer must treat
+// that as fatal, exactly as a half-applied WAL would be.
+func (c *Cluster) AddFactRows(fact string, rows []dw.FactRow) error {
+	groups, err := c.groupRows(fact, rows, nil)
+	if err != nil {
+		return err
+	}
+	for i, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		if err := c.Node(i).WH.AddFactRows(fact, g); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// AddBatch applies one ETL commit unit: member specs replicate to every
+// shard, fact rows route by city with the uncommitted specs as parent
+// overlay. Each shard sees (its members, its rows) as one atomic
+// warehouse batch and one WAL record.
+func (c *Cluster) AddBatch(specs []dw.MemberSpec, fact string, rows []dw.FactRow) error {
+	groups, err := c.groupRows(fact, rows, specs)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < c.n; i++ {
+		if err := c.Node(i).WH.AddBatch(specs, fact, groups[i]); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// groupRows partitions rows by routing key, preserving order within
+// each shard's slice.
+func (c *Cluster) groupRows(fact string, rows []dw.FactRow, overlay []dw.MemberSpec) ([][]dw.FactRow, error) {
+	groups := make([][]dw.FactRow, c.n)
+	for _, row := range rows {
+		key, err := c.RouteKey(fact, row.Coords, overlay)
+		if err != nil {
+			return nil, err
+		}
+		s := c.hashShard(key)
+		groups[s] = append(groups[s], row)
+	}
+	return groups, nil
+}
+
+// --- Reads: dimension metadata from shard 0, facts scatter/gathered ---
+
+// Validate checks a query against shard 0 (dimensions are replicated,
+// so any shard's answer is the cluster's).
+func (c *Cluster) Validate(q dw.Query) error { return c.Node(0).WH.Validate(q) }
+
+// Execute scatters the plan to every shard (dw.ExecuteCells), then
+// folds the partial cells into one result (dw.MergeCells). The merge is
+// deterministic — cells fold in shard order, groups sort exactly as the
+// single-node plan sorts them — and the aggregate is applied only after
+// the fold, so Avg/Count over partitioned rows match a single warehouse.
+func (c *Cluster) Execute(q dw.Query) (*dw.Result, error) {
+	parts := make([][]dw.CellRow, c.n)
+	errs := make([]error, c.n)
+	var wg sync.WaitGroup
+	for i := 0; i < c.n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			parts[i], errs[i] = c.Node(i).WH.ExecuteCells(q)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return dw.MergeCells(q, parts), nil
+}
+
+// Members returns the sorted member names at a level (replicated; shard
+// 0 answers).
+func (c *Cluster) Members(dim, level string) []string { return c.Node(0).WH.Members(dim, level) }
+
+// MemberKey resolves a member name to its dense key (identical on every
+// shard).
+func (c *Cluster) MemberKey(dim, level, name string) (int, error) {
+	return c.Node(0).WH.MemberKey(dim, level, name)
+}
+
+// Member returns a member by key.
+func (c *Cluster) Member(dim, level string, key int) (dw.Member, error) {
+	return c.Node(0).WH.Member(dim, level, key)
+}
+
+// ParentName returns a member's parent name.
+func (c *Cluster) ParentName(dim, level, name string) (string, error) {
+	return c.Node(0).WH.ParentName(dim, level, name)
+}
+
+// MemberCount returns the member count at a level.
+func (c *Cluster) MemberCount(dim, level string) int { return c.Node(0).WH.MemberCount(dim, level) }
+
+// FactCount sums a fact's row count across shards.
+func (c *Cluster) FactCount(fact string) int {
+	total := 0
+	for i := 0; i < c.n; i++ {
+		total += c.Node(i).WH.FactCount(fact)
+	}
+	return total
+}
+
+// Counts returns (dimension members, total fact rows) for serving
+// stats: members from shard 0 (replicated), rows summed.
+func (c *Cluster) Counts() (members, factRows int) {
+	members, factRows = c.Node(0).WH.Counts()
+	for i := 1; i < c.n; i++ {
+		_, rows := c.Node(i).WH.Counts()
+		factRows += rows
+	}
+	return members, factRows
+}
+
+// ScanFact walks every shard's rows in shard order with a cluster-wide
+// running row number — the ETL dedup-restore path. Row numbers are
+// scan-positional, not stable identifiers, matching ScanFact's contract.
+func (c *Cluster) ScanFact(fact string, roles []string, fn func(row int, names []string, provenance string) error) error {
+	next := 0
+	for i := 0; i < c.n; i++ {
+		err := c.Node(i).WH.ScanFact(fact, roles, func(_ int, names []string, provenance string) error {
+			err := fn(next, names, provenance)
+			next++
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}

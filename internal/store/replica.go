@@ -1,0 +1,110 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Read-only access to a leader's data directory, for followers that
+// serve from shipped snapshots and tail the WAL by sequence number.
+// Nothing here opens the WAL for writing or repairs it: the leader owns
+// the files; a follower only ever observes them.
+
+// ErrReplicaGap reports that the leader's WAL no longer holds the
+// records immediately after the follower's applied sequence — the leader
+// published a snapshot covering them and reset the log. The follower
+// must reload from the newest snapshot (ReadSnapshot) and resume tailing
+// from its WALSeq; incremental catch-up is impossible.
+var ErrReplicaGap = errors.New("store: WAL records beyond the follower's position were absorbed into a snapshot")
+
+// ReadSnapshot loads the newest valid snapshot in a data directory
+// without taking ownership of it (no WAL open, no temp-file cleanup).
+// Corrupt snapshots fall back to older ones exactly like the leader's
+// LoadSnapshot; a directory with no snapshot at all returns (nil, "",
+// nil).
+func ReadSnapshot(fsys FS, dir string) (*State, string, error) {
+	if fsys == nil {
+		fsys = OS()
+	}
+	paths, _ := fsys.Glob(filepath.Join(dir, snapshotPrefix+"*"+snapshotSuffix))
+	sort.Sort(sort.Reverse(sort.StringSlice(paths)))
+	if len(paths) == 0 {
+		return nil, "", nil
+	}
+	var failures []string
+	for _, p := range paths {
+		data, err := fsys.ReadFile(p)
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", filepath.Base(p), err))
+			continue
+		}
+		state, err := DecodeState(data)
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", filepath.Base(p), err))
+			continue
+		}
+		return state, p, nil
+	}
+	return nil, "", fmt.Errorf("store: no readable snapshot in %s: %s", dir, strings.Join(failures, "; "))
+}
+
+// SnapshotSeq returns the WAL sequence the newest published snapshot in
+// the directory declares in its filename (the leader names each file by
+// the sequence it covers), or false when the directory holds none.
+func SnapshotSeq(fsys FS, dir string) (uint64, bool) {
+	if fsys == nil {
+		fsys = OS()
+	}
+	paths, _ := fsys.Glob(filepath.Join(dir, snapshotPrefix+"*"+snapshotSuffix))
+	sort.Sort(sort.Reverse(sort.StringSlice(paths)))
+	for _, p := range paths {
+		if seq, ok := snapshotSeqFromPath(p); ok {
+			return seq, true
+		}
+	}
+	return 0, false
+}
+
+// TailWAL reads the directory's WAL read-only and applies every record
+// with seq > afterSeq through the handlers, in order. A torn tail is
+// ignored, never truncated — the bytes may be a leader append in flight,
+// and the next poll will see them whole. It returns how many records
+// were applied and the new applied sequence.
+//
+// When the log's oldest retained record is beyond afterSeq+1, the
+// follower missed records that now live only inside a snapshot:
+// TailWAL applies nothing and returns ErrReplicaGap so the caller can
+// reload from the snapshot instead of serving a silently holey state.
+// A missing WAL file reads as an empty log (the leader may not have
+// created it yet, or a snapshot reset may have raced the read).
+func TailWAL(fsys FS, dir string, afterSeq uint64, h ReplayHandlers) (applied int, newSeq uint64, err error) {
+	if fsys == nil {
+		fsys = OS()
+	}
+	data, rerr := fsys.ReadFile(filepath.Join(dir, walName))
+	if rerr != nil {
+		return 0, afterSeq, nil
+	}
+	_, _, records := scanWAL(data, 0)
+	if len(records) == 0 {
+		return 0, afterSeq, nil
+	}
+	if first := records[0].seq; first > afterSeq+1 {
+		return 0, afterSeq, fmt.Errorf("%w (applied %d, log starts at %d)", ErrReplicaGap, afterSeq, first)
+	}
+	newSeq = afterSeq
+	for _, rec := range records {
+		if rec.seq <= newSeq {
+			continue
+		}
+		if err := applyRecord(rec, h); err != nil {
+			return applied, newSeq, err
+		}
+		newSeq = rec.seq
+		applied++
+	}
+	return applied, newSeq, nil
+}

@@ -35,8 +35,10 @@ import (
 const (
 	snapshotMagic = "DWQASNAP"
 	// SchemaVersion is the snapshot format version this build writes and
-	// the newest it can read.
-	SchemaVersion = 1
+	// the newest it can read. v2 added the per-document global ordinal
+	// (ir.Document.Ord) that sharded deployments merge-sort on; v1
+	// snapshots still load, with every ordinal zero.
+	SchemaVersion = 2
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -103,7 +105,7 @@ func DecodeState(buf []byte) (*State, error) {
 	}
 	st := &State{WALSeq: r.uvarint(), Fingerprint: r.str()}
 	st.DW = decodeDW(r)
-	st.IR = decodeIR(r)
+	st.IR = decodeIR(r, version)
 	st.Onto = decodeOnto(r)
 	if r.err != nil {
 		return nil, r.err
@@ -289,6 +291,7 @@ func encodeIR(w *writer, snap *ir.Snapshot) {
 	for i, doc := range snap.Docs {
 		w.str(doc.URL)
 		w.str(doc.Text)
+		w.varint(doc.Ord)
 		sents := snap.DocSents[i]
 		block.buf = block.buf[:0]
 		tokens := 0
@@ -345,7 +348,7 @@ type docBlock struct {
 	data   []byte
 }
 
-func decodeIR(r *reader) *ir.Snapshot {
+func decodeIR(r *reader, version uint64) *ir.Snapshot {
 	snap := &ir.Snapshot{
 		PassageSize: int(r.uvarint()),
 		Stride:      int(r.uvarint()),
@@ -359,6 +362,9 @@ func decodeIR(r *reader) *ir.Snapshot {
 	blocks := make([]docBlock, 0, nDocs)
 	for d := 0; d < nDocs && r.err == nil; d++ {
 		doc := ir.Document{URL: r.str(), Text: r.str()}
+		if version >= 2 {
+			doc.Ord = r.varint()
+		}
 		snap.Docs = append(snap.Docs, doc)
 		b := docBlock{nSents: r.count(1), tokens: r.count(3)}
 		blockLen := r.count(1)

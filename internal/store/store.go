@@ -363,84 +363,94 @@ func (s *Store) Replay(afterSeq uint64, h ReplayHandlers) (int, error) {
 		if rec.seq <= afterSeq {
 			continue // already inside the snapshot — idempotent skip
 		}
-		switch rec.kind {
-		case recMembers:
-			specs, err := decodeMemberSpecs(rec.payload)
-			if err != nil {
-				return applied, fmt.Errorf("store: WAL record %d: %w", rec.seq, err)
-			}
-			if h.Members == nil {
-				return applied, fmt.Errorf("store: WAL record %d: no member handler", rec.seq)
-			}
-			if err := h.Members(specs); err != nil {
-				return applied, fmt.Errorf("store: replaying member batch (record %d): %w", rec.seq, err)
-			}
-		case recFactRows:
-			fact, rows, err := decodeFactRows(rec.payload)
-			if err != nil {
-				return applied, fmt.Errorf("store: WAL record %d: %w", rec.seq, err)
-			}
-			if h.FactRows == nil {
-				return applied, fmt.Errorf("store: WAL record %d: no fact-row handler", rec.seq)
-			}
-			if err := h.FactRows(fact, rows); err != nil {
-				return applied, fmt.Errorf("store: replaying fact batch (record %d): %w", rec.seq, err)
-			}
-		case recBatch:
-			specs, fact, rows, err := decodeBatch(rec.payload)
-			if err != nil {
-				return applied, fmt.Errorf("store: WAL record %d: %w", rec.seq, err)
-			}
-			// Replay through the members/fact-rows handlers in commit
-			// order. Replay is single-threaded and a handler error aborts
-			// recovery loudly, so the transaction's atomicity cannot be
-			// half-observed by a live reader.
-			if len(specs) > 0 {
-				if h.Members == nil {
-					return applied, fmt.Errorf("store: WAL record %d: no member handler", rec.seq)
-				}
-				if err := h.Members(specs); err != nil {
-					return applied, fmt.Errorf("store: replaying batch members (record %d): %w", rec.seq, err)
-				}
-			}
-			if len(rows) > 0 {
-				if h.FactRows == nil {
-					return applied, fmt.Errorf("store: WAL record %d: no fact-row handler", rec.seq)
-				}
-				if err := h.FactRows(fact, rows); err != nil {
-					return applied, fmt.Errorf("store: replaying batch rows (record %d): %w", rec.seq, err)
-				}
-			}
-		case recDocument:
-			doc, err := decodeDocument(rec.payload)
-			if err != nil {
-				return applied, fmt.Errorf("store: WAL record %d: %w", rec.seq, err)
-			}
-			if h.Document == nil {
-				return applied, fmt.Errorf("store: WAL record %d: no document handler", rec.seq)
-			}
-			if err := h.Document(doc); err != nil {
-				return applied, fmt.Errorf("store: replaying document (record %d): %w", rec.seq, err)
-			}
-		case recDocuments:
-			docs, err := decodeDocuments(rec.payload)
-			if err != nil {
-				return applied, fmt.Errorf("store: WAL record %d: %w", rec.seq, err)
-			}
-			if h.Document == nil {
-				return applied, fmt.Errorf("store: WAL record %d: no document handler", rec.seq)
-			}
-			for _, doc := range docs {
-				if err := h.Document(doc); err != nil {
-					return applied, fmt.Errorf("store: replaying document batch (record %d): %w", rec.seq, err)
-				}
-			}
-		default:
-			return applied, fmt.Errorf("store: WAL record %d has unknown type %d", rec.seq, rec.kind)
+		if err := applyRecord(rec, h); err != nil {
+			return applied, err
 		}
 		applied++
 	}
 	return applied, nil
+}
+
+// applyRecord decodes one WAL record and dispatches it through the
+// handlers — shared by leader recovery (Replay) and the read-only
+// follower tail (TailWAL).
+func applyRecord(rec walRecord, h ReplayHandlers) error {
+	switch rec.kind {
+	case recMembers:
+		specs, err := decodeMemberSpecs(rec.payload)
+		if err != nil {
+			return fmt.Errorf("store: WAL record %d: %w", rec.seq, err)
+		}
+		if h.Members == nil {
+			return fmt.Errorf("store: WAL record %d: no member handler", rec.seq)
+		}
+		if err := h.Members(specs); err != nil {
+			return fmt.Errorf("store: replaying member batch (record %d): %w", rec.seq, err)
+		}
+	case recFactRows:
+		fact, rows, err := decodeFactRows(rec.payload)
+		if err != nil {
+			return fmt.Errorf("store: WAL record %d: %w", rec.seq, err)
+		}
+		if h.FactRows == nil {
+			return fmt.Errorf("store: WAL record %d: no fact-row handler", rec.seq)
+		}
+		if err := h.FactRows(fact, rows); err != nil {
+			return fmt.Errorf("store: replaying fact batch (record %d): %w", rec.seq, err)
+		}
+	case recBatch:
+		specs, fact, rows, err := decodeBatch(rec.payload)
+		if err != nil {
+			return fmt.Errorf("store: WAL record %d: %w", rec.seq, err)
+		}
+		// Replay through the members/fact-rows handlers in commit
+		// order. Replay is single-threaded and a handler error aborts
+		// recovery loudly, so the transaction's atomicity cannot be
+		// half-observed by a live reader.
+		if len(specs) > 0 {
+			if h.Members == nil {
+				return fmt.Errorf("store: WAL record %d: no member handler", rec.seq)
+			}
+			if err := h.Members(specs); err != nil {
+				return fmt.Errorf("store: replaying batch members (record %d): %w", rec.seq, err)
+			}
+		}
+		if len(rows) > 0 {
+			if h.FactRows == nil {
+				return fmt.Errorf("store: WAL record %d: no fact-row handler", rec.seq)
+			}
+			if err := h.FactRows(fact, rows); err != nil {
+				return fmt.Errorf("store: replaying batch rows (record %d): %w", rec.seq, err)
+			}
+		}
+	case recDocument:
+		doc, err := decodeDocument(rec.payload)
+		if err != nil {
+			return fmt.Errorf("store: WAL record %d: %w", rec.seq, err)
+		}
+		if h.Document == nil {
+			return fmt.Errorf("store: WAL record %d: no document handler", rec.seq)
+		}
+		if err := h.Document(doc); err != nil {
+			return fmt.Errorf("store: replaying document (record %d): %w", rec.seq, err)
+		}
+	case recDocuments:
+		docs, err := decodeDocuments(rec.payload)
+		if err != nil {
+			return fmt.Errorf("store: WAL record %d: %w", rec.seq, err)
+		}
+		if h.Document == nil {
+			return fmt.Errorf("store: WAL record %d: no document handler", rec.seq)
+		}
+		for _, doc := range docs {
+			if err := h.Document(doc); err != nil {
+				return fmt.Errorf("store: replaying document batch (record %d): %w", rec.seq, err)
+			}
+		}
+	default:
+		return fmt.Errorf("store: WAL record %d has unknown type %d", rec.seq, rec.kind)
+	}
+	return nil
 }
 
 // RecoveryInfo summarises one recovery for logs and the serving stats.

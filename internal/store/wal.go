@@ -305,12 +305,21 @@ func decodeBatch(payload []byte) ([]dw.MemberSpec, string, []dw.FactRow, error) 
 	return specs, fact, rows, nil
 }
 
+// Document records carry the global ordinal (ir.Document.Ord) as a
+// trailing extension: the batch record appends one varint per document
+// after the (URL, text) pairs, the single-document record appends one
+// varint after the text. Decoders read the extension only when bytes
+// remain, so records written before the ordinal existed decode with
+// every ordinal zero — exactly the value unsharded deployments use.
 func encodeDocuments(docs []ir.Document) []byte {
 	w := &writer{}
 	w.uvarint(uint64(len(docs)))
 	for _, d := range docs {
 		w.str(d.URL)
 		w.str(d.Text)
+	}
+	for _, d := range docs {
+		w.varint(d.Ord)
 	}
 	return w.buf
 }
@@ -322,6 +331,11 @@ func decodeDocuments(payload []byte) ([]ir.Document, error) {
 	for i := 0; i < n && r.err == nil; i++ {
 		docs = append(docs, ir.Document{URL: r.str(), Text: r.str()})
 	}
+	if r.err == nil && r.remaining() > 0 {
+		for i := range docs {
+			docs[i].Ord = r.varint()
+		}
+	}
 	if r.err != nil {
 		return nil, r.err
 	}
@@ -332,12 +346,16 @@ func encodeDocument(doc ir.Document) []byte {
 	w := &writer{}
 	w.str(doc.URL)
 	w.str(doc.Text)
+	w.varint(doc.Ord)
 	return w.buf
 }
 
 func decodeDocument(payload []byte) (ir.Document, error) {
 	r := &reader{buf: payload}
 	doc := ir.Document{URL: r.str(), Text: r.str()}
+	if r.err == nil && r.remaining() > 0 {
+		doc.Ord = r.varint()
+	}
 	if r.err != nil {
 		return ir.Document{}, r.err
 	}

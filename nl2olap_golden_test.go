@@ -185,6 +185,24 @@ var goldenAnalytic = []struct {
 		dw.Query{Fact: "LastMinuteSales", Agg: dw.Count,
 			GroupBy: []dw.LevelSel{{Role: "Date", Level: "Month"}, {Role: "Destination", Level: "Country"}}},
 	},
+	// Case-folded grounding (etl.CanonicalCity): a shouted city name must
+	// compile to the same plan as its canonical spelling.
+	{
+		"How many tickets were sold to BARCELONA in January of 2004?",
+		dw.Query{Fact: "LastMinuteSales", Agg: dw.Count,
+			Filters: []dw.Filter{
+				{Role: "Date", Level: "Month", Values: []string{"2004-01"}},
+				{Role: "Destination", Level: "City", Values: []string{"Barcelona"}}}},
+	},
+	// ... and a lowercased multi-word alias must resolve through the same
+	// canonicaliser ("el prat" → "El Prat" → Barcelona's city member).
+	{
+		"What is the maximum temperature in el prat in February of 2004?",
+		dw.Query{Fact: "Weather", Measure: "TempC", Agg: dw.Max,
+			Filters: []dw.Filter{
+				{Role: "City", Level: "City", Values: []string{"Barcelona"}},
+				{Role: "Date", Level: "Month", Values: []string{"2004-02"}}}},
+	},
 }
 
 // TestNL2OLAPGolden runs the five-step integration (so the Weather fact
