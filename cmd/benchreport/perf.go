@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -15,6 +17,7 @@ import (
 	"dwqa/internal/etl"
 	"dwqa/internal/ir"
 	"dwqa/internal/nl2olap"
+	seedpkg "dwqa/internal/seed"
 	"dwqa/internal/webcorpus"
 )
 
@@ -126,6 +129,28 @@ type storeRestorePerf struct {
 	WALRecords       int     `json:"wal_records"`
 	WALReplay        float64 `json:"wal_replay_ns_per_op"`
 	WALRecordsPerSec float64 `json:"wal_records_per_sec"`
+
+	// Posting-storage footprint at this tier: compressed bytes held by
+	// the index's posting lists vs the 8-bytes-per-posting fixed-width
+	// layout the format replaced.
+	PostingsCount   int     `json:"postings"`
+	PostingsBytes   int     `json:"postings_bytes"`
+	BytesPerPosting float64 `json:"bytes_per_posting"`
+}
+
+// memFootprintPerf is the gated large-corpus tier (DWQA_BENCH_1M=1):
+// index memory and restore cost at 1M passages. RSS is sampled after a
+// GC with the encoded snapshot and one restored state live — the
+// resident footprint an operator provisions for, not just heap objects.
+type memFootprintPerf struct {
+	Passages        int     `json:"passages"`
+	PostingsCount   int     `json:"postings"`
+	PostingsBytes   int     `json:"postings_bytes"`
+	BytesPerPosting float64 `json:"bytes_per_posting"`
+	SnapshotBytes   int     `json:"snapshot_bytes"`
+	RestoreNsPerOp  float64 `json:"restore_ns_per_op"`
+	RSSBytes        uint64  `json:"rss_bytes"`
+	PeakRSSBytes    uint64  `json:"peak_rss_bytes"`
 }
 
 // cacheInvalidationPerf compares the serving cache's feed-time
@@ -183,6 +208,7 @@ type perfReport struct {
 	Harvest        *harvestComparison     `json:"harvest_batch_vs_sequential,omitempty"`
 	StoreRestore   *storeRestorePerf      `json:"store_snapshot_restore,omitempty"`
 	CacheFeed      *cacheInvalidationPerf `json:"cache_feed_invalidation,omitempty"`
+	Footprint1M    *memFootprintPerf      `json:"mem_footprint_1m,omitempty"`
 }
 
 func measure(name string, rows int, fn func(b *testing.B)) (perfMeasurement, error) {
@@ -210,7 +236,7 @@ func runPerf(outDir string, seed int64) (*perfReport, error) {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return nil, err
 	}
-	rep := &perfReport{Schema: "dwqa-bench/v7"}
+	rep := &perfReport{Schema: "dwqa-bench/v8"}
 	for _, target := range []int{1_000, 10_000, 100_000} {
 		wh, q, err := core.PrepareScaledBenchmark(target, seed)
 		if err != nil {
@@ -286,6 +312,12 @@ func runPerf(outDir string, seed int64) (*perfReport, error) {
 
 	if err := runCacheInvalidationPerf(rep, seed); err != nil {
 		return nil, err
+	}
+
+	if os.Getenv("DWQA_BENCH_1M") != "" {
+		if err := runFootprint1M(rep, seed); err != nil {
+			return nil, err
+		}
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -965,6 +997,11 @@ func runStorePerf(rep *perfReport, seed int64) error {
 		sr.Speedup = refeed.NsPerOp / restore.NsPerOp
 		sr.SpeedupMin = reindex.NsPerOp / restore.NsPerOp
 	}
+	sr.PostingsCount = sb.PostingsCount
+	sr.PostingsBytes = sb.PostingsBytes
+	if sb.PostingsCount > 0 {
+		sr.BytesPerPosting = float64(sb.PostingsBytes) / float64(sb.PostingsCount)
+	}
 
 	walDir, err := os.MkdirTemp("", "dwqa-walbench-*")
 	if err != nil {
@@ -993,6 +1030,211 @@ func runStorePerf(rep *perfReport, seed int64) error {
 		sr.WALRecordsPerSec = float64(records) / (replay.NsPerOp / 1e9)
 	}
 	rep.StoreRestore = sr
+	return nil
+}
+
+// runFootprint1M is the gated large-corpus tier: index memory and
+// restore cost at 1M passages (set DWQA_BENCH_1M=1 to enable — building
+// the corpus takes minutes on one core, far beyond the default run's
+// budget). The restore arm is verified state-identical inside
+// PrepareFootprintBenchmark before anything is timed.
+func runFootprint1M(rep *perfReport, seed int64) error {
+	fb, err := core.PrepareFootprintBenchmark(1_000_000, seed)
+	if err != nil {
+		return err
+	}
+	restore, err := measure("SnapshotRestore1M/restore", fb.Passages, func(b *testing.B) {
+		b.ReportAllocs()
+		if err := core.RunSnapshotRestore(fb, b.N); err != nil {
+			b.Fatal(err)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	rep.Measurements = append(rep.Measurements, restore)
+	fp := &memFootprintPerf{
+		Passages:       fb.Passages,
+		PostingsCount:  fb.PostingsCount,
+		PostingsBytes:  fb.PostingsBytes,
+		SnapshotBytes:  len(fb.SnapBytes),
+		RestoreNsPerOp: restore.NsPerOp,
+	}
+	if fb.PostingsCount > 0 {
+		fp.BytesPerPosting = float64(fb.PostingsBytes) / float64(fb.PostingsCount)
+	}
+	// Sample residency with the snapshot bytes and one restored state
+	// live, after a GC so retained-but-dead builder garbage does not
+	// count. Peak RSS additionally covers the build's transient high-water
+	// mark. Zero means procfs is unavailable, never "no memory".
+	wh, ix, onto, err := core.RestoreState(fb.SnapBytes)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	fp.RSSBytes = seedpkg.ProcessRSS()
+	fp.PeakRSSBytes = seedpkg.ProcessPeakRSS()
+	runtime.KeepAlive(wh)
+	runtime.KeepAlive(ix)
+	runtime.KeepAlive(onto)
+	rep.Footprint1M = fp
+	return nil
+}
+
+// checkTolerance is the regression budget of -check: a tracked metric
+// may grow at most this factor over the committed baseline.
+const checkTolerance = 1.20
+
+// runCheck re-measures the tracked hot paths — ask_cold_path,
+// ir_search_sparse_vs_dense and store_snapshot_restore — and fails when
+// any ns/op or allocs/op figure regresses more than 20% against the
+// committed BENCH_PERF.json. Allocation counts are deterministic, so
+// their budget catches real regressions at any threshold; timing is
+// compared on the same 20% budget and is only meaningful on hardware
+// comparable to what produced the baseline.
+func runCheck(baselinePath string, seed int64) error {
+	buf, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base perfReport
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+
+	var failures []string
+	compare := func(metric string, baseV, cur float64) {
+		if baseV <= 0 {
+			fmt.Printf("  skip %-48s (no baseline)\n", metric)
+			return
+		}
+		delta := cur/baseV - 1
+		status := "ok  "
+		if cur > baseV*checkTolerance {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %.0f → %.0f (%+.0f%%, budget +20%%)", metric, baseV, cur, delta*100))
+		}
+		fmt.Printf("  %s %-48s %14.0f → %14.0f  (%+.1f%%)\n", status, metric, baseV, cur, delta*100)
+	}
+	baseMeasurement := func(name string) *perfMeasurement {
+		for i := range base.Measurements {
+			if base.Measurements[i].Name == name {
+				return &base.Measurements[i]
+			}
+		}
+		return nil
+	}
+
+	// ask_cold_path: the cache-disabled engine over the all-unique
+	// workload. Best of three runs, so one noisy window cannot fail the
+	// gate on its own.
+	fmt.Println("== CHECK: ask_cold_path ==")
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	p, err := core.NewPipeline(cfg)
+	if err != nil {
+		return err
+	}
+	if err := p.RunAll(); err != nil {
+		return err
+	}
+	coldQuestions := core.ColdQuestionWorkload(p)
+	coldEng, err := engine.New(engine.Config{CacheSize: -1, MaxInflight: -1, AskTimeout: -1}, p.QA, nil, nil, p.Index)
+	if err != nil {
+		return err
+	}
+	var cold perfMeasurement
+	for i := 0; i < 3; i++ {
+		m, err := measure("AskCold", len(coldQuestions), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, r := range coldEng.AskAll(context.Background(), coldQuestions) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if i == 0 || m.NsPerOp < cold.NsPerOp {
+			cold.NsPerOp = m.NsPerOp
+		}
+		if i == 0 || m.AllocsPerOp < cold.AllocsPerOp {
+			cold.AllocsPerOp = m.AllocsPerOp
+		}
+	}
+	if ac := base.AskCold; ac != nil {
+		compare("ask_cold_path ns/op", ac.NsPerOp, cold.NsPerOp)
+		compare("ask_cold_path allocs/op", float64(ac.AllocsPerOp), float64(cold.AllocsPerOp))
+	}
+
+	// ir_search_sparse_vs_dense: the scaling arms, matched by passage
+	// count so a corpus-size change cannot silently shift the comparison.
+	fmt.Println("== CHECK: ir_search_sparse_vs_dense ==")
+	irRep := &perfReport{}
+	if err := runIRScalingPerf(irRep, seed); err != nil {
+		return err
+	}
+	for _, cur := range irRep.IRSparse {
+		var b *irSparseComparison
+		for i := range base.IRSparse {
+			if base.IRSparse[i].Passages == cur.Passages {
+				b = &base.IRSparse[i]
+				break
+			}
+		}
+		if b == nil {
+			fmt.Printf("  skip %d passages (no matching baseline arm)\n", cur.Passages)
+			continue
+		}
+		compare(fmt.Sprintf("ir_search sparse ns/op @%d", cur.Passages), b.Sparse, cur.Sparse)
+		compare(fmt.Sprintf("ir_search sparse allocs/op @%d", cur.Passages), float64(b.SparseAllocs), float64(cur.SparseAllocs))
+	}
+
+	// store_snapshot_restore: the restore arm only (the rebuild baselines
+	// are context, not the tracked hot path). Best of three like the cold
+	// path: restore time at 100k is dominated by allocation + validation
+	// against whatever heap the earlier check stages left behind, so a
+	// single window can land in a GC-heavy phase and blow the budget on
+	// unchanged code. A GC first puts every run on the same footing.
+	fmt.Println("== CHECK: store_snapshot_restore ==")
+	sb, err := core.PrepareStoreBenchmark(100_000, 100_000, seed)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	var restore perfMeasurement
+	for i := 0; i < 3; i++ {
+		m, err := measure("SnapshotRestore100k/restore", sb.Passages, func(b *testing.B) {
+			b.ReportAllocs()
+			if err := core.RunSnapshotRestore(sb, b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if i == 0 || m.NsPerOp < restore.NsPerOp {
+			restore.NsPerOp = m.NsPerOp
+		}
+		if i == 0 || m.AllocsPerOp < restore.AllocsPerOp {
+			restore.AllocsPerOp = m.AllocsPerOp
+		}
+	}
+	if sr := base.StoreRestore; sr != nil {
+		compare("store_snapshot_restore ns/op", sr.Restore, restore.NsPerOp)
+	}
+	if bm := baseMeasurement("SnapshotRestore100k/restore"); bm != nil {
+		compare("store_snapshot_restore allocs/op", float64(bm.AllocsPerOp), float64(restore.AllocsPerOp))
+	}
+
+	if len(failures) > 0 {
+		return fmt.Errorf("%d tracked metric(s) regressed past the 20%% budget:\n  %s",
+			len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Println("check passed: no tracked metric regressed past the 20% budget")
 	return nil
 }
 
@@ -1065,5 +1307,15 @@ func printPerf(rep *perfReport) {
 			sr.Restore/1e6, sr.Refeed/1e6, sr.Speedup, sr.Reindex/1e6, sr.SpeedupMin)
 		fmt.Printf("WAL replay: %d records in %.0f ms (%.0f records/sec)\n",
 			sr.WALRecords, sr.WALReplay/1e6, sr.WALRecordsPerSec)
+		if sr.PostingsCount > 0 {
+			fmt.Printf("posting storage: %d postings in %d bytes (%.2f B/posting vs 8.00 fixed-width, %.1fx smaller)\n",
+				sr.PostingsCount, sr.PostingsBytes, sr.BytesPerPosting, 8/sr.BytesPerPosting)
+		}
+	}
+	if fp := rep.Footprint1M; fp != nil {
+		fmt.Println("== PERF: memory footprint at 1M passages (gated tier) ==")
+		fmt.Printf("%d passages: %d postings in %d MiB (%.2f B/posting), snapshot %d MiB, restore %.0f ms, rss %d MiB (peak %d MiB)\n",
+			fp.Passages, fp.PostingsCount, fp.PostingsBytes>>20, fp.BytesPerPosting,
+			fp.SnapshotBytes>>20, fp.RestoreNsPerOp/1e6, fp.RSSBytes>>20, fp.PeakRSSBytes>>20)
 	}
 }

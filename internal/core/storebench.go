@@ -46,6 +46,13 @@ type StoreBench struct {
 	Passages    int
 	Rows        int
 	MemberCount int
+
+	// Posting-storage footprint of the prepared index (compressed bytes
+	// held and postings stored) — the compression-ratio metric
+	// BENCH_PERF.json tracks against the 8-bytes-per-posting fixed-width
+	// baseline.
+	PostingsBytes int
+	PostingsCount int
 }
 
 // PrepareStoreBenchmark builds the scaled state (a BuildScaledCorpus
@@ -75,6 +82,7 @@ func PrepareStoreBenchmark(targetPassages, targetRows int, seed int64) (*StoreBe
 		Passages:       sc.Index.PassageCount(),
 	}
 	b.MemberCount, b.Rows = wh.Counts()
+	b.PostingsBytes, b.PostingsCount = sc.Index.PostingsBytes()
 
 	// Refeed inputs come from the snapshot itself, so both arms rebuild
 	// exactly the same state.
@@ -133,6 +141,45 @@ func PrepareStoreBenchmark(targetPassages, targetRows int, seed int64) (*StoreBe
 	}
 	if err := statesEqual(exportAll(fwh, fix, fonto), state); err != nil {
 		return nil, fmt.Errorf("core: store bench reindex arm diverges: %w", err)
+	}
+	return b, nil
+}
+
+// PrepareFootprintBenchmark builds the snapshot-restore inputs at an
+// arbitrary (possibly very large) scale. PrepareStoreBenchmark's full
+// refeed/reindex verification regenerates the corpus several times —
+// prohibitive at 1M passages on one core — so this variant pairs the
+// scaled index with a small warehouse and verifies the restore arm only.
+// It backs the gated large-corpus memory-footprint tier of
+// BENCH_PERF.json.
+func PrepareFootprintBenchmark(targetPassages int, seed int64) (*StoreBench, error) {
+	sc, err := BuildScaledCorpus(targetPassages, seed)
+	if err != nil {
+		return nil, err
+	}
+	wh, err := BuildScaledWarehouse(1_000, seed)
+	if err != nil {
+		return nil, err
+	}
+	onto, err := uml2onto.Transform(Figure1Schema())
+	if err != nil {
+		return nil, err
+	}
+	state := &store.State{DW: wh.Export(), IR: sc.Index.Export(), Onto: onto.Export()}
+	b := &StoreBench{
+		SnapBytes:      store.EncodeState(state),
+		TargetPassages: targetPassages,
+		Seed:           seed,
+		Passages:       sc.Index.PassageCount(),
+	}
+	b.MemberCount, b.Rows = wh.Counts()
+	b.PostingsBytes, b.PostingsCount = sc.Index.PostingsBytes()
+	rwh, rix, ronto, err := restoreOnce(b.SnapBytes)
+	if err != nil {
+		return nil, fmt.Errorf("core: footprint bench restore arm: %w", err)
+	}
+	if err := statesEqual(exportAll(rwh, rix, ronto), state); err != nil {
+		return nil, fmt.Errorf("core: footprint bench restore arm diverges: %w", err)
 	}
 	return b, nil
 }
@@ -336,6 +383,13 @@ func statesEqual(got, want *store.State) error {
 		return fmt.Errorf("ontology state diverges")
 	}
 	return nil
+}
+
+// RestoreState decodes a snapshot and bulk-loads warehouse, index and
+// ontology — one restore-arm iteration, exported so the footprint tier
+// can hold a restored state live while sampling residency.
+func RestoreState(snapBytes []byte) (*dw.Warehouse, *ir.Index, *ontology.Ontology, error) {
+	return restoreOnce(snapBytes)
 }
 
 // RunSnapshotRestore runs n restore-arm iterations — the timed loop body

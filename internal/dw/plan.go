@@ -90,10 +90,17 @@ type planGroup struct {
 	card   uint64   // len(names)+1; slot 0 encodes "(unknown)"
 }
 
+// planFilter evaluates one filter branch-free. The compile step folds the
+// rollup lookup and the allowed-value set into two tables arranged so the
+// scan needs no per-row conditional: slot maps a (clamped) base key to
+// target key+1 with 0 as the "unknown/out-of-range" sentinel, and bits is
+// a bitset over those slots whose bit 0 is never set — so the sentinel
+// always tests as filtered, and one shift+mask per filter replaces the
+// three-way bounds-and-membership branch chain.
 type planFilter struct {
-	col     []int32
-	lookup  []int32
-	allowed []bool // indexed by target-level key
+	col  []int32
+	slot []int32  // base key → target key+1; last entry is the 0 sentinel
+	bits []uint64 // allowed-slot bitset; bit 0 (sentinel) always clear
 }
 
 type plan struct {
@@ -182,16 +189,27 @@ func (w *Warehouse) compilePlanLocked(q Query, fd *factData, roleDim map[string]
 	for _, f := range q.Filters {
 		dim := roleDim[f.Role]
 		lt := w.dims[dim].levels[f.Level]
-		allowed := make([]bool, len(lt.members))
+		lookup := w.rollupTableLocked(dim, f.Level)
+		// slot has one extra entry: scanChunk clamps any out-of-range base
+		// key (including negatives via unsigned wrap) onto it, and its
+		// value stays 0 — the sentinel slot whose bit is never set.
+		slot := make([]int32, len(lookup)+1)
+		for i, t := range lookup {
+			if t >= 0 && int(t) < len(lt.members) {
+				slot[i] = t + 1
+			}
+		}
+		bits := make([]uint64, (len(lt.members)+1+63)/64)
 		for _, v := range f.Values {
 			if key, ok := lt.byName[v]; ok {
-				allowed[key] = true
+				b := uint32(key) + 1
+				bits[b>>6] |= 1 << (b & 63)
 			}
 		}
 		p.filters = append(p.filters, planFilter{
-			col:     fd.roleColumn(f.Role),
-			lookup:  w.rollupTableLocked(dim, f.Level),
-			allowed: allowed,
+			col:  fd.roleColumn(f.Role),
+			slot: slot,
+			bits: bits,
 		})
 	}
 	return p
@@ -255,20 +273,25 @@ func (pt *partial) mergeFrom(o *partial) {
 	}
 }
 
-// scanChunk aggregates rows [start, end) into pt.
+// scanChunk aggregates rows [start, end) into pt. Filter evaluation is
+// branch-free: each filter contributes one allowed/filtered bit folded
+// into pass with mask arithmetic (the index clamp compiles to a
+// conditional move), so the row loop carries a single filter branch —
+// the final pass test — however many filters the query has.
 func (p *plan) scanChunk(pt *partial, start, end int) {
-rows:
 	for r := start; r < end; r++ {
+		pass := uint64(1)
 		for fi := range p.filters {
 			f := &p.filters[fi]
-			k := f.col[r]
-			if k < 0 || int(k) >= len(f.lookup) {
-				continue rows
+			k := uint32(f.col[r]) // negatives wrap to huge values and clamp
+			if k >= uint32(len(f.slot)) {
+				k = uint32(len(f.slot)) - 1
 			}
-			t := f.lookup[k]
-			if t < 0 || int(t) >= len(f.allowed) || !f.allowed[t] {
-				continue rows
-			}
+			t := uint32(f.slot[k])
+			pass &= f.bits[t>>6] >> (t & 63)
+		}
+		if pass == 0 {
+			continue
 		}
 		var key, mult uint64 = 0, 1
 		for gi := range p.groups {

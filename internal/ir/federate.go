@@ -21,7 +21,7 @@ func (ix *Index) TermStats(terms []string) (nPass int, df []int) {
 	df = make([]int, len(terms))
 	for i, term := range terms {
 		if id, ok := ix.terms[term]; ok {
-			df[i] = len(ix.postings[id])
+			df[i] = ix.postings[id].count()
 		}
 	}
 	return len(ix.passages), df
@@ -63,8 +63,12 @@ func (ix *Index) SearchWeighted(terms []string, idf []float64, k int) []Passage 
 		if !ok {
 			continue
 		}
-		for _, p := range ix.postings[id] {
-			acc.add(p.ID, (1+math.Log(float64(p.TF)))*idf[i])
+		for c := ix.postings[id].cursor(); ; {
+			pid, tf, ok := c.next()
+			if !ok {
+				break
+			}
+			acc.add(pid, (1+math.Log(float64(tf)))*idf[i])
 		}
 	}
 	ids := acc.rank(k)

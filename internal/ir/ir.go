@@ -68,9 +68,10 @@ type DocResult struct {
 }
 
 // Posting records one passage (or document, in the document-level lists)
-// containing a term, with its term frequency. It is exported because the
-// durability snapshot (snapshot.go, internal/store) stores posting lists
-// verbatim: Export and Import move them as whole slices.
+// containing a term, with its term frequency. It is the logical element
+// of a posting list; the stored form is delta/varint compressed
+// (postlist.go), and the wire form the durability snapshot moves is
+// PostingList.
 type Posting struct {
 	ID int32 // passage id, or document index in docPostings
 	TF int32
@@ -84,6 +85,19 @@ type passageEntry struct {
 	sentOffset int // index into the document's sentence slice
 }
 
+// docSlot holds one document's analysed sentences, either eagerly (a
+// live Add) or lazily (a snapshot restore keeps the wire token block and
+// decodes on first touch — sentsAt). lazy decode synchronises through
+// once, so concurrent readers under the index read lock are safe; block
+// and the counts are immutable after construction.
+type docSlot struct {
+	once   sync.Once
+	sents  []nlp.Sentence
+	block  []byte // wire token block; nil for eagerly-added documents
+	nSents int32
+	nToks  int32
+}
+
 // Index is an inverted passage index. Safe for concurrent searches after
 // construction; adding documents takes the write lock.
 type Index struct {
@@ -92,19 +106,25 @@ type Index struct {
 
 	mu       sync.RWMutex
 	docs     []Document
-	docSents [][]nlp.Sentence
+	docSents []*docSlot
 	passages []passageEntry
 	// byURL maps a document URL to its first index in docs — the
 	// idempotency probe (HasURL) the streaming seeder uses to skip pages
 	// that already survived a crash.
 	byURL map[string]int
 
+	// tokTags / tokLemmas are the snapshot's tag and lemma intern tables,
+	// kept so lazy doc slots decode against them and Export reuses stored
+	// blocks verbatim. Empty for an index built purely by Add.
+	tokTags   []string
+	tokLemmas []string
+
 	// terms is the interned term dictionary: lemma → dense term id.
 	// Ids are append-only — assigned in first-occurrence order and never
 	// reused — so the per-term slices below stay valid forever.
 	terms       map[string]int32
-	postings    [][]Posting // term id → passages containing it, ascending
-	docPostings [][]Posting // term id → documents containing it, ascending
+	postings    []postingList // term id → passages containing it, ascending
+	docPostings []postingList // term id → documents containing it, ascending
 
 	// journal, when set, receives every indexed document while the write
 	// lock is still held (see SetJournal in snapshot.go).
@@ -164,9 +184,23 @@ func (ix *Index) intern(lemma string) int32 {
 	}
 	id := int32(len(ix.postings))
 	ix.terms[lemma] = id
-	ix.postings = append(ix.postings, nil)
-	ix.docPostings = append(ix.docPostings, nil)
+	ix.postings = append(ix.postings, postingList{})
+	ix.docPostings = append(ix.docPostings, postingList{})
 	return id
+}
+
+// sentsAt returns document d's analysed sentences, decoding a restored
+// document's token block on first touch. Callers hold at least the read
+// lock; the slot's sync.Once makes the decode race-free across
+// concurrent readers.
+func (ix *Index) sentsAt(d int) []nlp.Sentence {
+	s := ix.docSents[d]
+	if s.block != nil {
+		s.once.Do(func() {
+			s.sents = decodeTokenBlock(s.block, ix.docs[d].Text, int(s.nSents), int(s.nToks), ix.tokTags, ix.tokLemmas)
+		})
+	}
+	return s.sents
 }
 
 // splitDoc validates and sentence-splits one document outside the lock.
@@ -235,7 +269,7 @@ func (ix *Index) AddBatch(docs []Document) error {
 func (ix *Index) addLocked(doc Document, sents []nlp.Sentence) {
 	docIdx := len(ix.docs)
 	ix.docs = append(ix.docs, doc)
-	ix.docSents = append(ix.docSents, sents)
+	ix.docSents = append(ix.docSents, &docSlot{sents: sents})
 	if _, ok := ix.byURL[doc.URL]; !ok {
 		ix.byURL[doc.URL] = docIdx
 	}
@@ -263,7 +297,7 @@ func (ix *Index) addLocked(doc Document, sents []nlp.Sentence) {
 	for id, tf := range dtf {
 		// Documents are indexed one at a time, so each per-term list
 		// receives ascending document indexes regardless of map order.
-		ix.docPostings[id] = append(ix.docPostings[id], Posting{int32(docIdx), tf})
+		ix.docPostings[id].add(int32(docIdx), tf)
 	}
 
 	// Passage windows.
@@ -283,7 +317,7 @@ func (ix *Index) addLocked(doc Document, sents []nlp.Sentence) {
 			}
 		}
 		for id, tf := range ptf {
-			ix.postings[id] = append(ix.postings[id], Posting{int32(pid), tf})
+			ix.postings[id].add(int32(pid), tf)
 		}
 		if end == len(sents) {
 			break
@@ -344,7 +378,7 @@ func (ix *Index) DF(lemma string) int {
 	if !ok {
 		return 0
 	}
-	return len(ix.docPostings[id])
+	return ix.docPostings[id].count()
 }
 
 // QueryTerms analyses free text into content lemmas for retrieval —
@@ -391,13 +425,18 @@ func (ix *Index) Search(terms []string, k int) []Passage {
 		if !ok {
 			continue
 		}
-		posts := ix.postings[id]
-		if len(posts) == 0 {
+		pl := &ix.postings[id]
+		n := pl.count()
+		if n == 0 {
 			continue
 		}
-		idf := math.Log(1 + nPass/float64(len(posts)))
-		for _, p := range posts {
-			acc.add(p.ID, (1+math.Log(float64(p.TF)))*idf)
+		idf := math.Log(1 + nPass/float64(n))
+		for c := pl.cursor(); ; {
+			pid, tf, ok := c.next()
+			if !ok {
+				break
+			}
+			acc.add(pid, (1+math.Log(float64(tf)))*idf)
 		}
 	}
 	ids := acc.rank(k)
@@ -411,7 +450,7 @@ func (ix *Index) Search(terms []string, k int) []Passage {
 // materializeLocked builds the Passage value for a passage ID.
 func (ix *Index) materializeLocked(id int, score float64) Passage {
 	pe := ix.passages[id]
-	sents := ix.docSents[pe.doc][pe.sentStart:pe.sentEnd]
+	sents := ix.sentsAt(pe.doc)[pe.sentStart:pe.sentEnd]
 	doc := ix.docs[pe.doc]
 	start := sents[0].Start
 	end := sents[len(sents)-1].End
@@ -447,13 +486,18 @@ func (ix *Index) SearchDocuments(terms []string, k int) []DocResult {
 		if !ok {
 			continue
 		}
-		posts := ix.docPostings[id]
-		if len(posts) == 0 {
+		pl := &ix.docPostings[id]
+		n := pl.count()
+		if n == 0 {
 			continue
 		}
-		idf := math.Log(1 + nDocs/float64(len(posts)))
-		for _, p := range posts {
-			acc.add(p.ID, (1+math.Log(float64(p.TF)))*idf)
+		idf := math.Log(1 + nDocs/float64(n))
+		for c := pl.cursor(); ; {
+			did, tf, ok := c.next()
+			if !ok {
+				break
+			}
+			acc.add(did, (1+math.Log(float64(tf)))*idf)
 		}
 	}
 	ids := acc.rank(k)

@@ -29,13 +29,18 @@ func (ix *Index) SearchReference(terms []string, k int) []Passage {
 		if !ok {
 			continue
 		}
-		posts := ix.postings[id]
-		if len(posts) == 0 {
+		pl := &ix.postings[id]
+		n := pl.count()
+		if n == 0 {
 			continue
 		}
-		idf := math.Log(1 + nPass/float64(len(posts)))
-		for _, p := range posts {
-			scores[p.ID] += (1 + math.Log(float64(p.TF))) * idf
+		idf := math.Log(1 + nPass/float64(n))
+		for c := pl.cursor(); ; {
+			pid, tf, ok := c.next()
+			if !ok {
+				break
+			}
+			scores[pid] += (1 + math.Log(float64(tf))) * idf
 		}
 	}
 	ids := selectTopK(scores, k)
@@ -60,13 +65,18 @@ func (ix *Index) SearchDocumentsReference(terms []string, k int) []DocResult {
 		if !ok {
 			continue
 		}
-		posts := ix.docPostings[id]
-		if len(posts) == 0 {
+		pl := &ix.docPostings[id]
+		n := pl.count()
+		if n == 0 {
 			continue
 		}
-		idf := math.Log(1 + nDocs/float64(len(posts)))
-		for _, p := range posts {
-			scores[p.ID] += (1 + math.Log(float64(p.TF))) * idf
+		idf := math.Log(1 + nDocs/float64(n))
+		for c := pl.cursor(); ; {
+			did, tf, ok := c.next()
+			if !ok {
+				break
+			}
+			scores[did] += (1 + math.Log(float64(tf))) * idf
 		}
 	}
 	ids := selectTopK(scores, k)

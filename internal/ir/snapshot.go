@@ -2,15 +2,17 @@ package ir
 
 import (
 	"fmt"
-
-	"dwqa/internal/nlp"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // This file is the retrieval half of the durability subsystem
 // (internal/store): bulk export and import of the inverted index —
-// documents, analysed sentences, passage windows, the interned term
-// dictionary and both posting stores — plus the redo-journal hook that
-// records indexed documents.
+// documents, analysed sentences (as wire token blocks), passage windows,
+// the interned term dictionary and both posting stores (in compressed
+// wire form) — plus the redo-journal hook that records indexed
+// documents.
 
 // PassageRef is the exported form of one passage window.
 type PassageRef struct {
@@ -24,20 +26,37 @@ type PassageRef struct {
 // restored and then grown by replayed Adds assigns exactly the ids the
 // uninterrupted run would have. Produced by Export, consumed by Import;
 // internal/store gives it a binary encoding.
+//
+// Sentences and postings travel in wire form: DocTokens holds each
+// document's framed token block (tokcodec.go) against the TokTags /
+// TokLemmas intern tables, and the posting lists are delta/varint
+// encoded (PostingList). Both forms are canonical — a pure function of
+// the logical content — so exports of equivalent indexes are
+// byte-identical however the indexes were built, and the store can
+// persist the bytes verbatim. Import installs them without re-encoding:
+// postings are adopted as-is and token blocks decode lazily on first
+// touch.
 type Snapshot struct {
 	PassageSize int
 	Stride      int
 	Docs        []Document
-	DocSents    [][]nlp.Sentence
+	TokTags     []string // token tag intern table, first-occurrence order
+	TokLemmas   []string // token lemma intern table, first-occurrence order
+	DocTokens   [][]byte // per-document wire token blocks
+	DocSents    []int32  // sentences per document
+	DocToks     []int32  // tokens per document
 	Passages    []PassageRef
-	Terms       []string    // term id → lemma
-	Postings    [][]Posting // term id → passage postings, ascending ids
-	DocPostings [][]Posting // term id → document postings, ascending ids
+	Terms       []string      // term id → lemma
+	Postings    []PostingList // term id → passage postings, ascending ids
+	DocPostings []PostingList // term id → document postings, ascending ids
 }
 
-// Export copies the full index state under the read lock. The outer
-// slices are fresh; sentence and token values are shared (they are
-// immutable once indexed).
+// Export copies the full index state under the read lock. Posting lists
+// are canonicalised into their wire form; documents restored from a
+// snapshot re-export their stored token blocks verbatim (whether or not
+// they have been lazily decoded), and eagerly-added documents are
+// encoded fresh, extending the intern tables in first-occurrence order —
+// the same order an uninterrupted run would have produced.
 func (ix *Index) Export() *Snapshot {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -45,14 +64,38 @@ func (ix *Index) Export() *Snapshot {
 		PassageSize: ix.passageSize,
 		Stride:      ix.stride,
 		Docs:        append([]Document(nil), ix.docs...),
-		DocSents:    make([][]nlp.Sentence, len(ix.docSents)),
+		TokTags:     append([]string(nil), ix.tokTags...),
+		TokLemmas:   append([]string(nil), ix.tokLemmas...),
+		DocTokens:   make([][]byte, len(ix.docSents)),
+		DocSents:    make([]int32, len(ix.docSents)),
+		DocToks:     make([]int32, len(ix.docSents)),
 		Passages:    make([]PassageRef, len(ix.passages)),
 		Terms:       make([]string, len(ix.terms)),
-		Postings:    make([][]Posting, len(ix.postings)),
-		DocPostings: make([][]Posting, len(ix.docPostings)),
+		Postings:    make([]PostingList, len(ix.postings)),
+		DocPostings: make([]PostingList, len(ix.docPostings)),
 	}
-	for i, sents := range ix.docSents {
-		snap.DocSents[i] = append([]nlp.Sentence(nil), sents...)
+	tagIdx := make(map[string]int, len(snap.TokTags))
+	for i, t := range snap.TokTags {
+		tagIdx[t] = i
+	}
+	lemmaIdx := make(map[string]int, len(snap.TokLemmas))
+	for i, l := range snap.TokLemmas {
+		lemmaIdx[l] = i
+	}
+	for i, slot := range ix.docSents {
+		if slot.block != nil {
+			// Stored wire form: reuse verbatim. Its intern indexes point
+			// into the stored tables, which are a prefix of the exported
+			// ones (tables only ever extend).
+			snap.DocTokens[i] = slot.block
+			snap.DocSents[i] = slot.nSents
+			snap.DocToks[i] = slot.nToks
+			continue
+		}
+		block, tokens := encodeTokenBlock(nil, slot.sents, tagIdx, &snap.TokTags, lemmaIdx, &snap.TokLemmas)
+		snap.DocTokens[i] = block
+		snap.DocSents[i] = int32(len(slot.sents))
+		snap.DocToks[i] = int32(tokens)
 	}
 	for i, pe := range ix.passages {
 		snap.Passages[i] = PassageRef{Doc: int32(pe.doc), SentStart: int32(pe.sentStart), SentEnd: int32(pe.sentEnd)}
@@ -60,27 +103,26 @@ func (ix *Index) Export() *Snapshot {
 	for lemma, id := range ix.terms {
 		snap.Terms[id] = lemma
 	}
-	copyPostings := func(dst, src [][]Posting) {
-		for i, posts := range src {
-			if len(posts) == 0 {
-				continue
-			}
-			dst[i] = append([]Posting(nil), posts...) // flat structs: one memmove
-		}
+	for i := range ix.postings {
+		snap.Postings[i] = ix.postings[i].export()
 	}
-	copyPostings(snap.Postings, ix.postings)
-	copyPostings(snap.DocPostings, ix.docPostings)
+	for i := range ix.docPostings {
+		snap.DocPostings[i] = ix.docPostings[i].export()
+	}
 	return snap
 }
 
 // Import restores a snapshot into an empty index as a bulk load: posting
-// lists, passage windows and analysed sentences are installed wholesale —
-// no re-tokenisation, re-interning or window rebuilding (contrast Add,
-// which does all three per document). The term dictionary map is rebuilt
-// in a single pass over Terms. Window geometry (passage size, stride) is
-// taken from the snapshot, overriding any NewIndex options, because it
-// describes the windows already built. Shape mismatches fail loudly
-// before anything is installed.
+// lists are adopted in their wire form (validated, never re-encoded),
+// passage windows are installed wholesale, and each document's token
+// block is kept as-is — structurally validated here, then decoded into
+// sentences only when a query first touches the document (sentsAt). The
+// term dictionary map is rebuilt in a single pass over Terms. Window
+// geometry (passage size, stride) is taken from the snapshot, overriding
+// any NewIndex options, because it describes the windows already built.
+// Shape mismatches fail loudly before anything is installed. The
+// snapshot's byte slices are shared, not copied — the caller must not
+// mutate the snapshot afterwards (recovery decodes a fresh one).
 func (ix *Index) Import(snap *Snapshot) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
@@ -90,8 +132,9 @@ func (ix *Index) Import(snap *Snapshot) error {
 	if snap.PassageSize < 1 || snap.Stride < 1 || snap.Stride > snap.PassageSize {
 		return fmt.Errorf("ir: import: invalid window geometry (size %d, stride %d)", snap.PassageSize, snap.Stride)
 	}
-	if len(snap.DocSents) != len(snap.Docs) {
-		return fmt.Errorf("ir: import: %d documents but %d sentence sets", len(snap.Docs), len(snap.DocSents))
+	if len(snap.DocTokens) != len(snap.Docs) || len(snap.DocSents) != len(snap.Docs) || len(snap.DocToks) != len(snap.Docs) {
+		return fmt.Errorf("ir: import: %d documents but %d/%d/%d token blocks/sentence counts/token counts",
+			len(snap.Docs), len(snap.DocTokens), len(snap.DocSents), len(snap.DocToks))
 	}
 	if len(snap.Postings) != len(snap.Terms) || len(snap.DocPostings) != len(snap.Terms) {
 		return fmt.Errorf("ir: import: %d terms but %d/%d posting lists",
@@ -101,10 +144,10 @@ func (ix *Index) Import(snap *Snapshot) error {
 		if int(pe.Doc) < 0 || int(pe.Doc) >= len(snap.Docs) {
 			return fmt.Errorf("ir: import: passage %d references document %d of %d", i, pe.Doc, len(snap.Docs))
 		}
-		sents := snap.DocSents[pe.Doc]
-		if pe.SentStart < 0 || pe.SentEnd <= pe.SentStart || int(pe.SentEnd) > len(sents) {
+		nSents := snap.DocSents[pe.Doc]
+		if pe.SentStart < 0 || pe.SentEnd <= pe.SentStart || pe.SentEnd > nSents {
 			return fmt.Errorf("ir: import: passage %d window [%d:%d) out of range (document %d has %d sentences)",
-				i, pe.SentStart, pe.SentEnd, pe.Doc, len(sents))
+				i, pe.SentStart, pe.SentEnd, pe.Doc, nSents)
 		}
 	}
 	terms := make(map[string]int32, len(snap.Terms))
@@ -114,25 +157,26 @@ func (ix *Index) Import(snap *Snapshot) error {
 		}
 		terms[lemma] = int32(id)
 	}
-	checkPostings := func(kind string, lists [][]Posting, limit int) error {
-		for id, posts := range lists {
-			prev := int32(-1)
-			for _, p := range posts {
-				if p.ID <= prev || int(p.ID) >= limit {
-					return fmt.Errorf("ir: import: term %d has out-of-order or out-of-range %s posting %d", id, kind, p.ID)
-				}
-				if p.TF < 1 {
-					return fmt.Errorf("ir: import: term %d %s posting %d has tf %d", id, kind, p.ID, p.TF)
-				}
-				prev = p.ID
+	checkLists := func(kind string, lists []PostingList, limit int) ([]int32, error) {
+		lastIDs := make([]int32, len(lists))
+		for id, w := range lists {
+			last, err := checkWirePostings(w, limit)
+			if err != nil {
+				return nil, fmt.Errorf("ir: import: term %d %s postings: %w", id, kind, err)
 			}
+			lastIDs[id] = last
 		}
-		return nil
+		return lastIDs, nil
 	}
-	if err := checkPostings("passage", snap.Postings, len(snap.Passages)); err != nil {
+	passLast, err := checkLists("passage", snap.Postings, len(snap.Passages))
+	if err != nil {
 		return err
 	}
-	if err := checkPostings("document", snap.DocPostings, len(snap.Docs)); err != nil {
+	docLast, err := checkLists("document", snap.DocPostings, len(snap.Docs))
+	if err != nil {
+		return err
+	}
+	if err := ix.validateBlocks(snap); err != nil {
 		return err
 	}
 
@@ -145,9 +189,13 @@ func (ix *Index) Import(snap *Snapshot) error {
 			ix.byURL[d.URL] = i
 		}
 	}
-	ix.docSents = make([][]nlp.Sentence, len(snap.DocSents))
-	for i, sents := range snap.DocSents {
-		ix.docSents[i] = append([]nlp.Sentence(nil), sents...)
+	ix.tokTags = snap.TokTags
+	ix.tokLemmas = snap.TokLemmas
+	ix.docSents = make([]*docSlot, len(snap.Docs))
+	slots := make([]docSlot, len(snap.Docs))
+	for i := range slots {
+		slots[i] = docSlot{block: snap.DocTokens[i], nSents: snap.DocSents[i], nToks: snap.DocToks[i]}
+		ix.docSents[i] = &slots[i]
 	}
 	ix.passages = make([]passageEntry, len(snap.Passages))
 	for i, pe := range snap.Passages {
@@ -156,11 +204,52 @@ func (ix *Index) Import(snap *Snapshot) error {
 		}
 	}
 	ix.terms = terms
-	// Posting lists are adopted by copy of the outer slices only: the
-	// validated inner lists are installed as-is (the caller's snapshot
-	// must not be mutated afterwards; recovery decodes a fresh one).
-	ix.postings = append([][]Posting(nil), snap.Postings...)
-	ix.docPostings = append([][]Posting(nil), snap.DocPostings...)
+	// Capacity is clamped so a later Add's flush reallocates instead of
+	// growing in place into the snapshot buffer (whose tail bytes other
+	// lists alias when the store hands us slices of one file image).
+	ix.postings = make([]postingList, len(snap.Postings))
+	for i, w := range snap.Postings {
+		ix.postings[i] = postingList{enc: w.Enc[:len(w.Enc):len(w.Enc)], encN: w.N, lastID: passLast[i]}
+	}
+	ix.docPostings = make([]postingList, len(snap.DocPostings))
+	for i, w := range snap.DocPostings {
+		ix.docPostings[i] = postingList{enc: w.Enc[:len(w.Enc):len(w.Enc)], encN: w.N, lastID: docLast[i]}
+	}
+	return nil
+}
+
+// validateBlocks structurally checks every document's token block in
+// parallel — the pass that lets sentsAt decode lazily without an error
+// path. It is the bulk of import-time CPU, but still an order of
+// magnitude cheaper than materialising every token eagerly.
+func (ix *Index) validateBlocks(snap *Snapshot) error {
+	var firstErr atomic.Pointer[error]
+	var wg sync.WaitGroup
+	next := atomic.Int64{}
+	workers := min(runtime.GOMAXPROCS(0), len(snap.Docs))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				d := int(next.Add(1)) - 1
+				if d >= len(snap.Docs) {
+					return
+				}
+				err := validateTokenBlock(snap.DocTokens[d], len(snap.Docs[d].Text),
+					int(snap.DocSents[d]), int(snap.DocToks[d]), len(snap.TokTags), len(snap.TokLemmas))
+				if err != nil {
+					err = fmt.Errorf("ir: import: document %q: %w", snap.Docs[d].URL, err)
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if ep := firstErr.Load(); ep != nil {
+		return *ep
+	}
 	return nil
 }
 
@@ -184,4 +273,20 @@ func (ix *Index) SetJournal(j Journal) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	ix.journal = j
+}
+
+// SentenceStats reports how many restored documents have had their token
+// blocks decoded versus deferred — the observability hook for the lazy
+// restore path (documents added live count as decoded).
+func (ix *Index) SentenceStats() (decoded, deferred int) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for _, s := range ix.docSents {
+		if s.block != nil && s.sents == nil {
+			deferred++
+		} else {
+			decoded++
+		}
+	}
+	return decoded, deferred
 }

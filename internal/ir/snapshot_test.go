@@ -92,13 +92,21 @@ func TestIndexImportRejectsCorruptSnapshots(t *testing.T) {
 	}{
 		{"bad geometry", func(s *Snapshot) { s.Stride = s.PassageSize + 1 }},
 		{"sents/docs mismatch", func(s *Snapshot) { s.DocSents = s.DocSents[:1] }},
+		{"blocks/docs mismatch", func(s *Snapshot) { s.DocTokens = s.DocTokens[:1] }},
 		{"postings/terms mismatch", func(s *Snapshot) { s.Postings = s.Postings[:1] }},
 		{"passage doc out of range", func(s *Snapshot) { s.Passages[0].Doc = 99 }},
 		{"passage window out of range", func(s *Snapshot) { s.Passages[0].SentEnd = 99 }},
 		{"duplicate term", func(s *Snapshot) { s.Terms[1] = s.Terms[0] }},
-		{"posting out of range", func(s *Snapshot) { s.Postings[0] = []Posting{{ID: 9999, TF: 1}} }},
-		{"posting out of order", func(s *Snapshot) { s.Postings[0] = []Posting{{ID: 2, TF: 1}, {ID: 1, TF: 1}} }},
-		{"zero tf", func(s *Snapshot) { s.Postings[0] = []Posting{{ID: 0, TF: 0}} }},
+		{"posting out of range", func(s *Snapshot) { s.Postings[0] = CompressPostings([]Posting{{ID: 9999, TF: 1}}) }},
+		{"posting count overclaims", func(s *Snapshot) { s.Postings[0].N++ }},
+		{"posting trailing bytes", func(s *Snapshot) { s.Postings[0].Enc = append(s.Postings[0].Enc, 1, 1) }},
+		{"zero posting gap", func(s *Snapshot) {
+			s.Postings[0] = PostingList{N: 2, Enc: append(appendPosting(nil, -1, Posting{ID: 0, TF: 1}), 0, 1)}
+		}},
+		{"zero tf", func(s *Snapshot) { s.Postings[0] = PostingList{N: 1, Enc: []byte{1, 0}} }},
+		{"token block truncated", func(s *Snapshot) { s.DocTokens[0] = s.DocTokens[0][:len(s.DocTokens[0])-1] }},
+		{"token count overclaims", func(s *Snapshot) { s.DocToks[0]++ }},
+		{"tag index out of range", func(s *Snapshot) { s.TokTags = s.TokTags[:1] }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

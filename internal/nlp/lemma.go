@@ -29,21 +29,28 @@ var irregularLemmas = map[string]string{
 // tag. Proper nouns and numbers are lower-cased but otherwise unchanged,
 // matching the paper's trace ("January NP january", "8 CD 8").
 func Lemmatize(word string, tag Tag) string {
-	lower := strings.ToLower(word)
+	return lemmatizeLower(Intern(strings.ToLower(word)), tag)
+}
+
+// lemmatizeLower is Lemmatize over an already lower-cased, interned form.
+// Results are interned too, so every occurrence of a lemma across the
+// whole corpus is one heap string — the storage the analysed sentences
+// (and through them the IR term dictionary) retain.
+func lemmatizeLower(lower string, tag Tag) string {
 	if lemma, ok := irregularLemmas[lower]; ok {
 		return lemma
 	}
 	switch tag {
 	case TagCD:
-		return stripOrdinal(lower)
+		return Intern(stripOrdinal(lower))
 	case TagNNS:
-		return singularize(lower)
+		return Intern(singularize(lower))
 	case TagVBZ:
-		return unverbThirdPerson(lower)
+		return Intern(unverbThirdPerson(lower))
 	case TagVBD, TagVBN:
-		return strip("ed", lower)
+		return Intern(strip("ed", lower))
 	case TagVBG:
-		return strip("ing", lower)
+		return Intern(strip("ing", lower))
 	default:
 		return lower
 	}

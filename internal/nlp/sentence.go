@@ -48,36 +48,39 @@ func (s Sentence) ContentLemmas() []string {
 func SplitSentences(text string) []Sentence {
 	toks := Analyze(text)
 	var sents []Sentence
-	var cur []Token
-	flush := func() {
-		if len(cur) > 0 {
+	start := 0
+	// Sentences are capacity-clamped subslices of the single token slice
+	// Analyze returned — the whole document's tokens live in one arena
+	// allocation instead of one copy per sentence.
+	flush := func(end int) {
+		if end > start {
+			seg := toks[start:end:end]
 			sents = append(sents, Sentence{
-				Tokens: cur,
-				Start:  cur[0].Start,
-				End:    cur[len(cur)-1].End,
+				Tokens: seg,
+				Start:  seg[0].Start,
+				End:    seg[len(seg)-1].End,
 			})
-			cur = nil
+			start = end
 		}
 	}
 	for i, t := range toks {
-		cur = append(cur, t)
 		if t.Tag == TagSENT {
-			flush()
+			flush(i + 1)
 			continue
 		}
 		// Newline-based boundary between this token and the next.
 		if i+1 < len(toks) {
 			gap := text[t.End:toks[i+1].Start]
 			if strings.Count(gap, "\n") >= 2 {
-				flush()
+				flush(i + 1)
 				continue
 			}
 			if strings.Contains(gap, "\n") && startsUpperOrDigit(toks[i+1].Text) {
-				flush()
+				flush(i + 1)
 			}
 		}
 	}
-	flush()
+	flush(len(toks))
 	return sents
 }
 

@@ -8,20 +8,27 @@ import (
 
 // Analyze tokenises and tags text, filling in lemma, tag and offsets for
 // every token. It is the entry point equivalent to running the paper's
-// Maco+/TreeTagger step.
+// Maco+/TreeTagger step. Each token is lower-cased exactly once into an
+// interned form shared by the tagger and the lemmatiser (previously both
+// lowered independently, doubling the dominant index-time allocation).
 func Analyze(text string) []Token {
 	toks := Tokenize(text)
-	tagTokens(toks)
+	lowers := make([]string, len(toks))
 	for i := range toks {
-		toks[i].Lemma = Lemmatize(toks[i].Text, toks[i].Tag)
+		lowers[i] = Intern(strings.ToLower(toks[i].Text))
+	}
+	tagTokens(toks, lowers)
+	for i := range toks {
+		toks[i].Lemma = lemmatizeLower(lowers[i], toks[i].Tag)
 	}
 	return toks
 }
 
 // tagTokens assigns a part-of-speech tag to every token in place.
-func tagTokens(toks []Token) {
+// lowers[i] is the lower-cased form of toks[i].Text.
+func tagTokens(toks []Token, lowers []string) {
 	for i := range toks {
-		toks[i].Tag = tagOne(toks, i)
+		toks[i].Tag = tagOne(toks, i, lowers[i])
 	}
 	// Contextual repair passes.
 	for i := range toks {
@@ -39,9 +46,8 @@ func tagTokens(toks []Token) {
 	}
 }
 
-func tagOne(toks []Token, i int) Tag {
+func tagOne(toks []Token, i int, lower string) Tag {
 	text := toks[i].Text
-	lower := strings.ToLower(text)
 
 	// The degree markers are tagged NN, matching the paper's Table 1
 	// passage analysis ("8 CD 8 º NN º C NP c").

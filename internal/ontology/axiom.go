@@ -112,33 +112,64 @@ func (o *Ontology) AxiomsFor(concept string, kind AxiomKind) []Axiom {
 // value (given in fromUnit) in toUnit. It tries a direct axiom, then the
 // inverse of a declared axiom. Returns an error when no conversion exists.
 func (o *Ontology) Convert(concept string, value float64, fromUnit, toUnit string) (float64, error) {
-	if Normalize(fromUnit) == Normalize(toUnit) {
+	if c := o.Concept(concept); c != nil {
+		o.mu.RLock()
+		v, ok := convertLocked(c, value, fromUnit, toUnit)
+		o.mu.RUnlock()
+		if ok {
+			return v, nil
+		}
+	} else if equalNormalized(fromUnit, toUnit) {
 		return value, nil
-	}
-	for _, a := range o.AxiomsFor(concept, AxiomUnitConversion) {
-		if Normalize(a.FromUnit) == Normalize(fromUnit) && Normalize(a.ToUnit) == Normalize(toUnit) {
-			return value*a.Scale + a.Offset, nil
-		}
-		if Normalize(a.FromUnit) == Normalize(toUnit) && Normalize(a.ToUnit) == Normalize(fromUnit) {
-			return (value - a.Offset) / a.Scale, nil
-		}
 	}
 	return 0, fmt.Errorf("ontology: no conversion from %q to %q on %q", fromUnit, toUnit, concept)
 }
 
+// convertLocked resolves a conversion against the concept's axioms. The
+// caller holds at least the read lock; nothing is allocated — this runs
+// once per answer candidate under QA's axiom validation.
+func convertLocked(c *Concept, value float64, fromUnit, toUnit string) (float64, bool) {
+	if equalNormalized(fromUnit, toUnit) {
+		return value, true
+	}
+	for i := range c.Axioms {
+		a := &c.Axioms[i]
+		if a.Kind != AxiomUnitConversion {
+			continue
+		}
+		if equalNormalized(a.FromUnit, fromUnit) && equalNormalized(a.ToUnit, toUnit) {
+			return value*a.Scale + a.Offset, true
+		}
+		if equalNormalized(a.FromUnit, toUnit) && equalNormalized(a.ToUnit, fromUnit) {
+			return (value - a.Offset) / a.Scale, true
+		}
+	}
+	return 0, false
+}
+
 // InRange checks value (in unit) against the concept's value-range axioms,
 // converting units when necessary. With no range axiom it returns true.
+// The axiom walk and unit comparisons are in place and allocation-free —
+// this is the QA extractor's per-candidate validation call.
 func (o *Ontology) InRange(concept string, value float64, unit string) (bool, error) {
-	ranges := o.AxiomsFor(concept, AxiomValueRange)
-	if len(ranges) == 0 {
+	c := o.Concept(concept)
+	if c == nil {
 		return true, nil
 	}
-	for _, a := range ranges {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	sawRange := false
+	for i := range c.Axioms {
+		a := &c.Axioms[i]
+		if a.Kind != AxiomValueRange {
+			continue
+		}
+		sawRange = true
 		v := value
-		if Normalize(unit) != Normalize(a.Unit) {
-			converted, err := o.Convert(concept, value, unit, a.Unit)
-			if err != nil {
-				return false, err
+		if !equalNormalized(unit, a.Unit) {
+			converted, ok := convertLocked(c, value, unit, a.Unit)
+			if !ok {
+				return false, fmt.Errorf("ontology: no conversion from %q to %q on %q", unit, a.Unit, concept)
 			}
 			v = converted
 		}
@@ -146,15 +177,25 @@ func (o *Ontology) InRange(concept string, value float64, unit string) (bool, er
 			return true, nil
 		}
 	}
-	return false, nil
+	return !sawRange, nil
 }
 
 // UnitKnown reports whether the unit spelling appears in any value-format
 // axiom of the concept.
 func (o *Ontology) UnitKnown(concept, unit string) bool {
-	for _, a := range o.AxiomsFor(concept, AxiomValueFormat) {
+	c := o.Concept(concept)
+	if c == nil {
+		return false
+	}
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	for i := range c.Axioms {
+		a := &c.Axioms[i]
+		if a.Kind != AxiomValueFormat {
+			continue
+		}
 		for _, u := range a.Units {
-			if Normalize(u) == Normalize(unit) {
+			if equalNormalized(u, unit) {
 				return true
 			}
 		}

@@ -75,9 +75,112 @@ func New(name string) *Ontology {
 }
 
 // Normalize canonicalises a concept or instance name for lookup: lower
-// case, single spaces.
+// case, single spaces. Already-canonical names are returned as-is and
+// names that only need case folding take the single-allocation ToLower
+// path — lookups sit on the QA answer-validation hot path, where the
+// general Fields/Join form was a measurable allocation source.
 func Normalize(name string) string {
+	switch scanNormalized(name) {
+	case normYes:
+		return name
+	case normFold:
+		return strings.ToLower(name)
+	}
 	return strings.Join(strings.Fields(strings.ToLower(name)), " ")
+}
+
+type normState int
+
+const (
+	normYes  normState = iota // already canonical
+	normFold                  // canonical spacing, needs ASCII case folding only
+	normFull                  // needs the general rewrite
+)
+
+// scanNormalized classifies how much work Normalize must do. Any
+// non-ASCII byte is classified normFull — multi-byte case folding and
+// Unicode whitespace are left to the general path.
+func scanNormalized(s string) normState {
+	st := normYes
+	prevSpace := true // a leading space is never canonical
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x80 {
+			return normFull
+		}
+		switch {
+		case c == ' ':
+			if prevSpace {
+				return normFull
+			}
+			prevSpace = true
+		case c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r':
+			return normFull
+		default:
+			if c >= 'A' && c <= 'Z' {
+				st = normFold
+			}
+			prevSpace = false
+		}
+	}
+	if prevSpace && len(s) > 0 {
+		return normFull // trailing space
+	}
+	return st
+}
+
+// equalNormalized reports Normalize(a) == Normalize(b) without
+// allocating on the all-ASCII path (unit and concept comparisons run per
+// answer candidate). Non-ASCII input falls back to the materialised
+// comparison.
+func equalNormalized(a, b string) bool {
+	for i := 0; i < len(a); i++ {
+		if a[i] >= 0x80 {
+			return Normalize(a) == Normalize(b)
+		}
+	}
+	for j := 0; j < len(b); j++ {
+		if b[j] >= 0x80 {
+			return Normalize(a) == Normalize(b)
+		}
+	}
+	i, j := skipSpace(a, 0), skipSpace(b, 0)
+	for i < len(a) && j < len(b) {
+		ca, cb := a[i], b[j]
+		sa, sb := asciiSpace(ca), asciiSpace(cb)
+		if sa || sb {
+			if !sa || !sb {
+				return false
+			}
+			i, j = skipSpace(a, i), skipSpace(b, j)
+			// Both either reached a next word or ran out; loop re-checks.
+			continue
+		}
+		if lowerASCII(ca) != lowerASCII(cb) {
+			return false
+		}
+		i++
+		j++
+	}
+	return skipSpace(a, i) == len(a) && skipSpace(b, j) == len(b)
+}
+
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r'
+}
+
+func skipSpace(s string, i int) int {
+	for i < len(s) && asciiSpace(s[i]) {
+		i++
+	}
+	return i
+}
+
+func lowerASCII(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + ('a' - 'A')
+	}
+	return c
 }
 
 // AddConcept creates a concept. Creating an existing concept returns the

@@ -202,19 +202,19 @@ func (s *System) extractMeasures(a *Analysis, p ir.Passage, rankBonus float64) [
 		// the document's leading sentences (title and header).
 		passageLoc = s.documentLocation(p.DocIndex)
 	}
-	for si, sent := range p.Sentences {
-		blocks := sbparser.Parse(sent)
-		dates := sbparser.ExtractDates(blocks)
+	for idx := range p.Sentences {
+		info := s.sentInfo(p, idx)
+		blocks := info.blocks
 		sentDate := lastDate
-		if len(dates) > 0 {
-			sentDate = dates[0]
-			lastDate = dates[0]
+		if len(info.dates) > 0 {
+			sentDate = info.dates[0]
+			lastDate = info.dates[0]
 		}
-		sentLoc := s.passageSentenceLocation(p, si)
+		sentLoc := info.loc
 		if sentLoc == "" {
 			sentLoc = passageLoc
 		}
-		toks := sent.Tokens
+		toks := p.Sentences[idx].Tokens
 		for i, t := range toks {
 			if t.Tag != nlp.TagCD {
 				continue
@@ -258,7 +258,7 @@ func (s *System) extractMeasures(a *Analysis, p ir.Passage, rankBonus float64) [
 				Date:     sentDate,
 				Location: sentLoc,
 				URL:      p.DocURL,
-				Sentence: sent.Text(),
+				Sentence: info.text,
 				Score:    rankBonus,
 			}
 			// Scoring per the tuned answer pattern.
@@ -445,35 +445,39 @@ func (s *System) sentenceLocation(sent nlp.Sentence) string {
 	return ""
 }
 
-// passageSentenceLocation is sentenceLocation memoized per corpus
-// sentence: i is the offset of the sentence inside the passage window,
-// so (DocIndex, SentStart+i) identifies it globally. The lookup walks
-// WordNet hypernym chains for every noun span, which dominated the cold
-// path when recomputed per question.
-func (s *System) passageSentenceLocation(p ir.Passage, i int) string {
+// sentInfo returns the memoized question-independent derivations for the
+// i-th sentence of a passage window: (DocIndex, SentStart+i) identifies
+// the sentence globally. The shallow parse, date extraction, text render
+// and the WordNet hypernym walks for the city lookup dominated the cold
+// path when recomputed per question; here each corpus sentence pays them
+// once, whichever question touches it first.
+func (s *System) sentInfo(p ir.Passage, i int) *sentInfo {
 	key := [2]int{p.DocIndex, p.SentStart + i}
-	s.sentLocMu.Lock()
-	if loc, ok := s.sentLoc[key]; ok {
-		s.sentLocMu.Unlock()
-		return loc
+	s.sentMu.Lock()
+	si, ok := s.sentMemo[key]
+	if !ok {
+		if s.sentMemo == nil {
+			s.sentMemo = make(map[[2]int]*sentInfo)
+		}
+		si = &sentInfo{}
+		s.sentMemo[key] = si
 	}
-	s.sentLocMu.Unlock()
-
-	loc := s.sentenceLocation(p.Sentences[i])
-
-	s.sentLocMu.Lock()
-	if s.sentLoc == nil {
-		s.sentLoc = make(map[[2]int]string)
-	}
-	s.sentLoc[key] = loc
-	s.sentLocMu.Unlock()
-	return loc
+	s.sentMu.Unlock()
+	si.once.Do(func() {
+		sent := p.Sentences[i]
+		si.text = sent.Text()
+		si.blocks = sbparser.Parse(sent)
+		si.dates = sbparser.ExtractDates(si.blocks)
+		si.lemmas = sent.ContentLemmas()
+		si.loc = s.sentenceLocation(sent)
+	})
+	return si
 }
 
 // passageLocation returns the first city mentioned anywhere in a passage.
 func (s *System) passageLocation(p ir.Passage) string {
 	for i := range p.Sentences {
-		if loc := s.passageSentenceLocation(p, i); loc != "" {
+		if loc := s.sentInfo(p, i).loc; loc != "" {
 			return loc
 		}
 	}
@@ -538,9 +542,10 @@ func (s *System) extractTyped(a *Analysis, p ir.Passage, rankBonus float64) []An
 	questionTerms := a.termSet()
 	wn := s.lexicon()
 	var out []Answer
-	for _, sent := range p.Sentences {
-		toks := sent.Tokens
-		overlap := termOverlap(sent, questionTerms)
+	for idx := range p.Sentences {
+		info := s.sentInfo(p, idx)
+		toks := p.Sentences[idx].Tokens
+		overlap := termOverlap(info.lemmas, questionTerms)
 		for i := 0; i < len(toks); i++ {
 			if toks[i].Tag != nlp.TagNP {
 				continue
@@ -569,7 +574,7 @@ func (s *System) extractTyped(a *Analysis, p ir.Passage, rankBonus float64) []An
 					Category: a.Category,
 					Text:     titleCase(name),
 					URL:      p.DocURL,
-					Sentence: sent.Text(),
+					Sentence: info.text,
 					Score:    rankBonus + 1 + float64(overlap),
 				}
 				out = append(out, cand)
@@ -581,9 +586,9 @@ func (s *System) extractTyped(a *Analysis, p ir.Passage, rankBonus float64) []An
 	return out
 }
 
-func termOverlap(sent nlp.Sentence, questionTerms map[string]bool) int {
+func termOverlap(lemmas []string, questionTerms map[string]bool) int {
 	n := 0
-	for _, l := range sent.ContentLemmas() {
+	for _, l := range lemmas {
 		if questionTerms[l] {
 			n++
 		}
@@ -596,12 +601,13 @@ func termOverlap(sent nlp.Sentence, questionTerms map[string]bool) int {
 func (s *System) extractTemporal(a *Analysis, p ir.Passage, rankBonus float64) []Answer {
 	questionTerms := a.termSet()
 	var out []Answer
-	for _, sent := range p.Sentences {
-		overlap := termOverlap(sent, questionTerms)
+	for idx := range p.Sentences {
+		info := s.sentInfo(p, idx)
+		overlap := termOverlap(info.lemmas, questionTerms)
 		if overlap == 0 {
 			continue
 		}
-		for _, d := range sbparser.ExtractDates(sbparser.Parse(sent)) {
+		for _, d := range info.dates {
 			if a.Category == CatTempYear && d.Year == 0 {
 				continue
 			}
@@ -611,7 +617,7 @@ func (s *System) extractTemporal(a *Analysis, p ir.Passage, rankBonus float64) [
 			}
 			out = append(out, Answer{
 				Category: a.Category, Text: text, Date: d,
-				URL: p.DocURL, Sentence: sent.Text(),
+				URL: p.DocURL, Sentence: info.text,
 				Score: rankBonus + float64(overlap),
 			})
 		}
@@ -624,12 +630,13 @@ func (s *System) extractTemporal(a *Analysis, p ir.Passage, rankBonus float64) [
 func (s *System) extractNumeric(a *Analysis, p ir.Passage, rankBonus float64) []Answer {
 	questionTerms := a.termSet()
 	var out []Answer
-	for _, sent := range p.Sentences {
-		overlap := termOverlap(sent, questionTerms)
+	for idx := range p.Sentences {
+		info := s.sentInfo(p, idx)
+		overlap := termOverlap(info.lemmas, questionTerms)
 		if overlap == 0 {
 			continue
 		}
-		toks := sent.Tokens
+		toks := p.Sentences[idx].Tokens
 		for i, t := range toks {
 			if t.Tag != nlp.TagCD {
 				continue
@@ -654,7 +661,7 @@ func (s *System) extractNumeric(a *Analysis, p ir.Passage, rankBonus float64) []
 			}
 			out = append(out, Answer{
 				Category: a.Category, Text: text, Value: val, HasValue: true,
-				URL: p.DocURL, Sentence: sent.Text(),
+				URL: p.DocURL, Sentence: info.text,
 				Score: score,
 			})
 		}
@@ -667,12 +674,13 @@ func (s *System) extractNumeric(a *Analysis, p ir.Passage, rankBonus float64) []
 func (s *System) extractDefinition(a *Analysis, p ir.Passage, rankBonus float64) []Answer {
 	questionTerms := a.termSet()
 	var out []Answer
-	for _, sent := range p.Sentences {
-		overlap := termOverlap(sent, questionTerms)
+	for idx := range p.Sentences {
+		info := s.sentInfo(p, idx)
+		overlap := termOverlap(info.lemmas, questionTerms)
 		if overlap == 0 {
 			continue
 		}
-		toks := sent.Tokens
+		toks := p.Sentences[idx].Tokens
 		for i, t := range toks {
 			if t.Lemma == "be" && t.Tag.IsVerb() && i+1 < len(toks) && i > 0 {
 				var rest []string
@@ -688,7 +696,7 @@ func (s *System) extractDefinition(a *Analysis, p ir.Passage, rankBonus float64)
 				out = append(out, Answer{
 					Category: CatDefinition,
 					Text:     strings.Join(rest, " "),
-					URL:      p.DocURL, Sentence: sent.Text(),
+					URL:      p.DocURL, Sentence: info.text,
 					Score: rankBonus + float64(overlap),
 				})
 				break

@@ -63,13 +63,27 @@ type System struct {
 	docLocMu sync.Mutex
 	docLoc   map[int]string // document index → first city in its header
 
-	// sentLoc memoizes sentenceLocation per corpus sentence (document
-	// index, sentence index): locations are a function of the corpus and
-	// the tuned lexicon, not the question, so the cold path computes each
-	// sentence's city once instead of once per question that retrieves
-	// its passage. Same lexicon-stability assumption as docLoc above.
-	sentLocMu sync.Mutex
-	sentLoc   map[[2]int]string
+	// sentMemo memoizes every question-independent derivation over a
+	// corpus sentence — rendered text, shallow parse, extracted dates,
+	// content lemmas, first city — keyed by (document index, sentence
+	// index). These are functions of the corpus and the tuned lexicon,
+	// not the question, so the cold path computes them once per sentence
+	// instead of once per question that retrieves its passage. Same
+	// lexicon-stability assumption as docLoc above.
+	sentMu   sync.Mutex
+	sentMemo map[[2]int]*sentInfo
+}
+
+// sentInfo carries the memoized per-sentence derivations. The entry is
+// published in the map before it is filled; the once gate lets concurrent
+// questions share one computation without holding sentMu across it.
+type sentInfo struct {
+	once   sync.Once
+	text   string
+	blocks []sbparser.Block
+	dates  []sbparser.DateRef
+	lemmas []string // content lemmas
+	loc    string   // first city, "" when none
 }
 
 // Retriever is the passage-retrieval substrate a System answers from. A

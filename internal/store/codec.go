@@ -186,3 +186,32 @@ func (r *reader) f64s() []float64 {
 }
 
 func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+// seek repositions the reader at an absolute offset (a section-table
+// entry). Out-of-range offsets trip the sticky error.
+func (r *reader) seek(off int) {
+	if r.err != nil {
+		return
+	}
+	if off < 0 || off > len(r.buf) {
+		r.fail("store: seek to %d outside %d-byte body", off, len(r.buf))
+		return
+	}
+	r.off = off
+}
+
+// bytes returns the next n raw bytes as a capacity-clamped subslice of
+// the body, so appending to the result can never grow in place over
+// neighbouring sections.
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.fail("store: truncated byte run at offset %d", r.off)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n : r.off+n]
+	r.off += n
+	return b
+}

@@ -5,25 +5,25 @@ import (
 	"fmt"
 	"hash/crc32"
 	"path/filepath"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"dwqa/internal/dw"
 	"dwqa/internal/ir"
-	"dwqa/internal/nlp"
 	"dwqa/internal/ontology"
 )
 
 // Snapshot file layout (self-describing, versioned, checksummed):
 //
 //	magic    "DWQASNAP"            8 bytes
-//	version  uvarint               currently 1; readers reject newer
+//	version  uvarint               readers reject newer
+//	sections 3 × u64 LE (v3+)     absolute offsets of the dw/ir/onto
+//	                               sections — a fixed-offset table, so a
+//	                               reader can seek straight to a section
+//	                               without parsing the ones before it
 //	walSeq   uvarint               last WAL record the snapshot covers
 //	dw       section               warehouse members + fact columns
-//	ir       section               docs, sentences, passages, dictionary,
-//	                               postings
+//	ir       section               docs, token blocks, passages,
+//	                               dictionary, compressed postings
 //	onto     section               merged ontology incl. axioms
 //	crc32c   4 bytes LE            Castagnoli checksum of all prior bytes
 //
@@ -35,10 +35,17 @@ import (
 const (
 	snapshotMagic = "DWQASNAP"
 	// SchemaVersion is the snapshot format version this build writes and
-	// the newest it can read. v2 added the per-document global ordinal
-	// (ir.Document.Ord) that sharded deployments merge-sort on; v1
-	// snapshots still load, with every ordinal zero.
-	SchemaVersion = 2
+	// the newest it can read. v3 stores posting lists in their compressed
+	// delta/varint wire form (installed at restore without re-encoding)
+	// and adds the fixed-offset section table; token blocks are unchanged
+	// but are now decoded lazily on first touch rather than at load. v2
+	// added the per-document global ordinal (ir.Document.Ord) that sharded
+	// deployments merge-sort on; v1 snapshots still load, with every
+	// ordinal zero.
+	SchemaVersion = 3
+
+	// sectionCount is the number of entries in the v3+ section table.
+	sectionCount = 3
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -57,16 +64,27 @@ type State struct {
 	Onto        *ontology.Snapshot
 }
 
-// EncodeState renders a State into the snapshot file format.
+// EncodeState renders a State into the snapshot file format. The section
+// table is reserved up front and patched once the section offsets are
+// known.
 func EncodeState(st *State) []byte {
 	w := &writer{buf: make([]byte, 0, 1<<20)}
 	w.buf = append(w.buf, snapshotMagic...)
 	w.uvarint(SchemaVersion)
+	table := len(w.buf)
+	w.buf = append(w.buf, make([]byte, 8*sectionCount)...)
 	w.uvarint(st.WALSeq)
 	w.str(st.Fingerprint)
+	var offs [sectionCount]uint64
+	offs[0] = uint64(len(w.buf))
 	encodeDW(w, st.DW)
+	offs[1] = uint64(len(w.buf))
 	encodeIR(w, st.IR)
+	offs[2] = uint64(len(w.buf))
 	encodeOnto(w, st.Onto)
+	for i, off := range offs {
+		binary.LittleEndian.PutUint64(w.buf[table+8*i:], off)
+	}
 	w.buf = appendCRC(w.buf)
 	return w.buf
 }
@@ -103,10 +121,38 @@ func DecodeState(buf []byte) (*State, error) {
 	if version == 0 {
 		return nil, fmt.Errorf("store: snapshot schema v0 is invalid")
 	}
+	var offs [sectionCount]uint64
+	if version >= 3 {
+		if r.remaining() < 8*sectionCount {
+			return nil, fmt.Errorf("store: snapshot truncated inside section table")
+		}
+		for i := range offs {
+			offs[i] = binary.LittleEndian.Uint64(body[r.off+8*i:])
+		}
+		r.off += 8 * sectionCount
+		prev := uint64(r.off)
+		for i, off := range offs {
+			if off < prev || off > uint64(len(body)) {
+				return nil, fmt.Errorf("store: section table entry %d offset %d out of order (body %d bytes)", i, off, len(body))
+			}
+			prev = off
+		}
+	}
 	st := &State{WALSeq: r.uvarint(), Fingerprint: r.str()}
-	st.DW = decodeDW(r)
-	st.IR = decodeIR(r, version)
-	st.Onto = decodeOnto(r)
+	if version >= 3 {
+		// Seek via the section table rather than trusting sequential
+		// position — this is what lets partial readers skip sections.
+		r.seek(int(offs[0]))
+		st.DW = decodeDW(r)
+		r.seek(int(offs[1]))
+		st.IR = decodeIR(r, version)
+		r.seek(int(offs[2]))
+		st.Onto = decodeOnto(r)
+	} else {
+		st.DW = decodeDW(r)
+		st.IR = decodeIR(r, version)
+		st.Onto = decodeOnto(r)
+	}
 	if r.err != nil {
 		return nil, r.err
 	}
@@ -254,63 +300,32 @@ func decodeStringMap(r *reader) map[string]string {
 // lemmatisation, window construction, posting accumulation — are all
 // stored, so restore is a bulk load. Token text is NOT stored: a token's
 // surface form is exactly doc.Text[start:end), so the decoder slices it
-// back out of the document (zero copies beyond the document text itself).
-// Tags and lemmas are interned into per-snapshot tables and referenced by
-// index. Each document's token stream is framed with its byte length, so
-// the decoder fans the streams out across cores — restore wall-clock is
-// the bottleneck crash recovery exists to shrink.
+// back out of the document. Tags and lemmas are interned into
+// per-snapshot tables and referenced by index.
+//
+// Since ir.Snapshot carries its sentences as wire token blocks and its
+// posting lists delta/varint compressed, the store ships both verbatim:
+// encode is a framed copy and decode hands back capacity-clamped
+// subslices of the file image without materialising a single token or
+// posting. ir.Import validates the blocks and decodes each document
+// lazily on first touch, so restore wall-clock no longer scales with
+// token count — it is dominated by the structural validation pass.
 
 func encodeIR(w *writer, snap *ir.Snapshot) {
 	w.uvarint(uint64(snap.PassageSize))
 	w.uvarint(uint64(snap.Stride))
-
-	// Intern tables for tags and lemmas.
-	tagIdx := map[nlp.Tag]uint64{}
-	var tags []string
-	lemmaIdx := map[string]uint64{}
-	var lemmas []string
-	for _, sents := range snap.DocSents {
-		for _, s := range sents {
-			for _, t := range s.Tokens {
-				if _, ok := tagIdx[t.Tag]; !ok {
-					tagIdx[t.Tag] = uint64(len(tags))
-					tags = append(tags, string(t.Tag))
-				}
-				if _, ok := lemmaIdx[t.Lemma]; !ok {
-					lemmaIdx[t.Lemma] = uint64(len(lemmas))
-					lemmas = append(lemmas, t.Lemma)
-				}
-			}
-		}
-	}
-	w.strs(tags)
-	w.strs(lemmas)
+	w.strs(snap.TokTags)
+	w.strs(snap.TokLemmas)
 
 	w.uvarint(uint64(len(snap.Docs)))
-	var block writer // reused per-document token-stream buffer
 	for i, doc := range snap.Docs {
 		w.str(doc.URL)
 		w.str(doc.Text)
 		w.varint(doc.Ord)
-		sents := snap.DocSents[i]
-		block.buf = block.buf[:0]
-		tokens := 0
-		prev := int64(0)
-		for _, s := range sents {
-			block.uvarint(uint64(len(s.Tokens)))
-			tokens += len(s.Tokens)
-			for _, t := range s.Tokens {
-				block.varint(int64(t.Start) - prev)
-				block.uvarint(uint64(t.End - t.Start))
-				block.uvarint(tagIdx[t.Tag])
-				block.uvarint(lemmaIdx[t.Lemma])
-				prev = int64(t.End)
-			}
-		}
-		w.uvarint(uint64(len(sents)))
-		w.uvarint(uint64(tokens))
-		w.uvarint(uint64(len(block.buf)))
-		w.buf = append(w.buf, block.buf...)
+		w.uvarint(uint64(snap.DocSents[i]))
+		w.uvarint(uint64(snap.DocToks[i]))
+		w.uvarint(uint64(len(snap.DocTokens[i])))
+		w.buf = append(w.buf, snap.DocTokens[i]...)
 	}
 
 	w.uvarint(uint64(len(snap.Passages)))
@@ -321,31 +336,8 @@ func encodeIR(w *writer, snap *ir.Snapshot) {
 	}
 
 	w.strs(snap.Terms)
-	encodePostings(w, snap.Postings)
-	encodePostings(w, snap.DocPostings)
-}
-
-// Posting lists are stored as fixed-width little-endian (id, tf) pairs
-// rather than varints: at the 100k-passage scale the lists hold millions
-// of entries, and a restore must load them at memory speed — the ~2×
-// size cost on this section buys a branch-free decode loop.
-func encodePostings(w *writer, lists [][]ir.Posting) {
-	w.uvarint(uint64(len(lists)))
-	for _, posts := range lists {
-		w.uvarint(uint64(len(posts)))
-		for _, p := range posts {
-			w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(p.ID))
-			w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(p.TF))
-		}
-	}
-}
-
-// docBlock is one document's framed token stream, handed to the parallel
-// decode phase.
-type docBlock struct {
-	nSents int
-	tokens int
-	data   []byte
+	encodeWirePostings(w, snap.Postings)
+	encodeWirePostings(w, snap.DocPostings)
 }
 
 func decodeIR(r *reader, version uint64) *ir.Snapshot {
@@ -353,64 +345,32 @@ func decodeIR(r *reader, version uint64) *ir.Snapshot {
 		PassageSize: int(r.uvarint()),
 		Stride:      int(r.uvarint()),
 	}
-	tags := r.strs()
-	lemmas := r.strs()
+	snap.TokTags = r.strs()
+	snap.TokLemmas = r.strs()
 
-	// Phase 1 (sequential): document headers; token blocks are sliced,
-	// not decoded.
 	nDocs := r.count(2)
-	blocks := make([]docBlock, 0, nDocs)
+	if r.err == nil && nDocs > 0 {
+		snap.Docs = make([]ir.Document, 0, nDocs)
+		snap.DocTokens = make([][]byte, 0, nDocs)
+		snap.DocSents = make([]int32, 0, nDocs)
+		snap.DocToks = make([]int32, 0, nDocs)
+	}
 	for d := 0; d < nDocs && r.err == nil; d++ {
 		doc := ir.Document{URL: r.str(), Text: r.str()}
 		if version >= 2 {
 			doc.Ord = r.varint()
 		}
-		snap.Docs = append(snap.Docs, doc)
-		b := docBlock{nSents: r.count(1), tokens: r.count(3)}
+		nSents := r.count(1)
+		nToks := r.count(3)
 		blockLen := r.count(1)
+		block := r.bytes(blockLen)
 		if r.err != nil {
 			break
 		}
-		if r.off+blockLen > len(r.buf) {
-			r.fail("store: truncated token block for document %q", doc.URL)
-			break
-		}
-		b.data = r.buf[r.off : r.off+blockLen]
-		r.off += blockLen
-		blocks = append(blocks, b)
-	}
-
-	// Phase 2 (parallel): decode the independent token streams across
-	// cores — they are the bulk of the snapshot, and this fan-out is what
-	// keeps 100k-scale restore an order of magnitude under a re-feed.
-	if r.err == nil {
-		snap.DocSents = make([][]nlp.Sentence, len(blocks))
-		var firstErr atomic.Pointer[error]
-		var wg sync.WaitGroup
-		next := atomic.Int64{}
-		workers := min(runtime.GOMAXPROCS(0), len(blocks))
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					d := int(next.Add(1)) - 1
-					if d >= len(blocks) {
-						return
-					}
-					sents, err := decodeDocSents(blocks[d], snap.Docs[d], tags, lemmas)
-					if err != nil {
-						firstErr.CompareAndSwap(nil, &err)
-						return
-					}
-					snap.DocSents[d] = sents
-				}
-			}()
-		}
-		wg.Wait()
-		if ep := firstErr.Load(); ep != nil {
-			r.fail("%s", (*ep).Error())
-		}
+		snap.Docs = append(snap.Docs, doc)
+		snap.DocTokens = append(snap.DocTokens, block)
+		snap.DocSents = append(snap.DocSents, int32(nSents))
+		snap.DocToks = append(snap.DocToks, int32(nToks))
 	}
 
 	nPassages := r.count(3)
@@ -427,124 +387,49 @@ func decodeIR(r *reader, version uint64) *ir.Snapshot {
 	}
 
 	snap.Terms = r.strs()
-	snap.Postings = decodePostings(r)
-	snap.DocPostings = decodePostings(r)
+	if version >= 3 {
+		snap.Postings = decodeWirePostings(r)
+		snap.DocPostings = decodeWirePostings(r)
+	} else {
+		snap.Postings = compressLists(decodeFixedPostings(r))
+		snap.DocPostings = compressLists(decodeFixedPostings(r))
+	}
 	return snap
 }
 
-// uvFast decodes an unsigned varint with a fast path for the one-byte
-// values that dominate token streams. Returns newPos -1 on truncation.
-func uvFast(data []byte, pos int) (uint64, int) {
-	if pos < len(data) {
-		if b := data[pos]; b < 0x80 {
-			return uint64(b), pos + 1
-		}
+// encodeWirePostings writes compressed posting lists: per list the
+// posting count, the encoded byte length, and the delta/varint bytes
+// verbatim — the exact form ir.Import adopts without re-encoding.
+func encodeWirePostings(w *writer, lists []ir.PostingList) {
+	w.uvarint(uint64(len(lists)))
+	for _, pl := range lists {
+		w.uvarint(uint64(pl.N))
+		w.uvarint(uint64(len(pl.Enc)))
+		w.buf = append(w.buf, pl.Enc...)
 	}
-	v, n := binary.Uvarint(data[pos:])
-	if n <= 0 {
-		return 0, -1
-	}
-	return v, pos + n
 }
 
-// vFast is uvFast for zigzag-signed varints.
-func vFast(data []byte, pos int) (int64, int) {
-	u, next := uvFast(data, pos)
-	if next < 0 {
-		return 0, -1
+func decodeWirePostings(r *reader) []ir.PostingList {
+	n := r.count(1)
+	if r.err != nil {
+		return nil
 	}
-	v := int64(u >> 1)
-	if u&1 != 0 {
-		v = ^v
+	lists := make([]ir.PostingList, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		cnt := r.count(2)
+		blen := r.count(1)
+		enc := r.bytes(blen)
+		if r.err != nil {
+			break
+		}
+		lists[i] = ir.PostingList{N: int32(cnt), Enc: enc}
 	}
-	return v, next
+	return lists
 }
 
-// decodeDocSents decodes one document's token stream. Tokens land in a
-// single per-document arena (one allocation), with sentences as
-// subslices; token text is sliced straight out of the document. This is
-// the hottest loop of a restore (millions of tokens at the 100k-passage
-// scale), hence the hand-rolled varint reads over the raw block.
-func decodeDocSents(b docBlock, doc ir.Document, tags, lemmas []string) ([]nlp.Sentence, error) {
-	data := b.data
-	pos := 0
-	arena := make([]nlp.Token, b.tokens)
-	ti := 0
-	bounds := make([]int32, b.nSents+1)
-	prev := 0
-	textLen := len(doc.Text)
-	truncated := func() error {
-		return fmt.Errorf("store: truncated token block in document %q", doc.URL)
-	}
-	for s := 0; s < b.nSents; s++ {
-		nToks, next := uvFast(data, pos)
-		if next < 0 {
-			return nil, truncated()
-		}
-		pos = next
-		if nToks == 0 {
-			return nil, fmt.Errorf("store: empty sentence in document %q", doc.URL)
-		}
-		bounds[s] = int32(ti)
-		for t := uint64(0); t < nToks; t++ {
-			if ti >= len(arena) {
-				return nil, fmt.Errorf("store: document %q holds more tokens than the declared %d", doc.URL, b.tokens)
-			}
-			delta, next := vFast(data, pos)
-			if next < 0 {
-				return nil, truncated()
-			}
-			length, next2 := uvFast(data, next)
-			if next2 < 0 {
-				return nil, truncated()
-			}
-			tagIdx, next3 := uvFast(data, next2)
-			if next3 < 0 {
-				return nil, truncated()
-			}
-			lemmaIdx, next4 := uvFast(data, next3)
-			if next4 < 0 {
-				return nil, truncated()
-			}
-			pos = next4
-			start := prev + int(delta)
-			end := start + int(length)
-			if start < 0 || end < start || end > textLen {
-				return nil, fmt.Errorf("store: token span [%d:%d) outside document %q (%d bytes)", start, end, doc.URL, textLen)
-			}
-			if tagIdx >= uint64(len(tags)) {
-				return nil, fmt.Errorf("store: tag index %d out of range (%d entries)", tagIdx, len(tags))
-			}
-			if lemmaIdx >= uint64(len(lemmas)) {
-				return nil, fmt.Errorf("store: lemma index %d out of range (%d entries)", lemmaIdx, len(lemmas))
-			}
-			arena[ti] = nlp.Token{
-				Text:  doc.Text[start:end],
-				Lemma: lemmas[lemmaIdx],
-				Tag:   nlp.Tag(tags[tagIdx]),
-				Start: start,
-				End:   end,
-			}
-			ti++
-			prev = end
-		}
-	}
-	if ti != b.tokens {
-		return nil, fmt.Errorf("store: document %q declared %d tokens, stream holds %d", doc.URL, b.tokens, ti)
-	}
-	if pos != len(data) {
-		return nil, fmt.Errorf("store: %d trailing bytes in token block of document %q", len(data)-pos, doc.URL)
-	}
-	bounds[b.nSents] = int32(ti)
-	sents := make([]nlp.Sentence, b.nSents)
-	for s := 0; s < b.nSents; s++ {
-		toks := arena[bounds[s]:bounds[s+1]:bounds[s+1]]
-		sents[s] = nlp.Sentence{Tokens: toks, Start: toks[0].Start, End: toks[len(toks)-1].End}
-	}
-	return sents, nil
-}
-
-func decodePostings(r *reader) [][]ir.Posting {
+// decodeFixedPostings reads the v1/v2 fixed-width little-endian (id, tf)
+// pairs — kept only for reading old snapshots.
+func decodeFixedPostings(r *reader) [][]ir.Posting {
 	n := r.count(1)
 	if r.err != nil {
 		return nil
@@ -571,6 +456,16 @@ func decodePostings(r *reader) [][]ir.Posting {
 		lists[i] = posts
 	}
 	return lists
+}
+
+// compressLists converts legacy raw posting lists into wire form once at
+// load; from then on the index holds only the compressed bytes.
+func compressLists(lists [][]ir.Posting) []ir.PostingList {
+	out := make([]ir.PostingList, len(lists))
+	for i, posts := range lists {
+		out[i] = ir.CompressPostings(posts)
+	}
+	return out
 }
 
 // --- ontology section ---
