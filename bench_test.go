@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"dwqa"
 	"dwqa/internal/core"
@@ -247,6 +248,47 @@ func BenchmarkAskCold(b *testing.B) {
 		}
 		if r.Cached {
 			b.Fatal("cache-disabled engine served a cached answer")
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range eng.AskAll(context.Background(), questions) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(questions))*float64(b.N)/b.Elapsed().Seconds(), "questions/sec")
+}
+
+// BenchmarkAskColdObserved is BenchmarkAskCold with observability at
+// its default setting (stage timing on, slow-query log armed but never
+// firing): the cold path stamps a span per question — cache lookup, NLP
+// analyse, IR search, QA extract — and folds it into the registry's
+// histograms. The acceptance bar is ns/op within 5% of ask_cold_path
+// and +0 allocs/op (the record path is atomics into pre-registered
+// cells; the span lives on the worker's stack); benchreport -check
+// measures both arms interleaved and enforces the budget.
+func BenchmarkAskColdObserved(b *testing.B) {
+	p, err := dwqa.New(dwqa.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+	questions := core.ColdQuestionWorkload(p)
+	eng, err := engine.New(engine.Config{CacheSize: -1}, p.QA, nil, nil, p.Index)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Armed but out of reach: the threshold check runs every op, the
+	// logging slow path never does — the serving default under load.
+	eng.SetSlowQueryLog(time.Hour, func(string, ...any) {})
+	for _, r := range eng.AskAll(context.Background(), questions) {
+		if r.Err != nil {
+			b.Fatal(r.Err)
 		}
 	}
 	b.ReportAllocs()

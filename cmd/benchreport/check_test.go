@@ -1,0 +1,28 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunCheckBaselineErrors(t *testing.T) {
+	if err := runCheck(filepath.Join(t.TempDir(), "absent.json"), 42); err == nil {
+		t.Fatal("missing baseline must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCheck(bad, 42); err == nil {
+		t.Fatal("unparsable baseline must error")
+	}
+}
+
+// TestMeasureRejectsZeroResult pins measure's refusal to record a
+// failed benchmark as a plausible zero data point.
+func TestMeasureRejectsZeroResult(t *testing.T) {
+	if _, err := measure("broken", 0, func(b *testing.B) { b.Skip("injected") }); err == nil {
+		t.Fatal("zero benchmark result must be rejected")
+	}
+}

@@ -97,6 +97,21 @@ type askColdPerf struct {
 	AllocsPerOp     int64   `json:"allocs_per_op"`
 }
 
+// askColdObservedPerf records what default observability costs on the
+// cold path: the same cache-disabled all-unique workload, observed arm
+// (stage timing + an armed slow-query log whose threshold never fires)
+// versus a Config.NoObserve engine. The arms are interleaved and the
+// per-arm minimum taken, like the resilience comparison. The budget the
+// metrics layer is held to: ≤5% ns/op overhead and +0 allocs/op.
+type askColdObservedPerf struct {
+	UniqueQuestions int     `json:"unique_questions"`
+	ObservedNsPerOp float64 `json:"observed_ns_per_op"`
+	PlainNsPerOp    float64 `json:"plain_ns_per_op"`
+	ObservedAllocs  int64   `json:"observed_allocs_per_op"`
+	PlainAllocs     int64   `json:"plain_allocs_per_op"`
+	OverheadFrac    float64 `json:"observe_overhead_frac"`
+}
+
 // servingResiliencePerf records what the serving-layer resilience
 // plumbing costs: the cold workload with the limits on (default admission
 // gate + request deadline) versus off (library mode), and the shed fast
@@ -203,6 +218,7 @@ type perfReport struct {
 	QAServingMixed *qaServingComparison   `json:"qa_serving_mixed_vs_sequential,omitempty"`
 	NL2OLAP        *nl2olapPerf           `json:"nl2olap_translate,omitempty"`
 	AskCold        *askColdPerf           `json:"ask_cold_path,omitempty"`
+	AskColdObs     *askColdObservedPerf   `json:"ask_cold_observed,omitempty"`
 	ShardedCold    *shardedColdPerf       `json:"sharded_cold_path,omitempty"`
 	Resilience     *servingResiliencePerf `json:"serving_resilience,omitempty"`
 	Harvest        *harvestComparison     `json:"harvest_batch_vs_sequential,omitempty"`
@@ -236,7 +252,7 @@ func runPerf(outDir string, seed int64) (*perfReport, error) {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return nil, err
 	}
-	rep := &perfReport{Schema: "dwqa-bench/v8"}
+	rep := &perfReport{Schema: "dwqa-bench/v9"}
 	for _, target := range []int{1_000, 10_000, 100_000} {
 		wh, q, err := core.PrepareScaledBenchmark(target, seed)
 		if err != nil {
@@ -685,6 +701,61 @@ func runQAServingPerf(rep *perfReport, seed int64) error {
 	}
 	rep.Resilience = res
 
+	// Observability overhead: the cold workload through the default
+	// observed engine (stage timing live, slow-query log armed with a
+	// threshold no question can reach) versus a Config.NoObserve engine
+	// with the clocks compiled out of the seams. Interleaved arms,
+	// per-arm minimum, same rationale as the resilience comparison. The
+	// alloc figures carry the headline claim: the record path allocates
+	// nothing, so the arms must match exactly.
+	plainEng, err := engine.New(engine.Config{CacheSize: -1, MaxInflight: -1, AskTimeout: -1, NoObserve: true}, p.QA, nil, nil, p.Index)
+	if err != nil {
+		return err
+	}
+	coldEng.SetSlowQueryLog(time.Hour, func(string, ...any) {})
+	observed, err := measure("AskColdObserved", len(coldQuestions), coldWorkload(coldEng))
+	if err != nil {
+		return err
+	}
+	plain, err := measure("AskColdPlain", len(coldQuestions), coldWorkload(plainEng))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		o, err := measure("AskColdObserved", len(coldQuestions), coldWorkload(coldEng))
+		if err != nil {
+			return err
+		}
+		if o.NsPerOp < observed.NsPerOp {
+			observed.NsPerOp = o.NsPerOp
+		}
+		if o.AllocsPerOp < observed.AllocsPerOp {
+			observed.AllocsPerOp = o.AllocsPerOp
+		}
+		pl, err := measure("AskColdPlain", len(coldQuestions), coldWorkload(plainEng))
+		if err != nil {
+			return err
+		}
+		if pl.NsPerOp < plain.NsPerOp {
+			plain.NsPerOp = pl.NsPerOp
+		}
+		if pl.AllocsPerOp < plain.AllocsPerOp {
+			plain.AllocsPerOp = pl.AllocsPerOp
+		}
+	}
+	rep.Measurements = append(rep.Measurements, observed, plain)
+	aco := &askColdObservedPerf{
+		UniqueQuestions: len(coldQuestions),
+		ObservedNsPerOp: observed.NsPerOp,
+		PlainNsPerOp:    plain.NsPerOp,
+		ObservedAllocs:  observed.AllocsPerOp,
+		PlainAllocs:     plain.AllocsPerOp,
+	}
+	if plain.NsPerOp > 0 {
+		aco.OverheadFrac = observed.NsPerOp/plain.NsPerOp - 1
+	}
+	rep.AskColdObs = aco
+
 	if err := runAnalyticPerf(rep, p); err != nil {
 		return err
 	}
@@ -1086,12 +1157,14 @@ func runFootprint1M(rep *perfReport, seed int64) error {
 const checkTolerance = 1.20
 
 // runCheck re-measures the tracked hot paths — ask_cold_path,
-// ir_search_sparse_vs_dense and store_snapshot_restore — and fails when
-// any ns/op or allocs/op figure regresses more than 20% against the
-// committed BENCH_PERF.json. Allocation counts are deterministic, so
-// their budget catches real regressions at any threshold; timing is
-// compared on the same 20% budget and is only meaningful on hardware
-// comparable to what produced the baseline.
+// ask_cold_observed, ir_search_sparse_vs_dense and
+// store_snapshot_restore — and fails when any ns/op or allocs/op figure
+// regresses more than 20% against the committed BENCH_PERF.json.
+// Allocation counts are near-deterministic, so their budget catches
+// real regressions at any threshold; timing is compared on the same 20%
+// budget and is only meaningful on hardware comparable to what produced
+// the baseline. The observability stage additionally enforces a strict
+// same-process A/B budget: observed ≤ plain×1.05 ns/op, +0 allocs/op.
 func runCheck(baselinePath string, seed int64) error {
 	buf, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -1168,6 +1241,77 @@ func runCheck(baselinePath string, seed int64) error {
 	if ac := base.AskCold; ac != nil {
 		compare("ask_cold_path ns/op", ac.NsPerOp, cold.NsPerOp)
 		compare("ask_cold_path allocs/op", float64(ac.AllocsPerOp), float64(cold.AllocsPerOp))
+	}
+
+	// ask_cold_observed: the observability overhead budget, enforced as
+	// a live A/B rather than against the committed baseline alone. The
+	// observed arm reuses coldEng (default stage timing) with the
+	// slow-query log armed at a threshold no question reaches; the plain
+	// arm is built with Config.NoObserve, compiling the clocks out of
+	// the seams. Interleaved, best of three per arm. Because both arms
+	// run in the same process on the same machine the budget can be
+	// strict — observed ns/op within 5% of plain, and exactly zero extra
+	// allocations — where cross-machine baseline comparisons need 20%.
+	fmt.Println("== CHECK: ask_cold_observed ==")
+	plainEng, err := engine.New(engine.Config{CacheSize: -1, MaxInflight: -1, AskTimeout: -1, NoObserve: true}, p.QA, nil, nil, p.Index)
+	if err != nil {
+		return err
+	}
+	coldEng.SetSlowQueryLog(time.Hour, func(string, ...any) {})
+	coldArm := func(eng *engine.Engine) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, r := range eng.AskAll(context.Background(), coldQuestions) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		}
+	}
+	var observed, plain perfMeasurement
+	for i := 0; i < 3; i++ {
+		o, err := measure("AskColdObserved", len(coldQuestions), coldArm(coldEng))
+		if err != nil {
+			return err
+		}
+		if i == 0 || o.NsPerOp < observed.NsPerOp {
+			observed.NsPerOp = o.NsPerOp
+		}
+		if i == 0 || o.AllocsPerOp < observed.AllocsPerOp {
+			observed.AllocsPerOp = o.AllocsPerOp
+		}
+		pl, err := measure("AskColdPlain", len(coldQuestions), coldArm(plainEng))
+		if err != nil {
+			return err
+		}
+		if i == 0 || pl.NsPerOp < plain.NsPerOp {
+			plain.NsPerOp = pl.NsPerOp
+		}
+		if i == 0 || pl.AllocsPerOp < plain.AllocsPerOp {
+			plain.AllocsPerOp = pl.AllocsPerOp
+		}
+	}
+	obsOver := 0.0
+	if plain.NsPerOp > 0 {
+		obsOver = observed.NsPerOp/plain.NsPerOp - 1
+	}
+	fmt.Printf("  observed %.0f ns/op (%d allocs)  plain %.0f ns/op (%d allocs)  overhead %+.1f%%\n",
+		observed.NsPerOp, observed.AllocsPerOp, plain.NsPerOp, plain.AllocsPerOp, obsOver*100)
+	if observed.NsPerOp > plain.NsPerOp*1.05 {
+		failures = append(failures, fmt.Sprintf("ask_cold_observed ns/op: %.0f vs plain %.0f (%+.1f%%, budget +5%%)",
+			observed.NsPerOp, plain.NsPerOp, obsOver*100))
+	}
+	if observed.AllocsPerOp > plain.AllocsPerOp {
+		failures = append(failures, fmt.Sprintf("ask_cold_observed allocs/op: %d vs plain %d (budget +0)",
+			observed.AllocsPerOp, plain.AllocsPerOp))
+	}
+	if aco := base.AskColdObs; aco != nil {
+		compare("ask_cold_observed ns/op", aco.ObservedNsPerOp, observed.NsPerOp)
+		compare("ask_cold_observed allocs/op", float64(aco.ObservedAllocs), float64(observed.AllocsPerOp))
+	} else {
+		fmt.Println("  skip baseline comparison (no ask_cold_observed in baseline)")
 	}
 
 	// ir_search_sparse_vs_dense: the scaling arms, matched by passage
@@ -1266,6 +1410,10 @@ func printPerf(rep *perfReport) {
 	if ac := rep.AskCold; ac != nil {
 		fmt.Printf("Cold path (cache-disabled engine, %d unique questions): %.0f q/s, %d allocs/workload\n",
 			ac.UniqueQuestions, ac.QuestionsPerSec, ac.AllocsPerOp)
+	}
+	if aco := rep.AskColdObs; aco != nil {
+		fmt.Printf("Observability overhead on the cold path: observed %.0f ns/op (%d allocs) vs plain %.0f ns/op (%d allocs), %+.1f%%\n",
+			aco.ObservedNsPerOp, aco.ObservedAllocs, aco.PlainNsPerOp, aco.PlainAllocs, aco.OverheadFrac*100)
 	}
 	if sc := rep.ShardedCold; sc != nil {
 		fmt.Println("== PERF: scatter/gather cold path across shard counts ==")

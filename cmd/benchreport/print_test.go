@@ -1,0 +1,68 @@
+package main
+
+import "testing"
+
+// TestPrintPerfAllSections drives the report printer over a fully
+// populated report so every section's formatting runs. The values are
+// synthetic; the test asserts the printer tolerates a complete v9
+// report without panicking (a malformed verb or a nil-deref on an
+// optional section would fail here instead of at the end of a
+// half-hour benchmark run).
+func TestPrintPerfAllSections(t *testing.T) {
+	rep := &perfReport{
+		Schema: "dwqa-bench/v9",
+		Measurements: []perfMeasurement{
+			{Name: "IRSearchTopK", Rows: 239, Iterations: 100, NsPerOp: 11939, AllocsPerOp: 7, BytesPerOp: 1336},
+			{Name: "AskCold", Rows: 21, Iterations: 500, NsPerOp: 2.1e6, AllocsPerOp: 4776, BytesPerOp: 727858},
+		},
+		OLAP: []perfComparison{
+			{Rows: 1000, Compiled: 1000, Reference: 80000, Speedup: 80, AllocReduction: 0.99},
+		},
+		IRSparse: []irSparseComparison{
+			{Passages: 100001, Queries: 84, Sparse: 280e3, Dense: 3e6, Speedup: 10.6, SparseAllocs: 7, DenseAllocs: 90},
+		},
+		QAServing: &qaServingComparison{
+			WorkloadQuestions: 4000, UniqueQuestions: 40, Workers: 8,
+			Sequential: 1e9, Engine: 1e6, Speedup: 1000, SequentialQPS: 4000, EngineQPS: 4e6,
+		},
+		QAServingMixed: &qaServingComparison{
+			WorkloadQuestions: 4000, UniqueQuestions: 56, Workers: 8,
+			Sequential: 1e9, Engine: 2e6, Speedup: 500, SequentialQPS: 4000, EngineQPS: 2e6,
+		},
+		NL2OLAP: &nl2olapPerf{Questions: 28, NsPerOp: 27000, QuestionsPerSec: 37000, AllocsPerOp: 400},
+		AskCold: &askColdPerf{UniqueQuestions: 21, NsPerOp: 2.1e6, QuestionsPerSec: 9800, AllocsPerOp: 4776},
+		AskColdObs: &askColdObservedPerf{
+			UniqueQuestions: 21, ObservedNsPerOp: 1.84e6, PlainNsPerOp: 1.86e6,
+			ObservedAllocs: 4776, PlainAllocs: 4776, OverheadFrac: -0.009,
+		},
+		ShardedCold: &shardedColdPerf{
+			UniqueQuestions: 21,
+			Arms: []shardedColdArm{
+				{Shards: 1, NsPerOp: 2.2e6, QuestionsPerSec: 9500, MaxShardPassages: 239},
+				{Shards: 2, NsPerOp: 2.2e6, QuestionsPerSec: 9500, MaxShardPassages: 130},
+			},
+			FederationOverheadFrac: 0.02,
+		},
+		Resilience: &servingResiliencePerf{
+			GatedNsPerOp: 2.2e6, UngatedNsPerOp: 2.1e6, OverheadFrac: 0.04,
+			ShedNsPerOp: 255, ShedAllocsPerOp: 1,
+		},
+		Harvest: &harvestComparison{Questions: 40, Sequential: 2e9, Engine: 5e8, Speedup: 4},
+		CacheFeed: &cacheInvalidationPerf{
+			PoolQuestions: 80, SelectiveNsPerOp: 3e7, FullFlushNsPerOp: 6e7,
+			SelectiveHitRate: 0.9, FullFlushHitRate: 0.4, Speedup: 2,
+		},
+		StoreRestore: &storeRestorePerf{
+			Passages: 100000, FactRows: 100000, Members: 500, SnapshotBytes: 2 << 20,
+			Restore: 9e7, Refeed: 3e9, Reindex: 1e9, Speedup: 33, SpeedupMin: 11,
+			WALRecords: 1000, WALReplay: 1e8, WALRecordsPerSec: 10000,
+			PostingsCount: 5_000_000, PostingsBytes: 10 << 20, BytesPerPosting: 2.01,
+		},
+		Footprint1M: &memFootprintPerf{
+			Passages: 1_000_000, PostingsCount: 5_000_000, PostingsBytes: 10 << 20,
+			BytesPerPosting: 2.01, SnapshotBytes: 100 << 20, RestoreNsPerOp: 9e8,
+			RSSBytes: 1 << 30, PeakRSSBytes: 2 << 30,
+		},
+	}
+	printPerf(rep)
+}

@@ -10,7 +10,8 @@
 //	dwqa [-seed N] [-no-ontology] [-no-irfilter] [-table-aware] [-q QUESTION]
 //	dwqa serve [-addr :8080] [-workers 8] [-cache 1024] [-no-feed]
 //	           [-data-dir DIR] [-snapshot-every DUR] [-shards N]
-//	           [-follow] [-poll DUR] [shared flags]
+//	           [-follow] [-poll DUR] [-quiet] [-slow-query DUR]
+//	           [-pprof ADDR] [shared flags]
 //
 // With -data-dir the server is durable: on boot it recovers the
 // warehouse, passage index and ontology from the newest snapshot plus the
@@ -35,13 +36,23 @@
 //	POST /harvest    {"questions": [...]}     Step 5 feed (empty = default workload)
 //	GET  /trace?q=…                           the paper's Table 1 trace
 //	GET  /healthz                             serving statistics
+//	GET  /metrics                             Prometheus text exposition
+//
+// Observability: every request is access-logged (method, path, status,
+// outcome class, latency) unless -quiet; -slow-query DUR logs a
+// per-stage latency breakdown (NLP analyse, IR search, OLAP
+// compile/execute, QA extract, cache lookup, …) for requests over the
+// threshold, sampled to at most one line per second; -pprof ADDR serves
+// net/http/pprof on a separate listener, never the serving address.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -155,6 +166,9 @@ func runServe(args []string) {
 	readTimeout := fs.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
 	writeTimeout := fs.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout")
 	idleTimeout := fs.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout for keep-alive connections")
+	quiet := fs.Bool("quiet", false, "suppress the per-request access log (recovered panics are still logged)")
+	slowQuery := fs.Duration("slow-query", 0, "log a per-stage breakdown for requests slower than this (0 disables; sampled to one line per second)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	_ = fs.Parse(args)
 
 	cfg := sf.config()
@@ -172,6 +186,9 @@ func runServe(args []string) {
 		readTimeout:       *readTimeout,
 		writeTimeout:      *writeTimeout,
 		idleTimeout:       *idleTimeout,
+		quiet:             *quiet,
+		slowQuery:         *slowQuery,
+		pprofAddr:         *pprofAddr,
 	}
 	// A cluster directory already knows its shard count — detect it so
 	// reopening or following never requires restating -shards, and an
@@ -386,6 +403,9 @@ type serveOptions struct {
 	readTimeout       time.Duration
 	writeTimeout      time.Duration
 	idleTimeout       time.Duration
+	quiet             bool          // -quiet: no per-request access log
+	slowQuery         time.Duration // -slow-query: per-stage breakdown threshold
+	pprofAddr         string        // -pprof: net/http/pprof listener ("" = off)
 }
 
 // serve listens until SIGINT/SIGTERM, drains in-flight requests, then
@@ -394,13 +414,32 @@ type serveOptions struct {
 // stalled client holds a connection (and its kernel buffers) forever;
 // the engine's own deadlines only start once a request is fully read.
 func (o serveOptions) serve(eng *dwqa.Engine, shutdown func()) {
+	if o.slowQuery > 0 {
+		eng.SetSlowQueryLog(o.slowQuery, log.Printf)
+	}
 	srv := &http.Server{
 		Addr:              o.addr,
-		Handler:           dwqa.NewServer(eng),
+		Handler:           dwqa.NewServerWith(eng, dwqa.ServerOptions{Quiet: o.quiet}),
 		ReadHeaderTimeout: o.readHeaderTimeout,
 		ReadTimeout:       o.readTimeout,
 		WriteTimeout:      o.writeTimeout,
 		IdleTimeout:       o.idleTimeout,
+	}
+	if o.pprofAddr != "" {
+		// The profiler gets its own mux and listener so profiling is
+		// never exposed on the serving address.
+		go func() {
+			pprofMux := http.NewServeMux()
+			pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+			pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			fmt.Printf("dwqa serve: pprof on %s\n", o.pprofAddr)
+			if err := http.ListenAndServe(o.pprofAddr, pprofMux); err != nil {
+				fmt.Fprintln(os.Stderr, "dwqa serve: pprof:", err)
+			}
+		}()
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

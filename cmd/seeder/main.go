@@ -21,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -75,4 +76,8 @@ func main() {
 	fmt.Printf("seeder: %s; %d pages ingested (%d docs, %d rows, %d deduped); index %d docs / %d passages; wal seq %d; %v\n",
 		resumed, sum.PagesSeen, sum.DocsAdded, sum.Loaded, sum.Skipped,
 		sum.Documents, sum.Passages, sum.WALSeq, sum.Elapsed.Round(1e6))
+	// Machine-readable trailer for scripts driving ingestion runs.
+	if buf, err := json.Marshal(sum); err == nil {
+		fmt.Printf("seeder-summary %s\n", buf)
+	}
 }

@@ -190,6 +190,15 @@ func AnalyzeSalesWeather(p *Pipeline) (*BIReport, error) {
 }
 
 // NewServer returns the HTTP JSON API (POST /ask, /ask/batch, /harvest;
-// GET /trace, /healthz) over a pipeline's serving engine — what `dwqa
-// serve` listens with.
+// GET /trace, /healthz, /metrics) over a pipeline's serving engine —
+// what `dwqa serve` listens with. NewServer serves quietly;
+// NewServerWith takes logging options (access log, custom Logf).
 func NewServer(e *Engine) http.Handler { return engine.NewServer(e) }
+
+// ServerOptions configures the HTTP façade's access logging.
+type ServerOptions = engine.ServerOptions
+
+// NewServerWith is NewServer with explicit logging options.
+func NewServerWith(e *Engine, opts ServerOptions) http.Handler {
+	return engine.NewServerWith(e, opts)
+}

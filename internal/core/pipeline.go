@@ -15,6 +15,7 @@ import (
 	"dwqa/internal/mdm"
 	"dwqa/internal/merge"
 	"dwqa/internal/nl2olap"
+	"dwqa/internal/obs"
 	"dwqa/internal/ontology"
 	"dwqa/internal/qa"
 	"dwqa/internal/store"
@@ -425,9 +426,16 @@ func (p *Pipeline) Engine() (*engine.Engine, error) {
 	}
 	eng.SetTranslator(trans)
 	// Durable pipelines wire the engine into the store so SnapshotTo and
-	// background snapshots work, and /healthz reports recovery stats.
+	// background snapshots work, and /healthz reports recovery stats. The
+	// store reports its WAL append/fsync latency into the engine's
+	// registry (nil histograms under NoObserve — the store then skips its
+	// clock readings).
 	if p.st != nil {
 		eng.SetDurability(p, p.st, p.recovery)
+		p.st.SetMetrics(store.Metrics{
+			Append: eng.StageHistogram(obs.StageWALAppend),
+			Fsync:  eng.WALFsyncHistogram(),
+		})
 	}
 	p.eng = eng
 	return eng, nil

@@ -14,6 +14,7 @@ import (
 	"dwqa/internal/ir"
 	"dwqa/internal/mdm"
 	"dwqa/internal/merge"
+	"dwqa/internal/obs"
 	"dwqa/internal/ontology"
 	"dwqa/internal/qa"
 	"dwqa/internal/shard"
@@ -246,6 +247,9 @@ func (sp *ShardedPipeline) Engine() (*engine.Engine, error) {
 	if sp.follower != nil {
 		eng.SetReadOnlyReplica()
 	}
+	// Per-shard fan-out latency lands in the engine's stage histograms
+	// (nil under NoObserve — the cluster then never reads the clock).
+	sp.Cluster.SetFanoutHistogram(eng.StageHistogram(obs.StageShardFanout))
 	eng.SetDefaultHarvest(sp.WeatherQuestions())
 	trans, err := NewScenarioTranslator(sp.Cluster, sp.qaOntology())
 	if err != nil {
@@ -255,6 +259,15 @@ func (sp *ShardedPipeline) Engine() (*engine.Engine, error) {
 	if sp.durable != nil {
 		eng.SetSnapshotter(sp.durable, sp.recovery)
 		d := sp.durable
+		// Every shard's store reports WAL latency into the same engine
+		// registry; the histograms aggregate across shards.
+		met := store.Metrics{
+			Append: eng.StageHistogram(obs.StageWALAppend),
+			Fsync:  eng.WALFsyncHistogram(),
+		}
+		for _, st := range d.Stores() {
+			st.SetMetrics(met)
+		}
 		eng.SetShardStats(func() []engine.ShardStat {
 			seqs := d.ShardSeqs()
 			out := make([]engine.ShardStat, len(seqs))

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"dwqa/internal/nl2olap"
+	"dwqa/internal/obs"
 	"dwqa/internal/qa"
 )
 
@@ -51,9 +52,12 @@ type answerCache struct {
 	// pre-feed warehouse can never be re-inserted after the feed.
 	epoch uint64
 
-	hits    uint64
-	misses  uint64
-	evicted uint64 // entries removed by selective invalidation
+	// Traffic counters. The engine replaces these with its metrics
+	// registry's cells (New), so Stats and /metrics read the same
+	// numbers; a standalone cache gets private zero-value counters.
+	hits    *obs.Counter
+	misses  *obs.Counter
+	evicted *obs.Counter // entries removed by selective invalidation
 }
 
 type cacheEntry struct {
@@ -66,10 +70,13 @@ type cacheEntry struct {
 // of zero or less disables caching (every get misses, puts are dropped).
 func newAnswerCache(capacity int) *answerCache {
 	return &answerCache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[string]*list.Element),
-		byTag: make(map[string]map[*list.Element]struct{}),
+		cap:     capacity,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element),
+		byTag:   make(map[string]map[*list.Element]struct{}),
+		hits:    &obs.Counter{},
+		misses:  &obs.Counter{},
+		evicted: &obs.Counter{},
 	}
 }
 
@@ -88,10 +95,10 @@ func (c *answerCache) get(key string) (cachedAnswer, bool, uint64) {
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		c.misses++
+		c.misses.Inc()
 		return cachedAnswer{}, false, c.epoch
 	}
-	c.hits++
+	c.hits.Inc()
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).res, true, c.epoch
 }
@@ -153,7 +160,7 @@ func (c *answerCache) invalidate(tags []string) {
 	for _, el := range doomed {
 		c.removeLocked(el)
 	}
-	c.evicted += uint64(len(doomed))
+	c.evicted.Add(uint64(len(doomed)))
 }
 
 // flush empties the cache and starts a new epoch (hit/miss counters
@@ -205,7 +212,5 @@ func (c *answerCache) len() int {
 }
 
 func (c *answerCache) counters() (hits, misses, evicted uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, c.evicted
+	return c.hits.Value(), c.misses.Value(), c.evicted.Value()
 }

@@ -121,9 +121,10 @@ func TestCacheFlushRaceNeverServesStaleAnswer(t *testing.T) {
 		workers:    4,
 		gate:       newGate(-1, 0),
 		askTimeout: -1,
+		met:        newEngineMetrics(false),
 	}
-	e.answerFn = func(string) (*qa.Result, error) {
-		return &qa.Result{Candidates: []qa.Answer{{Score: float64(state.Load())}}}, nil
+	e.answerFn = func(string) (*qa.Result, qa.Timings, error) {
+		return &qa.Result{Candidates: []qa.Answer{{Score: float64(state.Load())}}}, qa.Timings{}, nil
 	}
 
 	// lastFlushed is the newest state any completed flush covered:

@@ -40,6 +40,7 @@ import (
 
 	"dwqa/internal/etl"
 	"dwqa/internal/nl2olap"
+	"dwqa/internal/obs"
 	"dwqa/internal/qa"
 	"dwqa/internal/store"
 )
@@ -88,6 +89,12 @@ type Config struct {
 	// an opt-back knob and as the oracle/baseline the equivalence tests
 	// and benchmarks compare selective invalidation against.
 	FullFlushOnFeed bool
+	// NoObserve disables per-request stage timing: no span is stamped
+	// and no clock is read on the ask/harvest paths. Counters and
+	// gauges stay live (Stats and /metrics keep reporting totals); the
+	// per-stage latency histograms simply receive no observations. This
+	// is the baseline arm of the observability overhead benchmark.
+	NoObserve bool
 }
 
 // ErrPanic reports that a question's processing panicked. The panic was
@@ -116,14 +123,19 @@ type Engine struct {
 	harvestTimeout  time.Duration
 	degraded        atomic.Pointer[degradedState]
 	readOnlyReplica atomic.Bool
-	timeoutTotal    atomic.Uint64
-	panicTotal      atomic.Uint64
+
+	// met owns the metrics registry, the stage tracer and the serving
+	// counters (metrics.go). Every counter the Stats payload reports
+	// lives there, so /healthz and /metrics read one source.
+	met *engineMetrics
 
 	// answerFn/harvestFn are the per-question work functions; they default
-	// to the wrapped qa.Systems and exist as seams so tests can inject
-	// panicking or stateful implementations (export_test.go).
-	answerFn  func(question string) (*qa.Result, error)
-	harvestFn func(question string) ([]qa.Answer, *qa.Result, error)
+	// to the wrapped qa.Systems' entry points (timed when stage timing is
+	// on — the Timings return is by value, so the hot path allocates
+	// nothing for it) and exist as seams so tests can inject panicking or
+	// stateful implementations (export_test.go).
+	answerFn  func(question string) (*qa.Result, qa.Timings, error)
+	harvestFn func(question string) ([]qa.Answer, *qa.Result, qa.Timings, error)
 
 	// generation counts warehouse feeds; it bumps every time HarvestAll
 	// commits, so clients can detect that answers may reflect a fresher
@@ -171,13 +183,16 @@ type ShardStat struct {
 }
 
 // SetShardStats installs the per-shard replication reporter surfaced
-// through Stats and /healthz. fn is called on every Stats snapshot.
+// through Stats and /healthz, and registers one replica seq/lag gauge
+// pair per shard on the metrics registry (the gauges read the reporter
+// at scrape time, so a later reconfigure is picked up live).
 func (e *Engine) SetShardStats(fn func() []ShardStat) {
 	if fn == nil {
 		e.shardStats.Store(nil)
 		return
 	}
 	e.shardStats.Store(&fn)
+	e.registerShardGauges(len(fn()))
 }
 
 // CorpusStats reports the size of the served corpus for the /healthz
@@ -215,20 +230,45 @@ func New(cfg Config, ask, harvester *qa.System, loader *etl.Loader, index Corpus
 	if harvestTimeout == 0 {
 		harvestTimeout = DefaultHarvestTimeout
 	}
-	return &Engine{
+	met := newEngineMetrics(cfg.NoObserve)
+	// The cache and gate count on the registry's counters directly, so
+	// Stats and /metrics read the same cells.
+	cache := newAnswerCache(cacheSize)
+	cache.hits, cache.misses, cache.evicted = met.cacheHits, met.cacheMisses, met.cacheEvicted
+	g := newGate(cfg.MaxInflight, cfg.MaxQueue)
+	g.shed = met.shedTotal
+	if met.timing {
+		g.queueWait = met.queueWait
+	}
+	e := &Engine{
 		ask:            ask,
 		harvester:      harvester,
 		loader:         loader,
 		index:          index,
-		cache:          newAnswerCache(cacheSize),
+		cache:          cache,
 		workers:        workers,
 		fullFlush:      cfg.FullFlushOnFeed,
-		gate:           newGate(cfg.MaxInflight, cfg.MaxQueue),
+		gate:           g,
 		askTimeout:     askTimeout,
 		harvestTimeout: harvestTimeout,
-		answerFn:       ask.Answer,
-		harvestFn:      harvester.Harvest,
-	}, nil
+		met:            met,
+	}
+	if met.timing {
+		e.answerFn = ask.AnswerTimed
+		e.harvestFn = harvester.HarvestTimed
+	} else {
+		// NoObserve: the untimed entry points take no clock readings.
+		e.answerFn = func(q string) (*qa.Result, qa.Timings, error) {
+			r, err := ask.Answer(q)
+			return r, qa.Timings{}, err
+		}
+		e.harvestFn = func(q string) ([]qa.Answer, *qa.Result, qa.Timings, error) {
+			a, r, err := harvester.Harvest(q)
+			return a, r, qa.Timings{}, err
+		}
+	}
+	met.registerEngineFuncs(e)
+	return e, nil
 }
 
 // withDeadline applies the engine's default deadline d when ctx carries
@@ -336,7 +376,7 @@ func (e *Engine) AskAll(ctx context.Context, questions []string) []AskResult {
 	defer cancel()
 	if err := e.gate.acquire(ctx); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			e.timeoutTotal.Add(1)
+			e.met.timeoutTotal.Inc()
 		}
 		for i := range out {
 			out[i].Err = err
@@ -366,27 +406,39 @@ func (e *Engine) AskAll(ctx context.Context, questions []string) []AskResult {
 
 	e.forEach(len(tasks), func(ti int) {
 		t := &tasks[ti]
+		// Span and outcome for the stage tracer: the deferred finish
+		// below runs after the panic net, so every exit path — cached,
+		// computed, errored, panicked — lands in the histograms with its
+		// outcome, and a slow task logs its breakdown when armed.
+		var sp obs.Span
+		taskStart := e.met.now()
+		outcome := "ok"
 		// Panic isolation: a module blowing up on one question fails that
 		// question's slots, not the process and not the batch.
 		defer func() {
 			if r := recover(); r != nil {
-				e.panicTotal.Add(1)
+				e.met.panicTotal.Inc()
+				outcome = "panic"
 				err := fmt.Errorf("%w answering %q: panic: %v", ErrPanic, t.text, r)
 				for _, i := range t.indices {
 					out[i] = AskResult{Question: out[i].Question, Err: err}
 				}
 			}
+			e.met.finish(&sp, taskStart, t.text, outcome)
 		}()
 		// Deadline check per task: answer modules are CPU-bound and not
 		// individually cancellable, so expiry is observed between
 		// questions — in-flight answers finish, queued ones are marked.
 		if err := ctx.Err(); err != nil {
+			outcome = "timeout"
 			for _, i := range t.indices {
 				out[i].Err = err
 			}
 			return
 		}
+		lookupStart := e.met.now()
 		cached, ok, epoch := e.cache.get(t.key)
+		e.met.stamp(&sp, obs.StageCacheLookup, lookupStart)
 		if ok {
 			for _, i := range t.indices {
 				out[i].Result = cached.qa
@@ -400,7 +452,16 @@ func (e *Engine) AskAll(ctx context.Context, questions []string) []AskResult {
 		// analytic question the metadata cannot ground is an error —
 		// never a silently wrong factoid answer.
 		if trans := e.trans.Load(); trans != nil {
-			ans, err := trans.Answer(t.text)
+			var ans *nl2olap.Answer
+			var err error
+			if e.met.timing {
+				var otm nl2olap.Timings
+				ans, otm, err = trans.AnswerTimed(t.text)
+				sp.Observe(obs.StageOLAPCompile, otm.Compile)
+				sp.Observe(obs.StageOLAPExecute, otm.Execute)
+			} else {
+				ans, err = trans.Answer(t.text)
+			}
 			switch {
 			case err == nil:
 				// Tagged with the warehouse members/facts the plan reads,
@@ -412,19 +473,27 @@ func (e *Engine) AskAll(ctx context.Context, questions []string) []AskResult {
 				}
 				return
 			case !errors.Is(err, nl2olap.ErrFactoid):
+				outcome = "error"
 				for _, i := range t.indices {
 					out[i].Err = err
 				}
 				return
 			}
 		}
-		res, err := e.answerFn(t.text)
+		res, qtm, err := e.answerFn(t.text)
+		if e.met.timing {
+			sp.Observe(obs.StageNLPAnalyse, qtm.Analyse)
+			sp.Observe(obs.StageIRSearch, qtm.Search)
+			sp.Observe(obs.StageQAExtract, qtm.Extract)
+		}
 		if err == nil {
 			// epoch-checked: a feed committed mid-computation drops the
 			// insert instead of resurrecting a pre-feed answer. Factoid
 			// answers carry no tags — they read the IR index, which feeds
 			// never mutate — so they survive selective invalidation.
 			e.cache.put(t.key, cachedAnswer{qa: res}, epoch, nil)
+		} else {
+			outcome = "error"
 		}
 		for n, i := range t.indices {
 			out[i].Result = res
@@ -434,7 +503,7 @@ func (e *Engine) AskAll(ctx context.Context, questions []string) []AskResult {
 		}
 	})
 	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-		e.timeoutTotal.Add(1)
+		e.met.timeoutTotal.Inc()
 	}
 	return out
 }
@@ -519,7 +588,7 @@ func (e *Engine) HarvestAll(ctx context.Context, questions []string) ([]HarvestR
 	defer cancel()
 	if err := e.gate.acquire(ctx); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			e.timeoutTotal.Add(1)
+			e.met.timeoutTotal.Inc()
 		}
 		return nil, nil, err
 	}
@@ -531,26 +600,40 @@ func (e *Engine) HarvestAll(ctx context.Context, questions []string) ([]HarvestR
 	items := make([]HarvestResult, len(questions))
 	e.forEach(len(questions), func(i int) {
 		items[i].Question = questions[i]
+		var sp obs.Span
+		taskStart := e.met.now()
+		outcome := "ok"
 		defer func() {
 			if r := recover(); r != nil {
-				e.panicTotal.Add(1)
+				e.met.panicTotal.Inc()
+				outcome = "panic"
 				items[i].Answers = nil
 				items[i].Err = fmt.Errorf("%w harvesting %q: panic: %v", ErrPanic, questions[i], r)
 			}
+			e.met.finish(&sp, taskStart, questions[i], outcome)
 		}()
 		if err := ctx.Err(); err != nil {
+			outcome = "timeout"
 			items[i].Err = err
 			return
 		}
-		answers, _, err := e.harvestFn(questions[i])
+		answers, _, qtm, err := e.harvestFn(questions[i])
+		if e.met.timing {
+			sp.Observe(obs.StageNLPAnalyse, qtm.Analyse)
+			sp.Observe(obs.StageIRSearch, qtm.Search)
+			sp.Observe(obs.StageQAExtract, qtm.Extract)
+		}
 		items[i].Answers = answers
 		items[i].Err = err
+		if err != nil {
+			outcome = "error"
+		}
 	})
 	if err := ctx.Err(); err != nil {
 		// Out of time: report what was extracted but commit nothing — a
 		// client that saw a 504 must be able to retry without wondering
 		// whether half its batch already landed.
-		e.timeoutTotal.Add(1)
+		e.met.timeoutTotal.Inc()
 		return items, nil, err
 	}
 
@@ -662,8 +745,8 @@ func (e *Engine) Stats() Stats {
 		State:        "ready",
 		Inflight:     e.gate.Inflight(),
 		ShedTotal:    e.gate.Shed(),
-		TimeoutTotal: e.timeoutTotal.Load(),
-		PanicTotal:   e.panicTotal.Load(),
+		TimeoutTotal: e.met.timeoutTotal.Value(),
+		PanicTotal:   e.met.panicTotal.Value(),
 	}
 	if degraded, reason := e.Degraded(); degraded {
 		st.State = "degraded"

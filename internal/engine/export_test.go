@@ -13,12 +13,18 @@ import (
 
 // SetAnswerFnForTest replaces the per-question factoid answer function.
 func (e *Engine) SetAnswerFnForTest(fn func(string) (*qa.Result, error)) {
-	e.answerFn = fn
+	e.answerFn = func(q string) (*qa.Result, qa.Timings, error) {
+		r, err := fn(q)
+		return r, qa.Timings{}, err
+	}
 }
 
 // SetHarvestFnForTest replaces the per-question harvest function.
 func (e *Engine) SetHarvestFnForTest(fn func(string) ([]qa.Answer, *qa.Result, error)) {
-	e.harvestFn = fn
+	e.harvestFn = func(q string) ([]qa.Answer, *qa.Result, qa.Timings, error) {
+		a, r, err := fn(q)
+		return a, r, qa.Timings{}, err
+	}
 }
 
 // EnterDegradedForTest latches degraded read-only mode directly.

@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"sync/atomic"
+	"time"
+
+	"dwqa/internal/obs"
 )
 
 // Admission control for the serving layer (DESIGN.md §8): a bounded
@@ -41,14 +44,20 @@ type gate struct {
 
 	queued   atomic.Int64
 	inflight atomic.Int64
-	shed     atomic.Uint64
+	// shed counts rejected requests. The engine replaces it with its
+	// metrics registry's cell (New); a standalone gate gets a private
+	// zero-value counter. queueWait, when set, observes how long
+	// saturated requests waited for a slot — only the slow (queued)
+	// path reads the clock, the uncontended fast path never does.
+	shed      *obs.Counter
+	queueWait *obs.Histogram
 }
 
 // newGate builds a gate admitting maxInflight concurrent requests with a
 // wait queue of maxQueue. maxInflight < 0 disables admission control;
 // maxQueue < 0 means no queue (immediate shed once saturated).
 func newGate(maxInflight, maxQueue int) *gate {
-	g := &gate{}
+	g := &gate{shed: &obs.Counter{}}
 	if maxInflight < 0 {
 		return g
 	}
@@ -86,12 +95,19 @@ func (g *gate) acquire(ctx context.Context) error {
 	// overshoot under a stampede sheds slightly late, never admits extra.
 	if g.queued.Add(1) > g.maxQueue {
 		g.queued.Add(-1)
-		g.shed.Add(1)
+		g.shed.Inc()
 		return ErrShed
 	}
 	defer g.queued.Add(-1)
+	var waitStart time.Time
+	if g.queueWait != nil {
+		waitStart = time.Now()
+	}
 	select {
 	case g.slots <- struct{}{}:
+		if g.queueWait != nil {
+			g.queueWait.Observe(time.Since(waitStart))
+		}
 		g.inflight.Add(1)
 		return nil
 	case <-ctx.Done():
@@ -118,4 +134,4 @@ func (g *gate) Queued() int64 { return g.queued.Load() }
 func (g *gate) Capacity() int { return cap(g.slots) }
 
 // Shed returns how many requests have been rejected with ErrShed.
-func (g *gate) Shed() uint64 { return g.shed.Load() }
+func (g *gate) Shed() uint64 { return g.shed.Value() }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"dwqa/internal/obs"
 	"dwqa/internal/store"
 )
 
@@ -141,6 +142,7 @@ func (e *Engine) SnapshotTo() (store.SnapshotInfo, error) {
 	}
 	var info store.SnapshotInfo
 	var err error
+	publishStart := e.met.now()
 	backoff := snapshotBackoff
 	for attempt := 1; ; attempt++ {
 		info, err = publish()
@@ -155,6 +157,13 @@ func (e *Engine) SnapshotTo() (store.SnapshotInfo, error) {
 		time.Sleep(time.Duration(rand.Int63n(int64(backoff)) + 1))
 		backoff *= 2
 	}
+	// The publish duration (retries and their backoff included — that is
+	// what the operator waits for) and the snapshot size land in the
+	// registry alongside the request stages.
+	if e.met.timing {
+		e.met.tracer.StageHistogram(obs.StageSnapshotPublish).Observe(time.Since(publishStart))
+	}
+	e.met.snapshotBytes.Set(info.Bytes)
 	e.lastSnapshot.Store(time.Now().UnixNano())
 	return info, nil
 }

@@ -6,8 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"dwqa/internal/etl"
 	"dwqa/internal/nl2olap"
@@ -40,6 +43,8 @@ const (
 //	                                              or list = default workload)
 //	GET  /trace?q=…                             → the paper's Table 1 trace
 //	GET  /healthz                               → serving statistics
+//	GET  /metrics                               → Prometheus text exposition
+//	                                              of the engine's registry
 //
 // QA-level failures (a question no pattern matches) are reported per item
 // in the JSON payload; transport and resilience failures use status
@@ -56,7 +61,24 @@ const (
 //
 // Every handler runs under the request's context, so client disconnects
 // and server-side deadlines propagate into the engine.
+//
+// NewServer serves quietly (no access log); NewServerWith takes options.
 func NewServer(e *Engine) http.Handler {
+	return NewServerWith(e, ServerOptions{Quiet: true})
+}
+
+// ServerOptions configures the HTTP façade's logging.
+type ServerOptions struct {
+	// Logf receives the access-log and recovered-panic lines; nil
+	// selects log.Printf.
+	Logf func(format string, args ...any)
+	// Quiet suppresses the per-request access log. Recovered panics are
+	// logged regardless — a panic must never be silent.
+	Quiet bool
+}
+
+// NewServerWith is NewServer with explicit logging options.
+func NewServerWith(e *Engine, opts ServerOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ask", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -185,24 +207,93 @@ func NewServer(e *Engine) http.Handler {
 			Stats
 		}{Status: status, Stats: st})
 	})
-	return recoverMiddleware(e, mux)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = e.Metrics().WriteTo(w)
+	})
+	return requestMiddleware(e, opts, mux)
 }
 
-// recoverMiddleware is the request-boundary panic net: anything that
-// escapes the engine's own worker-level recovery (handler bugs, encoding
-// panics) fails this one request with a 500 instead of killing the
-// process. The response may be partially written by then; WriteHeader on
-// a written response is a no-op and the client sees a truncated body —
-// still strictly better than losing every other in-flight request.
-func recoverMiddleware(e *Engine, next http.Handler) http.Handler {
+// requestID numbers every request the process serves, across all
+// servers, so a panic line and its access line correlate.
+var requestID atomic.Uint64
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// outcomeClass folds a response status into the outcome vocabulary the
+// access log and the slow-query log share: what happened to the
+// request, as the resilience layer saw it.
+func outcomeClass(status int) string {
+	switch {
+	case status < 300:
+		return "ok"
+	case status == http.StatusTooManyRequests:
+		return "shed"
+	case status == http.StatusGatewayTimeout:
+		return "timeout"
+	case status == http.StatusServiceUnavailable:
+		return "degraded"
+	case status == http.StatusForbidden:
+		return "readonly"
+	case status >= 400 && status < 500:
+		return "client_error"
+	default:
+		return "error"
+	}
+}
+
+// requestMiddleware is the request boundary: it stamps a request id,
+// recovers panics that escape the engine's own worker-level nets
+// (handler bugs, encoding panics) into a logged 500 for this one
+// request instead of a dead process, and — unless Quiet — emits one
+// structured access line per request. The panic response may land on a
+// partially-written body; WriteHeader on a written response is a no-op
+// and the client sees a truncated body — still strictly better than
+// losing every other in-flight request.
+func requestMiddleware(e *Engine, opts ServerOptions, next http.Handler) http.Handler {
+	logf := opts.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := requestID.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
 		defer func() {
 			if rec := recover(); rec != nil {
-				e.panicTotal.Add(1)
-				httpError(e, w, http.StatusInternalServerError, fmt.Sprintf("internal error: panic: %v", rec))
+				e.met.panicTotal.Inc()
+				logf("req=%d panic recovered serving %s %s: %v", id, r.Method, r.URL.Path, rec)
+				httpError(e, sw, http.StatusInternalServerError, fmt.Sprintf("internal error: panic: %v", rec))
+			}
+			if !opts.Quiet {
+				status := sw.status
+				if status == 0 {
+					status = http.StatusOK
+				}
+				logf("req=%d %s %s status=%d outcome=%s dur=%s",
+					id, r.Method, r.URL.Path, status, outcomeClass(status),
+					time.Since(start).Round(time.Microsecond))
 			}
 		}()
-		next.ServeHTTP(w, r)
+		next.ServeHTTP(sw, r)
 	})
 }
 

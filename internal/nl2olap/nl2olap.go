@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"dwqa/internal/dw"
 	"dwqa/internal/etl"
@@ -351,18 +352,52 @@ func (t *Translator) Translate(question string) (*Translation, error) {
 	return tr, nil
 }
 
+// Timings reports the wall-clock time one analytic question spent
+// compiling (Translate) and executing against the warehouse, returned
+// by value from AnswerTimed (no allocation on the serving hot path).
+// Compile is stamped even when Translate fails — classifying a factoid
+// question (ErrFactoid) is real work on the serving path.
+type Timings struct {
+	Compile time.Duration
+	Execute time.Duration
+}
+
 // Answer translates and executes in one step — the serving engine's
-// analytic path.
+// analytic path. It takes no clock readings.
 func (t *Translator) Answer(question string) (*Answer, error) {
+	a, _, err := t.answerTimed(question, false)
+	return a, err
+}
+
+// AnswerTimed is Answer with compile/execute timing returned by value.
+func (t *Translator) AnswerTimed(question string) (*Answer, Timings, error) {
+	return t.answerTimed(question, true)
+}
+
+func (t *Translator) answerTimed(question string, timed bool) (*Answer, Timings, error) {
+	var tm Timings
+	var at time.Time
+	if timed {
+		at = time.Now()
+	}
 	tr, err := t.Translate(question)
+	if timed {
+		tm.Compile = time.Since(at)
+	}
 	if err != nil {
-		return nil, err
+		return nil, tm, err
+	}
+	if timed {
+		at = time.Now()
 	}
 	res, err := t.wh.Execute(tr.Query)
-	if err != nil {
-		return nil, fmt.Errorf("nl2olap: executing plan: %w", err)
+	if timed {
+		tm.Execute = time.Since(at)
 	}
-	return &Answer{Translation: *tr, Result: res}, nil
+	if err != nil {
+		return nil, tm, fmt.Errorf("nl2olap: executing plan: %w", err)
+	}
+	return &Answer{Translation: *tr, Result: res}, tm, nil
 }
 
 // note appends one grounding-trail line.

@@ -1,0 +1,33 @@
+package obs
+
+import "testing"
+
+func TestGaugeAddAndValue(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("dwqa_test_gauge", "A test gauge.")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("Value() = %d, want 7", got)
+	}
+}
+
+func TestStageStringOutOfRange(t *testing.T) {
+	for s := Stage(0); s < NumStages; s++ {
+		if s.String() == "" {
+			t.Fatalf("stage %d has no name", s)
+		}
+	}
+	if got := Stage(250).String(); got != "stage(250)" {
+		t.Fatalf("out-of-range String() = %q", got)
+	}
+}
+
+func TestProcessRSS(t *testing.T) {
+	// On Linux both must be readable and peak >= current; elsewhere both
+	// return 0 ("unknown") and the invariant holds trivially.
+	rss, peak := ProcessRSS(), ProcessPeakRSS()
+	if rss > 0 && peak < rss {
+		t.Fatalf("peak RSS %d < current RSS %d", peak, rss)
+	}
+}

@@ -1,0 +1,425 @@
+// Package obs is the observability layer of the serving stack: a
+// dependency-free metrics registry (atomic counters, gauges and
+// fixed-bucket latency histograms, all lock-free and allocation-free on
+// the record path) plus the per-request stage tracing the engine stamps
+// on every question (trace.go) and the process-level heap/RSS gauges the
+// seeder and /metrics read (proc.go).
+//
+// Design rules, in order of priority:
+//
+//  1. The record path (Counter.Inc, Gauge.Set, Histogram.Observe) costs
+//     one or two atomic operations and never allocates — it sits inside
+//     the ask hot path PR 9 made zero-alloc, and the bench regression
+//     gate holds it to a +0 allocs/op budget.
+//  2. Exposition is Prometheus text format 0.0.4 (WriteTo), rendered
+//     from per-metric line prefixes built once at registration, so a
+//     scrape never formats a label.
+//  3. Registration is idempotent: asking for an existing (name, labels)
+//     pair returns the existing metric, so wiring code may re-run.
+//
+// Naming follows the Prometheus conventions: a `dwqa_` prefix, counters
+// end in `_total`, durations are `_seconds` histograms, sizes are
+// `_bytes` gauges. DESIGN.md §12 holds the full catalogue.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric dimension, rendered once at registration.
+type Label struct{ Key, Value string }
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable integer value (sizes, sequence numbers, 0/1
+// states).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// FuncGauge is a gauge whose value is computed at read time (scrape or
+// Value call) — used for values owned elsewhere, like WAL sequences or
+// replica lag. The callback must not call back into the registry.
+type FuncGauge struct {
+	mu sync.Mutex
+	fn func() float64
+}
+
+// Value evaluates the callback.
+func (f *FuncGauge) Value() float64 {
+	f.mu.Lock()
+	fn := f.fn
+	f.mu.Unlock()
+	if fn == nil {
+		return 0
+	}
+	return fn()
+}
+
+func (f *FuncGauge) set(fn func() float64) {
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// DefBuckets is the default latency histogram layout: exponential from
+// 100µs to 10s, matched to the serving deadlines (DefaultAskTimeout sits
+// mid-range, so timeout-adjacent tail latency lands in populated
+// buckets, not a catch-all +Inf).
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// IOBuckets is the disk-latency layout: exponential from 10µs (a
+// buffered write) to 1s (a stalled fsync).
+var IOBuckets = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observe is lock-free:
+// one atomic add into the owning bucket, one into the count, one into
+// the nanosecond sum. Bucket bounds are upper-inclusive in seconds, per
+// the Prometheus `le` convention; a final implicit +Inf bucket catches
+// the rest.
+type Histogram struct {
+	boundsNanos []int64 // upper bounds in nanoseconds, ascending
+	buckets     []atomic.Uint64
+	count       atomic.Uint64
+	sumNanos    atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{
+		boundsNanos: make([]int64, len(bounds)),
+		buckets:     make([]atomic.Uint64, len(bounds)+1),
+	}
+	for i, b := range bounds {
+		h.boundsNanos[i] = int64(b * 1e9)
+	}
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	n := int64(d)
+	if n < 0 {
+		n = 0
+	}
+	i := 0
+	for i < len(h.boundsNanos) && n > h.boundsNanos[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(n)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNanos.Load()) }
+
+// BucketCounts returns a snapshot of the per-bucket counts (the last
+// entry is the +Inf bucket). Test and invariant-check helper.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindCounterFunc
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) typeName() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// metric is one registered (name, labels) series with its prerendered
+// exposition line prefixes.
+type metric struct {
+	name string
+	help string
+	kind metricKind
+	seq  int // registration order within the family
+
+	line string // "name{labels} " — simple value line prefix
+
+	c  *Counter
+	g  *Gauge
+	fg *FuncGauge
+	h  *Histogram
+
+	// Histogram line prefixes: one per bucket (ascending, +Inf last),
+	// plus the _sum and _count lines.
+	bucketLines []string
+	sumLine     string
+	countLine   string
+}
+
+// Registry holds the registered metrics and renders the exposition.
+// Registration takes a mutex; the returned metric handles are lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric // keyed on name + rendered labels
+	names   map[string]string  // family name → help of first registration
+	order   []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		metrics: make(map[string]*metric),
+		names:   make(map[string]string),
+	}
+}
+
+// Counter registers (or returns the existing) counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.register(name, help, kindCounter, labels, nil)
+	return m.c
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.register(name, help, kindGauge, labels, nil)
+	return m.g
+}
+
+// GaugeFunc registers a gauge whose value is fn() at scrape time.
+// Re-registering the same series replaces the callback (wiring code may
+// install a fresher closure, e.g. after a replica reconfigures).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) *FuncGauge {
+	m := r.register(name, help, kindGaugeFunc, labels, nil)
+	m.fg.set(fn)
+	return m.fg
+}
+
+// CounterFunc registers a counter whose value is fn() at scrape time,
+// for monotone counts owned elsewhere (WAL errors, feed generation).
+// Like GaugeFunc, re-registration replaces the callback.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) *FuncGauge {
+	m := r.register(name, help, kindCounterFunc, labels, nil)
+	m.fg.set(fn)
+	return m.fg
+}
+
+// Histogram registers (or returns the existing) histogram series with
+// the given upper bounds in seconds (nil selects DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	m := r.register(name, help, kindHistogram, labels, bounds)
+	return m.h
+}
+
+func (r *Registry) register(name, help string, kind metricKind, labels []Label, bounds []float64) *metric {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	rendered := renderLabels(labels)
+	key := name + rendered
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[key]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", key, kind.typeName(), m.kind.typeName()))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind, seq: len(r.order), line: name + rendered + " "}
+	switch kind {
+	case kindCounter:
+		m.c = &Counter{}
+	case kindGauge:
+		m.g = &Gauge{}
+	case kindCounterFunc, kindGaugeFunc:
+		m.fg = &FuncGauge{}
+	case kindHistogram:
+		m.h = newHistogram(bounds)
+		m.bucketLines = make([]string, len(bounds)+1)
+		for i, b := range bounds {
+			m.bucketLines[i] = name + "_bucket" + mergeLabels(rendered, `le="`+formatFloat(b)+`"`) + " "
+		}
+		m.bucketLines[len(bounds)] = name + "_bucket" + mergeLabels(rendered, `le="+Inf"`) + " "
+		m.sumLine = name + "_sum" + rendered + " "
+		m.countLine = name + "_count" + rendered + " "
+	}
+	if _, ok := r.names[name]; !ok {
+		r.names[name] = help
+	}
+	r.metrics[key] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// renderLabels renders a label set as `{k="v",k2="v2"}` ("" when empty),
+// escaping backslash, quote and newline in values.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// mergeLabels appends extra (already rendered, no braces) into a
+// rendered label set.
+func mergeLabels(rendered, extra string) string {
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+// formatFloat renders a float the shortest way that round-trips —
+// "0.005", "1", "2.5e-05".
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatValue renders a scrape value: integral floats print without an
+// exponent or trailing zeros so counters read naturally.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteTo renders the Prometheus text exposition (format 0.0.4):
+// families sorted by name, series within a family in registration
+// order, `# HELP`/`# TYPE` once per family. Implements io.WriterTo.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.order))
+	copy(metrics, r.order)
+	r.mu.Unlock()
+
+	sort.SliceStable(metrics, func(i, j int) bool {
+		if metrics[i].name != metrics[j].name {
+			return metrics[i].name < metrics[j].name
+		}
+		return metrics[i].seq < metrics[j].seq
+	})
+
+	var sb strings.Builder
+	lastFamily := ""
+	for _, m := range metrics {
+		if m.name != lastFamily {
+			lastFamily = m.name
+			if m.help != "" {
+				sb.WriteString("# HELP ")
+				sb.WriteString(m.name)
+				sb.WriteByte(' ')
+				sb.WriteString(m.help)
+				sb.WriteByte('\n')
+			}
+			sb.WriteString("# TYPE ")
+			sb.WriteString(m.name)
+			sb.WriteByte(' ')
+			sb.WriteString(m.kind.typeName())
+			sb.WriteByte('\n')
+		}
+		switch m.kind {
+		case kindCounter:
+			sb.WriteString(m.line)
+			sb.WriteString(strconv.FormatUint(m.c.Value(), 10))
+			sb.WriteByte('\n')
+		case kindGauge:
+			sb.WriteString(m.line)
+			sb.WriteString(strconv.FormatInt(m.g.Value(), 10))
+			sb.WriteByte('\n')
+		case kindCounterFunc, kindGaugeFunc:
+			sb.WriteString(m.line)
+			sb.WriteString(formatValue(m.fg.Value()))
+			sb.WriteByte('\n')
+		case kindHistogram:
+			// Cumulative buckets, per the exposition format. Counts are
+			// read bucket-first; a concurrent Observe may make the final
+			// _count read higher than the bucket sum of this snapshot,
+			// never lower, so cumulative ordering stays monotone.
+			var cum uint64
+			for i := range m.bucketLines {
+				cum += m.h.buckets[i].Load()
+				sb.WriteString(m.bucketLines[i])
+				sb.WriteString(strconv.FormatUint(cum, 10))
+				sb.WriteByte('\n')
+			}
+			sb.WriteString(m.sumLine)
+			sb.WriteString(formatValue(m.h.Sum().Seconds()))
+			sb.WriteByte('\n')
+			sb.WriteString(m.countLine)
+			sb.WriteString(strconv.FormatUint(cum, 10))
+			sb.WriteByte('\n')
+		}
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Process-level gauges: live heap, in-use heap spans and resident set
+// size. One sampler feeds them all, memoised briefly so a progress line
+// or scrape that reads several gauges pays for one runtime.ReadMemStats
+// (a stop-the-world-ish call that gets expensive on multi-GiB heaps),
+// not one per gauge.
+
+// ProcessRSS returns the process's current resident set size in bytes,
+// and ProcessPeakRSS its lifetime peak — read from /proc/self/status
+// (VmRSS / VmHWM). Both return 0 where procfs is unavailable; callers
+// treat 0 as "unknown", never as a measurement. RSS is the footprint
+// number the memory benchmarks record: unlike heap stats it includes
+// runtime overhead, stacks and the allocator's retained-but-free spans,
+// so it is what an operator actually provisions for.
+func ProcessRSS() uint64 { return procStatusKB("VmRSS:") << 10 }
+
+// ProcessPeakRSS returns the peak resident set size in bytes (VmHWM).
+func ProcessPeakRSS() uint64 { return procStatusKB("VmHWM:") << 10 }
+
+// procStatusKB extracts one "<key>   <n> kB" line from /proc/self/status.
+func procStatusKB(key string) uint64 {
+	buf, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range bytes.Split(buf, []byte{'\n'}) {
+		rest, ok := bytes.CutPrefix(line, []byte(key))
+		if !ok {
+			continue
+		}
+		rest = bytes.TrimSuffix(bytes.TrimSpace(rest), []byte(" kB"))
+		n, err := strconv.ParseUint(string(bytes.TrimSpace(rest)), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return n
+	}
+	return 0
+}
+
+// procSampleTTL memoises a memory-stats sample: readers within the
+// window share it. Variable for tests.
+var procSampleTTL = 50 * time.Millisecond
+
+type procSample struct {
+	at        time.Time
+	heapAlloc uint64
+	heapInuse uint64
+	rss       uint64
+}
+
+type procSampler struct {
+	mu   sync.Mutex
+	last procSample
+}
+
+func (s *procSampler) sample() procSample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.last.at.IsZero() && time.Since(s.last.at) < procSampleTTL {
+		return s.last
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.last = procSample{
+		at:        time.Now(),
+		heapAlloc: ms.HeapAlloc,
+		heapInuse: ms.HeapInuse,
+		rss:       ProcessRSS(),
+	}
+	return s.last
+}
+
+// ProcessGauges are the registered process-memory gauges; read them with
+// Value() (each read may trigger one shared sample).
+type ProcessGauges struct {
+	HeapAlloc *FuncGauge // dwqa_heap_alloc_bytes — live heap objects
+	HeapInuse *FuncGauge // dwqa_heap_inuse_bytes — in-use heap spans
+	RSS       *FuncGauge // dwqa_rss_bytes — resident set size
+}
+
+// RegisterProcessGauges registers the heap/RSS gauges on reg and returns
+// their handles. Idempotent per registry.
+func RegisterProcessGauges(reg *Registry) *ProcessGauges {
+	s := &procSampler{}
+	return &ProcessGauges{
+		HeapAlloc: reg.GaugeFunc("dwqa_heap_alloc_bytes",
+			"Live heap bytes (runtime.MemStats.HeapAlloc).",
+			func() float64 { return float64(s.sample().heapAlloc) }),
+		HeapInuse: reg.GaugeFunc("dwqa_heap_inuse_bytes",
+			"In-use heap span bytes (runtime.MemStats.HeapInuse).",
+			func() float64 { return float64(s.sample().heapInuse) }),
+		RSS: reg.GaugeFunc("dwqa_rss_bytes",
+			"Resident set size from /proc/self/status (0 where procfs is unavailable).",
+			func() float64 { return float64(s.sample().rss) }),
+	}
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRegistryStorm hammers one registry from concurrent writers shaped
+// like the serving stack's traffic — ask-style span finishes, feed-style
+// counter bursts, snapshot-style gauge swings — while scrapers render
+// the exposition, all under -race. Invariants checked during and after:
+// counters are monotone across samples, and every histogram's count
+// equals the sum of its buckets once writers stop.
+func TestRegistryStorm(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg)
+	tr.SetSlowQuery(time.Nanosecond, func(string, ...any) {}) // exercise the sampled slow path too
+
+	hits := reg.Counter("dwqa_cache_hits_total", "")
+	shed := reg.Counter("dwqa_shed_total", "")
+	walSeq := reg.Gauge("dwqa_wal_seq", "")
+	queueWait := reg.Histogram("dwqa_gate_queue_wait_seconds", "", nil)
+	reg.GaugeFunc("dwqa_inflight", "", func() float64 { return 1 })
+
+	const (
+		writers = 8
+		iters   = 2_000
+	)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Ask-style writers: spans + counters + histogram observes.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				var sp Span
+				sp.Observe(StageCacheLookup, time.Duration(seed+i)*time.Microsecond)
+				sp.Observe(StageNLPAnalyse, time.Millisecond)
+				sp.Observe(StageIRSearch, time.Duration(i%7)*time.Millisecond)
+				sp.Observe(StageQAExtract, time.Duration(i)*time.Nanosecond)
+				tr.Finish(&sp, time.Duration(i)*time.Microsecond, "storm", "ok")
+				hits.Inc()
+				queueWait.Observe(time.Duration(i % 5000 * int(time.Microsecond)))
+			}
+		}(w)
+	}
+	// Feed-style writer: counter bursts + gauge swings.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			shed.Add(3)
+			walSeq.Set(int64(i))
+		}
+	}()
+	// Scrapers: render the exposition concurrently and check counter
+	// monotonicity across samples.
+	var lastHits, lastShed uint64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			if _, err := reg.WriteTo(io.Discard); err != nil {
+				t.Errorf("WriteTo: %v", err)
+				return
+			}
+			h, s := hits.Value(), shed.Value()
+			if h < lastHits || s < lastShed {
+				t.Errorf("counter went backwards: hits %d→%d, shed %d→%d", lastHits, h, lastShed, s)
+				return
+			}
+			lastHits, lastShed = h, s
+		}
+	}()
+
+	// Wait for the writers, then release the scraper.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	writersDone := make(chan struct{})
+	go func() {
+		defer close(writersDone)
+		for hits.Value() < uint64(writers*iters) {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	<-writersDone
+	stop.Store(true)
+	<-done
+
+	if got := hits.Value(); got != writers*iters {
+		t.Fatalf("hits = %d, want %d", got, writers*iters)
+	}
+	if got := shed.Value(); got != 3*iters {
+		t.Fatalf("shed = %d, want %d", got, 3*iters)
+	}
+
+	// Histogram invariant: count == sum of buckets, for the direct
+	// histogram and for every stage histogram the tracer fed.
+	checkHistogram := func(name string, h *Histogram) {
+		t.Helper()
+		var sum uint64
+		for _, b := range h.BucketCounts() {
+			sum += b
+		}
+		if h.Count() != sum {
+			t.Fatalf("%s: count %d != bucket sum %d", name, h.Count(), sum)
+		}
+	}
+	checkHistogram("queue_wait", queueWait)
+	for st := Stage(0); st < NumStages; st++ {
+		checkHistogram(st.String(), tr.StageHistogram(st))
+	}
+	if got := tr.StageHistogram(StageIRSearch).Count(); got != writers*iters {
+		t.Fatalf("ir_search observations = %d, want %d", got, writers*iters)
+	}
+	if got := tr.StageHistogram(StageWALAppend).Count(); got != 0 {
+		t.Fatalf("unstamped stage observed %d times", got)
+	}
+
+	// The final exposition renders the settled totals.
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "dwqa_cache_hits_total 16000") {
+		t.Fatalf("exposition missing settled counter:\n%s", sb.String())
+	}
+}

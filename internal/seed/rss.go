@@ -1,40 +1,14 @@
 package seed
 
-import (
-	"bytes"
-	"os"
-	"strconv"
-)
+import "dwqa/internal/obs"
 
 // ProcessRSS returns the process's current resident set size in bytes,
-// and ProcessPeakRSS its lifetime peak — read from /proc/self/status
-// (VmRSS / VmHWM). Both return 0 where procfs is unavailable; callers
-// treat 0 as "unknown", never as a measurement. RSS is the footprint
-// number the memory benchmarks record: unlike heap stats it includes
-// runtime overhead, stacks and the allocator's retained-but-free spans,
-// so it is what an operator actually provisions for.
-func ProcessRSS() uint64 { return procStatusKB("VmRSS:") << 10 }
+// and ProcessPeakRSS its lifetime peak. The /proc/self/status reader
+// lives in internal/obs (the observability package owns process
+// sampling); these wrappers keep the seed package's historical API for
+// the memory benchmarks. Both return 0 where procfs is unavailable;
+// callers treat 0 as "unknown", never as a measurement.
+func ProcessRSS() uint64 { return obs.ProcessRSS() }
 
 // ProcessPeakRSS returns the peak resident set size in bytes (VmHWM).
-func ProcessPeakRSS() uint64 { return procStatusKB("VmHWM:") << 10 }
-
-// procStatusKB extracts one "<key>   <n> kB" line from /proc/self/status.
-func procStatusKB(key string) uint64 {
-	buf, err := os.ReadFile("/proc/self/status")
-	if err != nil {
-		return 0
-	}
-	for _, line := range bytes.Split(buf, []byte{'\n'}) {
-		rest, ok := bytes.CutPrefix(line, []byte(key))
-		if !ok {
-			continue
-		}
-		rest = bytes.TrimSuffix(bytes.TrimSpace(rest), []byte(" kB"))
-		n, err := strconv.ParseUint(string(bytes.TrimSpace(rest)), 10, 64)
-		if err != nil {
-			return 0
-		}
-		return n
-	}
-	return 0
-}
+func ProcessPeakRSS() uint64 { return obs.ProcessPeakRSS() }

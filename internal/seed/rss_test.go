@@ -1,0 +1,12 @@
+package seed
+
+import "testing"
+
+func TestProcessRSSWrappers(t *testing.T) {
+	// Thin re-exports of internal/obs; pin that they stay wired to the
+	// same sampler (peak can never be below current).
+	rss, peak := ProcessRSS(), ProcessPeakRSS()
+	if rss > 0 && peak < rss {
+		t.Fatalf("peak RSS %d < current RSS %d", peak, rss)
+	}
+}

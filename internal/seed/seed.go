@@ -35,15 +35,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
-	"runtime"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 
 	"dwqa/internal/core"
 	"dwqa/internal/etl"
 	"dwqa/internal/ir"
+	"dwqa/internal/obs"
 	"dwqa/internal/store"
 	"dwqa/internal/webcorpus"
 )
@@ -120,23 +122,31 @@ type Config struct {
 	// the WAL writes, before the batch's checkpoint lands. It simulates
 	// the worst-case kill window for the resume tests.
 	CrashAfterBatches int
+	// Metrics, when set, is the registry the run's instruments land on
+	// (heap/RSS gauges, dwqa_seeder_pages_total, throughput and
+	// checkpoint-age gauges) so an embedding process can expose them.
+	// Nil gives the run a private registry; the progress line reads the
+	// gauges either way.
+	Metrics *obs.Registry
 }
 
 // ErrCrashed is returned by the CrashAfterBatches test hook.
 var ErrCrashed = errors.New("seed: simulated crash")
 
-// Summary reports what one run did.
+// Summary reports what one run did. The JSON form is the machine-
+// readable trailer cmd/seeder prints ("seeder-summary {...}") for
+// scripts driving ingestion runs; Elapsed marshals as nanoseconds.
 type Summary struct {
-	Resumed    bool   // a valid checkpoint advanced the cursor
-	StartPages int    // cursor position the run started from
-	PagesSeen  int    // pages consumed this run
-	DocsAdded  int    // documents actually indexed (HasURL skipped the rest)
-	Loaded     int    // fact rows committed this run
-	Skipped    int    // records deduplicated away
-	Passages   int    // index passage count at exit
-	Documents  int    // index document count at exit
-	WALSeq     uint64 // store sequence at exit
-	Elapsed    time.Duration
+	Resumed    bool          `json:"resumed"`     // a valid checkpoint advanced the cursor
+	StartPages int           `json:"start_pages"` // cursor position the run started from
+	PagesSeen  int           `json:"pages_seen"`  // pages consumed this run
+	DocsAdded  int           `json:"docs_added"`  // documents actually indexed (HasURL skipped the rest)
+	Loaded     int           `json:"loaded"`      // fact rows committed this run
+	Skipped    int           `json:"skipped"`     // records deduplicated away
+	Passages   int           `json:"passages"`    // index passage count at exit
+	Documents  int           `json:"documents"`   // index document count at exit
+	WALSeq     uint64        `json:"wal_seq"`     // store sequence at exit
+	Elapsed    time.Duration `json:"elapsed_ns"`
 }
 
 // checkpoint is the resume cursor, written atomically after every
@@ -189,6 +199,33 @@ func Run(cfg Config) (*Summary, error) {
 		defer debug.SetGCPercent(prev)
 		logf("gc target %d%% (was %d%%)", cfg.GCPercent, prev)
 	}
+
+	// The run's instruments. The heap/RSS gauges share one memoised
+	// sampler, so the progress line reads them instead of re-sampling
+	// runtime.MemStats and /proc itself; the counters and the
+	// checkpoint-age gauge give an embedding process (Config.Metrics)
+	// a live view of ingestion health.
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	proc := obs.RegisterProcessGauges(reg)
+	pagesTotal := reg.Counter("dwqa_seeder_pages_total",
+		"Pages committed by the seeder.")
+	var rateBits atomic.Uint64 // float64 bits: pages/s over the last progress window
+	reg.GaugeFunc("dwqa_seeder_pages_per_second",
+		"Ingest throughput over the last progress window.",
+		func() float64 { return math.Float64frombits(rateBits.Load()) })
+	var lastCkpt atomic.Int64 // unix nanos of the last checkpoint write; 0 = none yet
+	reg.GaugeFunc("dwqa_seeder_checkpoint_age_seconds",
+		"Seconds since the last committed checkpoint (-1 before the first).",
+		func() float64 {
+			at := lastCkpt.Load()
+			if at == 0 {
+				return -1
+			}
+			return time.Since(time.Unix(0, at)).Seconds()
+		})
 
 	p, info, err := core.OpenPipelineFS(cfg.Core, cfg.DataDir, fsys)
 	if err != nil {
@@ -268,6 +305,7 @@ func Run(cfg Config) (*Summary, error) {
 		sum.PagesSeen += len(pages)
 		windowPages += len(pages)
 		batchesDone++
+		pagesTotal.Add(uint64(len(pages)))
 
 		if cfg.CrashAfterBatches > 0 && batchesDone >= cfg.CrashAfterBatches {
 			// Simulated kill: the WAL holds the batch, the checkpoint does
@@ -277,19 +315,22 @@ func Run(cfg Config) (*Summary, error) {
 		if err := writeCheckpoint(fsys, cfg.DataDir, checkpoint{Fingerprint: fp, Pages: cursor, WALSeq: st.Seq()}); err != nil {
 			return nil, fmt.Errorf("seed: checkpoint: %w", err)
 		}
+		lastCkpt.Store(time.Now().UnixNano())
 		if cfg.SnapshotEvery > 0 && batchesDone%cfg.SnapshotEvery == 0 {
 			if err := snapshot(p, st); err != nil {
 				return nil, err
 			}
 		}
 		if batchesDone%cfg.ProgressEvery == 0 {
-			var ms runtime.MemStats
-			runtime.ReadMemStats(&ms)
 			elapsed := time.Since(window)
 			rate := float64(windowPages) / elapsed.Seconds()
+			rateBits.Store(math.Float64bits(rate))
+			// Memory numbers come from the registered gauges (one shared
+			// memoised sample), not a fresh MemStats/procfs read.
 			logf("page %d: %d passages, %d rows loaded (%d deduped), %.0f pages/s, heap %d MiB live / %d MiB inuse, rss %d MiB, wal seq %d",
 				cursor, p.Index.PassageCount(), sum.Loaded, sum.Skipped, rate,
-				ms.HeapAlloc>>20, ms.HeapInuse>>20, ProcessRSS()>>20, st.Seq())
+				uint64(proc.HeapAlloc.Value())>>20, uint64(proc.HeapInuse.Value())>>20,
+				uint64(proc.RSS.Value())>>20, st.Seq())
 			window, windowPages = time.Now(), 0
 		}
 	}

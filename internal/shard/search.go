@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"dwqa/internal/ir"
 )
@@ -130,16 +131,24 @@ func (c *Cluster) Search(terms []string, k int) []ir.Passage {
 	}
 	local := make([]stats, c.n)
 	nodes := make([]*Node, c.n)
+	fanout := c.fanout.Load()
 	var wg sync.WaitGroup
 	for i := 0; i < c.n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			var start time.Time
+			if fanout != nil {
+				start = time.Now()
+			}
 			// Pin the node for both rounds so a follower swap between
 			// them cannot mix one state's statistics with another's
 			// postings.
 			nodes[i] = c.Node(i)
 			local[i].nPass, local[i].df = nodes[i].IX.TermStats(terms)
+			if fanout != nil {
+				fanout.Observe(time.Since(start))
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -159,7 +168,14 @@ func (c *Cluster) Search(terms []string, k int) []ir.Passage {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			var start time.Time
+			if fanout != nil {
+				start = time.Now()
+			}
 			parts[i] = nodes[i].IX.SearchWeighted(terms, idf, k)
+			if fanout != nil {
+				fanout.Observe(time.Since(start))
+			}
 		}(i)
 	}
 	wg.Wait()

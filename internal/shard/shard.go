@@ -26,10 +26,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dwqa/internal/dw"
 	"dwqa/internal/ir"
 	"dwqa/internal/mdm"
+	"dwqa/internal/obs"
 )
 
 // Node is one shard's stack: its slice of the fact columns and of the
@@ -72,6 +74,18 @@ type Cluster struct {
 	mu      sync.RWMutex
 	ordDoc  map[int64][2]int
 	nextOrd int64
+
+	// fanout, when set, observes each shard's wall-clock contribution to
+	// every scatter round (both Search rounds and Execute) — the
+	// straggler detector. Swapped atomically so scatter goroutines never
+	// lock to read it; nil means no observation and no clock readings.
+	fanout atomic.Pointer[obs.Histogram]
+}
+
+// SetFanoutHistogram attaches (or, with nil, detaches) the per-shard
+// scatter latency histogram. Safe to call while queries are in flight.
+func (c *Cluster) SetFanoutHistogram(h *obs.Histogram) {
+	c.fanout.Store(h)
 }
 
 // NewCluster builds an n-shard cluster over the schema. Every shard gets
@@ -303,12 +317,20 @@ func (c *Cluster) Validate(q dw.Query) error { return c.Node(0).WH.Validate(q) }
 func (c *Cluster) Execute(q dw.Query) (*dw.Result, error) {
 	parts := make([][]dw.CellRow, c.n)
 	errs := make([]error, c.n)
+	fanout := c.fanout.Load()
 	var wg sync.WaitGroup
 	for i := 0; i < c.n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			var start time.Time
+			if fanout != nil {
+				start = time.Now()
+			}
 			parts[i], errs[i] = c.Node(i).WH.ExecuteCells(q)
+			if fanout != nil {
+				fanout.Observe(time.Since(start))
+			}
 		}(i)
 	}
 	wg.Wait()

@@ -32,9 +32,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dwqa/internal/dw"
 	"dwqa/internal/ir"
+	"dwqa/internal/obs"
 )
 
 // ErrWAL marks a write-ahead-log append failure: the feed batch that
@@ -66,6 +68,27 @@ type Store struct {
 	wal         *wal
 	walRepaired int64 // bytes dropped repairing a torn tail at Open
 	closed      bool
+	met         Metrics
+}
+
+// Metrics are the optional latency histograms the store observes on its
+// write path. Nil histograms are skipped without a clock reading, so an
+// unmetered store behaves exactly as before.
+type Metrics struct {
+	// Append times one whole WAL append — encode, write and fsync — as
+	// seen by the committing feed batch.
+	Append *obs.Histogram
+	// Fsync times the fsync alone, the usual dominator of Append.
+	Fsync *obs.Histogram
+}
+
+// SetMetrics attaches the write-path histograms. Safe to call while
+// appends are in flight; the next append observes them.
+func (s *Store) SetMetrics(m Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.met = m
+	s.wal.fsync = m.Fsync
 }
 
 // Open opens (creating if needed) a data directory on the real
@@ -189,7 +212,15 @@ func (s *Store) appendRecord(kind byte, payload []byte) error {
 	if s.closed {
 		return fmt.Errorf("store: closed")
 	}
-	if err := s.wal.append(kind, payload); err != nil {
+	var start time.Time
+	if s.met.Append != nil {
+		start = time.Now()
+	}
+	err := s.wal.append(kind, payload)
+	if s.met.Append != nil {
+		s.met.Append.Observe(time.Since(start))
+	}
+	if err != nil {
 		s.walErrors.Add(1)
 		return fmt.Errorf("%w: %w", ErrWAL, err)
 	}

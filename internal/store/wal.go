@@ -6,9 +6,11 @@ import (
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"dwqa/internal/dw"
 	"dwqa/internal/ir"
+	"dwqa/internal/obs"
 )
 
 // WAL record layout (append-only, one record per committed feed batch):
@@ -48,9 +50,10 @@ type walRecord struct {
 
 // wal is the append side of the log. Store serialises access.
 type wal struct {
-	path string
-	f    File
-	seq  uint64 // last appended (or scanned) sequence number
+	path  string
+	f     File
+	seq   uint64         // last appended (or scanned) sequence number
+	fsync *obs.Histogram // optional fsync latency, set via Store.SetMetrics
 }
 
 // openWAL opens (creating if needed) the log through the store's
@@ -165,8 +168,15 @@ func (w *wal) append(kind byte, payload []byte) error {
 	if _, err := w.f.Write(rec.buf); err != nil {
 		return rollback(fmt.Errorf("appending WAL record %d: %w", w.seq, err))
 	}
+	var fsyncStart time.Time
+	if w.fsync != nil {
+		fsyncStart = time.Now()
+	}
 	if err := w.f.Sync(); err != nil {
 		return rollback(fmt.Errorf("syncing WAL record %d: %w", w.seq, err))
+	}
+	if w.fsync != nil {
+		w.fsync.Observe(time.Since(fsyncStart))
 	}
 	return nil
 }
